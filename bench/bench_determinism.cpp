@@ -1,0 +1,146 @@
+// A8 — §8: deterministic control-plane execution and repair correctness.
+//
+// "When repairs are possible, their correctness depends on ... deterministic
+// control-plane execution, to make sure that the control plane will
+// converge to a previously working state given previously seen inputs
+// (i.e., it is memoryless). ... routing outcomes are typically
+// deterministic ... this is not necessarily true for BGP. Fortunately, BGP
+// determinism can be guaranteed with the help of extra mechanisms such as
+// BGP Add-Path."
+//
+// A border router hears the same prefix on two uplinks with identical
+// attributes. With the (default-on) Cisco oldest-route tie-break, the
+// winner depends on arrival order and on history — re-advertising a flapped
+// route does NOT restore the previous state. Disabling the quirk (IOS
+// "bgp bestpath compare-routerid") makes the outcome order- and
+// history-independent, which is what reverting a root cause relies on.
+#include "bench_util.hpp"
+
+#include "hbguard/sim/workload.hpp"
+#include "hbguard/snapshot/naive.hpp"
+
+using namespace hbguard;
+using namespace hbguard::bench;
+
+namespace {
+
+struct TwoUplinkNet {
+  std::unique_ptr<Network> network;
+  Prefix p = *Prefix::parse("203.0.113.0/24");
+
+  void advertise(const char* session) {
+    network->inject_external_advert(0, session, p, {64500, 64999});
+    network->run_to_convergence();
+  }
+  void withdraw(const char* session) {
+    network->inject_external_advert(0, session, p, {}, true);
+    network->run_to_convergence();
+  }
+  std::string exit_session() const {
+    const FibEntry* entry = network->router(0).data_fib().find(p);
+    if (entry == nullptr) return "(none)";
+    return entry->action == FibEntry::Action::kExternal ? entry->external_session
+                                                        : entry->describe();
+  }
+};
+
+TwoUplinkNet make_net(bool prefer_oldest) {
+  TwoUplinkNet result;
+  Topology topology = make_chain_topology(3);
+  result.network = std::make_unique<Network>(std::move(topology));
+  Network& net = *result.network;
+  for (RouterId r = 0; r < 3; ++r) {
+    RouterConfig config = base_ibgp_ospf_config(net.topology(), r);
+    if (r == 0) {
+      config.bgp.quirks.prefer_oldest_route = prefer_oldest;
+      for (const char* name : {"uplink-a", "uplink-b"}) {
+        BgpSessionConfig session;
+        session.name = name;
+        session.external = true;
+        session.peer_as = 64500;  // same neighbor AS: MED comparable, equal
+        config.bgp.sessions.push_back(session);
+      }
+    }
+    net.set_initial_config(r, std::move(config));
+  }
+  net.start();
+  net.run_to_convergence();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  header("bench_determinism",
+         "§8 (A8) — order- and history-dependence of BGP outcomes",
+         "oldest-route quirk: winner follows arrival order and flap history "
+         "(not memoryless); with the quirk off, outcomes are deterministic");
+
+  Table table({"quirk", "input sequence", "winning uplink", "deterministic?"});
+  for (bool prefer_oldest : {true, false}) {
+    const char* quirk = prefer_oldest ? "prefer-oldest (IOS default)" : "compare-routerid";
+
+    auto ab = make_net(prefer_oldest);
+    ab.advertise("uplink-a");
+    ab.advertise("uplink-b");
+    std::string win_ab = ab.exit_session();
+
+    auto ba = make_net(prefer_oldest);
+    ba.advertise("uplink-b");
+    ba.advertise("uplink-a");
+    std::string win_ba = ba.exit_session();
+
+    // Flap-and-replay: same *final* set of inputs as A-then-B, but A
+    // flapped in between. Memoryless control planes return to win_ab.
+    auto flap = make_net(prefer_oldest);
+    flap.advertise("uplink-a");
+    flap.advertise("uplink-b");
+    flap.withdraw("uplink-a");
+    flap.advertise("uplink-a");
+    std::string win_flap = flap.exit_session();
+
+    bool deterministic = win_ab == win_ba && win_ab == win_flap;
+    table.row({quirk, "A then B", win_ab, deterministic ? "yes" : ""});
+    table.row({quirk, "B then A", win_ba, win_ba == win_ab ? "" : "ORDER-DEPENDENT"});
+    table.row({quirk, "A, B, flap A", win_flap,
+               win_flap == win_ab ? "" : "HISTORY-DEPENDENT (not memoryless)"});
+  }
+  table.print();
+
+  std::printf("--- repair relevance: revert-then-reconverge under each quirk ---\n");
+  // §8's point: after reverting a bad change, the network must return to
+  // the previously-correct state. We emulate "previously seen inputs" by
+  // checking that the post-revert state equals the pre-change state.
+  Table repair({"quirk", "state restored after revert?"});
+  for (bool prefer_oldest : {true, false}) {
+    NetworkOptions options;
+    auto scenario = PaperScenario::make(options);
+    scenario.network->apply_config_change(scenario.r1, "set tie-break quirk",
+                                          [prefer_oldest](RouterConfig& config) {
+                                            config.bgp.quirks.prefer_oldest_route =
+                                                prefer_oldest;
+                                          });
+    scenario.converge_initial();
+    auto before = take_instant_snapshot(*scenario.network);
+
+    ConfigVersion bad = scenario.misconfigure_r2_lp10();
+    scenario.network->run_to_convergence();
+    scenario.network->revert_config_change(bad, "revert");
+    scenario.network->run_to_convergence();
+    auto after = take_instant_snapshot(*scenario.network);
+
+    bool same = true;
+    for (const auto& [router, view] : before.routers) {
+      if (after.routers.at(router).entries != view.entries) same = false;
+    }
+    repair.row({prefer_oldest ? "prefer-oldest (IOS default)" : "compare-routerid",
+                same ? "yes" : "NO"});
+  }
+  repair.print();
+
+  std::printf("note: the Fig. 2 scenario restores cleanly either way (local-pref\n"
+              "dominates the tie-break), but the two-uplink experiment shows where the\n"
+              "oldest-route quirk would leave a revert stuck in a different stable\n"
+              "state — §8's argument for Add-Path/compare-routerid in deployments.\n\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// F1 — Fig. 1a/1b: iBGP convergence to the preferred exit.
+//
+// Reproduces the paper's running example: with only R1's uplink advertising
+// P, everyone exits via R1 (Fig. 1a); when R2's (preferred, LP 30 > 20)
+// uplink learns P, the network reconverges so R1 and R3 forward via R2
+// (Fig. 1b). The bench prints each router's FIB at both stages plus the
+// convergence event counts and virtual convergence latency.
+#include "bench_util.hpp"
+
+#include "hbguard/snapshot/naive.hpp"
+
+using namespace hbguard;
+using namespace hbguard::bench;
+
+namespace {
+
+std::string fib_cell(const Network& network, RouterId router, const Prefix& prefix) {
+  const FibEntry* entry = network.router(router).data_fib().find(prefix);
+  return entry != nullptr ? entry->describe() : "(no route)";
+}
+
+}  // namespace
+
+int main() {
+  header("bench_fig1_convergence",
+         "Fig. 1a/1b — route arrival shifts the exit to the preferred uplink",
+         "stage 1: all exit via R1; stage 2: R1,R3 forward to R2, R2 exits");
+
+  auto scenario = PaperScenario::make();
+  Network& net = *scenario.network;
+  net.run_to_convergence();
+
+  // Stage 1 (Fig. 1a): only the R1 uplink has the route.
+  SimTime t0 = net.sim().now();
+  std::size_t events0 = net.sim().dispatched();
+  scenario.advertise_p_via_r1();
+  net.run_to_convergence();
+  SimTime stage1_latency = net.sim().now() - t0;
+  std::size_t stage1_events = net.sim().dispatched() - events0;
+
+  Table stage1({"router", "FIB entry for P (Fig. 1a)"});
+  for (RouterId r : {scenario.r1, scenario.r2, scenario.r3}) {
+    stage1.row({net.topology().router(r).name, fib_cell(net, r, scenario.prefix_p)});
+  }
+  stage1.print();
+
+  // Stage 2 (Fig. 1b): the preferred uplink learns the route.
+  SimTime t1 = net.sim().now();
+  std::size_t events1 = net.sim().dispatched();
+  scenario.advertise_p_via_r2();
+  net.run_to_convergence();
+  SimTime stage2_latency = net.sim().now() - t1;
+  std::size_t stage2_events = net.sim().dispatched() - events1;
+
+  Table stage2({"router", "FIB entry for P (Fig. 1b)"});
+  for (RouterId r : {scenario.r1, scenario.r2, scenario.r3}) {
+    stage2.row({net.topology().router(r).name, fib_cell(net, r, scenario.prefix_p)});
+  }
+  stage2.print();
+
+  Table timing({"stage", "virtual convergence latency", "events dispatched", "I/Os captured"});
+  timing.row({"Fig. 1a (advertise via R1)", format_duration_us(stage1_latency),
+              std::to_string(stage1_events), std::to_string(net.capture().records().size())});
+  timing.row({"Fig. 1b (advertise via R2)", format_duration_us(stage2_latency),
+              std::to_string(stage2_events), std::to_string(net.capture().records().size())});
+  timing.print();
+
+  bool ok = scenario.fib_exits_via(scenario.r1, scenario.r2) &&
+            scenario.fib_exits_via(scenario.r3, scenario.r2) &&
+            scenario.fib_exits_via(scenario.r2, scenario.r2);
+  std::printf("verdict: final state %s the Fig. 1b expectation\n\n",
+              ok ? "MATCHES" : "DOES NOT MATCH");
+  return ok ? 0 : 1;
+}

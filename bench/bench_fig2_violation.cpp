@@ -1,0 +1,80 @@
+// F2 — Fig. 2: the ill-considered local-pref change and its propagation.
+//
+// Reproduces both panels: (a) the LP=10 change on R2's uplink import makes
+// R2 fall back to R1's LP=20 route; (b) R1 announces its own uplink route
+// and all three routers converge on the policy-violating R1 exit. The bench
+// prints the FIB evolution, the verifier's verdicts before/after, and the
+// advertisement cascade.
+#include "bench_util.hpp"
+
+#include "hbguard/snapshot/naive.hpp"
+#include "hbguard/verify/verifier.hpp"
+
+using namespace hbguard;
+using namespace hbguard::bench;
+
+int main() {
+  header("bench_fig2_violation",
+         "Fig. 2 — LP misconfiguration propagates into a network-wide violation",
+         "before: compliant (exit R2); after: all traffic exits R1 while "
+         "R2's uplink is still up -> preferred-exit violated at every router");
+
+  auto scenario = PaperScenario::make();
+  Network& net = *scenario.network;
+  scenario.converge_initial();
+
+  Verifier verifier(paper_policies(scenario));
+  auto verdict = [&](const char* stage) {
+    auto snapshot = take_instant_snapshot(net);
+    auto result = verifier.verify(snapshot);
+    std::printf("[%s] violations: %zu\n", stage, result.violations.size());
+    for (const Violation& violation : result.violations) {
+      std::printf("  %s\n", violation.describe().c_str());
+    }
+  };
+
+  Table before({"router", "FIB entry for P (before)"});
+  for (RouterId r : {scenario.r1, scenario.r2, scenario.r3}) {
+    const FibEntry* e = net.router(r).data_fib().find(scenario.prefix_p);
+    before.row({net.topology().router(r).name, e ? e->describe() : "(no route)"});
+  }
+  before.print();
+  verdict("before change");
+
+  std::size_t records_before = net.capture().records().size();
+  ConfigVersion bad = scenario.misconfigure_r2_lp10();
+  net.run_to_convergence();
+
+  std::printf("\napplied config v%llu: \"%s\"\n\n", static_cast<unsigned long long>(bad),
+              net.configs().record(bad).description.c_str());
+
+  Table after({"router", "FIB entry for P (after)"});
+  for (RouterId r : {scenario.r1, scenario.r2, scenario.r3}) {
+    const FibEntry* e = net.router(r).data_fib().find(scenario.prefix_p);
+    after.row({net.topology().router(r).name, e ? e->describe() : "(no route)"});
+  }
+  after.print();
+  verdict("after change");
+
+  // The advertisement cascade of Fig. 2b.
+  std::printf("\ncontrol-plane I/O cascade triggered by the change:\n");
+  Table cascade({"t (virtual)", "I/O"});
+  auto records = net.capture().records();
+  for (std::size_t i = records_before; i < records.size(); ++i) {
+    const IoRecord& r = records[i];
+    if (r.prefix.has_value() && *r.prefix == scenario.prefix_p) {
+      cascade.row({format_duration_us(r.true_time), r.label()});
+    } else if (r.kind == IoKind::kConfigChange) {
+      cascade.row({format_duration_us(r.true_time), r.label()});
+    }
+  }
+  cascade.print();
+
+  bool violated = scenario.fib_exits_via(scenario.r1, scenario.r1) &&
+                  scenario.fib_exits_via(scenario.r2, scenario.r1) &&
+                  scenario.fib_exits_via(scenario.r3, scenario.r1) &&
+                  scenario.router2().uplink_up(PaperScenario::kUplink2);
+  std::printf("verdict: end state %s Fig. 2b (policy violated, uplink2 still up)\n\n",
+              violated ? "MATCHES" : "DOES NOT MATCH");
+  return violated ? 0 : 1;
+}

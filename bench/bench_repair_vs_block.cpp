@@ -1,0 +1,86 @@
+// A4 — §2/§6: blocking FIB updates vs reverting the root cause.
+//
+// The paper's central repair argument, end to end:
+//   stage 1: the Fig. 2 LP=10 misconfiguration fires;
+//   stage 2: R2's uplink subsequently fails and withdraws P.
+// Under BLOCK, the data plane is shielded at stage 1 but the control plane
+// diverges; at stage 2 the control plane "thinks the FIBs have the entries
+// [via R1]" so nothing is updated, and the stale data plane blackholes P
+// into the dead uplink. Under REVERT, stage 1 is repaired at the source and
+// stage 2 is a clean failover. REPORT (diagnose only) leaves the violation.
+#include "bench_util.hpp"
+
+#include "hbguard/core/guard.hpp"
+#include "hbguard/snapshot/naive.hpp"
+
+using namespace hbguard;
+using namespace hbguard::bench;
+
+namespace {
+
+struct Outcome {
+  bool stage1_compliant;   // exit via R2 right after the misconfig settled
+  bool stage2_delivers;    // traffic still reaches an exit after uplink loss
+  std::size_t reverts;
+  std::size_t blocked;
+  std::string stage2_trace;
+};
+
+Outcome run_mode(RepairMode mode) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  GuardOptions options;
+  options.repair = mode;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+
+  scenario.misconfigure_r2_lp10();
+  guard.run();
+
+  Outcome outcome;
+  outcome.stage1_compliant = scenario.fib_exits_via(scenario.r1, scenario.r2) &&
+                             scenario.fib_exits_via(scenario.r3, scenario.r2);
+
+  scenario.fail_uplink2();
+  guard.run();
+
+  auto snapshot = take_instant_snapshot(*scenario.network);
+  auto trace = trace_forwarding(snapshot, scenario.r3, representative(scenario.prefix_p));
+  outcome.stage2_delivers = trace.reaches_exit();
+  outcome.stage2_trace = trace.describe();
+  outcome.reverts = guard.report().reverts;
+  outcome.blocked = guard.report().blocked_updates;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  header("bench_repair_vs_block",
+         "§2 + §6 (A4) — block vs revert under a follow-on uplink failure",
+         "block: stage-1 shielded but stage-2 blackholes; revert: both clean; "
+         "report: violation persists but no blackhole");
+
+  Table table({"repair mode", "stage1: preferred exit kept", "stage2: traffic delivered",
+               "reverts", "blocked updates", "stage2 trace from R3"});
+
+  struct ModeRow {
+    RepairMode mode;
+    const char* name;
+  };
+  for (ModeRow m : {ModeRow{RepairMode::kReport, "report (diagnose only)"},
+                    ModeRow{RepairMode::kBlock, "block bad FIB updates"},
+                    ModeRow{RepairMode::kRevert, "revert root cause"}}) {
+    Outcome outcome = run_mode(m.mode);
+    table.row({m.name, outcome.stage1_compliant ? "yes" : "NO",
+               outcome.stage2_delivers ? "yes" : "NO (blackhole)",
+               std::to_string(outcome.reverts), std::to_string(outcome.blocked),
+               outcome.stage2_trace});
+  }
+  table.print();
+
+  std::printf("note: 'blocked updates' shields the data plane from the stage-1 violation\n"
+              "but desynchronizes it from the control plane; the stage-2 withdrawal then\n"
+              "has no FIB updates to block or apply, leaving traffic aimed at the dead\n"
+              "uplink — exactly the inconsistency hazard of §2.\n\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared helpers for the experiment benches: fixed-width table printing and
+// the paper's policy set. Every bench prints a self-describing header with
+// the paper artifact it reproduces and the expected qualitative shape.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hbguard/sim/scenario.hpp"
+#include "hbguard/util/strings.hpp"
+#include "hbguard/verify/policy.hpp"
+
+namespace hbguard::bench {
+
+inline void header(const std::string& title, const std::string& artifact,
+                   const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces : %s\n", artifact.c_str());
+  std::printf("expect     : %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], r[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        std::string cell = i < cells.size() ? cells[i] : "";
+        std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::printf("|");
+    for (std::size_t w : widths) std::printf("%s|", std::string(w + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double value, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+inline std::string fmt_pct(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", value * 100.0);
+  return buf;
+}
+
+inline PolicyList paper_policies(const PaperScenario& scenario) {
+  PolicyList policies;
+  policies.push_back(std::make_shared<LoopFreedomPolicy>(scenario.prefix_p));
+  policies.push_back(std::make_shared<BlackholeFreedomPolicy>(scenario.prefix_p));
+  policies.push_back(std::make_shared<PreferredExitPolicy>(
+      scenario.prefix_p, scenario.r2, PaperScenario::kUplink2, scenario.r1,
+      PaperScenario::kUplink1));
+  return policies;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hbguard::bench

@@ -1,0 +1,183 @@
+// hbgctl — offline analysis CLI over captured I/O traces (JSONL).
+//
+// The operator-facing surface for the analysis half of the library: feed it
+// a trace exported by write_trace() (or by a real collector emitting the
+// same schema) and ask questions.
+//
+//   hbgctl stats   <trace.jsonl>                    summarize the trace
+//   hbgctl hbg     <trace.jsonl> [--dot]            infer + print the HBG
+//   hbgctl why     <trace.jsonl> <io-id>            root-cause an I/O
+//   hbgctl verify  <trace.jsonl> <prefix> [...]     loop/blackhole check on
+//                                                   the replayed data plane
+//   hbgctl demo    <out.jsonl>                      generate a sample trace
+//                                                   (the Fig. 2 scenario)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hbguard/hbg/builder.hpp"
+#include "hbguard/hbg/render.hpp"
+#include "hbguard/hbr/rule_matcher.hpp"
+#include "hbguard/capture/trace_io.hpp"
+#include "hbguard/util/strings.hpp"
+#include "hbguard/provenance/root_cause.hpp"
+#include "hbguard/sim/scenario.hpp"
+#include "hbguard/snapshot/consistent.hpp"
+#include "hbguard/verify/verifier.hpp"
+
+using namespace hbguard;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hbgctl <command> ...\n"
+               "  stats  <trace.jsonl>              trace summary\n"
+               "  hbg    <trace.jsonl> [--dot]      infer the happens-before graph\n"
+               "  why    <trace.jsonl> <io-id>      root causes of an I/O\n"
+               "  verify <trace.jsonl> <prefix>...  loop/blackhole check\n"
+               "  demo   <out.jsonl>                write a sample trace (Fig. 2)\n");
+  return 2;
+}
+
+std::optional<std::vector<IoRecord>> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "hbgctl: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  auto parsed = parse_trace(in);
+  for (const auto& error : parsed.errors) {
+    std::fprintf(stderr, "hbgctl: %s:%zu: %s\n", path.c_str(), error.line,
+                 error.message.c_str());
+  }
+  if (!parsed.ok()) return std::nullopt;
+  return std::move(parsed.records);
+}
+
+int cmd_stats(const std::vector<IoRecord>& records) {
+  std::map<RouterId, std::size_t> per_router;
+  std::map<IoKind, std::size_t> per_kind;
+  SimTime first = records.empty() ? 0 : records.front().logged_time;
+  SimTime last = first;
+  for (const IoRecord& r : records) {
+    ++per_router[r.router];
+    ++per_kind[r.kind];
+    first = std::min(first, r.logged_time);
+    last = std::max(last, r.logged_time);
+  }
+  std::printf("%zu records from %zu routers spanning %s of virtual time\n", records.size(),
+              per_router.size(), format_duration_us(last - first).c_str());
+  for (const auto& [kind, count] : per_kind) {
+    std::printf("  %-9s %zu\n", std::string(to_string(kind)).c_str(), count);
+  }
+  return 0;
+}
+
+int cmd_hbg(const std::vector<IoRecord>& records, bool dot) {
+  auto hbg = HbgBuilder::build(records, RuleMatchingInference());
+  if (dot) {
+    std::printf("%s", to_dot(hbg).c_str());
+  } else {
+    std::printf("HBG: %zu vertices, %zu edges, %zu provenance leaves\n", hbg.vertex_count(),
+                hbg.edge_count(), hbg.all_leaves().size());
+    std::printf("%s", to_timeline(hbg).c_str());
+  }
+  return 0;
+}
+
+int cmd_why(const std::vector<IoRecord>& records, IoId io) {
+  auto hbg = HbgBuilder::build(records, RuleMatchingInference());
+  if (hbg.record(io) == nullptr) {
+    std::fprintf(stderr, "hbgctl: no record #%llu in trace\n",
+                 static_cast<unsigned long long>(io));
+    return 1;
+  }
+  RootCauseAnalyzer analyzer;
+  auto provenance = analyzer.analyze(hbg, io);
+  std::printf("%s", RootCauseAnalyzer::render(hbg, provenance).c_str());
+  return 0;
+}
+
+int cmd_verify(const std::vector<IoRecord>& records, const std::vector<Prefix>& prefixes) {
+  auto hbg = HbgBuilder::build(records, RuleMatchingInference());
+  ConsistencyReport report;
+  auto snapshot = ConsistentSnapshotter().build(records, hbg, {}, &report);
+  std::printf("replayed consistent snapshot (%zu routers, %zu I/Os rewound)\n",
+              snapshot.routers.size(), report.total_rewound());
+
+  PolicyList policies;
+  for (const Prefix& prefix : prefixes) {
+    policies.push_back(std::make_shared<LoopFreedomPolicy>(prefix));
+    policies.push_back(std::make_shared<BlackholeFreedomPolicy>(prefix));
+  }
+  auto result = Verifier(policies).verify(snapshot);
+  if (result.clean()) {
+    std::printf("verdict: CLEAN (%zu policies)\n", policies.size());
+    return 0;
+  }
+  std::printf("verdict: %zu violation(s)\n", result.violations.size());
+  for (const Violation& violation : result.violations) {
+    std::printf("  %s\n", violation.describe().c_str());
+  }
+  return 1;
+}
+
+int cmd_demo(const std::string& path) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  scenario.misconfigure_r2_lp10();
+  scenario.network->run_to_convergence();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "hbgctl: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  write_trace(out, scenario.network->capture().records());
+  std::printf("wrote %zu records to %s (the Fig. 2 scenario; prefix %s)\n",
+              scenario.network->capture().records().size(), path.c_str(),
+              scenario.prefix_p.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string& command = args[0];
+
+  if (command == "demo") {
+    if (args.size() != 2) return usage();
+    return cmd_demo(args[1]);
+  }
+  if (args.size() < 2) return usage();
+  auto records = load(args[1]);
+  if (!records.has_value()) return 1;
+
+  if (command == "stats") return cmd_stats(*records);
+  if (command == "hbg") {
+    bool dot = args.size() > 2 && args[2] == "--dot";
+    return cmd_hbg(*records, dot);
+  }
+  if (command == "why") {
+    if (args.size() != 3) return usage();
+    return cmd_why(*records, static_cast<IoId>(std::stoull(args[2])));
+  }
+  if (command == "verify") {
+    std::vector<Prefix> prefixes;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      auto prefix = Prefix::parse(args[i]);
+      if (!prefix) {
+        std::fprintf(stderr, "hbgctl: bad prefix %s\n", args[i].c_str());
+        return 2;
+      }
+      prefixes.push_back(*prefix);
+    }
+    if (prefixes.empty()) return usage();
+    return cmd_verify(*records, prefixes);
+  }
+  return usage();
+}

@@ -1,0 +1,92 @@
+// A day in the life of a guarded exit policy.
+//
+// Walks through four operational events on the paper's network and shows
+// how the guard treats each differently:
+//   1. a benign config change (MED tweak)            -> no action
+//   2. the preferred uplink fails (hardware)          -> failover, reported
+//                                                        cause is environmental,
+//                                                        nothing to revert
+//   3. the uplink recovers and re-advertises          -> back to preferred
+//   4. the Fig. 2 local-pref misconfiguration         -> detected, root-caused,
+//                                                        reverted
+//
+//   $ ./preferred_exit_outage
+#include <cstdio>
+
+#include "hbguard/core/guard.hpp"
+#include "hbguard/sim/scenario.hpp"
+
+using namespace hbguard;
+
+namespace {
+
+void show(const char* stage, const PaperScenario& scenario, const GuardReport& report,
+          std::size_t incidents_before) {
+  const Network& net = *scenario.network;
+  std::printf("--- %s ---\n", stage);
+  for (RouterId r : {scenario.r1, scenario.r2, scenario.r3}) {
+    const FibEntry* entry = net.router(r).data_fib().find(scenario.prefix_p);
+    std::printf("  %s: %s\n", net.topology().router(r).name.c_str(),
+                entry != nullptr ? entry->describe().c_str() : "(no route)");
+  }
+  for (std::size_t i = incidents_before; i < report.incidents.size(); ++i) {
+    const GuardIncident& incident = report.incidents[i];
+    std::printf("  guard: %zu violation(s); action: %s\n", incident.violations.size(),
+                incident.action.c_str());
+    for (const RootCause& cause : incident.causes) {
+      std::printf("    cause [%s] %s\n", std::string(to_string(cause.kind)).c_str(),
+                  cause.record.label().c_str());
+    }
+  }
+  if (incidents_before == report.incidents.size()) std::printf("  guard: no incident\n");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+
+  PolicyList policies;
+  policies.push_back(std::make_shared<LoopFreedomPolicy>(scenario.prefix_p));
+  policies.push_back(std::make_shared<BlackholeFreedomPolicy>(scenario.prefix_p));
+  policies.push_back(std::make_shared<PreferredExitPolicy>(
+      scenario.prefix_p, scenario.r2, PaperScenario::kUplink2, scenario.r1,
+      PaperScenario::kUplink1));
+  Guard guard(*scenario.network, policies);
+
+  std::size_t incidents = 0;
+
+  // 1. Benign change: tweak an attribute that doesn't affect the policy.
+  scenario.network->apply_config_change(scenario.r3, "cosmetic: adjust default local-pref",
+                                        [](RouterConfig& config) {
+                                          config.bgp.default_local_pref = 100;  // unchanged value
+                                        });
+  guard.run();
+  show("benign config change on R3", scenario, guard.report(), incidents);
+  incidents = guard.report().incidents.size();
+
+  // 2. Hardware outage: the preferred uplink dies.
+  scenario.fail_uplink2();
+  guard.run();
+  show("uplink2 fails (hardware)", scenario, guard.report(), incidents);
+  incidents = guard.report().incidents.size();
+
+  // 3. Recovery: the uplink returns and the peer re-advertises P.
+  scenario.restore_uplink2();
+  scenario.advertise_p_via_r2();
+  guard.run();
+  show("uplink2 restored, route re-advertised", scenario, guard.report(), incidents);
+  incidents = guard.report().incidents.size();
+
+  // 4. The Fig. 2 misconfiguration.
+  scenario.misconfigure_r2_lp10();
+  guard.run();
+  show("LP=10 misconfiguration on R2", scenario, guard.report(), incidents);
+
+  std::printf("summary:\n%s", guard.report().summary().c_str());
+  bool healed = scenario.fib_exits_via(scenario.r3, scenario.r2);
+  std::printf("\nfinal state: %s\n", healed ? "compliant (exit via R2)" : "BROKEN");
+  return healed ? 0 : 1;
+}

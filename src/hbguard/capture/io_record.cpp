@@ -1,0 +1,73 @@
+#include "hbguard/capture/io_record.hpp"
+
+#include <sstream>
+
+namespace hbguard {
+
+std::string_view to_string(IoKind kind) {
+  switch (kind) {
+    case IoKind::kConfigChange: return "config";
+    case IoKind::kHardwareStatus: return "hardware";
+    case IoKind::kRecvAdvert: return "recv";
+    case IoKind::kRibUpdate: return "rib";
+    case IoKind::kFibUpdate: return "fib";
+    case IoKind::kSendAdvert: return "send";
+  }
+  return "?";
+}
+
+bool is_input(IoKind kind) {
+  return kind == IoKind::kConfigChange || kind == IoKind::kHardwareStatus ||
+         kind == IoKind::kRecvAdvert;
+}
+
+std::string IoRecord::describe() const {
+  std::ostringstream out;
+  out << "#" << id << " R" << router << " " << to_string(kind);
+  if (prefix) out << " " << prefix->to_string();
+  if (kind == IoKind::kRecvAdvert || kind == IoKind::kSendAdvert) {
+    out << (withdraw ? " withdraw" : " advertise") << " on " << session;
+  } else if (kind == IoKind::kRibUpdate || kind == IoKind::kFibUpdate) {
+    out << (withdraw ? " remove" : " install") << " [" << to_string(protocol) << "]";
+  } else if (kind == IoKind::kConfigChange) {
+    out << " v" << config_version;
+  } else if (kind == IoKind::kHardwareStatus) {
+    out << " link" << link << (link_up ? " up" : " down");
+  }
+  if (!detail.empty()) out << " (" << detail << ")";
+  out << " @" << logged_time << "us";
+  return out.str();
+}
+
+std::string IoRecord::label() const {
+  std::ostringstream out;
+  out << "R" << router << " ";
+  switch (kind) {
+    case IoKind::kConfigChange:
+      out << "config change";
+      if (!detail.empty()) out << ": " << detail;
+      break;
+    case IoKind::kHardwareStatus:
+      out << "link" << link << (link_up ? " up" : " down");
+      break;
+    case IoKind::kRecvAdvert:
+      out << "recv " << (withdraw ? "withdraw " : "ad ") << (prefix ? prefix->to_string() : "?")
+          << " on " << session;
+      break;
+    case IoKind::kSendAdvert:
+      out << "send " << (withdraw ? "withdraw " : "ad ") << (prefix ? prefix->to_string() : "?")
+          << " on " << session;
+      break;
+    case IoKind::kRibUpdate:
+      out << (withdraw ? "remove " : "update ") << (prefix ? prefix->to_string() : "?") << " in "
+          << to_string(protocol) << " RIB";
+      break;
+    case IoKind::kFibUpdate:
+      out << (withdraw ? "remove " : "install ") << (prefix ? prefix->to_string() : "?")
+          << " in FIB";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace hbguard

@@ -1,0 +1,82 @@
+// Captured control-plane I/O records (§4 of the paper).
+//
+// A router's control plane receives three types of input — configuration
+// changes, hardware status changes, and route advertisements/withdrawals —
+// and produces three types of output — RIB entries, FIB entries, and route
+// advertisements/withdrawals. An IoRecord captures one such event.
+//
+// Two timestamps are kept: `true_time` is the virtual instant the event
+// occurred (ground truth, available because we own the simulator), and
+// `logged_time` is the possibly-jittered timestamp the logging subsystem
+// attached (what HBR inference is allowed to see). Similarly `true_causes`
+// and `message_id` are ground truth used only to *evaluate* inference — the
+// inference engines must reconstruct relationships from the observable
+// fields alone, exactly as the paper's techniques must on real routers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hbguard/config/config_store.hpp"
+#include "hbguard/event/simulator.hpp"
+#include "hbguard/net/topology.hpp"
+#include "hbguard/rib/fib.hpp"
+
+namespace hbguard {
+
+enum class IoKind : std::uint8_t {
+  // Inputs
+  kConfigChange,    // operator changed this router's configuration
+  kHardwareStatus,  // link up/down on an attached interface
+  kRecvAdvert,      // route advertisement/withdrawal received
+  // Outputs
+  kRibUpdate,   // protocol RIB entry installed/removed
+  kFibUpdate,   // FIB entry installed/removed
+  kSendAdvert,  // route advertisement/withdrawal sent
+};
+
+std::string_view to_string(IoKind kind);
+bool is_input(IoKind kind);
+
+using IoId = std::uint64_t;
+inline constexpr IoId kNoIo = 0;
+
+struct IoRecord {
+  IoId id = kNoIo;             // globally unique capture id (1-based)
+  RouterId router = kInvalidRouter;
+  IoKind kind = IoKind::kConfigChange;
+  SimTime true_time = 0;       // ground truth
+  SimTime logged_time = 0;     // observable (jittered)
+  std::uint64_t router_seq = 0;  // per-router log order (observable)
+
+  // Observable content.
+  std::optional<Prefix> prefix;  // absent for config/hardware events
+  Protocol protocol = Protocol::kConnected;
+  std::string session;           // adverts: session name at this router
+  RouterId peer = kInvalidRouter;  // adverts: remote router (kExternalRouter for uplinks)
+  bool withdraw = false;           // adverts/RIB/FIB: removal vs install
+  std::optional<std::uint32_t> local_pref;  // adverts/RIB where applicable
+  std::string detail;              // human-readable specifics
+  ConfigVersion config_version = kNoVersion;  // kConfigChange
+  LinkId link = kInvalidLink;                 // kHardwareStatus
+  bool link_up = false;                       // kHardwareStatus
+  /// kFibUpdate installs: the entry content (routers report their FIB
+  /// changes in full, so a remote verifier can replay them into a FIB).
+  std::optional<FibEntry> fib_entry;
+  /// kFibUpdate: the update was vetoed before reaching the data plane.
+  bool fib_blocked = false;
+
+  // Ground truth (never consumed by inference; used for evaluation and by
+  // the ground-truth oracle builder).
+  std::uint64_t message_id = 0;      // links a kSendAdvert to its kRecvAdvert
+  std::vector<IoId> true_causes;     // immediate causal parents
+
+  bool input() const { return is_input(kind); }
+  std::string describe() const;
+  /// Short single-line label for graph rendering (Fig. 4/5 style).
+  std::string label() const;
+};
+
+}  // namespace hbguard

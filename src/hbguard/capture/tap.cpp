@@ -1,0 +1,60 @@
+#include "hbguard/capture/tap.hpp"
+
+#include <algorithm>
+
+namespace hbguard {
+
+IoId CaptureHub::record(IoRecord record) {
+  record.id = next_id_++;
+  if (record.router >= per_router_seq_.size()) {
+    per_router_seq_.resize(record.router + 1, 0);
+  }
+  record.router_seq = per_router_seq_[record.router]++;
+  SimTime jitter = router_clock_offset(record.router);
+  if (options_.timestamp_jitter_us > 0) {
+    jitter += rng_.uniform_int(-options_.timestamp_jitter_us, options_.timestamp_jitter_us);
+  }
+  record.logged_time = std::max<SimTime>(0, record.true_time + jitter);
+
+  if (options_.loss_probability > 0.0 && rng_.chance(options_.loss_probability)) {
+    ++lost_;
+    return record.id;
+  }
+  IoId id = record.id;
+  records_.push_back(std::move(record));
+  for (const auto& listener : listeners_) listener(records_.back());
+  return id;
+}
+
+SimTime CaptureHub::router_clock_offset(RouterId router) {
+  if (options_.clock_offset_us <= 0) return 0;
+  if (router >= per_router_offset_.size()) {
+    per_router_offset_.resize(router + 1, 0);
+    offset_drawn_.resize(router + 1, false);
+  }
+  if (!offset_drawn_[router]) {
+    per_router_offset_[router] =
+        rng_.uniform_int(-options_.clock_offset_us, options_.clock_offset_us);
+    offset_drawn_[router] = true;
+  }
+  return per_router_offset_[router];
+}
+
+std::vector<IoRecord> CaptureHub::records_of(RouterId router) const {
+  std::vector<IoRecord> out;
+  for (const IoRecord& r : records_) {
+    if (r.router == router) out.push_back(r);
+  }
+  return out;
+}
+
+const IoRecord* CaptureHub::find(IoId id) const {
+  // Records are stored in id order but some may be missing (lost); binary
+  // search by id.
+  auto it = std::lower_bound(records_.begin(), records_.end(), id,
+                             [](const IoRecord& r, IoId target) { return r.id < target; });
+  if (it == records_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,94 @@
+// Capture hub and per-router taps (§4.2 "Tracking HBRs").
+//
+// "Most commercial router platforms provide a mechanism for logging control
+// plane I/Os locally or to a remote server" — the CaptureHub plays the role
+// of that remote log collector. Each router shell records through a
+// RouterTap, which applies the imperfections real logging has: timestamp
+// jitter (per-record clock error) and record loss. Ground-truth fields pass
+// through untouched so experiments can score inference quality.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hbguard/capture/io_record.hpp"
+#include "hbguard/util/rng.hpp"
+
+namespace hbguard {
+
+struct CaptureOptions {
+  /// Per-record timestamp noise (uniform in [-jitter, +jitter]); models
+  /// queuing between the event and the log write. 0 = exact.
+  SimTime timestamp_jitter_us = 0;
+  /// Per-router constant clock offset (uniform in [-offset, +offset], drawn
+  /// once per router); models unsynchronized clocks across devices.
+  SimTime clock_offset_us = 0;
+  /// Probability an I/O record is silently dropped by the logger.
+  double loss_probability = 0.0;
+};
+
+class CaptureHub {
+ public:
+  explicit CaptureHub(CaptureOptions options = {}, std::uint64_t seed = 1)
+      : options_(options), rng_(seed) {}
+
+  /// Record an I/O. Fills id, logged_time and router_seq. Returns the
+  /// assigned id even if the record is then lost (the event still happened;
+  /// only its log entry vanished).
+  IoId record(IoRecord record);
+
+  /// Every record that survived logging, in capture order.
+  const std::vector<IoRecord>& records() const { return records_; }
+
+  /// Records of one router, in its log order.
+  std::vector<IoRecord> records_of(RouterId router) const;
+
+  /// Look up a surviving record by id; nullptr if lost or unknown.
+  const IoRecord* find(IoId id) const;
+
+  /// Number of events that occurred (including lost ones).
+  std::uint64_t events_seen() const { return next_id_ - 1; }
+  std::uint64_t events_lost() const { return lost_; }
+
+  /// Subscribe to records as they are captured (e.g. the online guard
+  /// pipeline). Lost records are not delivered.
+  void subscribe(std::function<void(const IoRecord&)> listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  void set_options(CaptureOptions options) { options_ = options; }
+
+ private:
+  SimTime router_clock_offset(RouterId router);
+
+  CaptureOptions options_;
+  Rng rng_;
+  std::vector<IoRecord> records_;
+  std::vector<std::uint64_t> per_router_seq_;
+  std::vector<SimTime> per_router_offset_;
+  std::vector<bool> offset_drawn_;
+  std::vector<std::function<void(const IoRecord&)>> listeners_;
+  IoId next_id_ = 1;
+  std::uint64_t lost_ = 0;
+};
+
+/// A router's handle on the hub: stamps the router id and true time.
+class RouterTap {
+ public:
+  RouterTap(CaptureHub* hub, RouterId router) : hub_(hub), router_(router) {}
+
+  /// Record an I/O happening now (true_time supplied by the shell).
+  IoId record(IoRecord record) {
+    record.router = router_;
+    return hub_->record(std::move(record));
+  }
+
+  RouterId router() const { return router_; }
+
+ private:
+  CaptureHub* hub_;
+  RouterId router_;
+};
+
+}  // namespace hbguard

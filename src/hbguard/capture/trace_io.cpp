@@ -1,0 +1,463 @@
+#include "hbguard/capture/trace_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace hbguard {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+const char* kind_name(IoKind kind) {
+  switch (kind) {
+    case IoKind::kConfigChange: return "config";
+    case IoKind::kHardwareStatus: return "hardware";
+    case IoKind::kRecvAdvert: return "recv";
+    case IoKind::kRibUpdate: return "rib";
+    case IoKind::kFibUpdate: return "fib";
+    case IoKind::kSendAdvert: return "send";
+  }
+  return "?";
+}
+
+std::optional<IoKind> kind_from(std::string_view name) {
+  if (name == "config") return IoKind::kConfigChange;
+  if (name == "hardware") return IoKind::kHardwareStatus;
+  if (name == "recv") return IoKind::kRecvAdvert;
+  if (name == "rib") return IoKind::kRibUpdate;
+  if (name == "fib") return IoKind::kFibUpdate;
+  if (name == "send") return IoKind::kSendAdvert;
+  return std::nullopt;
+}
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kConnected: return "connected";
+    case Protocol::kStatic: return "static";
+    case Protocol::kEbgp: return "ebgp";
+    case Protocol::kIbgp: return "ibgp";
+    case Protocol::kOspf: return "ospf";
+  }
+  return "?";
+}
+
+std::optional<Protocol> protocol_from(std::string_view name) {
+  if (name == "connected") return Protocol::kConnected;
+  if (name == "static") return Protocol::kStatic;
+  if (name == "ebgp") return Protocol::kEbgp;
+  if (name == "ibgp") return Protocol::kIbgp;
+  if (name == "ospf") return Protocol::kOspf;
+  return std::nullopt;
+}
+
+const char* action_name(FibEntry::Action action) {
+  switch (action) {
+    case FibEntry::Action::kForward: return "forward";
+    case FibEntry::Action::kExternal: return "external";
+    case FibEntry::Action::kLocal: return "local";
+    case FibEntry::Action::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::optional<FibEntry::Action> action_from(std::string_view name) {
+  if (name == "forward") return FibEntry::Action::kForward;
+  if (name == "external") return FibEntry::Action::kExternal;
+  if (name == "local") return FibEntry::Action::kLocal;
+  if (name == "drop") return FibEntry::Action::kDrop;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value parser (objects, arrays, strings, integers, bools) —
+// enough for our own output; no external dependencies.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kInt, kString, kArray, kObject } type = Type::kNull;
+  bool boolean = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool fail(const std::string& message) {
+    if (error.empty()) error = message + " at offset " + std::to_string(pos);
+    return false;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end");
+    char c = text[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') return parse_string(out);
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return parse_int(out);
+    return fail("unexpected character");
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!expect('{')) return false;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      JsonValue key;
+      if (!parse_string(key)) return false;
+      if (!expect(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace(std::move(key.string), std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!expect('[')) return false;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parse_string(JsonValue& out) {
+    out.type = JsonValue::Type::kString;
+    if (!expect('"')) return false;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("bad escape");
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out.string += '"'; break;
+          case '\\': out.string += '\\'; break;
+          case 'n': out.string += '\n'; break;
+          case 't': out.string += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned value = 0;
+            auto [p, ec] = std::from_chars(text.data() + pos, text.data() + pos + 4, value, 16);
+            if (ec != std::errc{}) return fail("bad \\u escape");
+            pos += 4;
+            out.string += static_cast<char>(value & 0x7f);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out.string += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.type = JsonValue::Type::kBool;
+    if (text.substr(pos, 4) == "true") {
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      out.boolean = false;
+      pos += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_int(JsonValue& out) {
+    out.type = JsonValue::Type::kInt;
+    std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    auto [p, ec] = std::from_chars(text.data() + start, text.data() + pos, out.integer);
+    if (ec != std::errc{} || p != text.data() + pos) return fail("bad number");
+    return true;
+  }
+};
+
+const JsonValue* field(const JsonValue& object, const std::string& name) {
+  auto it = object.object.find(name);
+  return it == object.object.end() ? nullptr : &it->second;
+}
+
+std::optional<std::int64_t> int_field(const JsonValue& object, const std::string& name) {
+  const JsonValue* value = field(object, name);
+  if (value == nullptr || value->type != JsonValue::Type::kInt) return std::nullopt;
+  return value->integer;
+}
+
+std::optional<std::string> string_field(const JsonValue& object, const std::string& name) {
+  const JsonValue* value = field(object, name);
+  if (value == nullptr || value->type != JsonValue::Type::kString) return std::nullopt;
+  return value->string;
+}
+
+bool bool_field(const JsonValue& object, const std::string& name) {
+  const JsonValue* value = field(object, name);
+  return value != nullptr && value->type == JsonValue::Type::kBool && value->boolean;
+}
+
+}  // namespace
+
+std::string to_json_line(const IoRecord& record, const TraceWriteOptions& options) {
+  std::string out = "{";
+  auto add_int = [&](const char* name, std::int64_t value) {
+    if (out.size() > 1) out += ',';
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  auto add_string = [&](const char* name, std::string_view value) {
+    if (out.size() > 1) out += ',';
+    out += '"';
+    out += name;
+    out += "\":";
+    append_escaped(out, value);
+  };
+  auto add_bool = [&](const char* name, bool value) {
+    if (out.size() > 1) out += ',';
+    out += '"';
+    out += name;
+    out += "\":";
+    out += value ? "true" : "false";
+  };
+
+  add_int("id", static_cast<std::int64_t>(record.id));
+  add_int("router", record.router);
+  add_string("kind", kind_name(record.kind));
+  add_int("logged_time", record.logged_time);
+  add_int("seq", static_cast<std::int64_t>(record.router_seq));
+  add_string("protocol", protocol_name(record.protocol));
+  if (record.prefix.has_value()) add_string("prefix", record.prefix->to_string());
+  if (!record.session.empty()) add_string("session", record.session);
+  if (record.peer != kInvalidRouter) add_int("peer", record.peer);
+  if (record.withdraw) add_bool("withdraw", true);
+  if (record.local_pref.has_value()) add_int("local_pref", *record.local_pref);
+  if (!record.detail.empty()) add_string("detail", record.detail);
+  if (record.config_version != kNoVersion) {
+    add_int("config_version", static_cast<std::int64_t>(record.config_version));
+  }
+  if (record.link != kInvalidLink) add_int("link", record.link);
+  if (record.kind == IoKind::kHardwareStatus) add_bool("link_up", record.link_up);
+  if (record.fib_blocked) add_bool("fib_blocked", true);
+  if (record.fib_entry.has_value()) {
+    const FibEntry& entry = *record.fib_entry;
+    if (out.size() > 1) out += ',';
+    out += "\"fib_entry\":{";
+    std::string inner;
+    inner += "\"prefix\":";
+    append_escaped(inner, entry.prefix.to_string());
+    inner += ",\"action\":";
+    append_escaped(inner, action_name(entry.action));
+    if (entry.action == FibEntry::Action::kForward) {
+      inner += ",\"next_hop\":" + std::to_string(entry.next_hop);
+    }
+    if (entry.action == FibEntry::Action::kExternal) {
+      inner += ",\"external_session\":";
+      append_escaped(inner, entry.external_session);
+    }
+    inner += ",\"source\":";
+    append_escaped(inner, protocol_name(entry.source));
+    out += inner;
+    out += '}';
+  }
+  if (!options.redact_ground_truth) {
+    add_int("true_time", record.true_time);
+    if (record.message_id != 0) add_int("message_id", static_cast<std::int64_t>(record.message_id));
+    if (!record.true_causes.empty()) {
+      if (out.size() > 1) out += ',';
+      out += "\"true_causes\":[";
+      for (std::size_t i = 0; i < record.true_causes.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(record.true_causes[i]);
+      }
+      out += ']';
+    }
+  }
+  out += '}';
+  return out;
+}
+
+void write_trace(std::ostream& out, std::span<const IoRecord> records,
+                 const TraceWriteOptions& options) {
+  for (const IoRecord& record : records) {
+    out << to_json_line(record, options) << '\n';
+  }
+}
+
+TraceParseResult parse_trace_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+TraceParseResult parse_trace(std::istream& in) {
+  TraceParseResult result;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Skip blank lines.
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+
+    JsonParser parser{line, 0, {}};
+    JsonValue value;
+    if (!parser.parse_value(value) || value.type != JsonValue::Type::kObject) {
+      result.errors.push_back({line_number, parser.error.empty() ? "not an object"
+                                                                 : parser.error});
+      continue;
+    }
+
+    IoRecord record;
+    auto id = int_field(value, "id");
+    auto router = int_field(value, "router");
+    auto kind_text = string_field(value, "kind");
+    if (!id || !router || !kind_text) {
+      result.errors.push_back({line_number, "missing id/router/kind"});
+      continue;
+    }
+    auto kind = kind_from(*kind_text);
+    if (!kind) {
+      result.errors.push_back({line_number, "unknown kind '" + *kind_text + "'"});
+      continue;
+    }
+    record.id = static_cast<IoId>(*id);
+    record.router = static_cast<RouterId>(*router);
+    record.kind = *kind;
+    record.logged_time = int_field(value, "logged_time").value_or(0);
+    record.true_time = int_field(value, "true_time").value_or(record.logged_time);
+    record.router_seq = static_cast<std::uint64_t>(int_field(value, "seq").value_or(0));
+    if (auto protocol = string_field(value, "protocol")) {
+      if (auto parsed = protocol_from(*protocol)) record.protocol = *parsed;
+    }
+    if (auto prefix_text = string_field(value, "prefix")) {
+      auto prefix = Prefix::parse(*prefix_text);
+      if (!prefix) {
+        result.errors.push_back({line_number, "bad prefix '" + *prefix_text + "'"});
+        continue;
+      }
+      record.prefix = *prefix;
+    }
+    if (auto session = string_field(value, "session")) record.session = *session;
+    if (auto peer = int_field(value, "peer")) record.peer = static_cast<RouterId>(*peer);
+    record.withdraw = bool_field(value, "withdraw");
+    if (auto lp = int_field(value, "local_pref")) {
+      record.local_pref = static_cast<std::uint32_t>(*lp);
+    }
+    if (auto detail = string_field(value, "detail")) record.detail = *detail;
+    if (auto version = int_field(value, "config_version")) {
+      record.config_version = static_cast<ConfigVersion>(*version);
+    }
+    if (auto link = int_field(value, "link")) record.link = static_cast<LinkId>(*link);
+    record.link_up = bool_field(value, "link_up");
+    record.fib_blocked = bool_field(value, "fib_blocked");
+    if (auto message = int_field(value, "message_id")) {
+      record.message_id = static_cast<std::uint64_t>(*message);
+    }
+    if (const JsonValue* causes = field(value, "true_causes");
+        causes != nullptr && causes->type == JsonValue::Type::kArray) {
+      for (const JsonValue& cause : causes->array) {
+        if (cause.type == JsonValue::Type::kInt) {
+          record.true_causes.push_back(static_cast<IoId>(cause.integer));
+        }
+      }
+    }
+    if (const JsonValue* entry = field(value, "fib_entry");
+        entry != nullptr && entry->type == JsonValue::Type::kObject) {
+      FibEntry fib;
+      auto prefix_text = string_field(*entry, "prefix");
+      auto action_text = string_field(*entry, "action");
+      auto prefix = prefix_text ? Prefix::parse(*prefix_text) : std::nullopt;
+      auto action = action_text ? action_from(*action_text) : std::nullopt;
+      if (!prefix || !action) {
+        result.errors.push_back({line_number, "bad fib_entry"});
+        continue;
+      }
+      fib.prefix = *prefix;
+      fib.action = *action;
+      if (auto next_hop = int_field(*entry, "next_hop")) {
+        fib.next_hop = static_cast<RouterId>(*next_hop);
+      }
+      if (auto session = string_field(*entry, "external_session")) {
+        fib.external_session = *session;
+      }
+      if (auto source = string_field(*entry, "source")) {
+        if (auto parsed = protocol_from(*source)) fib.source = *parsed;
+      }
+      record.fib_entry = fib;
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace hbguard

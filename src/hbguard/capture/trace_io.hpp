@@ -1,0 +1,50 @@
+// Capture trace serialization (JSON Lines).
+//
+// Real deployments ship router logs to a collector and analyze them
+// offline; these helpers give the capture stream a stable on-disk form —
+// one JSON object per I/O record — so traces can be archived, replayed
+// through the analysis pipeline (HBG inference, snapshots, provenance)
+// without the simulator, and diffed across runs. Ground-truth fields
+// (true_causes, message ids) are serialized too, but a `redact_ground_truth`
+// mode drops them to produce exactly what a real collector would have.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hbguard/capture/io_record.hpp"
+
+namespace hbguard {
+
+struct TraceWriteOptions {
+  /// Drop the simulator-only oracle fields (true_causes, message_id,
+  /// true_time): the result is what a production log collector sees.
+  bool redact_ground_truth = false;
+};
+
+/// One record as a single-line JSON object.
+std::string to_json_line(const IoRecord& record, const TraceWriteOptions& options = {});
+
+/// Serialize a whole trace, one record per line.
+void write_trace(std::ostream& out, std::span<const IoRecord> records,
+                 const TraceWriteOptions& options = {});
+
+struct TraceParseError {
+  std::size_t line = 0;  // 1-based
+  std::string message;
+};
+
+struct TraceParseResult {
+  std::vector<IoRecord> records;
+  std::vector<TraceParseError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse one JSON line; appends an error (with `line` for context) instead
+/// of a record on malformed input.
+TraceParseResult parse_trace(std::istream& in);
+TraceParseResult parse_trace_text(const std::string& text);
+
+}  // namespace hbguard

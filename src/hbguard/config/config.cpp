@@ -1,0 +1,46 @@
+#include "hbguard/config/config.hpp"
+
+namespace hbguard {
+
+std::string_view to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kConnected: return "connected";
+    case Protocol::kStatic: return "static";
+    case Protocol::kEbgp: return "eBGP";
+    case Protocol::kIbgp: return "iBGP";
+    case Protocol::kOspf: return "OSPF";
+  }
+  return "?";
+}
+
+std::uint8_t AdminDistances::of(Protocol protocol) const {
+  switch (protocol) {
+    case Protocol::kConnected: return connected;
+    case Protocol::kStatic: return static_route;
+    case Protocol::kEbgp: return ebgp;
+    case Protocol::kOspf: return ospf;
+    case Protocol::kIbgp: return ibgp;
+  }
+  return 255;
+}
+
+const BgpSessionConfig* BgpConfig::find_session(const std::string& name) const {
+  for (const auto& session : sessions) {
+    if (session.name == name) return &session;
+  }
+  return nullptr;
+}
+
+BgpSessionConfig* BgpConfig::find_session(const std::string& name) {
+  for (auto& session : sessions) {
+    if (session.name == name) return &session;
+  }
+  return nullptr;
+}
+
+const RouteMap* RouterConfig::find_route_map(const std::string& name) const {
+  auto it = route_maps.find(name);
+  return it == route_maps.end() ? nullptr : &it->second;
+}
+
+}  // namespace hbguard

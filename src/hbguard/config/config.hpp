@@ -1,0 +1,121 @@
+// Per-router configuration model.
+//
+// Covers the features the paper's scenarios exercise: BGP sessions
+// (eBGP/iBGP) with import/export route-maps and local-preference, OSPF as
+// the IGP, static routes, administrative distances, redistribution, and a
+// vendor-quirk layer (the "ugly implementation details" of §2 that make
+// model-based verifiers diverge from reality).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hbguard/config/policy.hpp"
+#include "hbguard/net/topology.hpp"
+
+namespace hbguard {
+
+/// Protocols that can own RIB routes. Order is not significance; admin
+/// distance decides inter-protocol preference.
+enum class Protocol : std::uint8_t { kConnected, kStatic, kEbgp, kIbgp, kOspf };
+
+std::string_view to_string(Protocol protocol);
+
+/// Default Cisco-style administrative distances.
+struct AdminDistances {
+  std::uint8_t connected = 0;
+  std::uint8_t static_route = 1;
+  std::uint8_t ebgp = 20;
+  std::uint8_t ospf = 110;
+  std::uint8_t ibgp = 200;
+
+  std::uint8_t of(Protocol protocol) const;
+};
+
+/// A BGP peering session. Internal sessions name another router in the
+/// topology; external sessions name an eBGP peer outside the administrative
+/// domain (its advertisements are injected by the scenario driver).
+struct BgpSessionConfig {
+  std::string name;               // unique per router, e.g. "to-R2", "uplink1"
+  bool external = false;          // true: peer is outside the topology
+  RouterId peer = kInvalidRouter; // internal peer (when !external)
+  AsNumber peer_as = 0;
+  std::string import_policy;      // route-map name; empty = permit all
+  std::string export_policy;      // route-map name; empty = permit all
+  bool enabled = true;
+  /// RFC 4456 route reflection: the peer on this iBGP session is our
+  /// client. A router with any client session acts as a route reflector,
+  /// relaxing the iBGP full-mesh requirement.
+  bool rr_client = false;
+
+  bool is_ebgp(AsNumber local_as) const { return peer_as != local_as; }
+};
+
+/// Vendor-specific BGP decision-process quirks (§2: "differences in BGP path
+/// selection rules across vendors"). Defaults model Cisco IOS behaviour.
+struct VendorQuirks {
+  /// Compare MED even between routes from different neighbor ASes
+  /// (Cisco: off by default; some vendors: on).
+  bool always_compare_med = false;
+  /// Tie-break on oldest eBGP route before router-id (Cisco default on;
+  /// disabled when "bgp best path compare-routerid" is configured).
+  bool prefer_oldest_route = true;
+  /// Delay between a configuration change taking effect and the BGP
+  /// decision process re-running over stored Adj-RIB-In routes (§7 observed
+  /// ~20-25 s on IOS soft reconfiguration).
+  std::int64_t soft_reconfig_delay_us = 0;
+};
+
+struct BgpConfig {
+  bool enabled = false;
+  std::uint32_t default_local_pref = 100;
+  /// Advertise multiple paths per prefix to iBGP peers (BGP Add-Path, §8) —
+  /// makes convergence deterministic/memoryless.
+  bool add_path = false;
+  VendorQuirks quirks;
+  std::vector<BgpSessionConfig> sessions;
+  /// Networks originated by this router (e.g. its own address space).
+  std::vector<Prefix> originated;
+
+  const BgpSessionConfig* find_session(const std::string& name) const;
+  BgpSessionConfig* find_session(const std::string& name);
+};
+
+struct OspfConfig {
+  bool enabled = false;
+  /// Per-link cost override; falls back to Link::igp_cost.
+  std::map<LinkId, std::uint32_t> cost_override;
+  /// Prefixes this router injects into OSPF (e.g. attached subnets).
+  std::vector<Prefix> originated;
+};
+
+struct StaticRoute {
+  Prefix prefix;
+  /// Next hop router, kExternalRouter for an upstream exit, or nullopt for
+  /// a discard (null0) route.
+  std::optional<RouterId> next_hop;
+};
+
+/// Redistribution of routes from one protocol into another (e.g. statics
+/// into BGP). Applied whenever the source protocol's best route changes.
+struct Redistribution {
+  Protocol from = Protocol::kStatic;
+  Protocol into = Protocol::kEbgp;  // kEbgp/kIbgp both mean "into BGP"
+  std::string policy;               // optional route-map filter
+};
+
+struct RouterConfig {
+  BgpConfig bgp;
+  OspfConfig ospf;
+  std::vector<StaticRoute> statics;
+  std::vector<Redistribution> redistributions;
+  AdminDistances distances;
+  std::map<std::string, RouteMap> route_maps;
+
+  const RouteMap* find_route_map(const std::string& name) const;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,82 @@
+#include "hbguard/config/config_store.hpp"
+
+#include <stdexcept>
+
+namespace hbguard {
+
+ConfigStore::ConfigStore(std::size_t router_count) : per_router_(router_count) {}
+
+ConfigVersion ConfigStore::install(RouterId router, RouterConfig config, std::string description) {
+  auto& history = per_router_.at(router);
+  if (!history.empty()) {
+    throw std::logic_error("ConfigStore::install called twice for router");
+  }
+  ConfigVersion version = next_version_++;
+  records_.push_back({version, router, std::move(description), kNoVersion, false});
+  history.push_back({version, std::move(config)});
+  return version;
+}
+
+ConfigVersion ConfigStore::apply(RouterId router, std::string description,
+                                 const std::function<void(RouterConfig&)>& mutate) {
+  auto& history = per_router_.at(router);
+  if (history.empty()) throw std::logic_error("ConfigStore::apply before install");
+  RouterConfig next = history.back().config;
+  mutate(next);
+  ConfigVersion version = next_version_++;
+  records_.push_back({version, router, std::move(description), history.back().version, false});
+  history.push_back({version, std::move(next)});
+  return version;
+}
+
+ConfigVersion ConfigStore::revert(RouterId router, ConfigVersion version,
+                                  std::string description) {
+  const ConfigChangeRecord& target = record(version);
+  if (target.router != router) {
+    throw std::invalid_argument("ConfigStore::revert: version belongs to another router");
+  }
+  if (target.parent == kNoVersion) {
+    throw std::invalid_argument("ConfigStore::revert: cannot revert initial configuration");
+  }
+  const RouterConfig& parent_config = at_version(router, target.parent);
+  auto& history = per_router_.at(router);
+  ConfigVersion new_version = next_version_++;
+  records_.push_back({new_version, router, std::move(description), history.back().version, false});
+  records_[version - 1].reverted = true;
+  history.push_back({new_version, parent_config});
+  return new_version;
+}
+
+const RouterConfig& ConfigStore::current(RouterId router) const {
+  const auto& history = per_router_.at(router);
+  if (history.empty()) throw std::logic_error("ConfigStore::current before install");
+  return history.back().config;
+}
+
+ConfigVersion ConfigStore::current_version(RouterId router) const {
+  const auto& history = per_router_.at(router);
+  if (history.empty()) throw std::logic_error("ConfigStore::current_version before install");
+  return history.back().version;
+}
+
+const RouterConfig& ConfigStore::at_version(RouterId router, ConfigVersion version) const {
+  for (const auto& snapshot : per_router_.at(router)) {
+    if (snapshot.version == version) return snapshot.config;
+  }
+  throw std::invalid_argument("ConfigStore::at_version: unknown version for router");
+}
+
+const ConfigChangeRecord& ConfigStore::record(ConfigVersion version) const {
+  if (version == kNoVersion || version > records_.size()) {
+    throw std::invalid_argument("ConfigStore::record: unknown version");
+  }
+  return records_[version - 1];
+}
+
+std::vector<ConfigVersion> ConfigStore::versions_of(RouterId router) const {
+  std::vector<ConfigVersion> out;
+  for (const auto& snapshot : per_router_.at(router)) out.push_back(snapshot.version);
+  return out;
+}
+
+}  // namespace hbguard

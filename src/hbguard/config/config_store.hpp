@@ -1,0 +1,76 @@
+// Versioned configuration store.
+//
+// §7 of the paper: "this information, coupled with a version system for
+// configurations, is enough to allow easy manual rollback, and creates the
+// premises for automated rollback". The store keeps the full version history
+// of every router's configuration; the repair engine reverts a router to the
+// version preceding a root-cause change.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hbguard/config/config.hpp"
+
+namespace hbguard {
+
+/// Globally unique id of one applied configuration change.
+using ConfigVersion = std::uint64_t;
+inline constexpr ConfigVersion kNoVersion = 0;
+
+struct ConfigChangeRecord {
+  ConfigVersion version = kNoVersion;
+  RouterId router = kInvalidRouter;
+  std::string description;  // operator-visible, e.g. "set LP=10 on uplink2"
+  /// Version this change superseded on the same router (kNoVersion for the
+  /// initial configuration).
+  ConfigVersion parent = kNoVersion;
+  bool reverted = false;
+};
+
+class ConfigStore {
+ public:
+  explicit ConfigStore(std::size_t router_count);
+
+  /// Install the initial configuration of a router (version 1..N).
+  ConfigVersion install(RouterId router, RouterConfig config, std::string description);
+
+  /// Apply a change produced by `mutate` on top of the current config.
+  /// Returns the new version id.
+  ConfigVersion apply(RouterId router, std::string description,
+                      const std::function<void(RouterConfig&)>& mutate);
+
+  /// Revert `router` to the configuration as it was *before* `version` was
+  /// applied (i.e. reinstate its parent snapshot). Returns the new version
+  /// created by the revert.
+  ConfigVersion revert(RouterId router, ConfigVersion version, std::string description);
+
+  const RouterConfig& current(RouterId router) const;
+  ConfigVersion current_version(RouterId router) const;
+
+  /// Snapshot of the config as of `version` (which must belong to `router`).
+  const RouterConfig& at_version(RouterId router, ConfigVersion version) const;
+
+  const ConfigChangeRecord& record(ConfigVersion version) const;
+  const std::vector<ConfigChangeRecord>& history() const { return records_; }
+
+  /// All versions ever applied to a router, oldest first.
+  std::vector<ConfigVersion> versions_of(RouterId router) const;
+
+ private:
+  struct Snapshot {
+    ConfigVersion version;
+    RouterConfig config;
+  };
+
+  // deque: callers (router shells, protocol engines) hold pointers into
+  // snapshots across subsequent apply() calls; push_back must not relocate.
+  std::vector<std::deque<Snapshot>> per_router_;  // indexed by RouterId
+  std::vector<ConfigChangeRecord> records_;        // indexed by version-1
+  ConfigVersion next_version_ = 1;
+};
+
+}  // namespace hbguard

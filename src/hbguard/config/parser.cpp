@@ -1,0 +1,535 @@
+#include "hbguard/config/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "hbguard/util/strings.hpp"
+
+namespace hbguard {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool parse_u32(const std::string& text, std::uint32_t& out) {
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// "asn:value" community notation.
+bool parse_community(const std::string& text, std::uint32_t& out) {
+  auto colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  std::uint32_t asn = 0, value = 0;
+  if (!parse_u32(text.substr(0, colon), asn) || !parse_u32(text.substr(colon + 1), value)) {
+    return false;
+  }
+  if (asn > 0xffff || value > 0xffff) return false;
+  out = (asn << 16) | value;
+  return true;
+}
+
+std::string render_community(std::uint32_t community) {
+  return std::to_string(community >> 16) + ":" + std::to_string(community & 0xffff);
+}
+
+/// "20s" / "250ms" / "1500us" / plain microseconds.
+bool parse_duration_us(const std::string& text, std::int64_t& out) {
+  std::string digits = text;
+  std::int64_t scale = 1;
+  if (text.ends_with("ms")) {
+    digits = text.substr(0, text.size() - 2);
+    scale = 1'000;
+  } else if (text.ends_with("us")) {
+    digits = text.substr(0, text.size() - 2);
+  } else if (text.ends_with("s")) {
+    digits = text.substr(0, text.size() - 1);
+    scale = 1'000'000;
+  }
+  std::uint32_t value = 0;
+  if (!parse_u32(digits, value)) return false;
+  out = static_cast<std::int64_t>(value) * scale;
+  return true;
+}
+
+enum class Section { kNone, kBgp, kOspf, kRouteMap, kClause };
+
+struct Parser {
+  const Topology& topology;
+  ConfigParseResult result;
+  Section section = Section::kNone;
+  std::string current_map;
+  RouteMapClause* current_clause = nullptr;
+  std::size_t line_number = 0;
+
+  void error(const std::string& message) {
+    result.errors.push_back({line_number, message});
+  }
+
+  RouteMap& map() { return result.config.route_maps[current_map]; }
+
+  bool resolve_router(const std::string& name, RouterId& out) {
+    auto id = topology.find_router(name);
+    if (!id.has_value()) {
+      error("unknown router '" + name + "'");
+      return false;
+    }
+    out = *id;
+    return true;
+  }
+
+  std::optional<Prefix> parse_prefix_or_error(const std::string& text) {
+    auto prefix = Prefix::parse(text);
+    if (!prefix.has_value()) error("malformed prefix '" + text + "'");
+    return prefix;
+  }
+
+  void handle(const std::vector<std::string>& t);
+  void handle_bgp(const std::vector<std::string>& t);
+  void handle_neighbor(const std::vector<std::string>& t);
+  void handle_ospf(const std::vector<std::string>& t);
+  void handle_static(const std::vector<std::string>& t);
+  void handle_redistribute(const std::vector<std::string>& t);
+  void handle_route_map(const std::vector<std::string>& t);
+};
+
+void Parser::handle(const std::vector<std::string>& t) {
+  if (t[0] == "router" && t.size() >= 2 && t[1] == "bgp") {
+    section = Section::kBgp;
+    result.config.bgp.enabled = true;
+    std::uint32_t as_number = 0;
+    if (t.size() >= 3 && !parse_u32(t[2], as_number)) error("bad AS number '" + t[2] + "'");
+    // The AS number itself lives on the topology RouterInfo; accepted here
+    // for readability and cross-checked by the caller if desired.
+    return;
+  }
+  if (t[0] == "router" && t.size() >= 2 && t[1] == "ospf") {
+    section = Section::kOspf;
+    result.config.ospf.enabled = true;
+    return;
+  }
+  if (t[0] == "route-map") {
+    if (t.size() != 2) {
+      error("usage: route-map <name>");
+      return;
+    }
+    section = Section::kRouteMap;
+    current_map = t[1];
+    map().name = t[1];
+    current_clause = nullptr;
+    return;
+  }
+  if (t[0] == "ip" && t.size() >= 2 && t[1] == "route") {
+    handle_static(t);
+    return;
+  }
+  if (t[0] == "redistribute") {
+    handle_redistribute(t);
+    return;
+  }
+
+  switch (section) {
+    case Section::kBgp:
+      handle_bgp(t);
+      return;
+    case Section::kOspf:
+      handle_ospf(t);
+      return;
+    case Section::kRouteMap:
+    case Section::kClause:
+      handle_route_map(t);
+      return;
+    case Section::kNone:
+      error("statement outside any section: '" + t[0] + "'");
+  }
+}
+
+void Parser::handle_bgp(const std::vector<std::string>& t) {
+  BgpConfig& bgp = result.config.bgp;
+  if (t[0] == "network" && t.size() == 2) {
+    if (auto prefix = parse_prefix_or_error(t[1])) bgp.originated.push_back(*prefix);
+    return;
+  }
+  if (t[0] == "add-path") {
+    bgp.add_path = true;
+    return;
+  }
+  if (t[0] == "always-compare-med") {
+    bgp.quirks.always_compare_med = true;
+    return;
+  }
+  if (t[0] == "no-prefer-oldest") {
+    bgp.quirks.prefer_oldest_route = false;
+    return;
+  }
+  if (t[0] == "default-local-pref" && t.size() == 2) {
+    std::uint32_t value = 0;
+    if (parse_u32(t[1], value)) {
+      bgp.default_local_pref = value;
+    } else {
+      error("bad local-pref '" + t[1] + "'");
+    }
+    return;
+  }
+  if (t[0] == "soft-reconfig-delay" && t.size() == 2) {
+    std::int64_t delay = 0;
+    if (parse_duration_us(t[1], delay)) {
+      bgp.quirks.soft_reconfig_delay_us = delay;
+    } else {
+      error("bad duration '" + t[1] + "'");
+    }
+    return;
+  }
+  if (t[0] == "neighbor" && t.size() >= 3) {
+    handle_neighbor(t);
+    return;
+  }
+  error("unknown bgp statement: '" + t[0] + "'");
+}
+
+void Parser::handle_neighbor(const std::vector<std::string>& t) {
+  BgpConfig& bgp = result.config.bgp;
+  const std::string& name = t[1];
+  BgpSessionConfig* session = bgp.find_session(name);
+
+  // Declaration forms create the session.
+  if ((t[2] == "remote-as" && t.size() == 4) ||
+      (t[2] == "external" && t.size() == 5 && t[3] == "remote-as")) {
+    bool external = t[2] == "external";
+    std::uint32_t as_number = 0;
+    if (!parse_u32(t[external ? 4 : 3], as_number)) {
+      error("bad AS number");
+      return;
+    }
+    if (session == nullptr) {
+      BgpSessionConfig fresh;
+      fresh.name = name;
+      bgp.sessions.push_back(fresh);
+      session = &bgp.sessions.back();
+    }
+    session->external = external;
+    session->peer_as = as_number;
+    if (!external) {
+      RouterId peer = kInvalidRouter;
+      if (!resolve_router(name, peer)) return;
+      session->peer = peer;
+    }
+    return;
+  }
+
+  if (session == nullptr) {
+    error("neighbor '" + name + "' used before its remote-as declaration");
+    return;
+  }
+  if (t[2] == "route-reflector-client") {
+    session->rr_client = true;
+  } else if (t[2] == "import" && t.size() == 4) {
+    session->import_policy = t[3];
+  } else if (t[2] == "export" && t.size() == 4) {
+    session->export_policy = t[3];
+  } else if (t[2] == "shutdown") {
+    session->enabled = false;
+  } else {
+    error("unknown neighbor statement: '" + t[2] + "'");
+  }
+}
+
+void Parser::handle_ospf(const std::vector<std::string>& t) {
+  OspfConfig& ospf = result.config.ospf;
+  if (t[0] == "network" && t.size() == 2) {
+    if (auto prefix = parse_prefix_or_error(t[1])) ospf.originated.push_back(*prefix);
+    return;
+  }
+  if (t[0] == "cost" && t.size() == 3) {
+    std::uint32_t link = 0, cost = 0;
+    if (parse_u32(t[1], link) && parse_u32(t[2], cost)) {
+      ospf.cost_override[link] = cost;
+    } else {
+      error("usage: cost <link-id> <cost>");
+    }
+    return;
+  }
+  error("unknown ospf statement: '" + t[0] + "'");
+}
+
+void Parser::handle_static(const std::vector<std::string>& t) {
+  // ip route <prefix> (via <router> | drop | external)
+  if (t.size() < 4) {
+    error("usage: ip route <prefix> (via <router> | drop | external)");
+    return;
+  }
+  auto prefix = parse_prefix_or_error(t[2]);
+  if (!prefix.has_value()) return;
+  StaticRoute route;
+  route.prefix = *prefix;
+  if (t[3] == "drop") {
+    route.next_hop = std::nullopt;
+  } else if (t[3] == "external") {
+    route.next_hop = kExternalRouter;
+  } else if (t[3] == "via" && t.size() == 5) {
+    RouterId via = kInvalidRouter;
+    if (!resolve_router(t[4], via)) return;
+    route.next_hop = via;
+  } else {
+    error("usage: ip route <prefix> (via <router> | drop | external)");
+    return;
+  }
+  result.config.statics.push_back(route);
+}
+
+void Parser::handle_redistribute(const std::vector<std::string>& t) {
+  // redistribute <static|ospf|connected> into bgp [policy <name>]
+  if (t.size() < 4 || t[2] != "into" || t[3] != "bgp") {
+    error("usage: redistribute <static|ospf|connected> into bgp [policy <name>]");
+    return;
+  }
+  Redistribution redistribution;
+  if (t[1] == "static") {
+    redistribution.from = Protocol::kStatic;
+  } else if (t[1] == "ospf") {
+    redistribution.from = Protocol::kOspf;
+  } else if (t[1] == "connected") {
+    redistribution.from = Protocol::kConnected;
+  } else {
+    error("unknown redistribution source '" + t[1] + "'");
+    return;
+  }
+  redistribution.into = Protocol::kEbgp;
+  if (t.size() == 6 && t[4] == "policy") redistribution.policy = t[5];
+  result.config.redistributions.push_back(redistribution);
+}
+
+void Parser::handle_route_map(const std::vector<std::string>& t) {
+  if (t[0] == "clause" && t.size() == 2) {
+    RouteMapClause clause;
+    if (t[1] == "permit") {
+      clause.action = RouteMapClause::Action::kPermit;
+    } else if (t[1] == "deny") {
+      clause.action = RouteMapClause::Action::kDeny;
+    } else {
+      error("clause must be 'permit' or 'deny'");
+      return;
+    }
+    map().clauses.push_back(clause);
+    current_clause = &map().clauses.back();
+    section = Section::kClause;
+    return;
+  }
+  if (t[0] == "default" && t.size() == 2) {
+    if (t[1] == "permit") {
+      map().default_permit = true;
+    } else if (t[1] == "deny") {
+      map().default_permit = false;
+    } else {
+      error("default must be 'permit' or 'deny'");
+    }
+    return;
+  }
+  if (current_clause == nullptr) {
+    error("statement requires a clause: '" + t[0] + "'");
+    return;
+  }
+  if (t[0] == "match" && t.size() == 3 && (t[1] == "prefix" || t[1] == "prefix-exact")) {
+    if (auto prefix = parse_prefix_or_error(t[2])) {
+      current_clause->match_prefix = *prefix;
+      current_clause->match_exact = t[1] == "prefix-exact";
+    }
+    return;
+  }
+  if (t[0] == "match" && t.size() == 3 && t[1] == "neighbor") {
+    current_clause->match_neighbor = t[2];
+    return;
+  }
+  if (t[0] == "match" && t.size() == 3 && t[1] == "as-path-contains") {
+    std::uint32_t asn = 0;
+    if (parse_u32(t[2], asn)) {
+      current_clause->match_as_path_contains = asn;
+    } else {
+      error("bad AS number '" + t[2] + "'");
+    }
+    return;
+  }
+  if (t[0] == "match" && t.size() == 3 && t[1] == "community") {
+    std::uint32_t community = 0;
+    if (parse_community(t[2], community)) {
+      current_clause->match_community = community;
+    } else {
+      error("bad community '" + t[2] + "' (want asn:value)");
+    }
+    return;
+  }
+  if (t[0] == "set" && t.size() == 3 && t[1] == "community") {
+    std::uint32_t community = 0;
+    if (parse_community(t[2], community)) {
+      current_clause->add_communities.push_back(community);
+    } else {
+      error("bad community '" + t[2] + "' (want asn:value)");
+    }
+    return;
+  }
+  if (t[0] == "clear-communities" && t.size() == 1) {
+    current_clause->clear_communities = true;
+    return;
+  }
+  if (t[0] == "set" && t.size() == 3 && t[1] == "local-pref") {
+    std::uint32_t value = 0;
+    if (parse_u32(t[2], value)) {
+      current_clause->set_local_pref = value;
+    } else {
+      error("bad local-pref");
+    }
+    return;
+  }
+  if (t[0] == "set" && t.size() == 3 && t[1] == "med") {
+    std::uint32_t value = 0;
+    if (parse_u32(t[2], value)) {
+      current_clause->set_med = value;
+    } else {
+      error("bad med");
+    }
+    return;
+  }
+  if (t[0] == "prepend" && t.size() == 2) {
+    std::uint32_t count = 0;
+    if (parse_u32(t[1], count) && count <= 255) {
+      current_clause->prepend_count = static_cast<std::uint8_t>(count);
+    } else {
+      error("bad prepend count");
+    }
+    return;
+  }
+  error("unknown route-map statement: '" + t[0] + "'");
+}
+
+}  // namespace
+
+ConfigParseResult parse_router_config(std::string_view text, const Topology& topology) {
+  Parser parser{topology};
+  std::size_t line_number = 0;
+  for (const std::string& line : split(text, '\n')) {
+    ++line_number;
+    parser.line_number = line_number;
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    parser.handle(tokens);
+  }
+  return std::move(parser.result);
+}
+
+std::string render_router_config(const RouterConfig& config, const Topology& topology) {
+  std::ostringstream out;
+  auto router_name = [&](RouterId id) -> std::string {
+    if (id < topology.router_count()) return topology.router(id).name;
+    return "R" + std::to_string(id);
+  };
+
+  if (config.bgp.enabled) {
+    out << "router bgp\n";
+    for (const Prefix& prefix : config.bgp.originated) {
+      out << "  network " << prefix.to_string() << "\n";
+    }
+    if (config.bgp.add_path) out << "  add-path\n";
+    if (config.bgp.default_local_pref != 100) {
+      out << "  default-local-pref " << config.bgp.default_local_pref << "\n";
+    }
+    if (config.bgp.quirks.always_compare_med) out << "  always-compare-med\n";
+    if (!config.bgp.quirks.prefer_oldest_route) out << "  no-prefer-oldest\n";
+    if (config.bgp.quirks.soft_reconfig_delay_us > 0) {
+      out << "  soft-reconfig-delay " << config.bgp.quirks.soft_reconfig_delay_us << "us\n";
+    }
+    for (const BgpSessionConfig& session : config.bgp.sessions) {
+      std::string name = session.external ? session.name : router_name(session.peer);
+      if (session.external) {
+        out << "  neighbor " << name << " external remote-as " << session.peer_as << "\n";
+      } else {
+        out << "  neighbor " << name << " remote-as " << session.peer_as << "\n";
+      }
+      if (session.rr_client) out << "  neighbor " << name << " route-reflector-client\n";
+      if (!session.import_policy.empty()) {
+        out << "  neighbor " << name << " import " << session.import_policy << "\n";
+      }
+      if (!session.export_policy.empty()) {
+        out << "  neighbor " << name << " export " << session.export_policy << "\n";
+      }
+      if (!session.enabled) out << "  neighbor " << name << " shutdown\n";
+    }
+  }
+  if (config.ospf.enabled) {
+    out << "router ospf\n";
+    for (const Prefix& prefix : config.ospf.originated) {
+      out << "  network " << prefix.to_string() << "\n";
+    }
+    for (const auto& [link, cost] : config.ospf.cost_override) {
+      out << "  cost " << link << " " << cost << "\n";
+    }
+  }
+  for (const StaticRoute& route : config.statics) {
+    out << "ip route " << route.prefix.to_string() << " ";
+    if (!route.next_hop.has_value()) {
+      out << "drop\n";
+    } else if (*route.next_hop == kExternalRouter) {
+      out << "external\n";
+    } else {
+      out << "via " << router_name(*route.next_hop) << "\n";
+    }
+  }
+  auto redist_source = [](Protocol protocol) -> const char* {
+    switch (protocol) {
+      case Protocol::kStatic: return "static";
+      case Protocol::kOspf: return "ospf";
+      default: return "connected";
+    }
+  };
+  for (const Redistribution& redistribution : config.redistributions) {
+    out << "redistribute " << redist_source(redistribution.from) << " into bgp";
+    if (!redistribution.policy.empty()) out << " policy " << redistribution.policy;
+    out << "\n";
+  }
+  for (const auto& [name, route_map] : config.route_maps) {
+    out << "route-map " << name << "\n";
+    for (const RouteMapClause& clause : route_map.clauses) {
+      out << "  clause "
+          << (clause.action == RouteMapClause::Action::kPermit ? "permit" : "deny") << "\n";
+      if (clause.match_prefix.has_value()) {
+        out << "    match " << (clause.match_exact ? "prefix-exact" : "prefix") << " "
+            << clause.match_prefix->to_string() << "\n";
+      }
+      if (clause.match_neighbor.has_value()) {
+        out << "    match neighbor " << *clause.match_neighbor << "\n";
+      }
+      if (clause.match_community.has_value()) {
+        out << "    match community " << render_community(*clause.match_community) << "\n";
+      }
+      if (clause.match_as_path_contains.has_value()) {
+        out << "    match as-path-contains " << *clause.match_as_path_contains << "\n";
+      }
+      if (clause.set_local_pref.has_value()) {
+        out << "    set local-pref " << *clause.set_local_pref << "\n";
+      }
+      if (clause.set_med.has_value()) out << "    set med " << *clause.set_med << "\n";
+      if (clause.clear_communities) out << "    clear-communities\n";
+      for (std::uint32_t community : clause.add_communities) {
+        out << "    set community " << render_community(community) << "\n";
+      }
+      if (clause.prepend_count > 0) {
+        out << "    prepend " << static_cast<int>(clause.prepend_count) << "\n";
+      }
+    }
+    out << "  default " << (route_map.default_permit ? "permit" : "deny") << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hbguard

@@ -1,0 +1,77 @@
+// Text configuration language.
+//
+// A compact, FRR-flavoured DSL so scenarios and tests can express router
+// configurations the way operators do — and so config *changes* (the
+// paper's root causes) can be diffed and rendered in reports. The grammar
+// is line-based; `#` starts a comment; indentation is ignored.
+//
+//   router bgp 65000
+//     network 203.0.113.0/24
+//     add-path
+//     default-local-pref 100
+//     soft-reconfig-delay 20s
+//     always-compare-med
+//     no-prefer-oldest
+//     neighbor R2 remote-as 65000
+//     neighbor R2 route-reflector-client
+//     neighbor uplink1 external remote-as 64501
+//     neighbor uplink1 import lp-uplink1
+//     neighbor uplink1 export out-map
+//     neighbor uplink1 shutdown
+//   router ospf
+//     network 10.255.0.1/32
+//     cost 3 2                      # link id 3 -> cost 2
+//   ip route 10.9.0.0/16 via R3
+//   ip route 192.0.2.0/24 drop
+//   ip route 0.0.0.0/0 external
+//   redistribute static into bgp
+//   redistribute ospf into bgp policy only-loopbacks
+//   route-map lp-uplink1
+//     clause permit
+//       match prefix 0.0.0.0/0
+//       match prefix-exact 203.0.113.0/24
+//       match neighbor uplink1
+//       set local-pref 20
+//       set med 5
+//       prepend 2
+//     clause deny
+//       match prefix 192.168.0.0/16
+//     default deny
+//
+// Internal neighbors are named by router name and resolved against the
+// topology; external neighbors are declared with `external`.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hbguard/config/config.hpp"
+
+namespace hbguard {
+
+struct ConfigParseError {
+  std::size_t line = 0;  // 1-based
+  std::string message;
+
+  std::string describe() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+struct ConfigParseResult {
+  RouterConfig config;
+  std::vector<ConfigParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse a router configuration. Internal neighbor names resolve against
+/// `topology`; unknown names are errors.
+ConfigParseResult parse_router_config(std::string_view text, const Topology& topology);
+
+/// Render a configuration back to the DSL (stable ordering; parses back to
+/// an equivalent config).
+std::string render_router_config(const RouterConfig& config, const Topology& topology);
+
+}  // namespace hbguard

@@ -1,0 +1,56 @@
+#include "hbguard/config/policy.hpp"
+
+#include <algorithm>
+
+namespace hbguard {
+
+bool RouteMapClause::matches(const PolicyRouteView& route) const {
+  if (match_prefix.has_value()) {
+    if (match_exact) {
+      if (!(route.prefix == *match_prefix)) return false;
+    } else if (!match_prefix->covers(route.prefix)) {
+      return false;
+    }
+  }
+  if (match_neighbor.has_value() && route.neighbor != *match_neighbor) return false;
+  if (match_as_path_contains.has_value()) {
+    if (std::find(route.as_path.begin(), route.as_path.end(), *match_as_path_contains) ==
+        route.as_path.end()) {
+      return false;
+    }
+  }
+  if (match_community.has_value()) {
+    bool found = false;
+    for (std::uint32_t community : route.communities) {
+      if (community == *match_community) found = true;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool RouteMap::apply(PolicyRouteView& route) const {
+  for (const RouteMapClause& clause : clauses) {
+    if (!clause.matches(route)) continue;
+    if (clause.action == RouteMapClause::Action::kDeny) return false;
+    if (clause.set_local_pref) route.local_pref = *clause.set_local_pref;
+    if (clause.set_med) route.med = *clause.set_med;
+    if (clause.clear_communities) route.communities.clear();
+    for (std::uint32_t community : clause.add_communities) {
+      if (std::find(route.communities.begin(), route.communities.end(), community) ==
+          route.communities.end()) {
+        route.communities.push_back(community);
+      }
+    }
+    for (std::uint8_t i = 0; i < clause.prepend_count; ++i) {
+      // The engine substitutes the router's own AS; 0 is a placeholder the
+      // engine replaces. Keeping the policy layer AS-agnostic lets one
+      // route-map be reused across routers.
+      route.as_path.insert(route.as_path.begin(), 0);
+    }
+    return true;
+  }
+  return default_permit;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,72 @@
+// Routing policy (route-map) model.
+//
+// Policies are the main lever operators use to express intent (e.g. the
+// paper's "R2 is the preferred exit" implemented via local-preference), and
+// the main thing they break. Route-maps are ordered permit/deny clauses with
+// prefix and neighbor matches and attribute-set actions, mirroring the
+// vendor feature at the granularity the paper's scenarios require.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hbguard/net/ip.hpp"
+
+namespace hbguard {
+
+/// Attributes a policy can read/modify on a route as it crosses a session.
+struct PolicyRouteView {
+  Prefix prefix;
+  std::uint32_t local_pref = 100;
+  std::uint32_t med = 0;
+  std::vector<std::uint32_t> as_path;
+  std::string neighbor;  // session name the route arrived on / departs to
+  std::vector<std::uint32_t> communities;
+};
+
+/// Encode an "asn:value" community pair into its 32-bit wire form.
+constexpr std::uint32_t make_community(std::uint16_t asn, std::uint16_t value) {
+  return (static_cast<std::uint32_t>(asn) << 16) | value;
+}
+
+struct RouteMapClause {
+  enum class Action : std::uint8_t { kPermit, kDeny };
+
+  /// Match routes covered by this prefix (exact or longer). Empty = any.
+  std::optional<Prefix> match_prefix;
+  /// If set with match_prefix, require an exact prefix match.
+  bool match_exact = false;
+  /// Match routes crossing this session. Empty = any.
+  std::optional<std::string> match_neighbor;
+  /// Match routes carrying this community.
+  std::optional<std::uint32_t> match_community;
+  /// Match routes whose AS path contains this AS number (e.g. "avoid
+  /// transit through AS X" policies).
+  std::optional<std::uint32_t> match_as_path_contains;
+
+  Action action = Action::kPermit;
+
+  // Actions applied when the clause permits.
+  std::optional<std::uint32_t> set_local_pref;
+  std::optional<std::uint32_t> set_med;
+  std::uint8_t prepend_count = 0;  // prepend own AS this many extra times
+  std::vector<std::uint32_t> add_communities;
+  bool clear_communities = false;  // applied before add_communities
+
+  bool matches(const PolicyRouteView& route) const;
+};
+
+/// Ordered clauses; first matching clause wins. A route matching no clause
+/// is permitted unmodified iff `default_permit`.
+struct RouteMap {
+  std::string name;
+  std::vector<RouteMapClause> clauses;
+  bool default_permit = true;
+
+  /// Apply to `route` in place. Returns false if the route is denied.
+  bool apply(PolicyRouteView& route) const;
+};
+
+}  // namespace hbguard

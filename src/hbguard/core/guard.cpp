@@ -1,0 +1,277 @@
+#include "hbguard/core/guard.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hbguard/util/logging.hpp"
+
+namespace hbguard {
+
+std::string_view to_string(RepairMode mode) {
+  switch (mode) {
+    case RepairMode::kReport: return "report";
+    case RepairMode::kBlock: return "block";
+    case RepairMode::kRevert: return "revert";
+    case RepairMode::kEarlyBlock: return "early-block";
+  }
+  return "?";
+}
+
+Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
+    : network_(network),
+      verifier_(policies),
+      options_(options),
+      rules_(options.matcher),
+      snapshotter_(options.snapshot),
+      analyzer_(RootCauseAnalyzer::Options{options.min_confidence}),
+      reverter_(network),
+      incremental_builder_(options.matcher) {
+  if (options_.repair == RepairMode::kBlock) {
+    blocker_ = std::make_unique<VerifyingBlocker>(network, std::move(policies));
+  }
+}
+
+Guard::~Guard() = default;
+
+HappensBeforeGraph Guard::current_hbg() const {
+  std::span<const IoRecord> records = network_.capture().records();
+  if (options_.use_ground_truth_hbg) return HbgBuilder::build_ground_truth(records);
+  if (options_.inference != nullptr) return HbgBuilder::build(records, *options_.inference);
+  if (options_.incremental_hbg && incremental_builder_.records_ingested() > 0) {
+    return incremental_builder_.graph();  // copy of the live graph
+  }
+  return HbgBuilder::build(records, rules_);
+}
+
+const HappensBeforeGraph& Guard::live_hbg() {
+  std::span<const IoRecord> records = network_.capture().records();
+  bool scratch = options_.use_ground_truth_hbg || options_.inference != nullptr ||
+                 !options_.incremental_hbg;
+  if (scratch) {
+    if (options_.use_ground_truth_hbg) {
+      scratch_hbg_ = HbgBuilder::build_ground_truth(records);
+    } else if (options_.inference != nullptr) {
+      scratch_hbg_ = HbgBuilder::build(records, *options_.inference);
+    } else {
+      scratch_hbg_ = HbgBuilder::build(records, rules_);
+    }
+    return scratch_hbg_;
+  }
+  if (records.size() > ingested_) {
+    incremental_builder_.append(records.subspan(ingested_));
+    ingested_ = records.size();
+  }
+  return incremental_builder_.graph();
+}
+
+GuardReport Guard::run() {
+  std::size_t last_blocked = 0;
+  while (report_.scans < options_.max_scans) {
+    network_.run_for(options_.scan_interval_us);
+    std::size_t incidents_before = report_.incidents.size();
+    std::vector<Violation> violations = scan();
+
+    // Blocking mode: vetoes happen inside the interceptor; surface them as
+    // incidents when new blocks appeared.
+    if (blocker_ != nullptr && blocker_->blocked_count() > last_blocked) {
+      GuardIncident incident;
+      incident.detected_at = network_.sim().now();
+      incident.action = "blocked " + std::to_string(blocker_->blocked_count() - last_blocked) +
+                        " FIB update(s) before installation";
+      report_.incidents.push_back(std::move(incident));
+      last_blocked = blocker_->blocked_count();
+      report_.blocked_updates = last_blocked;
+    }
+
+    bool acted = report_.incidents.size() != incidents_before;
+    if (network_.sim().idle() && !acted) {
+      if (violations.empty() || !repair_in_flight_) break;
+    }
+  }
+  return report_;
+}
+
+std::vector<IoId> Guard::violating_fib_updates(const std::vector<Violation>& violations,
+                                               std::span<const IoRecord> records) const {
+  std::vector<IoId> out;
+  auto latest_fib_update = [&](RouterId router, const Prefix& prefix) -> IoId {
+    IoId best = kNoIo;
+    for (const IoRecord& r : records) {
+      if (r.kind != IoKind::kFibUpdate || !r.prefix.has_value() || !(*r.prefix == prefix)) {
+        continue;
+      }
+      if (router != kInvalidRouter && r.router != router) continue;
+      best = r.id;  // records are in capture order: last match wins
+    }
+    return best;
+  };
+  for (const Violation& violation : violations) {
+    IoId io = latest_fib_update(violation.router, violation.prefix);
+    if (io == kNoIo) io = latest_fib_update(kInvalidRouter, violation.prefix);
+    if (io != kNoIo && std::find(out.begin(), out.end(), io) == out.end()) out.push_back(io);
+  }
+  return out;
+}
+
+namespace {
+std::string violation_signature(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  for (const Violation& v : violations) out << v.policy << '|' << v.router << ';';
+  return out.str();
+}
+}  // namespace
+
+std::vector<Violation> Guard::scan() {
+  std::span<const IoRecord> records = network_.capture().records();
+  ++report_.scans;
+  report_.records_processed = records.size();
+
+  const HappensBeforeGraph& hbg = live_hbg();
+
+  if (options_.repair == RepairMode::kEarlyBlock && !repair_in_flight_) {
+    if (auto action = try_early_block(records)) {
+      GuardIncident incident;
+      incident.detected_at = network_.sim().now();
+      incident.action = "early-reverted v" + std::to_string(action->reverted) +
+                        " (predicted violation from learned EC behaviour)";
+      report_.incidents.push_back(std::move(incident));
+      ++report_.early_reverts;
+      repair_in_flight_ = true;
+      return {};
+    }
+  }
+
+  DataPlaneSnapshot snapshot = snapshotter_.build(records, hbg, {});
+  VerifyResult result = verifier_.verify(snapshot);
+
+  if (result.clean()) {
+    ++report_.clean_scans;
+    repair_in_flight_ = false;
+    // Configuration changes that reached a clean converged state were
+    // benign: feed the early-block model.
+    if (network_.sim().idle()) {
+      for (auto it = pending_benign_.begin(); it != pending_benign_.end();) {
+        for (const EarlyBlockKey& key : it->second) early_model_.observe(key, false);
+        it = pending_benign_.erase(it);
+      }
+    }
+    return {};
+  }
+
+  if (repair_in_flight_) return result.violations;  // converging after a repair
+
+  std::string signature = violation_signature(result.violations);
+  if (signature == last_violation_signature_) {
+    return result.violations;  // already reported; nothing new to do
+  }
+  last_violation_signature_ = signature;
+
+  GuardIncident incident;
+  incident.detected_at = network_.sim().now();
+  incident.violations = result.violations;
+
+  std::vector<IoId> fib_ios = violating_fib_updates(result.violations, records);
+  ProvenanceResult provenance = analyzer_.analyze_all(hbg, fib_ios);
+  incident.causes = provenance.causes;
+  incident.fault_chain = RootCauseAnalyzer::render(hbg, provenance);
+
+  switch (options_.repair) {
+    case RepairMode::kReport:
+    case RepairMode::kBlock:
+      incident.action = "reported";
+      break;
+    case RepairMode::kRevert:
+    case RepairMode::kEarlyBlock: {
+      learn_early_block(provenance, result.violations, /*violated=*/true);
+      auto action = reverter_.revert_root_cause(provenance);
+      if (action.has_value()) {
+        incident.action = "reverted v" + std::to_string(action->reverted) + " on R" +
+                          std::to_string(action->router);
+        ++report_.reverts;
+        repair_in_flight_ = true;
+      } else {
+        incident.action = "reported (no revertible cause)";
+      }
+      break;
+    }
+  }
+  report_.incidents.push_back(std::move(incident));
+  return result.violations;
+}
+
+void Guard::learn_early_block(const ProvenanceResult& provenance,
+                              const std::vector<Violation>& violations, bool violated) {
+  for (const RootCause& cause : provenance.causes) {
+    if (cause.kind != CauseKind::kConfigChange) continue;
+    // Equivalence-class signatures from the *pre-change* data plane: replay
+    // the capture up to just before the change was logged.
+    std::map<RouterId, SimTime> horizons;
+    for (std::size_t i = 0; i < network_.router_count(); ++i) {
+      horizons[static_cast<RouterId>(i)] = cause.record.logged_time - 1;
+    }
+    const HappensBeforeGraph& hbg = live_hbg();
+    DataPlaneSnapshot before =
+        snapshotter_.build(network_.capture().records(), hbg, horizons);
+    EquivalenceClasses classes = compute_equivalence_classes(before);
+
+    std::string change_signature = normalize_change_description(cause.record.detail);
+    for (const Violation& violation : violations) {
+      std::size_t index = classes.class_of(representative(violation.prefix));
+      std::string ec_signature =
+          index < classes.classes.size() ? classes.classes[index].signature : "";
+      early_model_.observe({cause.record.router, change_signature, ec_signature}, violated);
+    }
+    pending_benign_.erase(cause.record.config_version);
+  }
+}
+
+std::optional<RevertAction> Guard::try_early_block(std::span<const IoRecord> records) {
+  for (const IoRecord& record : records) {
+    if (record.kind != IoKind::kConfigChange) continue;
+    if (record.config_version == kNoVersion || early_checked_.contains(record.config_version)) {
+      continue;
+    }
+    early_checked_.insert(record.config_version);
+    const ConfigChangeRecord& change = network_.configs().record(record.config_version);
+    if (change.parent == kNoVersion || change.reverted) continue;  // initial or already undone
+    if (change.description.starts_with("revert")) continue;        // our own repairs
+
+    // Pre-change data plane and its equivalence classes.
+    std::map<RouterId, SimTime> horizons;
+    for (std::size_t i = 0; i < network_.router_count(); ++i) {
+      horizons[static_cast<RouterId>(i)] = record.logged_time - 1;
+    }
+    const HappensBeforeGraph& hbg = live_hbg();
+    DataPlaneSnapshot before = snapshotter_.build(records, hbg, horizons);
+    EquivalenceClasses classes = compute_equivalence_classes(before);
+
+    std::string change_signature = normalize_change_description(record.detail);
+    std::vector<EarlyBlockKey> keys;
+    bool predicted_violation = false;
+    for (const auto& policy : verifier_.policies()) {
+      for (const Prefix& prefix : policy->prefixes()) {
+        std::size_t index = classes.class_of(representative(prefix));
+        std::string ec_signature =
+            index < classes.classes.size() ? classes.classes[index].signature : "";
+        EarlyBlockKey key{record.router, change_signature, ec_signature};
+        keys.push_back(key);
+        auto prediction = early_model_.predict(key);
+        if (prediction.has_value() && *prediction >= 0.5) predicted_violation = true;
+      }
+    }
+
+    if (predicted_violation) {
+      RevertAction action;
+      action.reverted = record.config_version;
+      action.router = record.router;
+      action.description = "early revert of v" + std::to_string(record.config_version);
+      action.new_version =
+          network_.revert_config_change(record.config_version, action.description);
+      return action;
+    }
+    pending_benign_[record.config_version] = std::move(keys);
+  }
+  return std::nullopt;
+}
+
+}  // namespace hbguard

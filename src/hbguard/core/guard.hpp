@@ -1,0 +1,128 @@
+// The integrated verification-and-repair pipeline (Fig. 3).
+//
+//   CAPTURE CONTROL PLANE I/Os → (HBR inference) → HBG
+//        → consistent data-plane snapshot → DATA PLANE VERIFIER
+//        → bad FIB updates → TRACE PROVENANCE → root cause
+//        → BLOCK I/Os / revert configuration
+//
+// Guard watches a live Network's capture stream. Each scan builds the HBG
+// from observable I/Os (or ground truth, for oracle ablations), assembles a
+// consistent snapshot, verifies the policy list, and — on violation —
+// traces provenance and repairs according to the configured mode:
+//
+//   kReport     diagnose only (§6's "report the configuration change as
+//               problematic to the operator")
+//   kBlock      veto policy-violating FIB updates before they reach the
+//               data plane (§2's strawman; causes control/data divergence)
+//   kRevert     revert the root-cause configuration change (§6)
+//   kEarlyBlock kRevert, plus a learned equivalence-class model that
+//               predicts violations from config-change inputs and reverts
+//               them before FIB fallout propagates (§6's most advanced
+//               mitigation)
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "hbguard/hbg/builder.hpp"
+#include "hbguard/hbg/incremental.hpp"
+#include "hbguard/hbr/rule_matcher.hpp"
+#include "hbguard/provenance/root_cause.hpp"
+#include "hbguard/repair/blocker.hpp"
+#include "hbguard/repair/early_block.hpp"
+#include "hbguard/repair/reverter.hpp"
+#include "hbguard/sim/network.hpp"
+#include "hbguard/snapshot/consistent.hpp"
+#include "hbguard/verify/eqclass.hpp"
+#include "hbguard/verify/verifier.hpp"
+
+#include "hbguard/core/report.hpp"
+
+namespace hbguard {
+
+enum class RepairMode : std::uint8_t { kReport, kBlock, kRevert, kEarlyBlock };
+
+std::string_view to_string(RepairMode mode);
+
+struct GuardOptions {
+  RepairMode repair = RepairMode::kRevert;
+  /// Minimum HBG edge confidence used for snapshots and provenance.
+  double min_confidence = 0.9;
+  /// Virtual time between scans of the capture stream.
+  SimTime scan_interval_us = 100'000;
+  /// Use the simulator's ground-truth causes instead of inference (oracle
+  /// ablation).
+  bool use_ground_truth_hbg = false;
+  /// Maintain the HBG incrementally across scans (pay only for new I/Os)
+  /// rather than rebuilding from the full history each scan.
+  bool incremental_hbg = true;
+  /// Custom HBR inference (e.g. CombinedInference with a trained pattern
+  /// miner). Non-null forces scratch (non-incremental) graph builds.
+  std::shared_ptr<HbrInferencer> inference;
+  /// Give up on run() after this many scans without quiescence.
+  std::size_t max_scans = 10'000;
+  MatcherOptions matcher;
+  ConsistentSnapshotter::Options snapshot;
+};
+
+class Guard {
+ public:
+  Guard(Network& network, PolicyList policies, GuardOptions options = {});
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  /// Drive the network to convergence under guard: alternately dispatch
+  /// `scan_interval_us` of simulation and scan. Repairs inject new events
+  /// (reverts) which are themselves processed. Returns when the simulator
+  /// is idle and the last scan took no action.
+  GuardReport run();
+
+  /// One scan over the capture stream; returns the violations seen (empty
+  /// when the snapshot is clean). Repairs fire as a side effect per the
+  /// configured mode.
+  std::vector<Violation> scan();
+
+  const GuardReport& report() const { return report_; }
+  const EarlyBlockModel& early_block_model() const { return early_model_; }
+
+  /// Build the current HBG (for rendering/inspection; copies in
+  /// incremental mode).
+  HappensBeforeGraph current_hbg() const;
+
+ private:
+  /// The live graph used by scans: the incremental builder's (after
+  /// ingesting new records) or a scratch rebuild.
+  const HappensBeforeGraph& live_hbg();
+  /// Map each violation to the most recent FIB-update I/O that produced
+  /// the offending entry.
+  std::vector<IoId> violating_fib_updates(const std::vector<Violation>& violations,
+                                          std::span<const IoRecord> records) const;
+
+  void learn_early_block(const ProvenanceResult& provenance,
+                         const std::vector<Violation>& violations, bool violated);
+  std::optional<RevertAction> try_early_block(std::span<const IoRecord> records);
+
+  Network& network_;
+  Verifier verifier_;
+  GuardOptions options_;
+  RuleMatchingInference rules_;
+  ConsistentSnapshotter snapshotter_;
+  RootCauseAnalyzer analyzer_;
+  ConfigReverter reverter_;
+  std::unique_ptr<VerifyingBlocker> blocker_;  // kBlock mode only
+  EarlyBlockModel early_model_;
+  GuardReport report_;
+
+  IncrementalHbgBuilder incremental_builder_;
+  std::size_t ingested_ = 0;             // records fed to the incremental builder
+  HappensBeforeGraph scratch_hbg_;       // non-incremental scan graph
+  std::set<ConfigVersion> early_checked_;
+  /// Config changes awaiting a benign label (cleared on clean converged
+  /// scans, when their keys are fed to the early-block model as benign).
+  std::map<ConfigVersion, std::vector<EarlyBlockKey>> pending_benign_;
+  std::string last_violation_signature_;  // dedup repeat incident reports
+  bool repair_in_flight_ = false;         // suppress repeat repairs mid-convergence
+};
+
+}  // namespace hbguard

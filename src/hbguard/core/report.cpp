@@ -1,0 +1,25 @@
+#include "hbguard/core/report.hpp"
+
+#include <sstream>
+
+namespace hbguard {
+
+std::string GuardReport::summary() const {
+  std::ostringstream out;
+  out << "guard: " << scans << " scans (" << clean_scans << " clean), " << records_processed
+      << " I/Os, " << incidents.size() << " incident(s), " << reverts << " revert(s), "
+      << early_reverts << " early-revert(s), " << blocked_updates << " blocked update(s)\n";
+  for (const GuardIncident& incident : incidents) {
+    out << "incident @" << incident.detected_at << "us: " << incident.violations.size()
+        << " violation(s), action: " << incident.action << "\n";
+    for (const Violation& violation : incident.violations) {
+      out << "  " << violation.describe() << "\n";
+    }
+    for (const RootCause& cause : incident.causes) {
+      out << "  cause [" << to_string(cause.kind) << "] " << cause.record.label() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hbguard

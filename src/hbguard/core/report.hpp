@@ -1,0 +1,37 @@
+// Guard incident reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hbguard/event/simulator.hpp"
+#include "hbguard/provenance/root_cause.hpp"
+#include "hbguard/verify/policy.hpp"
+
+namespace hbguard {
+
+struct GuardIncident {
+  SimTime detected_at = 0;
+  std::vector<Violation> violations;
+  std::vector<RootCause> causes;
+  /// What the guard did: "reverted v7", "blocked 3 updates",
+  /// "early-reverted v9", or "reported".
+  std::string action;
+  /// Rendered cause→fault chain (Fig. 4 style).
+  std::string fault_chain;
+};
+
+struct GuardReport {
+  std::vector<GuardIncident> incidents;
+  std::size_t scans = 0;
+  std::size_t records_processed = 0;
+  std::size_t reverts = 0;
+  std::size_t early_reverts = 0;
+  std::size_t blocked_updates = 0;
+  /// Scans whose snapshot was consistent and violation-free.
+  std::size_t clean_scans = 0;
+
+  std::string summary() const;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,84 @@
+#include "hbguard/dverify/distributed.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hbguard {
+
+DistributedVerifier::DistributedVerifier(const Topology& topology, PolicyList policies)
+    : topology_(topology), verifier_(policies), policies_(std::move(policies)) {}
+
+std::vector<Prefix> DistributedVerifier::policy_prefixes() const {
+  std::set<Prefix> unique;
+  for (const auto& policy : policies_) {
+    for (const Prefix& p : policy->prefixes()) unique.insert(p);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+VerifyResult DistributedVerifier::verify(const DataPlaneSnapshot& snapshot,
+                                         VerifyCost* cost) const {
+  VerifyResult result = verifier_.verify(snapshot);
+  if (cost == nullptr) return result;
+
+  // Cost the distributed execution: per destination, a verification token
+  // starts at every router, each hop applies that router's transfer
+  // function (one lookup) and ships the partial result across the link.
+  *cost = VerifyCost{};
+  std::map<RouterId, std::size_t> node_work;
+  for (const Prefix& prefix : policy_prefixes()) {
+    IpAddress destination = representative(prefix);
+    for (const auto& [source, view] : snapshot.routers) {
+      ForwardTrace trace = trace_forwarding(snapshot, source, destination);
+      SimTime path_latency = 0;
+      for (std::size_t i = 0; i < trace.path.size(); ++i) {
+        RouterId hop = trace.path[i];
+        ++node_work[hop];
+        ++cost->total_work;
+        if (i + 1 < trace.path.size()) {
+          ++cost->messages;
+          ++cost->payload_entries;  // one partial result forwarded
+          auto link = topology_.link_between(hop, trace.path[i + 1]);
+          path_latency += link.has_value() ? topology_.link(*link).delay_us : 1000;
+        }
+      }
+      cost->latency_us = std::max(cost->latency_us, path_latency);
+    }
+  }
+  for (const auto& [router, work] : node_work) {
+    cost->max_node_work = std::max(cost->max_node_work, work);
+  }
+  return result;
+}
+
+VerifyCost DistributedVerifier::centralized_cost(const DataPlaneSnapshot& snapshot) const {
+  VerifyCost cost;
+  // Every router uploads its entire FIB view to the collector.
+  SimTime max_upload_delay = 0;
+  for (const auto& [router, view] : snapshot.routers) {
+    ++cost.messages;
+    cost.payload_entries += view.entries.size();
+    // Latency: one hop to the collector, approximated by the router's
+    // cheapest attached link (the collector sits inside the network).
+    SimTime best = 1000;
+    for (LinkId lid : topology_.links_of(router)) {
+      best = std::min<SimTime>(best == 1000 ? topology_.link(lid).delay_us : best,
+                               topology_.link(lid).delay_us);
+    }
+    max_upload_delay = std::max(max_upload_delay, best);
+  }
+  cost.latency_us = max_upload_delay;
+
+  // The collector performs every lookup itself.
+  for (const Prefix& prefix : policy_prefixes()) {
+    IpAddress destination = representative(prefix);
+    for (const auto& [source, view] : snapshot.routers) {
+      ForwardTrace trace = trace_forwarding(snapshot, source, destination);
+      cost.total_work += trace.path.size();
+    }
+  }
+  cost.max_node_work = cost.total_work;  // all on one node
+  return cost;
+}
+
+}  // namespace hbguard

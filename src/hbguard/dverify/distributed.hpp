@@ -1,0 +1,53 @@
+// Distributed data-plane verification (§5, "Distributed verification").
+//
+// "The basic idea is to pass partial verification results between network
+// routers ... each router uses its local FIB snapshot to conduct parts of
+// the verification. ... This approach adds time overhead, due to the delay
+// in passing partial verification results between routers, but the approach
+// avoids the potential for bottlenecks at a centralized verifier."
+//
+// The distributed verifier produces the same verdicts as the centralized
+// one (both analyze the same snapshot); what differs is the cost model. We
+// account messages, payload bytes, per-node work and the critical-path
+// latency for both deployments so bench A3 can chart the tradeoff.
+#pragma once
+
+#include <map>
+
+#include "hbguard/net/topology.hpp"
+#include "hbguard/verify/verifier.hpp"
+
+namespace hbguard {
+
+struct VerifyCost {
+  std::size_t messages = 0;       // partial-result / snapshot-upload messages
+  std::size_t payload_entries = 0;  // FIB entries (or partial results) moved
+  std::size_t max_node_work = 0;  // busiest node's lookup count
+  std::size_t total_work = 0;     // total lookups network-wide
+  SimTime latency_us = 0;         // critical-path latency (virtual)
+};
+
+class DistributedVerifier {
+ public:
+  /// `topology` supplies link delays for the latency model.
+  DistributedVerifier(const Topology& topology, PolicyList policies);
+
+  /// Verify like the centralized verifier (same verdicts) while costing the
+  /// distributed execution: per destination, each router applies its own
+  /// transfer function and ships the partial result one hop downstream.
+  VerifyResult verify(const DataPlaneSnapshot& snapshot, VerifyCost* cost = nullptr) const;
+
+  /// Cost of the centralized deployment on the same snapshot: every router
+  /// uploads its FIB to one collector that performs all the work.
+  VerifyCost centralized_cost(const DataPlaneSnapshot& snapshot) const;
+
+  /// Destinations the policy set cares about.
+  std::vector<Prefix> policy_prefixes() const;
+
+ private:
+  const Topology& topology_;
+  Verifier verifier_;
+  PolicyList policies_;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,35 @@
+#include "hbguard/event/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hbguard {
+
+void Simulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  queue_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (step()) ++count;
+  }
+  if (now_ < deadline && deadline != kForever) now_ = deadline;
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is the
+  // standard idiom but fragile — copy the callback instead (cheap relative
+  // to event work) and pop before dispatch so callbacks can reschedule.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.when;
+  ++dispatched_;
+  entry.fn();
+  return true;
+}
+
+}  // namespace hbguard

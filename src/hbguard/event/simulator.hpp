@@ -1,0 +1,66 @@
+// Discrete-event simulation kernel.
+//
+// Everything asynchronous in hbguard — message propagation, router
+// processing delays, soft-reconfiguration timers, snapshot sampling jitter —
+// is an event on this queue. Time is virtual (microseconds) and advances
+// only when events are dispatched, so runs are deterministic for a given
+// seed while still exhibiting the interleavings the paper's snapshot and
+// provenance machinery must cope with.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hbguard {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute virtual time `when` (>= now).
+  /// Events at equal times run in scheduling order (stable FIFO).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedule `fn` to run `delay` microseconds from now.
+  void schedule_after(SimTime delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the queue is empty or `deadline` is reached (events scheduled
+  /// at exactly `deadline` still run). Returns the number of dispatched
+  /// events.
+  std::size_t run(SimTime deadline = kForever);
+
+  /// Dispatch exactly one event if any is pending. Returns false when idle.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t dispatched() const { return dispatched_; }
+
+  static constexpr SimTime kForever = std::int64_t{1} << 62;
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t dispatched_ = 0;
+};
+
+}  // namespace hbguard

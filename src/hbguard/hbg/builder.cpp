@@ -1,0 +1,28 @@
+#include "hbguard/hbg/builder.hpp"
+
+namespace hbguard {
+
+HappensBeforeGraph HbgBuilder::build(std::span<const IoRecord> records,
+                                     const HbrInferencer& inferencer) {
+  HappensBeforeGraph graph;
+  for (const IoRecord& record : records) graph.add_vertex(record);
+  for (const InferredHbr& edge : inferencer.infer(records)) {
+    if (graph.has_vertex(edge.from) && graph.has_vertex(edge.to)) {
+      graph.add_edge({edge.from, edge.to, edge.confidence, edge.rule});
+    }
+  }
+  return graph;
+}
+
+HappensBeforeGraph HbgBuilder::build_ground_truth(std::span<const IoRecord> records) {
+  HappensBeforeGraph graph;
+  for (const IoRecord& record : records) graph.add_vertex(record);
+  for (const InferredHbr& edge : ground_truth_edges(records)) {
+    if (graph.has_vertex(edge.from) && graph.has_vertex(edge.to)) {
+      graph.add_edge({edge.from, edge.to, 1.0, "truth"});
+    }
+  }
+  return graph;
+}
+
+}  // namespace hbguard

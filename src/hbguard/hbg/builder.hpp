@@ -1,0 +1,23 @@
+// HBG construction from a capture stream.
+#pragma once
+
+#include <span>
+
+#include "hbguard/hbg/graph.hpp"
+#include "hbguard/hbr/inference.hpp"
+
+namespace hbguard {
+
+class HbgBuilder {
+ public:
+  /// Build an HBG whose edges come from an inference strategy (what the
+  /// system can do in practice).
+  static HappensBeforeGraph build(std::span<const IoRecord> records,
+                                  const HbrInferencer& inferencer);
+
+  /// Build the ground-truth HBG from the simulator's cause links
+  /// (evaluation oracle; impossible on real routers).
+  static HappensBeforeGraph build_ground_truth(std::span<const IoRecord> records);
+};
+
+}  // namespace hbguard

@@ -1,0 +1,175 @@
+#include "hbguard/hbg/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace hbguard {
+
+void HappensBeforeGraph::add_vertex(IoRecord record) {
+  vertices_.insert_or_assign(record.id, std::move(record));
+}
+
+void HappensBeforeGraph::add_edge(HbgEdge edge) {
+  if (!vertices_.contains(edge.from) || !vertices_.contains(edge.to)) {
+    throw std::invalid_argument("HBG edge references unknown vertex");
+  }
+  if (edge.from == edge.to) return;
+  auto& outs = out_[edge.from];
+  for (HbgEdge& existing : outs) {
+    if (existing.to == edge.to) {
+      if (edge.confidence > existing.confidence) {
+        existing.confidence = edge.confidence;
+        existing.origin = edge.origin;
+        for (HbgEdge& in_edge : in_[edge.to]) {
+          if (in_edge.from == edge.from) {
+            in_edge.confidence = edge.confidence;
+            in_edge.origin = edge.origin;
+          }
+        }
+      }
+      return;
+    }
+  }
+  outs.push_back(edge);
+  in_[edge.to].push_back(std::move(edge));
+  ++edge_total_;
+}
+
+const IoRecord* HappensBeforeGraph::record(IoId id) const {
+  auto it = vertices_.find(id);
+  return it == vertices_.end() ? nullptr : &it->second;
+}
+
+std::vector<const HbgEdge*> HappensBeforeGraph::in_edges(IoId id, double min_confidence) const {
+  std::vector<const HbgEdge*> result;
+  auto it = in_.find(id);
+  if (it == in_.end()) return result;
+  for (const HbgEdge& edge : it->second) {
+    if (edge.confidence >= min_confidence) result.push_back(&edge);
+  }
+  return result;
+}
+
+std::vector<const HbgEdge*> HappensBeforeGraph::out_edges(IoId id, double min_confidence) const {
+  std::vector<const HbgEdge*> result;
+  auto it = out_.find(id);
+  if (it == out_.end()) return result;
+  for (const HbgEdge& edge : it->second) {
+    if (edge.confidence >= min_confidence) result.push_back(&edge);
+  }
+  return result;
+}
+
+namespace {
+std::set<IoId> closure(IoId start, double min_confidence,
+                       const std::function<std::vector<const HbgEdge*>(IoId)>& step,
+                       const std::function<IoId(const HbgEdge&)>& next) {
+  std::set<IoId> visited;
+  std::deque<IoId> frontier{start};
+  while (!frontier.empty()) {
+    IoId current = frontier.front();
+    frontier.pop_front();
+    for (const HbgEdge* edge : step(current)) {
+      if (edge->confidence < min_confidence) continue;
+      IoId n = next(*edge);
+      if (visited.insert(n).second) frontier.push_back(n);
+    }
+  }
+  visited.erase(start);
+  return visited;
+}
+}  // namespace
+
+std::set<IoId> HappensBeforeGraph::ancestors(IoId id, double min_confidence) const {
+  return closure(
+      id, min_confidence, [&](IoId v) { return in_edges(v, min_confidence); },
+      [](const HbgEdge& e) { return e.from; });
+}
+
+std::set<IoId> HappensBeforeGraph::descendants(IoId id, double min_confidence) const {
+  return closure(
+      id, min_confidence, [&](IoId v) { return out_edges(v, min_confidence); },
+      [](const HbgEdge& e) { return e.to; });
+}
+
+std::vector<IoId> HappensBeforeGraph::root_causes(IoId id, double min_confidence) const {
+  std::vector<IoId> roots;
+  auto up = ancestors(id, min_confidence);
+  if (up.empty()) {
+    if (in_edges(id, min_confidence).empty()) roots.push_back(id);
+    return roots;
+  }
+  for (IoId ancestor : up) {
+    if (in_edges(ancestor, min_confidence).empty()) roots.push_back(ancestor);
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+std::vector<IoId> HappensBeforeGraph::path_from(IoId root, IoId id, double min_confidence) const {
+  if (root == id) return {root};
+  std::map<IoId, IoId> parent;
+  std::deque<IoId> frontier{root};
+  parent[root] = root;
+  while (!frontier.empty()) {
+    IoId current = frontier.front();
+    frontier.pop_front();
+    for (const HbgEdge* edge : out_edges(current, min_confidence)) {
+      if (parent.contains(edge->to)) continue;
+      parent[edge->to] = current;
+      if (edge->to == id) {
+        std::vector<IoId> path{id};
+        IoId walk = id;
+        while (walk != root) {
+          walk = parent[walk];
+          path.push_back(walk);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(edge->to);
+    }
+  }
+  return {};
+}
+
+HappensBeforeGraph HappensBeforeGraph::router_subgraph(RouterId router) const {
+  HappensBeforeGraph sub;
+  for (const auto& [id, record] : vertices_) {
+    if (record.router == router) sub.add_vertex(record);
+  }
+  for (const auto& [from, edges] : out_) {
+    for (const HbgEdge& edge : edges) {
+      if (sub.has_vertex(edge.from) && sub.has_vertex(edge.to)) sub.add_edge(edge);
+    }
+  }
+  return sub;
+}
+
+void HappensBeforeGraph::merge(const HappensBeforeGraph& other) {
+  other.for_each_vertex([&](const IoRecord& record) {
+    if (!has_vertex(record.id)) add_vertex(record);
+  });
+  other.for_each_edge([&](const HbgEdge& edge) { add_edge(edge); });
+}
+
+void HappensBeforeGraph::for_each_vertex(const std::function<void(const IoRecord&)>& fn) const {
+  for (const auto& [id, record] : vertices_) fn(record);
+}
+
+void HappensBeforeGraph::for_each_edge(const std::function<void(const HbgEdge&)>& fn) const {
+  for (const auto& [from, edges] : out_) {
+    for (const HbgEdge& edge : edges) fn(edge);
+  }
+}
+
+std::vector<IoId> HappensBeforeGraph::all_leaves(double min_confidence) const {
+  std::vector<IoId> leaves;
+  for (const auto& [id, record] : vertices_) {
+    if (in_edges(id, min_confidence).empty()) leaves.push_back(id);
+  }
+  return leaves;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,81 @@
+// The happens-before graph (HBG, §4.3).
+//
+// "Vertices correspond to specific control plane I/Os, and directed edges
+// represent HBRs." The graph supports the queries the rest of the system
+// needs: parents/children, confidence-filtered ancestor closures (for
+// provenance), leaf roots (root causes), per-router subgraphs (for the
+// distributed mode of §5), and descendant closures (for blast-radius
+// estimates during repair).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hbguard/capture/io_record.hpp"
+#include "hbguard/hbr/inference.hpp"
+
+namespace hbguard {
+
+struct HbgEdge {
+  IoId from = kNoIo;
+  IoId to = kNoIo;
+  double confidence = 1.0;
+  std::string origin;  // rule/pattern name, or "truth"
+};
+
+class HappensBeforeGraph {
+ public:
+  void add_vertex(IoRecord record);
+  /// Both endpoints must already be vertices; duplicate (from,to) pairs keep
+  /// the higher-confidence edge.
+  void add_edge(HbgEdge edge);
+
+  bool has_vertex(IoId id) const { return vertices_.contains(id); }
+  const IoRecord* record(IoId id) const;
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+  std::size_t edge_count() const { return edge_total_; }
+
+  /// Immediate predecessors/successors with confidence >= min_confidence.
+  std::vector<const HbgEdge*> in_edges(IoId id, double min_confidence = 0.0) const;
+  std::vector<const HbgEdge*> out_edges(IoId id, double min_confidence = 0.0) const;
+
+  /// Transitive closure of predecessors (excludes `id` itself).
+  std::set<IoId> ancestors(IoId id, double min_confidence = 0.0) const;
+  /// Transitive closure of successors (excludes `id` itself).
+  std::set<IoId> descendants(IoId id, double min_confidence = 0.0) const;
+
+  /// Ancestors of `id` that themselves have no predecessors — the root
+  /// causes in §6's sense. If `id` itself has no predecessors it is its own
+  /// root.
+  std::vector<IoId> root_causes(IoId id, double min_confidence = 0.0) const;
+
+  /// One shortest path (in hops) from `root` to `id` following edges
+  /// forward; empty if unreachable. Used for fault-chain reports (Fig. 4).
+  std::vector<IoId> path_from(IoId root, IoId id, double min_confidence = 0.0) const;
+
+  /// The sub-HBG of one router's I/Os plus edges among them — what that
+  /// router would store in the distributed deployment (§5).
+  HappensBeforeGraph router_subgraph(RouterId router) const;
+
+  /// Merge another (sub)graph into this one (distributed reassembly).
+  void merge(const HappensBeforeGraph& other);
+
+  void for_each_vertex(const std::function<void(const IoRecord&)>& fn) const;
+  void for_each_edge(const std::function<void(const HbgEdge&)>& fn) const;
+
+  /// All vertices with no in-edges (potential root causes network-wide).
+  std::vector<IoId> all_leaves(double min_confidence = 0.0) const;
+
+ private:
+  std::map<IoId, IoRecord> vertices_;
+  std::map<IoId, std::vector<HbgEdge>> out_;  // keyed by from
+  std::map<IoId, std::vector<HbgEdge>> in_;   // keyed by to
+  std::size_t edge_total_ = 0;
+};
+
+}  // namespace hbguard

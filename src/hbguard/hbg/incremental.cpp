@@ -1,0 +1,22 @@
+#include "hbguard/hbg/incremental.hpp"
+
+namespace hbguard {
+
+std::size_t IncrementalHbgBuilder::append(std::span<const IoRecord> records) {
+  std::vector<InferredHbr> edges;
+  std::size_t added = 0;
+  for (const IoRecord& record : records) {
+    graph_.add_vertex(record);
+    edges.clear();
+    engine_.add(record, edges);
+    for (const InferredHbr& edge : edges) {
+      if (graph_.has_vertex(edge.from) && graph_.has_vertex(edge.to)) {
+        graph_.add_edge({edge.from, edge.to, edge.confidence, edge.rule});
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,32 @@
+// Incremental happens-before graph construction.
+//
+// Wraps RuleMatchEngine and a HappensBeforeGraph so an online consumer (the
+// Guard) pays only for new I/Os on each scan instead of rebuilding the
+// graph from the full history — the paper's "construction ... of the HBG
+// can also be distributed [and continuous]".
+#pragma once
+
+#include <span>
+
+#include "hbguard/hbg/graph.hpp"
+#include "hbguard/hbr/incremental.hpp"
+
+namespace hbguard {
+
+class IncrementalHbgBuilder {
+ public:
+  explicit IncrementalHbgBuilder(MatcherOptions options = {}) : engine_(options) {}
+
+  /// Ingest records (capture order; ids must be new). Returns the number
+  /// of edges added.
+  std::size_t append(std::span<const IoRecord> records);
+
+  const HappensBeforeGraph& graph() const { return graph_; }
+  std::size_t records_ingested() const { return engine_.records_seen(); }
+
+ private:
+  RuleMatchEngine engine_;
+  HappensBeforeGraph graph_;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,97 @@
+#include "hbguard/hbg/render.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "hbguard/util/strings.hpp"
+
+namespace hbguard {
+
+std::string to_dot(const HappensBeforeGraph& graph, double min_confidence) {
+  std::ostringstream out;
+  out << "digraph hbg {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  graph.for_each_vertex([&](const IoRecord& record) {
+    const char* color = record.input() ? "lightblue" : "white";
+    if (record.kind == IoKind::kConfigChange || record.kind == IoKind::kHardwareStatus) {
+      color = "orange";
+    }
+    out << "  n" << record.id << " [label=\"" << record.label() << "\", style=filled, fillcolor="
+        << color << "];\n";
+  });
+  graph.for_each_edge([&](const HbgEdge& edge) {
+    if (edge.confidence < min_confidence) return;
+    out << "  n" << edge.from << " -> n" << edge.to << " [label=\"" << edge.origin;
+    if (edge.confidence < 1.0) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), " %.2f", edge.confidence);
+      out << buf;
+    }
+    out << "\"];\n";
+  });
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_timeline(const HappensBeforeGraph& graph, const Topology* topology,
+                        double min_confidence) {
+  // Group vertices per router, ordered by true event time.
+  std::map<RouterId, std::vector<const IoRecord*>> lanes;
+  graph.for_each_vertex([&](const IoRecord& record) { lanes[record.router].push_back(&record); });
+  for (auto& [router, records] : lanes) {
+    std::sort(records.begin(), records.end(), [](const IoRecord* a, const IoRecord* b) {
+      return a->true_time != b->true_time ? a->true_time < b->true_time : a->id < b->id;
+    });
+  }
+
+  auto router_name = [&](RouterId id) -> std::string {
+    if (id == kExternalRouter) return "external";
+    if (topology != nullptr && id < topology->router_count()) return topology->router(id).name;
+    return "R" + std::to_string(id);
+  };
+
+  std::ostringstream out;
+  for (const auto& [router, records] : lanes) {
+    out << "=== " << router_name(router) << " ===\n";
+    SimTime previous = records.empty() ? 0 : records.front()->true_time;
+    for (const IoRecord* record : records) {
+      SimTime gap = record->true_time - previous;
+      previous = record->true_time;
+      out << "  +" << format_duration_us(gap) << "  [" << to_string(record->kind) << "] "
+          << record->label() << "\n";
+    }
+  }
+
+  out << "=== cross-router edges ===\n";
+  graph.for_each_edge([&](const HbgEdge& edge) {
+    if (edge.confidence < min_confidence) return;
+    const IoRecord* from = graph.record(edge.from);
+    const IoRecord* to = graph.record(edge.to);
+    if (from == nullptr || to == nullptr || from->router == to->router) return;
+    out << "  " << router_name(from->router) << " #" << edge.from << " -> "
+        << router_name(to->router) << " #" << edge.to << "  (+"
+        << format_duration_us(to->true_time - from->true_time) << ", " << edge.origin << ")\n";
+  });
+  return out.str();
+}
+
+std::string render_chain(const HappensBeforeGraph& graph, const std::vector<IoId>& path) {
+  std::ostringstream out;
+  SimTime previous = 0;
+  bool first = true;
+  for (IoId id : path) {
+    const IoRecord* record = graph.record(id);
+    if (record == nullptr) continue;
+    if (first) {
+      out << "  cause: " << record->label() << "\n";
+      first = false;
+    } else {
+      out << "    +" << format_duration_us(record->true_time - previous) << " -> "
+          << record->label() << "\n";
+    }
+    previous = record->true_time;
+  }
+  return out.str();
+}
+
+}  // namespace hbguard

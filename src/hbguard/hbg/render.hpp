@@ -1,0 +1,27 @@
+// HBG renderers: GraphViz dot output and the per-router "swim lane" ASCII
+// format of the paper's Fig. 5 (router columns, events top-to-bottom with
+// inter-event latencies).
+#pragma once
+
+#include <string>
+
+#include "hbguard/hbg/graph.hpp"
+#include "hbguard/net/topology.hpp"
+
+namespace hbguard {
+
+/// GraphViz dot text for the whole HBG (Fig. 4 style).
+std::string to_dot(const HappensBeforeGraph& graph, double min_confidence = 0.0);
+
+/// Fig. 5 style: one column per router, events in time order annotated with
+/// the latency since the previous event on that router; cross-router edges
+/// listed below. `topology` provides router names; pass nullptr to use
+/// "R<id>".
+std::string to_timeline(const HappensBeforeGraph& graph, const Topology* topology = nullptr,
+                        double min_confidence = 0.0);
+
+/// A compact textual fault chain: the path from a root cause to a violating
+/// I/O, one line per hop with latency annotations.
+std::string render_chain(const HappensBeforeGraph& graph, const std::vector<IoId>& path);
+
+}  // namespace hbguard

@@ -1,0 +1,295 @@
+#include "hbguard/hbr/incremental.hpp"
+
+#include <algorithm>
+
+namespace hbguard {
+
+namespace {
+bool is_bgp(Protocol protocol) {
+  return protocol == Protocol::kEbgp || protocol == Protocol::kIbgp;
+}
+}  // namespace
+
+void RuleMatchEngine::RouterLog::insert_sorted(const IoRecord* record) {
+  // Logs arrive nearly sorted; search from the back.
+  auto position = records.end();
+  while (position != records.begin()) {
+    const IoRecord* previous = *(position - 1);
+    if (previous->logged_time < record->logged_time ||
+        (previous->logged_time == record->logged_time && previous->id < record->id)) {
+      break;
+    }
+    --position;
+  }
+  records.insert(position, record);
+}
+
+const IoRecord* RuleMatchEngine::RouterLog::nearest(
+    SimTime before, SimTime window, SimTime slack,
+    const std::function<bool(const IoRecord&)>& pred) const {
+  auto it = std::upper_bound(records.begin(), records.end(), before,
+                             [](SimTime t, const IoRecord* r) { return t < r->logged_time; });
+  const IoRecord* backward = nullptr;
+  for (auto walk = it; walk != records.begin();) {
+    --walk;
+    const IoRecord& candidate = **walk;
+    if (candidate.logged_time < before - window) break;
+    if (pred(candidate)) {
+      backward = &candidate;
+      break;
+    }
+  }
+  const IoRecord* forward = nullptr;
+  for (auto walk = it; walk != records.end(); ++walk) {
+    const IoRecord& candidate = **walk;
+    if (candidate.logged_time > before + slack) break;
+    if (pred(candidate)) {
+      forward = &candidate;
+      break;
+    }
+  }
+  if (backward == nullptr) return forward;
+  if (forward == nullptr) return backward;
+  return (before - backward->logged_time) <= (forward->logged_time - before) ? backward
+                                                                             : forward;
+}
+
+std::string RuleMatchEngine::channel_key(const IoRecord& record, bool is_send) const {
+  RouterId from = is_send ? record.router : record.peer;
+  RouterId to = is_send ? record.peer : record.router;
+  std::string content = record.protocol == Protocol::kOspf
+                            ? record.detail
+                            : (record.prefix ? record.prefix->to_string() : std::string());
+  return std::to_string(from) + ">" + std::to_string(to) + "|" +
+         (record.withdraw ? "w|" : "a|") + content;
+}
+
+void RuleMatchEngine::add_all(std::span<const IoRecord> records,
+                              std::vector<InferredHbr>& out) {
+  for (const IoRecord& record : records) add(record, out);
+}
+
+void RuleMatchEngine::add(const IoRecord& record, std::vector<InferredHbr>& out) {
+  store_.push_back({record});
+  const IoRecord& stored = store_.back().record;
+  logs_[stored.router].insert_sorted(&stored);
+  ++records_seen_;
+
+  match_as_late_cause(stored, out);
+  match_as_effect(stored, out);
+  match_channels(stored, out);
+
+  // Track effects that might still gain a late cause; prune old ones.
+  if (stored.kind == IoKind::kRibUpdate || stored.kind == IoKind::kFibUpdate ||
+      stored.kind == IoKind::kSendAdvert) {
+    recent_effects_.push_back(&stored);
+  }
+  SimTime horizon = stored.logged_time - options_.local_slack_us - 1;
+  while (!recent_effects_.empty() && recent_effects_.front()->logged_time < horizon) {
+    recent_effects_.pop_front();
+  }
+}
+
+void RuleMatchEngine::match_as_effect(const IoRecord& r, std::vector<InferredHbr>& out) {
+  const RouterLog& local = logs_[r.router];
+  SimTime t = r.logged_time;
+  const SimTime w = options_.short_window_us;
+  const SimTime ls = options_.local_slack_us;
+
+  auto emit = [&](const IoRecord* from, const char* rule) {
+    if (from != nullptr && from->id != r.id) out.push_back({from->id, r.id, 1.0, rule});
+  };
+  struct Candidate {
+    const IoRecord* record;
+    const char* rule;
+  };
+  auto closest = [](std::initializer_list<Candidate> candidates) -> Candidate {
+    Candidate best{nullptr, nullptr};
+    for (const Candidate& c : candidates) {
+      if (c.record == nullptr) continue;
+      if (best.record == nullptr || c.record->logged_time > best.record->logged_time) best = c;
+    }
+    return best;
+  };
+  auto find_config = [&](SimTime window) {
+    return local.nearest(t, window, ls,
+                         [](const IoRecord& c) { return c.kind == IoKind::kConfigChange; });
+  };
+  auto find_hardware = [&] {
+    return local.nearest(t, w, ls,
+                         [](const IoRecord& c) { return c.kind == IoKind::kHardwareStatus; });
+  };
+
+  switch (r.kind) {
+    case IoKind::kRibUpdate: {
+      const IoRecord* recv = nullptr;
+      const char* recv_rule = nullptr;
+      if (is_bgp(r.protocol)) {
+        recv = local.nearest(t, w, ls, [&](const IoRecord& c) {
+          return c.kind == IoKind::kRecvAdvert && is_bgp(c.protocol) && c.prefix == r.prefix;
+        });
+        recv_rule = "recv-advert->rib";
+      } else if (r.protocol == Protocol::kOspf) {
+        recv = local.nearest(t, w, ls, [](const IoRecord& c) {
+          return c.kind == IoKind::kRecvAdvert && c.protocol == Protocol::kOspf;
+        });
+        recv_rule = "recv-lsa->ospf-rib";
+      }
+      Candidate pick = closest({{recv, recv_rule},
+                                {find_config(options_.soft_reconfig_window_us), "config->rib"},
+                                {find_hardware(), "hardware->rib"}});
+      emit(pick.record, pick.rule != nullptr ? pick.rule : "");
+      if (recv != nullptr && recv != pick.record && is_bgp(r.protocol)) emit(recv, recv_rule);
+      if (recv == nullptr && pick.record != nullptr && is_bgp(r.protocol) &&
+          (pick.record->kind == IoKind::kConfigChange ||
+           pick.record->kind == IoKind::kHardwareStatus)) {
+        const IoRecord* stored_path = local.nearest(
+            t, options_.soft_reconfig_window_us, ls, [&](const IoRecord& c) {
+              return c.kind == IoKind::kRecvAdvert && is_bgp(c.protocol) &&
+                     c.prefix == r.prefix && !c.withdraw;
+            });
+        if (stored_path != nullptr) emit(stored_path, "recv-advert->rib");
+      }
+      break;
+    }
+
+    case IoKind::kFibUpdate: {
+      const IoRecord* rib = local.nearest(t, w, ls, [&](const IoRecord& c) {
+        return c.kind == IoKind::kRibUpdate && c.prefix == r.prefix &&
+               c.protocol == r.protocol;
+      });
+      if (rib != nullptr) {
+        emit(rib, "rib->fib");
+      } else {
+        Candidate pick = closest({{find_config(options_.soft_reconfig_window_us),
+                                   "config->fib"},
+                                  {find_hardware(), "hardware->fib"}});
+        emit(pick.record, pick.rule != nullptr ? pick.rule : "");
+      }
+      break;
+    }
+
+    case IoKind::kSendAdvert: {
+      if (is_bgp(r.protocol)) {
+        const IoRecord* rib = local.nearest(t, w, ls, [&](const IoRecord& c) {
+          return c.kind == IoKind::kRibUpdate && is_bgp(c.protocol) && c.prefix == r.prefix;
+        });
+        if (rib != nullptr) {
+          emit(rib, "bgp-rib->send");
+        } else {
+          Candidate pick = closest({{find_config(options_.soft_reconfig_window_us),
+                                     "config->send"},
+                                    {find_hardware(), "hardware->send"}});
+          emit(pick.record, pick.rule != nullptr ? pick.rule : "");
+        }
+      } else {
+        const IoRecord* same_lsa = local.nearest(t, w, ls, [&](const IoRecord& c) {
+          return c.kind == IoKind::kRecvAdvert && c.protocol == Protocol::kOspf &&
+                 c.detail == r.detail;
+        });
+        if (same_lsa != nullptr) {
+          emit(same_lsa, "lsa-recv->flood");
+        } else {
+          const IoRecord* any_lsa = local.nearest(t, w, ls, [](const IoRecord& c) {
+            return c.kind == IoKind::kRecvAdvert && c.protocol == Protocol::kOspf;
+          });
+          Candidate pick = closest({{any_lsa, "lsa-recv->flood"},
+                                    {find_config(options_.soft_reconfig_window_us),
+                                     "config->ospf-flood"},
+                                    {find_hardware(), "hardware->ospf-flood"}});
+          emit(pick.record, pick.rule != nullptr ? pick.rule : "");
+        }
+      }
+      break;
+    }
+
+    case IoKind::kRecvAdvert:
+    case IoKind::kConfigChange:
+    case IoKind::kHardwareStatus:
+      break;
+  }
+}
+
+void RuleMatchEngine::match_channels(const IoRecord& r, std::vector<InferredHbr>& out) {
+  if (r.peer == kExternalRouter || r.peer == kInvalidRouter) return;
+  if (r.kind == IoKind::kSendAdvert) {
+    Channel& channel = channels_[channel_key(r, true)];
+    // Receives that this (too-late) send can no longer serve are dropped,
+    // matching the batch matcher's skip semantics.
+    while (!channel.unmatched_recvs.empty() &&
+           r.logged_time >
+               channel.unmatched_recvs.front()->logged_time + options_.cross_router_slack_us) {
+      channel.unmatched_recvs.pop_front();
+    }
+    if (!channel.unmatched_recvs.empty()) {
+      const IoRecord* recv = channel.unmatched_recvs.front();
+      channel.unmatched_recvs.pop_front();
+      out.push_back({r.id, recv->id, 1.0, "send->recv"});
+    } else {
+      channel.unmatched_sends.push_back(&store_.back().record);
+    }
+  } else if (r.kind == IoKind::kRecvAdvert) {
+    Channel& channel = channels_[channel_key(r, false)];
+    if (!channel.unmatched_sends.empty() &&
+        channel.unmatched_sends.front()->logged_time <=
+            r.logged_time + options_.cross_router_slack_us) {
+      const IoRecord* send = channel.unmatched_sends.front();
+      channel.unmatched_sends.pop_front();
+      out.push_back({send->id, r.id, 1.0, "send->recv"});
+    } else {
+      channel.unmatched_recvs.push_back(&store_.back().record);
+    }
+  }
+}
+
+void RuleMatchEngine::match_as_late_cause(const IoRecord& r, std::vector<InferredHbr>& out) {
+  if (options_.local_slack_us <= 0 || recent_effects_.empty()) return;
+  bool possible_cause = r.kind == IoKind::kConfigChange || r.kind == IoKind::kHardwareStatus ||
+                        r.kind == IoKind::kRecvAdvert || r.kind == IoKind::kRibUpdate;
+  if (!possible_cause) return;
+
+  for (const IoRecord* effect : recent_effects_) {
+    if (effect->router != r.router) continue;
+    if (effect->logged_time > r.logged_time ||
+        effect->logged_time < r.logged_time - options_.local_slack_us) {
+      continue;
+    }
+    // Does `r` qualify as a cause of `effect` under some same-router rule?
+    const char* rule = nullptr;
+    switch (effect->kind) {
+      case IoKind::kRibUpdate:
+        if (r.kind == IoKind::kRecvAdvert && is_bgp(r.protocol) && is_bgp(effect->protocol) &&
+            r.prefix == effect->prefix) {
+          rule = "recv-advert->rib";
+        } else if (r.kind == IoKind::kConfigChange) {
+          rule = "config->rib";
+        } else if (r.kind == IoKind::kHardwareStatus) {
+          rule = "hardware->rib";
+        } else if (r.kind == IoKind::kRecvAdvert && r.protocol == Protocol::kOspf &&
+                   effect->protocol == Protocol::kOspf) {
+          rule = "recv-lsa->ospf-rib";
+        }
+        break;
+      case IoKind::kFibUpdate:
+        if (r.kind == IoKind::kRibUpdate && r.prefix == effect->prefix &&
+            r.protocol == effect->protocol) {
+          rule = "rib->fib";
+        }
+        break;
+      case IoKind::kSendAdvert:
+        if (r.kind == IoKind::kRibUpdate && is_bgp(r.protocol) && is_bgp(effect->protocol) &&
+            r.prefix == effect->prefix) {
+          rule = "bgp-rib->send";
+        } else if (r.kind == IoKind::kRecvAdvert && r.protocol == Protocol::kOspf &&
+                   effect->protocol == Protocol::kOspf && r.detail == effect->detail) {
+          rule = "lsa-recv->flood";
+        }
+        break;
+      default:
+        break;
+    }
+    if (rule != nullptr) out.push_back({r.id, effect->id, 1.0, rule});
+  }
+}
+
+}  // namespace hbguard

@@ -1,0 +1,110 @@
+#include "hbguard/hbr/inference.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hbguard {
+
+std::vector<InferredHbr> ground_truth_edges(std::span<const IoRecord> records) {
+  // Only surviving records can appear as endpoints (a lost log entry can't
+  // be part of any observable graph).
+  std::set<IoId> present;
+  for (const IoRecord& r : records) present.insert(r.id);
+  std::vector<InferredHbr> edges;
+  for (const IoRecord& r : records) {
+    for (IoId cause : r.true_causes) {
+      if (present.contains(cause)) edges.push_back({cause, r.id, 1.0, "truth"});
+    }
+  }
+  return edges;
+}
+
+InferenceScore score_inference(std::span<const IoRecord> records,
+                               const std::vector<InferredHbr>& inferred) {
+  auto truth = ground_truth_edges(records);
+  std::set<std::pair<IoId, IoId>> truth_set, inferred_set;
+  for (const InferredHbr& e : truth) truth_set.emplace(e.from, e.to);
+  for (const InferredHbr& e : inferred) inferred_set.emplace(e.from, e.to);
+
+  InferenceScore score;
+  for (const auto& edge : inferred_set) {
+    if (truth_set.contains(edge)) {
+      ++score.true_positives;
+    } else {
+      ++score.false_positives;
+    }
+  }
+  for (const auto& edge : truth_set) {
+    if (!inferred_set.contains(edge)) ++score.false_negatives;
+  }
+  return score;
+}
+
+namespace {
+std::vector<const IoRecord*> by_logged_time(std::span<const IoRecord> records) {
+  std::vector<const IoRecord*> ordered;
+  ordered.reserve(records.size());
+  for (const IoRecord& r : records) ordered.push_back(&r);
+  std::sort(ordered.begin(), ordered.end(), [](const IoRecord* a, const IoRecord* b) {
+    return a->logged_time != b->logged_time ? a->logged_time < b->logged_time : a->id < b->id;
+  });
+  return ordered;
+}
+}  // namespace
+
+std::vector<InferredHbr> TimestampInference::infer(std::span<const IoRecord> records) const {
+  auto ordered = by_logged_time(records);
+  std::vector<InferredHbr> edges;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const IoRecord& record = *ordered[i];
+    std::size_t linked = 0;
+    for (std::size_t back = i; back-- > 0 && linked < fanin_;) {
+      const IoRecord& candidate = *ordered[back];
+      if (candidate.logged_time < record.logged_time - window_us_) break;
+      if (candidate.router != record.router) continue;
+      edges.push_back({candidate.id, record.id, 0.3, "timestamp"});
+      ++linked;
+    }
+  }
+  return edges;
+}
+
+std::vector<InferredHbr> PrefixInference::infer(std::span<const IoRecord> records) const {
+  auto ordered = by_logged_time(records);
+  std::vector<InferredHbr> edges;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const IoRecord& record = *ordered[i];
+    if (!record.prefix.has_value()) continue;
+    for (std::size_t back = i; back-- > 0;) {
+      const IoRecord& candidate = *ordered[back];
+      if (candidate.logged_time < record.logged_time - window_us_) break;
+      if (!candidate.prefix.has_value() || !(*candidate.prefix == *record.prefix)) continue;
+      bool same_router = candidate.router == record.router;
+      bool peer_pair = candidate.router == record.peer && candidate.peer == record.router;
+      if (!same_router && !peer_pair) continue;
+      edges.push_back({candidate.id, record.id, 0.5, "prefix"});
+      break;  // most recent same-prefix predecessor only
+    }
+  }
+  return edges;
+}
+
+std::vector<InferredHbr> CombinedInference::infer(std::span<const IoRecord> records) const {
+  std::map<std::pair<IoId, IoId>, InferredHbr> merged;
+  for (const auto& part : parts_) {
+    for (InferredHbr edge : part->infer(records)) {
+      auto key = std::make_pair(edge.from, edge.to);
+      auto it = merged.find(key);
+      if (it == merged.end() || it->second.confidence < edge.confidence) {
+        merged[key] = std::move(edge);
+      }
+    }
+  }
+  std::vector<InferredHbr> edges;
+  edges.reserve(merged.size());
+  for (auto& [key, edge] : merged) edges.push_back(std::move(edge));
+  return edges;
+}
+
+}  // namespace hbguard

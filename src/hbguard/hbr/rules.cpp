@@ -1,0 +1,170 @@
+#include "hbguard/hbr/rules.hpp"
+
+#include <algorithm>
+
+namespace hbguard {
+
+bool proto_matches(ProtoClass klass, Protocol protocol) {
+  switch (klass) {
+    case ProtoClass::kAny:
+      return true;
+    case ProtoClass::kBgp:
+      return protocol == Protocol::kEbgp || protocol == Protocol::kIbgp;
+    case ProtoClass::kOspf:
+      return protocol == Protocol::kOspf;
+  }
+  return false;
+}
+
+std::vector<HbrRule> standard_rules(SimTime soft_reconfig_window_us) {
+  std::vector<HbrRule> rules;
+
+  // Generic (§4.1): [R recv C advert P] → [R install P in C RIB].
+  rules.push_back({"recv-advert->rib",
+                   {IoKind::kRecvAdvert, ProtoClass::kBgp, true},
+                   {IoKind::kRibUpdate, ProtoClass::kBgp, true},
+                   RuleScope::kSameRouter,
+                   2'000'000,
+                   0});
+  // OSPF LSAs carry no single prefix: match on protocol + time only.
+  rules.push_back({"recv-lsa->ospf-rib",
+                   {IoKind::kRecvAdvert, ProtoClass::kOspf, false},
+                   {IoKind::kRibUpdate, ProtoClass::kOspf, false},
+                   RuleScope::kSameRouter,
+                   2'000'000,
+                   0});
+
+  // Generic (§4.1): [R install P in C RIB] → [R install P in FIB].
+  rules.push_back({"rib->fib",
+                   {IoKind::kRibUpdate, ProtoClass::kAny, true},
+                   {IoKind::kFibUpdate, ProtoClass::kAny, true},
+                   RuleScope::kSameRouter,
+                   2'000'000,
+                   0});
+
+  // BGP-specific (§4.1): [R install P in BGP RIB] → [R send BGP advert P].
+  rules.push_back({"bgp-rib->send",
+                   {IoKind::kRibUpdate, ProtoClass::kBgp, true},
+                   {IoKind::kSendAdvert, ProtoClass::kBgp, true},
+                   RuleScope::kSameRouter,
+                   2'000'000,
+                   0});
+
+  // OSPF flooding: [R recv LSA] → [R send LSA].
+  rules.push_back({"lsa-recv->flood",
+                   {IoKind::kRecvAdvert, ProtoClass::kOspf, false},
+                   {IoKind::kSendAdvert, ProtoClass::kOspf, false},
+                   RuleScope::kSameRouter,
+                   2'000'000,
+                   0});
+
+  // Generic (§4.1): [R' send C advert P] → [R recv C advert P].
+  rules.push_back({"send->recv",
+                   {IoKind::kSendAdvert, ProtoClass::kAny, true},
+                   {IoKind::kRecvAdvert, ProtoClass::kAny, true},
+                   RuleScope::kCrossRouterPeer,
+                   2'000'000,
+                   /*skew_slack_us=*/100'000});
+
+  // Network events (§4.1): configuration and hardware changes trigger RIB
+  // activity — with a long window to cover soft reconfiguration.
+  rules.push_back({"config->rib",
+                   {IoKind::kConfigChange, ProtoClass::kAny, false},
+                   {IoKind::kRibUpdate, ProtoClass::kAny, false},
+                   RuleScope::kSameRouter,
+                   soft_reconfig_window_us,
+                   0});
+  rules.push_back({"hardware->rib",
+                   {IoKind::kHardwareStatus, ProtoClass::kAny, false},
+                   {IoKind::kRibUpdate, ProtoClass::kAny, false},
+                   RuleScope::kSameRouter,
+                   2'000'000,
+                   0});
+  rules.push_back({"hardware->ospf-flood",
+                   {IoKind::kHardwareStatus, ProtoClass::kAny, false},
+                   {IoKind::kSendAdvert, ProtoClass::kOspf, false},
+                   RuleScope::kSameRouter,
+                   2'000'000,
+                   0});
+  rules.push_back({"config->ospf-flood",
+                   {IoKind::kConfigChange, ProtoClass::kAny, false},
+                   {IoKind::kSendAdvert, ProtoClass::kOspf, false},
+                   RuleScope::kSameRouter,
+                   soft_reconfig_window_us,
+                   0});
+
+  return rules;
+}
+
+}  // namespace hbguard
+
+namespace {
+
+bool side_matches(const hbguard::RuleSide& side, const hbguard::IoRecord& record) {
+  if (record.kind != side.kind) return false;
+  if (!hbguard::proto_matches(side.protocol, record.protocol)) return false;
+  if (side.match_prefix && !record.prefix.has_value()) return false;
+  return true;
+}
+
+bool scope_matches(const hbguard::HbrRule& rule, const hbguard::IoRecord& lhs,
+                   const hbguard::IoRecord& rhs) {
+  switch (rule.scope) {
+    case hbguard::RuleScope::kSameRouter:
+      return lhs.router == rhs.router;
+    case hbguard::RuleScope::kCrossRouterPeer:
+      return lhs.router == rhs.peer && lhs.peer == rhs.router;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace hbguard {
+
+std::vector<InferredHbr> DeclarativeRuleInference::infer(
+    std::span<const IoRecord> records) const {
+  // Observable order: logged time, id tie-break.
+  std::vector<const IoRecord*> ordered;
+  ordered.reserve(records.size());
+  for (const IoRecord& r : records) ordered.push_back(&r);
+  std::sort(ordered.begin(), ordered.end(), [](const IoRecord* a, const IoRecord* b) {
+    return a->logged_time != b->logged_time ? a->logged_time < b->logged_time : a->id < b->id;
+  });
+
+  std::vector<InferredHbr> edges;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const IoRecord& rhs = *ordered[i];
+    for (const HbrRule& rule : rules_) {
+      if (!side_matches(rule.rhs, rhs)) continue;
+      // Most recent matching lhs within the window (plus forward slack).
+      const IoRecord* best = nullptr;
+      for (std::size_t back = i; back-- > 0;) {
+        const IoRecord& c = *ordered[back];
+        if (c.logged_time < rhs.logged_time - rule.window_us) break;
+        if (!side_matches(rule.lhs, c) || !scope_matches(rule, c, rhs)) continue;
+        if (rule.lhs.match_prefix && rule.rhs.match_prefix && c.prefix != rhs.prefix) continue;
+        if (rule.scope == RuleScope::kCrossRouterPeer && c.withdraw != rhs.withdraw) continue;
+        best = &c;
+        break;
+      }
+      if (best == nullptr && rule.skew_slack_us > 0) {
+        for (std::size_t fwd = i + 1; fwd < ordered.size(); ++fwd) {
+          const IoRecord& c = *ordered[fwd];
+          if (c.logged_time > rhs.logged_time + rule.skew_slack_us) break;
+          if (!side_matches(rule.lhs, c) || !scope_matches(rule, c, rhs)) continue;
+          if (rule.lhs.match_prefix && rule.rhs.match_prefix && c.prefix != rhs.prefix) continue;
+          if (rule.scope == RuleScope::kCrossRouterPeer && c.withdraw != rhs.withdraw) continue;
+          best = &c;
+          break;
+        }
+      }
+      if (best != nullptr && best->id != rhs.id) {
+        edges.push_back({best->id, rhs.id, 1.0, rule.name});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace hbguard

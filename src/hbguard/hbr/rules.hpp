@@ -1,0 +1,82 @@
+// The protocol rule set for rule-matching HBR inference (§4.1).
+//
+// Each rule describes a happens-before template [lhs] → [rhs]: when a
+// captured I/O matches the right-hand side, the matcher searches the
+// (prefix- and timestamp-filtered) stream for the most recent I/O matching
+// the left-hand side. The generic rules from §4.1 plus the BGP- and
+// OSPF-specific ones are expressed declaratively so tests (and extensions,
+// e.g. an EIGRP rule set) can manipulate them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hbguard/capture/io_record.hpp"
+#include "hbguard/hbr/inference.hpp"
+
+namespace hbguard {
+
+/// Which protocols a rule side accepts.
+enum class ProtoClass : std::uint8_t {
+  kAny,
+  kBgp,   // eBGP or iBGP
+  kOspf,
+};
+
+bool proto_matches(ProtoClass klass, Protocol protocol);
+
+/// How lhs and rhs records must be related.
+enum class RuleScope : std::uint8_t {
+  kSameRouter,        // lhs.router == rhs.router
+  kCrossRouterPeer,   // lhs is a send at rhs.peer whose peer is rhs.router
+};
+
+struct RuleSide {
+  IoKind kind;
+  ProtoClass protocol = ProtoClass::kAny;
+  /// Require the side to share the rhs prefix (only meaningful when the
+  /// records carry prefixes; LSA adverts don't).
+  bool match_prefix = true;
+};
+
+struct HbrRule {
+  std::string name;
+  RuleSide lhs;
+  RuleSide rhs;
+  RuleScope scope = RuleScope::kSameRouter;
+  /// How far back (in logged time) to search for the lhs.
+  SimTime window_us = 5'000'000;
+  /// Tolerated clock skew: lhs may appear up to this much *after* rhs in
+  /// logged time and still be matched (cross-router clocks drift).
+  SimTime skew_slack_us = 0;
+};
+
+/// The standard rule set for networks running BGP + OSPF.
+/// `soft_reconfig_window_us` bounds how far a RIB update may trail the
+/// configuration change that caused it (§7 observed ~25 s on IOS).
+std::vector<HbrRule> standard_rules(SimTime soft_reconfig_window_us = 60'000'000);
+
+/// A literal implementation of §4.2's rule matching: for every I/O matching
+/// a rule's right-hand side, link the most recent I/O matching its
+/// left-hand side. Extensible (feed it an EIGRP rule set) but *ungrouped*:
+/// rules sharing a right-hand side each emit their own edge, which floods
+/// the HBG with false positives when inputs compete (config vs. recv vs.
+/// hardware). RuleMatchingInference is the production matcher; this one
+/// exists for extensibility and as the A1 ablation showing why grouping
+/// and closest-input arbitration matter.
+class DeclarativeRuleInference : public HbrInferencer {
+ public:
+  explicit DeclarativeRuleInference(std::vector<HbrRule> rules = standard_rules())
+      : rules_(std::move(rules)) {}
+  std::string name() const override { return "rules-declarative"; }
+  std::vector<InferredHbr> infer(std::span<const IoRecord> records) const override;
+
+  const std::vector<HbrRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<HbrRule> rules_;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,45 @@
+// Baseline: a Batfish-style control-plane *model* verifier (§2).
+//
+// "Other control plane verifiers model all protocols and path selection
+// criteria used in this network, but ignore vendor-specific implementation
+// details that may apply in other scenarios — e.g., differences in BGP path
+// selection rules across vendors."
+//
+// This model predicts the converged data plane from configurations and an
+// assumed set of external routes, using a deliberately *simplified* BGP
+// decision process: highest local-pref, shortest AS path, lowest peer
+// router-id. It ignores MED semantics, the weight attribute, oldest-route
+// tie-breaking and IGP metrics — precisely the vendor details the real
+// control plane (our simulator) honours. Bench A6 measures where the
+// model's predicted FIBs diverge from the simulated ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hbguard/config/config_store.hpp"
+#include "hbguard/snapshot/snapshot.hpp"
+
+namespace hbguard {
+
+struct AssumedExternalRoute {
+  RouterId router = kInvalidRouter;  // which border router hears it
+  std::string session;               // on which uplink
+  Prefix prefix;
+  std::vector<AsNumber> as_path;
+  std::uint32_t med = 0;
+};
+
+class ControlPlaneModel {
+ public:
+  /// Predict the stable data plane for the given configurations and
+  /// assumed external routes.
+  DataPlaneSnapshot predict(const Topology& topology, const ConfigStore& configs,
+                            const std::vector<AssumedExternalRoute>& external_routes) const;
+};
+
+/// Count prefix/router pairs where two snapshots forward differently.
+std::size_t count_fib_divergence(const DataPlaneSnapshot& a, const DataPlaneSnapshot& b,
+                                 const std::vector<Prefix>& prefixes);
+
+}  // namespace hbguard

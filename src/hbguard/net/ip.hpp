@@ -1,0 +1,89 @@
+// IPv4 addresses and prefixes — the vocabulary types of the whole system.
+//
+// Routes, FIB entries, captured control-plane I/Os and verification
+// equivalence classes all key on Prefix, so these are small, trivially
+// copyable value types with total ordering and hashing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hbguard {
+
+/// An IPv4 address stored in host byte order.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t bits) : bits_(bits) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted-quad ("10.0.0.1"); nullopt on malformed input.
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IpAddress, IpAddress) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// An IPv4 prefix (address + mask length), canonicalized so host bits are 0.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(IpAddress address, std::uint8_t length);
+
+  /// Parse "10.0.0.0/8"; nullopt on malformed input or length > 32.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// The default route 0.0.0.0/0.
+  static constexpr Prefix default_route() { return Prefix{}; }
+
+  constexpr IpAddress address() const { return address_; }
+  constexpr std::uint8_t length() const { return length_; }
+
+  /// True if `ip` is inside this prefix.
+  bool contains(IpAddress ip) const;
+
+  /// True if `other` is equal to or strictly inside this prefix.
+  bool covers(const Prefix& other) const;
+
+  /// Number of addresses covered (2^(32-length)), saturating at 2^32.
+  std::uint64_t size() const { return std::uint64_t{1} << (32 - length_); }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  IpAddress address_;
+  std::uint8_t length_ = 0;
+};
+
+/// Mask with the top `length` bits set.
+constexpr std::uint32_t mask_bits(std::uint8_t length) {
+  return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+}
+
+}  // namespace hbguard
+
+template <>
+struct std::hash<hbguard::IpAddress> {
+  std::size_t operator()(hbguard::IpAddress ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.bits());
+  }
+};
+
+template <>
+struct std::hash<hbguard::Prefix> {
+  std::size_t operator()(const hbguard::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}((std::uint64_t{p.address().bits()} << 8) | p.length());
+  }
+};

@@ -1,0 +1,24 @@
+#include "hbguard/net/prefix_trie.hpp"
+
+#include <algorithm>
+
+namespace hbguard {
+
+std::vector<std::uint32_t> prefix_space_boundaries(const std::vector<Prefix>& prefixes) {
+  std::vector<std::uint32_t> points;
+  points.reserve(prefixes.size() * 2 + 1);
+  points.push_back(0);
+  for (const Prefix& p : prefixes) {
+    std::uint32_t start = p.address().bits();
+    points.push_back(start);
+    // One past the end of the prefix, unless it wraps (i.e. covers the top
+    // of the address space), in which case there is no boundary after it.
+    std::uint64_t end = std::uint64_t{start} + p.size();
+    if (end <= 0xffffffffULL) points.push_back(static_cast<std::uint32_t>(end));
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,62 @@
+#include "hbguard/net/topology.hpp"
+
+#include <stdexcept>
+
+namespace hbguard {
+
+RouterId Topology::add_router(std::string name, AsNumber as_number) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate router name: " + name);
+  }
+  RouterId id = static_cast<RouterId>(routers_.size());
+  RouterInfo info;
+  info.id = id;
+  info.name = std::move(name);
+  info.as_number = as_number;
+  // Deterministic loopback in 192.0.2.0/24-style space scaled to router id.
+  info.loopback = IpAddress((10u << 24) | (255u << 16) | ((id >> 8) << 8) | (id & 0xff));
+  by_name_.emplace(info.name, id);
+  routers_.push_back(std::move(info));
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(RouterId a, RouterId b, std::int64_t delay_us, std::uint32_t igp_cost) {
+  if (a >= routers_.size() || b >= routers_.size() || a == b) {
+    throw std::invalid_argument("add_link: bad endpoints");
+  }
+  Link link;
+  link.id = static_cast<LinkId>(links_.size());
+  link.a = a;
+  link.b = b;
+  link.delay_us = delay_us;
+  link.igp_cost = igp_cost;
+  links_.push_back(link);
+  adjacency_[a].push_back(link.id);
+  adjacency_[b].push_back(link.id);
+  return link.id;
+}
+
+std::optional<RouterId> Topology::find_router(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<LinkId> Topology::link_between(RouterId a, RouterId b) const {
+  for (LinkId lid : adjacency_.at(a)) {
+    if (links_[lid].attaches(b)) return lid;
+  }
+  return std::nullopt;
+}
+
+std::vector<RouterId> Topology::up_neighbors(RouterId id) const {
+  std::vector<RouterId> out;
+  for (LinkId lid : adjacency_.at(id)) {
+    const Link& link = links_[lid];
+    if (link.up) out.push_back(link.other(id));
+  }
+  return out;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,100 @@
+// Physical network topology: routers, interfaces, point-to-point links.
+//
+// The topology is the shared substrate under the protocol engines (which
+// exchange messages across links), the data-plane verifier (which walks FIB
+// next-hops along links) and the scenario driver (which fails/restores
+// links). Routers are identified by small dense ids so modules can use
+// vectors instead of maps on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hbguard/net/ip.hpp"
+
+namespace hbguard {
+
+/// Dense router index. Also used as the BGP router-id tie-break unless the
+/// router is assigned an explicit loopback address.
+using RouterId = std::uint32_t;
+inline constexpr RouterId kInvalidRouter = std::numeric_limits<RouterId>::max();
+
+/// Dense link index (undirected point-to-point link between two routers).
+using LinkId = std::uint32_t;
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+/// Autonomous system number.
+using AsNumber = std::uint32_t;
+
+/// Sentinel for "next hop is outside our administrative domain" — used for
+/// eBGP-learned routes whose next hop is the external peer.
+inline constexpr RouterId kExternalRouter = kInvalidRouter - 1;
+
+struct Link {
+  LinkId id = kInvalidLink;
+  RouterId a = kInvalidRouter;
+  RouterId b = kInvalidRouter;
+  /// One-way propagation delay in microseconds (applied to every message).
+  std::int64_t delay_us = 1000;
+  /// IGP cost (used by OSPF). Symmetric.
+  std::uint32_t igp_cost = 1;
+  bool up = true;
+
+  RouterId other(RouterId r) const { return r == a ? b : a; }
+  bool attaches(RouterId r) const { return r == a || r == b; }
+};
+
+struct RouterInfo {
+  RouterId id = kInvalidRouter;
+  std::string name;
+  AsNumber as_number = 0;
+  /// Loopback / router-id address; assigned automatically if unset.
+  IpAddress loopback;
+};
+
+class Topology {
+ public:
+  /// Add a router; name must be unique. Returns its dense id.
+  RouterId add_router(std::string name, AsNumber as_number = 65000);
+
+  /// Add an undirected link. Routers must exist.
+  LinkId add_link(RouterId a, RouterId b, std::int64_t delay_us = 1000,
+                  std::uint32_t igp_cost = 1);
+
+  std::size_t router_count() const { return routers_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  const RouterInfo& router(RouterId id) const { return routers_.at(id); }
+  RouterInfo& router(RouterId id) { return routers_.at(id); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+  Link& link(LinkId id) { return links_.at(id); }
+
+  /// Router id by name; nullopt if unknown.
+  std::optional<RouterId> find_router(const std::string& name) const;
+
+  /// Links attached to a router (up or down).
+  const std::vector<LinkId>& links_of(RouterId id) const { return adjacency_.at(id); }
+
+  /// The link between a and b, if any.
+  std::optional<LinkId> link_between(RouterId a, RouterId b) const;
+
+  /// Neighbors reachable over *up* links.
+  std::vector<RouterId> up_neighbors(RouterId id) const;
+
+  void set_link_state(LinkId id, bool up) { links_.at(id).up = up; }
+
+  const std::vector<RouterInfo>& routers() const { return routers_; }
+  const std::vector<Link>& links() const { return links_; }
+
+ private:
+  std::vector<RouterInfo> routers_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+  std::unordered_map<std::string, RouterId> by_name_;
+};
+
+}  // namespace hbguard

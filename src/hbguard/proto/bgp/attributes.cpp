@@ -1,0 +1,43 @@
+#include "hbguard/proto/bgp/attributes.hpp"
+
+#include <sstream>
+
+namespace hbguard {
+
+std::string_view to_string(BgpOrigin origin) {
+  switch (origin) {
+    case BgpOrigin::kIgp: return "IGP";
+    case BgpOrigin::kEgp: return "EGP";
+    case BgpOrigin::kIncomplete: return "?";
+  }
+  return "?";
+}
+
+std::string BgpNextHop::to_string() const {
+  if (external) return "ext(" + external_session + ")";
+  if (router == kInvalidRouter) return "none";
+  return "R" + std::to_string(router);
+}
+
+std::string BgpRoute::describe() const {
+  std::ostringstream out;
+  out << prefix.to_string() << " via " << attrs.next_hop.to_string() << " LP=" << attrs.local_pref
+      << " ASpath=[";
+  for (std::size_t i = 0; i < attrs.as_path.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << attrs.as_path[i];
+  }
+  out << "] " << (ebgp ? "eBGP" : (originated ? "local" : "iBGP"));
+  return out.str();
+}
+
+std::string BgpUpdateMsg::describe() const {
+  if (withdraw) return "withdraw " + prefix.to_string();
+  std::ostringstream out;
+  out << "advertise " << prefix.to_string() << " nh=" << attrs.next_hop.to_string()
+      << " LP=" << attrs.local_pref << " MED=" << attrs.med;
+  if (path_id != 0) out << " pid=" << path_id;
+  return out.str();
+}
+
+}  // namespace hbguard

@@ -1,0 +1,94 @@
+// BGP route and path-attribute types.
+//
+// These model the subset of BGP-4 the paper's scenarios exercise — enough to
+// reproduce realistic best-path behaviour, iBGP/eBGP semantics, policy
+// interaction, Add-Path, and the vendor quirks that make model-based
+// verification diverge from real control planes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hbguard/event/simulator.hpp"
+#include "hbguard/net/topology.hpp"
+
+namespace hbguard {
+
+enum class BgpOrigin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+std::string_view to_string(BgpOrigin origin);
+
+/// Where traffic for a route should be sent next. Either an internal router
+/// (iBGP next-hop-self semantics) or "external" — the eBGP uplink peer
+/// outside the administrative domain, identified by the session name.
+struct BgpNextHop {
+  bool external = false;
+  RouterId router = kInvalidRouter;   // valid when !external
+  std::string external_session;      // valid when external
+
+  static BgpNextHop internal(RouterId r) { return {false, r, {}}; }
+  static BgpNextHop via_external(std::string session) {
+    return {true, kExternalRouter, std::move(session)};
+  }
+
+  bool operator==(const BgpNextHop&) const = default;
+  std::string to_string() const;
+};
+
+struct BgpPathAttributes {
+  std::uint32_t local_pref = 100;
+  std::vector<AsNumber> as_path;
+  BgpOrigin origin = BgpOrigin::kIgp;
+  std::uint32_t med = 0;
+  BgpNextHop next_hop;
+  /// Cisco-style weight: local to the router, never advertised. Locally
+  /// originated routes get 32768.
+  std::uint32_t weight = 0;
+  /// BGP communities (RFC 1997), stored as 32-bit asn:value pairs.
+  /// Transitive: they cross both iBGP and eBGP sessions unless a policy
+  /// strips them.
+  std::vector<std::uint32_t> communities;
+  /// Add-Path path identifier (0 when add-path is not in use).
+  std::uint32_t path_id = 0;
+  /// Route reflection (RFC 4456): the router that first injected the route
+  /// into iBGP (kInvalidRouter when unset) and the reflection clusters the
+  /// route has traversed — used for loop prevention instead of full-mesh.
+  RouterId originator = kInvalidRouter;
+  std::vector<RouterId> cluster_list;
+
+  bool operator==(const BgpPathAttributes&) const = default;
+};
+
+/// A path as stored in an Adj-RIB-In (raw, pre-import-policy — soft
+/// reconfiguration re-applies policy over these on config changes).
+struct BgpRoute {
+  Prefix prefix;
+  BgpPathAttributes attrs;
+  std::string session;              // session it was learned on ("" = originated)
+  RouterId peer = kInvalidRouter;   // internal peer, or kExternalRouter
+  AsNumber peer_as = 0;
+  bool ebgp = false;                // learned over an eBGP session
+  bool originated = false;          // locally originated ("network" statement)
+  SimTime received_at = 0;
+  std::uint64_t arrival_seq = 0;    // monotone, for oldest-route tie-breaks
+
+  /// First AS on the path — the neighboring AS, used for MED comparability.
+  AsNumber neighbor_as() const { return attrs.as_path.empty() ? 0 : attrs.as_path.front(); }
+
+  std::string describe() const;
+};
+
+/// The wire message: one prefix announced or withdrawn per message (real BGP
+/// batches NLRI; per-prefix messages keep the captured I/O stream — the
+/// thing the paper's machinery consumes — maximally informative).
+struct BgpUpdateMsg {
+  Prefix prefix;
+  bool withdraw = false;
+  std::uint32_t path_id = 0;        // identifies the path for add-path withdraws
+  BgpPathAttributes attrs;          // meaningful when !withdraw
+
+  std::string describe() const;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,116 @@
+#include "hbguard/proto/bgp/decision.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hbguard {
+
+namespace {
+
+/// Keep only candidates achieving the extreme value of `key`; if that
+/// narrows the field, record `why` as the (tentative) deciding reason.
+template <typename Key>
+void filter_step(std::vector<std::size_t>& alive, const std::vector<BgpRoute>& routes,
+                 Key&& key, bool prefer_max, std::string_view why, std::string& reason) {
+  if (alive.size() <= 1) return;
+  auto value = [&](std::size_t i) { return key(routes[i]); };
+  auto extreme = value(alive.front());
+  for (std::size_t i : alive) {
+    auto v = value(i);
+    if (prefer_max ? (v > extreme) : (v < extreme)) extreme = v;
+  }
+  std::size_t before = alive.size();
+  std::erase_if(alive, [&](std::size_t i) { return value(i) != extreme; });
+  if (alive.size() < before) reason = std::string(why);
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> BestPathSelector::next_hop_metric(const BgpRoute& route) const {
+  if (route.attrs.next_hop.external) return 0;
+  if (route.attrs.next_hop.router == kInvalidRouter) return std::nullopt;
+  return igp_metric_ ? igp_metric_(route.attrs.next_hop.router) : std::optional<std::uint32_t>{0};
+}
+
+DecisionResult BestPathSelector::select(const std::vector<BgpRoute>& candidates) const {
+  DecisionResult result;
+  std::vector<std::size_t> alive;
+  std::vector<std::uint32_t> metric(candidates.size(), 0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    auto m = next_hop_metric(candidates[i]);
+    if (!m.has_value()) continue;  // next hop unreachable: path unusable
+    metric[i] = *m;
+    alive.push_back(i);
+  }
+  if (alive.empty()) {
+    result.reason = "no usable path";
+    return result;
+  }
+  std::string reason = "only usable path";
+
+  filter_step(alive, candidates, [](const BgpRoute& r) { return r.attrs.weight; },
+              /*prefer_max=*/true, "higher weight", reason);
+  filter_step(alive, candidates, [](const BgpRoute& r) { return r.attrs.local_pref; },
+              /*prefer_max=*/true, "higher local-pref", reason);
+  filter_step(alive, candidates, [](const BgpRoute& r) { return r.originated ? 1 : 0; },
+              /*prefer_max=*/true, "locally originated", reason);
+  filter_step(alive, candidates, [](const BgpRoute& r) { return r.attrs.as_path.size(); },
+              /*prefer_max=*/false, "shorter AS path", reason);
+  filter_step(alive, candidates,
+              [](const BgpRoute& r) { return static_cast<int>(r.attrs.origin); },
+              /*prefer_max=*/false, "lower origin", reason);
+
+  // MED: compared only among routes from the same neighbor AS unless the
+  // always-compare-med quirk is on. With per-AS comparison we eliminate,
+  // within each neighbor-AS group, every route whose MED exceeds the group
+  // minimum (deterministic-med behaviour).
+  if (alive.size() > 1) {
+    std::size_t before = alive.size();
+    if (quirks_.always_compare_med) {
+      filter_step(alive, candidates, [](const BgpRoute& r) { return r.attrs.med; },
+                  /*prefer_max=*/false, "lower MED (always-compare)", reason);
+    } else {
+      std::vector<std::size_t> kept;
+      for (std::size_t i : alive) {
+        std::uint32_t group_min = std::numeric_limits<std::uint32_t>::max();
+        for (std::size_t j : alive) {
+          if (candidates[j].neighbor_as() == candidates[i].neighbor_as()) {
+            group_min = std::min(group_min, candidates[j].attrs.med);
+          }
+        }
+        if (candidates[i].attrs.med == group_min) kept.push_back(i);
+      }
+      alive = std::move(kept);
+    }
+    if (alive.size() < before) reason = "lower MED";
+  }
+
+  filter_step(alive, candidates, [](const BgpRoute& r) { return r.ebgp ? 0 : 1; },
+              /*prefer_max=*/false, "eBGP over iBGP", reason);
+  filter_step(alive, candidates, [&](const BgpRoute& r) {
+                return metric[static_cast<std::size_t>(&r - candidates.data())];
+              },
+              /*prefer_max=*/false, "lower IGP metric to next hop", reason);
+
+  if (quirks_.prefer_oldest_route && alive.size() > 1) {
+    bool all_ebgp = std::all_of(alive.begin(), alive.end(),
+                                [&](std::size_t i) { return candidates[i].ebgp; });
+    if (all_ebgp) {
+      filter_step(alive, candidates, [](const BgpRoute& r) { return r.arrival_seq; },
+                  /*prefer_max=*/false, "oldest eBGP route", reason);
+    }
+  }
+
+  result.finalists = alive;
+  filter_step(alive, candidates, [](const BgpRoute& r) { return r.peer; },
+              /*prefer_max=*/false, "lower peer router-id", reason);
+  filter_step(alive, candidates, [](const BgpRoute& r) { return r.attrs.path_id; },
+              /*prefer_max=*/false, "lower path-id", reason);
+
+  result.best = alive.front();
+  result.reason = std::move(reason);
+  if (result.finalists.empty()) result.finalists = {*result.best};
+  return result;
+}
+
+}  // namespace hbguard

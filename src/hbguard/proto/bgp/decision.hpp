@@ -1,0 +1,64 @@
+// BGP best-path selection.
+//
+// Implements the full decision process in vendor order, with the quirk knobs
+// from VendorQuirks. Returns a ranked result plus a human-readable reason for
+// the winning comparison — the reason strings feed provenance reports and
+// let tests pin down *why* a path won, not just which.
+//
+// Decision order (Cisco IOS-style):
+//   1. highest weight (local; originated routes carry 32768)
+//   2. highest local preference
+//   3. locally originated over learned
+//   4. shortest AS path
+//   5. lowest origin (IGP < EGP < incomplete)
+//   6. lowest MED — only among routes from the same neighbor AS unless
+//      quirks.always_compare_med
+//   7. eBGP over iBGP
+//   8. lowest IGP metric to next hop
+//   9. oldest route (eBGP only, iff quirks.prefer_oldest_route)
+//  10. lowest peer router id
+//  11. lowest path id (add-path determinism backstop)
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hbguard/config/config.hpp"
+#include "hbguard/proto/bgp/attributes.hpp"
+
+namespace hbguard {
+
+/// Metric to reach an internal router via the IGP; nullopt = unreachable.
+using IgpMetricFn = std::function<std::optional<std::uint32_t>(RouterId)>;
+
+struct DecisionResult {
+  /// Index into the candidate vector; nullopt when no candidate is usable
+  /// (e.g. all next hops IGP-unreachable).
+  std::optional<std::size_t> best;
+  /// Which decision step chose the winner, e.g. "higher local-pref".
+  std::string reason;
+  /// Candidate indices that were still tied entering the final step.
+  std::vector<std::size_t> finalists;
+};
+
+class BestPathSelector {
+ public:
+  BestPathSelector(VendorQuirks quirks, IgpMetricFn igp_metric)
+      : quirks_(quirks), igp_metric_(std::move(igp_metric)) {}
+
+  /// Select the best path among candidates (all for the same prefix).
+  /// Candidates whose next hop is not resolvable via the IGP are ignored,
+  /// matching real BGP's next-hop reachability precondition.
+  DecisionResult select(const std::vector<BgpRoute>& candidates) const;
+
+  /// IGP metric of a route's next hop (external hops cost 0).
+  std::optional<std::uint32_t> next_hop_metric(const BgpRoute& route) const;
+
+ private:
+  VendorQuirks quirks_;
+  IgpMetricFn igp_metric_;
+};
+
+}  // namespace hbguard

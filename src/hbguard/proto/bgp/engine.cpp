@@ -1,0 +1,362 @@
+#include "hbguard/proto/bgp/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "hbguard/util/logging.hpp"
+
+namespace hbguard {
+
+namespace {
+
+/// Stable, nonzero Add-Path identifier for a stored route. Originated routes
+/// share id 1; learned routes key off their arrival sequence so the id is
+/// stable for the lifetime of the stored path.
+std::uint32_t add_path_id(const BgpRoute& route) {
+  if (route.originated) return 1;
+  return static_cast<std::uint32_t>(route.arrival_seq % 0xfffffffdULL) + 2;
+}
+
+}  // namespace
+
+BgpEngine::BgpEngine(RouterId self, AsNumber local_as, Callbacks callbacks)
+    : self_(self), local_as_cache_(local_as), callbacks_(std::move(callbacks)) {}
+
+void BgpEngine::start() {
+  started_ = true;
+  reevaluate_all();
+}
+
+const LocRibEntry* BgpEngine::loc_rib_entry(const Prefix& prefix) const {
+  auto it = loc_rib_.find(prefix);
+  return it == loc_rib_.end() ? nullptr : &it->second;
+}
+
+std::vector<BgpRoute> BgpEngine::adj_rib_in(const std::string& session) const {
+  std::vector<BgpRoute> out;
+  auto it = adj_rib_in_.find(session);
+  if (it == adj_rib_in_.end()) return out;
+  for (const auto& [key, route] : it->second) out.push_back(route);
+  return out;
+}
+
+std::vector<BgpUpdateMsg> BgpEngine::adj_rib_out(const std::string& session) const {
+  std::vector<BgpUpdateMsg> out;
+  auto it = adj_rib_out_.find(session);
+  if (it == adj_rib_out_.end()) return out;
+  for (const auto& [key, attrs] : it->second) {
+    BgpUpdateMsg msg;
+    msg.prefix = key.first;
+    msg.path_id = key.second;
+    msg.attrs = attrs;
+    out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+bool BgpEngine::session_is_up(const std::string& session) const {
+  auto it = session_down_.find(session);
+  return it == session_down_.end() || !it->second;
+}
+
+void BgpEngine::handle_update(const std::string& session_name, const BgpUpdateMsg& msg) {
+  if (config_ == nullptr || !started_) return;
+  const BgpSessionConfig* session = bgp().find_session(session_name);
+  if (session == nullptr || !session->enabled || !session_is_up(session_name)) {
+    HBG_DEBUG << "BGP R" << self_ << ": update on unknown/down session " << session_name;
+    return;
+  }
+  PathKey key{msg.prefix, msg.path_id};
+  auto& table = adj_rib_in_[session_name];
+  if (msg.withdraw) {
+    table.erase(key);
+  } else {
+    BgpRoute route;
+    route.prefix = msg.prefix;
+    route.attrs = msg.attrs;
+    route.attrs.path_id = msg.path_id;
+    route.session = session_name;
+    route.peer = session->external ? kExternalRouter : session->peer;
+    route.peer_as = session->peer_as;
+    route.ebgp = session->is_ebgp(local_as_cache_);
+    route.originated = false;
+    route.received_at = callbacks_.now ? callbacks_.now() : 0;
+    route.arrival_seq = arrival_counter_++;
+    table[key] = std::move(route);
+  }
+  decide_and_export(msg.prefix);
+}
+
+void BgpEngine::set_session_state(const std::string& session, bool up) {
+  bool was_up = session_is_up(session);
+  session_down_[session] = !up;
+  if (up == was_up) return;
+  if (!up) {
+    // Peer loss: everything learned from it is invalid, and our export
+    // state toward it is void (a future session re-establishment starts
+    // from scratch, as in real BGP).
+    std::set<Prefix> affected;
+    for (const auto& [key, route] : adj_rib_in_[session]) affected.insert(key.first);
+    adj_rib_in_.erase(session);
+    adj_rib_out_.erase(session);
+    for (const Prefix& prefix : affected) decide_and_export(prefix);
+  } else {
+    // Session (re-)established: advertise our current state.
+    for (const Prefix& prefix : known_prefixes()) decide_and_export(prefix);
+  }
+}
+
+void BgpEngine::reevaluate_all() {
+  if (config_ == nullptr || !started_ || !bgp().enabled) return;
+  for (const Prefix& prefix : known_prefixes()) decide_and_export(prefix);
+}
+
+void BgpEngine::set_extra_originated(std::set<Prefix> prefixes) {
+  std::set<Prefix> affected;
+  for (const Prefix& p : extra_originated_) {
+    if (!prefixes.contains(p)) affected.insert(p);
+  }
+  for (const Prefix& p : prefixes) {
+    if (!extra_originated_.contains(p)) affected.insert(p);
+  }
+  extra_originated_ = std::move(prefixes);
+  if (!started_ || config_ == nullptr || !bgp().enabled) return;
+  for (const Prefix& prefix : affected) decide_and_export(prefix);
+}
+
+bool BgpEngine::originates(const Prefix& prefix) const {
+  if (extra_originated_.contains(prefix)) return true;
+  for (const Prefix& p : bgp().originated) {
+    if (p == prefix) return true;
+  }
+  return false;
+}
+
+std::set<Prefix> BgpEngine::known_prefixes() const {
+  std::set<Prefix> out;
+  for (const Prefix& p : bgp().originated) out.insert(p);
+  for (const Prefix& p : extra_originated_) out.insert(p);
+  for (const auto& [session, table] : adj_rib_in_) {
+    for (const auto& [key, route] : table) out.insert(key.first);
+  }
+  for (const auto& [prefix, entry] : loc_rib_) out.insert(prefix);
+  return out;
+}
+
+std::optional<BgpRoute> BgpEngine::import(const BgpSessionConfig& session,
+                                          const BgpRoute& raw) const {
+  BgpRoute route = raw;
+  // eBGP loop prevention: a path already containing our AS is rejected.
+  if (route.ebgp &&
+      std::find(route.attrs.as_path.begin(), route.attrs.as_path.end(), local_as_cache_) !=
+          route.attrs.as_path.end()) {
+    return std::nullopt;
+  }
+  // Route-reflection loop prevention (RFC 4456): reject routes that we
+  // originated into iBGP or that already crossed our cluster.
+  if (!route.ebgp) {
+    if (route.attrs.originator == self_) return std::nullopt;
+    if (std::find(route.attrs.cluster_list.begin(), route.attrs.cluster_list.end(), self_) !=
+        route.attrs.cluster_list.end()) {
+      return std::nullopt;
+    }
+  }
+  // Local preference is non-transitive across eBGP: reset to the configured
+  // default, then let the import policy override it.
+  if (route.ebgp) route.attrs.local_pref = bgp().default_local_pref;
+  route.attrs.weight = 0;
+
+  if (!session.import_policy.empty()) {
+    const RouteMap* map = config_->find_route_map(session.import_policy);
+    if (map != nullptr) {
+      PolicyRouteView view{route.prefix,        route.attrs.local_pref,
+                           route.attrs.med,     route.attrs.as_path,
+                           session.name,        route.attrs.communities};
+      if (!map->apply(view)) return std::nullopt;
+      route.attrs.local_pref = view.local_pref;
+      route.attrs.med = view.med;
+      route.attrs.as_path = std::move(view.as_path);
+      route.attrs.communities = std::move(view.communities);
+      // Import-side prepends use the neighbor's AS.
+      for (auto& asn : route.attrs.as_path) {
+        if (asn == 0) asn = route.peer_as;
+      }
+    }
+  }
+  return route;
+}
+
+std::vector<BgpRoute> BgpEngine::gather_candidates(const Prefix& prefix) const {
+  std::vector<BgpRoute> candidates;
+  if (originates(prefix)) {
+    BgpRoute route;
+    route.prefix = prefix;
+    route.attrs.local_pref = bgp().default_local_pref;
+    route.attrs.origin = BgpOrigin::kIgp;
+    route.attrs.next_hop = BgpNextHop::internal(self_);
+    route.attrs.weight = 32768;  // Cisco: locally sourced routes
+    route.originated = true;
+    route.peer = self_;
+    route.peer_as = local_as_cache_;
+    candidates.push_back(std::move(route));
+  }
+  for (const auto& session : bgp().sessions) {
+    if (!session.enabled || !session_is_up(session.name)) continue;
+    auto it = adj_rib_in_.find(session.name);
+    if (it == adj_rib_in_.end()) continue;
+    for (const auto& [key, raw] : it->second) {
+      if (!(key.first == prefix)) continue;
+      if (auto imported = import(session, raw)) candidates.push_back(std::move(*imported));
+    }
+  }
+  return candidates;
+}
+
+void BgpEngine::decide_and_export(const Prefix& prefix) {
+  if (!bgp().enabled) return;
+  std::vector<BgpRoute> candidates = gather_candidates(prefix);
+  BestPathSelector selector(bgp().quirks, callbacks_.igp_metric);
+  DecisionResult result = selector.select(candidates);
+
+  auto existing = loc_rib_.find(prefix);
+  if (result.best.has_value()) {
+    LocRibEntry entry{candidates[*result.best], result.reason};
+    bool changed = existing == loc_rib_.end() || !existing->second.same_route(entry);
+    if (changed) {
+      loc_rib_[prefix] = entry;
+      if (callbacks_.loc_rib_changed) callbacks_.loc_rib_changed(prefix, &loc_rib_[prefix]);
+    }
+  } else if (existing != loc_rib_.end()) {
+    loc_rib_.erase(existing);
+    if (callbacks_.loc_rib_changed) callbacks_.loc_rib_changed(prefix, nullptr);
+  }
+
+  for (const auto& session : bgp().sessions) {
+    if (!session.enabled || !session_is_up(session.name)) continue;
+    sync_exports(session, prefix, desired_exports(session, prefix, candidates));
+  }
+}
+
+bool BgpEngine::is_route_reflector() const {
+  for (const BgpSessionConfig& session : bgp().sessions) {
+    if (session.rr_client && !session.external) return true;
+  }
+  return false;
+}
+
+bool BgpEngine::ibgp_exportable(const BgpSessionConfig& to, const BgpRoute& route) const {
+  if (route.ebgp || route.originated) return true;
+  // iBGP-learned: only a route reflector may pass it on (RFC 4456) —
+  // client routes go everywhere, non-client routes go to clients only.
+  if (!is_route_reflector()) return false;
+  const BgpSessionConfig* learned_on = bgp().find_session(route.session);
+  bool from_client = learned_on != nullptr && learned_on->rr_client;
+  return from_client || to.rr_client;
+}
+
+std::vector<BgpUpdateMsg> BgpEngine::desired_exports(const BgpSessionConfig& session,
+                                                     const Prefix& prefix,
+                                                     const std::vector<BgpRoute>& candidates) const {
+  std::vector<BgpUpdateMsg> desired;
+  bool ibgp_session = !session.is_ebgp(local_as_cache_);
+
+  if (ibgp_session && bgp().add_path) {
+    // Add-Path: advertise every exportable path, so iBGP peers have full
+    // visibility and convergence is memoryless (§8).
+    for (const BgpRoute& route : candidates) {
+      if (!ibgp_exportable(session, route)) continue;
+      if (route.session == session.name) continue;  // split horizon
+      if (auto msg = make_export(session, route)) desired.push_back(std::move(*msg));
+    }
+    return desired;
+  }
+
+  auto it = loc_rib_.find(prefix);
+  if (it == loc_rib_.end()) return desired;
+  const BgpRoute& best = it->second.route;
+  if (best.session == session.name) return desired;  // split horizon
+  if (ibgp_session && !ibgp_exportable(session, best)) return desired;
+  if (auto msg = make_export(session, best)) desired.push_back(std::move(*msg));
+  return desired;
+}
+
+std::optional<BgpUpdateMsg> BgpEngine::make_export(const BgpSessionConfig& session,
+                                                   const BgpRoute& route) const {
+  bool ebgp_session = session.is_ebgp(local_as_cache_);
+  bool reflecting = !ebgp_session && !(route.ebgp || route.originated);
+  BgpUpdateMsg msg;
+  msg.prefix = route.prefix;
+  msg.attrs = route.attrs;
+  msg.attrs.weight = 0;
+  if (reflecting) {
+    // RFC 4456: a reflector must not change the next hop; it stamps the
+    // originator and prepends its cluster id for loop prevention.
+    if (msg.attrs.originator == kInvalidRouter) msg.attrs.originator = route.peer;
+    msg.attrs.cluster_list.insert(msg.attrs.cluster_list.begin(), self_);
+  } else {
+    msg.attrs.next_hop = BgpNextHop::internal(self_);  // next-hop-self
+    msg.attrs.originator = kInvalidRouter;
+    msg.attrs.cluster_list.clear();
+  }
+  if (ebgp_session) {
+    msg.attrs.as_path.insert(msg.attrs.as_path.begin(), local_as_cache_);
+    msg.attrs.local_pref = 100;  // not transmitted over eBGP
+    msg.attrs.med = 0;           // MED is not propagated beyond one AS hop
+  }
+  if (!session.export_policy.empty()) {
+    const RouteMap* map = config_->find_route_map(session.export_policy);
+    if (map != nullptr) {
+      PolicyRouteView view{msg.prefix,      msg.attrs.local_pref,
+                           msg.attrs.med,   msg.attrs.as_path,
+                           session.name,    msg.attrs.communities};
+      if (!map->apply(view)) return std::nullopt;
+      msg.attrs.local_pref = view.local_pref;
+      msg.attrs.med = view.med;
+      msg.attrs.as_path = std::move(view.as_path);
+      msg.attrs.communities = std::move(view.communities);
+      for (auto& asn : msg.attrs.as_path) {
+        if (asn == 0) asn = local_as_cache_;  // export-side prepends
+      }
+    }
+  }
+  bool ibgp_add_path = !ebgp_session && bgp().add_path;
+  msg.path_id = ibgp_add_path ? add_path_id(route) : 0;
+  msg.attrs.path_id = msg.path_id;
+  return msg;
+}
+
+void BgpEngine::sync_exports(const BgpSessionConfig& session, const Prefix& prefix,
+                             std::vector<BgpUpdateMsg> desired) {
+  auto& out_table = adj_rib_out_[session.name];
+
+  // Withdraw paths we previously advertised for this prefix but no longer
+  // want to.
+  std::vector<PathKey> stale;
+  for (const auto& [key, attrs] : out_table) {
+    if (!(key.first == prefix)) continue;
+    bool still_desired = std::any_of(desired.begin(), desired.end(), [&](const BgpUpdateMsg& m) {
+      return m.path_id == key.second;
+    });
+    if (!still_desired) stale.push_back(key);
+  }
+  for (const PathKey& key : stale) {
+    out_table.erase(key);
+    BgpUpdateMsg withdraw;
+    withdraw.prefix = key.first;
+    withdraw.path_id = key.second;
+    withdraw.withdraw = true;
+    if (callbacks_.send) callbacks_.send(session.name, withdraw);
+  }
+
+  // Advertise new or changed paths.
+  for (BgpUpdateMsg& msg : desired) {
+    PathKey key{msg.prefix, msg.path_id};
+    auto it = out_table.find(key);
+    if (it != out_table.end() && it->second == msg.attrs) continue;  // unchanged
+    out_table[key] = msg.attrs;
+    if (callbacks_.send) callbacks_.send(session.name, msg);
+  }
+}
+
+}  // namespace hbguard

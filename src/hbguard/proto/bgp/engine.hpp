@@ -1,0 +1,148 @@
+// Per-router BGP-4 engine.
+//
+// Maintains raw Adj-RIB-In tables per session (import policy is re-applied
+// at decision time, which is exactly what IOS "soft reconfiguration inbound"
+// does and what the paper's §7 feasibility study observes), a Loc-RIB of
+// best paths, and Adj-RIB-Out state per session for differential export.
+//
+// The engine is transport-agnostic: the enclosing router shell injects
+// received updates and provides callbacks for sending, for Loc-RIB change
+// notification (which the RIB manager turns into FIB updates — preserving
+// the paper's [install in RIB] → [install in FIB] → [send advertisement]
+// happens-before chain), and for IGP next-hop metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hbguard/config/config.hpp"
+#include "hbguard/proto/bgp/attributes.hpp"
+#include "hbguard/proto/bgp/decision.hpp"
+
+namespace hbguard {
+
+/// The best path currently installed for a prefix, plus the decision reason.
+struct LocRibEntry {
+  BgpRoute route;
+  std::string reason;
+
+  bool same_route(const LocRibEntry& other) const {
+    return route.attrs == other.route.attrs && route.session == other.route.session &&
+           route.peer == other.route.peer && route.ebgp == other.route.ebgp &&
+           route.originated == other.route.originated;
+  }
+};
+
+class BgpEngine {
+ public:
+  struct Callbacks {
+    /// Transmit an update on a session (shell adds propagation delay and
+    /// captures the "send advertisement" I/O). For external sessions the
+    /// shell delivers to the scenario's external peer stub.
+    std::function<void(const std::string& session, const BgpUpdateMsg&)> send;
+    /// Best path for a prefix changed; nullptr entry means withdrawn.
+    /// Fired *before* any resulting advertisements are sent.
+    std::function<void(const Prefix&, const LocRibEntry*)> loc_rib_changed;
+    IgpMetricFn igp_metric;
+    std::function<SimTime()> now;
+  };
+
+  BgpEngine(RouterId self, AsNumber local_as, Callbacks callbacks);
+
+  /// Point at the live configuration (owned by the ConfigStore). The engine
+  /// re-reads it on every decision, so a config change takes effect at the
+  /// next soft_reconfigure()/handle_update().
+  void set_config(const RouterConfig* config) { config_ = config; }
+
+  /// Originate configured networks and send initial advertisements.
+  void start();
+
+  /// Extra locally-originated prefixes (e.g. redistributed statics), on top
+  /// of the config's `network` statements. Triggers re-evaluation of
+  /// prefixes entering or leaving the set.
+  void set_extra_originated(std::set<Prefix> prefixes);
+
+  /// Process an update received on `session`.
+  void handle_update(const std::string& session, const BgpUpdateMsg& msg);
+
+  /// Bring a session up/down (peer loss clears its Adj-RIB-In).
+  void set_session_state(const std::string& session, bool up);
+  bool session_is_up(const std::string& session) const;
+
+  /// Re-run the decision process over every known prefix (config change /
+  /// soft reconfiguration, or IGP metric change).
+  void reevaluate_all();
+
+  const std::map<Prefix, LocRibEntry>& loc_rib() const { return loc_rib_; }
+  const LocRibEntry* loc_rib_entry(const Prefix& prefix) const;
+
+  /// Raw routes stored for a session (test/diagnostic introspection).
+  std::vector<BgpRoute> adj_rib_in(const std::string& session) const;
+
+  /// What we last advertised on a session (test/diagnostic introspection).
+  std::vector<BgpUpdateMsg> adj_rib_out(const std::string& session) const;
+
+  RouterId self() const { return self_; }
+  AsNumber local_as() const { return local_as_cache_; }
+
+ private:
+  using PathKey = std::pair<Prefix, std::uint32_t>;  // (prefix, path_id)
+
+  const BgpConfig& bgp() const { return config_->bgp; }
+
+  /// All prefixes with any state (originated, learned, or installed).
+  std::set<Prefix> known_prefixes() const;
+
+  /// Re-decide one prefix and export the result differentially.
+  void decide_and_export(const Prefix& prefix);
+
+  /// Candidates for a prefix: originated + import-filtered Adj-RIB-In.
+  std::vector<BgpRoute> gather_candidates(const Prefix& prefix) const;
+
+  /// Apply the import policy of `session` to a raw route; nullopt = denied.
+  std::optional<BgpRoute> import(const BgpSessionConfig& session, const BgpRoute& raw) const;
+
+  /// True if any internal session marks its peer as a reflection client.
+  bool is_route_reflector() const;
+
+  /// May `route` be advertised on iBGP session `to`? (eBGP-learned and
+  /// originated routes always; iBGP-learned only under RFC 4456 reflection.)
+  bool ibgp_exportable(const BgpSessionConfig& to, const BgpRoute& route) const;
+
+  /// Desired advertisements for `prefix` on `session` given current state.
+  std::vector<BgpUpdateMsg> desired_exports(const BgpSessionConfig& session,
+                                            const Prefix& prefix,
+                                            const std::vector<BgpRoute>& candidates) const;
+
+  /// Build the advertisement for exporting `route` on `session`;
+  /// nullopt = export policy denied.
+  std::optional<BgpUpdateMsg> make_export(const BgpSessionConfig& session,
+                                          const BgpRoute& route) const;
+
+  /// Diff desired vs Adj-RIB-Out and transmit changes.
+  void sync_exports(const BgpSessionConfig& session, const Prefix& prefix,
+                    std::vector<BgpUpdateMsg> desired);
+
+  RouterId self_;
+  AsNumber local_as_cache_ = 0;
+  Callbacks callbacks_;
+  const RouterConfig* config_ = nullptr;
+  bool started_ = false;
+
+  std::map<std::string, std::map<PathKey, BgpRoute>> adj_rib_in_;
+  std::map<std::string, std::map<PathKey, BgpPathAttributes>> adj_rib_out_;
+  std::map<std::string, bool> session_down_;  // absent = up
+  std::map<Prefix, LocRibEntry> loc_rib_;
+  std::set<Prefix> extra_originated_;
+
+  /// Configured + redistributed originations for a prefix test.
+  bool originates(const Prefix& prefix) const;
+  std::uint64_t arrival_counter_ = 0;
+};
+
+}  // namespace hbguard

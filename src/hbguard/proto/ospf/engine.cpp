@@ -1,0 +1,109 @@
+#include "hbguard/proto/ospf/engine.hpp"
+
+namespace hbguard {
+
+OspfEngine::OspfEngine(RouterId self, Callbacks callbacks)
+    : self_(self), callbacks_(std::move(callbacks)) {}
+
+void OspfEngine::start() {
+  started_ = true;
+  if (config_ == nullptr || !config_->ospf.enabled) return;
+  originate();
+  recompute();
+}
+
+void OspfEngine::handle_lsa(RouterId from, const RouterLsa& lsa) {
+  if (!started_ || config_ == nullptr || !config_->ospf.enabled) return;
+  if (lsa.origin == self_) return;  // our own LSA echoed back
+  if (!lsdb_.install(lsa)) return;  // stale or duplicate: do not re-flood
+  // Record that the sender evidently has this LSA — no need to send it back.
+  auto& seen = sent_[{from, lsa.origin}];
+  seen = std::max(seen, lsa.seq);
+  flood(lsa, from);
+  // Database exchange: a neighbor announcing its *first* own LSA (seq 1)
+  // just booted; share whatever parts of our LSDB we have not already put
+  // on the wire toward it (the suppression cache stands in for OSPF's
+  // DBD/LSAck retransmission state).
+  if (lsa.origin == from && lsa.seq == 1) {
+    lsdb_.for_each([&](const RouterLsa& known) {
+      if (known.origin != lsa.origin) send_suppressed(known, from);
+    });
+  }
+  recompute();
+}
+
+void OspfEngine::flood(const RouterLsa& lsa, RouterId exclude) {
+  if (!adjacency_fn_) return;
+  for (const auto& [neighbor, cost] : adjacency_fn_()) {
+    if (neighbor == exclude || neighbor == lsa.origin) continue;
+    send_suppressed(lsa, neighbor);
+  }
+}
+
+void OspfEngine::send_suppressed(const RouterLsa& lsa, RouterId to) {
+  if (to == lsa.origin) return;  // never send an LSA back to its originator
+  auto& sent_seq = sent_[{to, lsa.origin}];
+  if (sent_seq >= lsa.seq) return;
+  sent_seq = lsa.seq;
+  if (callbacks_.send) callbacks_.send(lsa, to);
+}
+
+void OspfEngine::refresh() {
+  if (!started_ || config_ == nullptr || !config_->ospf.enabled) return;
+  originate();
+  recompute();
+}
+
+void OspfEngine::originate() {
+  RouterLsa lsa;
+  lsa.origin = self_;
+  lsa.seq = ++own_seq_;
+  if (adjacency_fn_) lsa.adjacencies = adjacency_fn_();
+  lsa.prefixes = config_->ospf.originated;
+  lsdb_.install(lsa);
+  flood(lsa, kInvalidRouter);
+}
+
+void OspfEngine::recompute() {
+  std::map<RouterId, SpfNode> previous_nodes = spf_.nodes;
+  spf_ = run_spf(lsdb_, self_);
+  bool reachability_changed =
+      spf_.nodes.size() != previous_nodes.size() ||
+      !std::equal(spf_.nodes.begin(), spf_.nodes.end(), previous_nodes.begin(),
+                  [](const auto& a, const auto& b) {
+                    return a.first == b.first && a.second.distance == b.second.distance &&
+                           a.second.first_hop == b.second.first_hop;
+                  });
+
+  // Diff prefix routes and notify per-prefix changes (self-originated
+  // prefixes are reported too; the RIB prefers its connected/static entries
+  // via admin distance).
+  std::map<Prefix, OspfRoute> next = spf_.prefix_routes;
+  for (const auto& [prefix, route] : next) {
+    auto it = routes_.find(prefix);
+    bool changed = it == routes_.end() || it->second.first_hop != route.first_hop ||
+                   it->second.cost != route.cost ||
+                   it->second.origin_router != route.origin_router;
+    if (changed && callbacks_.route_changed) callbacks_.route_changed(prefix, &route);
+  }
+  for (const auto& [prefix, route] : routes_) {
+    if (!next.contains(prefix) && callbacks_.route_changed) {
+      callbacks_.route_changed(prefix, nullptr);
+    }
+  }
+  routes_ = std::move(next);
+  // Only announce IGP change when reachability/paths actually moved —
+  // spurious notifications would make BGP re-run its decision process (and
+  // pick up pending config changes) ahead of the soft-reconfiguration delay.
+  if (reachability_changed && callbacks_.topology_changed) callbacks_.topology_changed();
+}
+
+std::optional<std::uint32_t> OspfEngine::distance_to(RouterId router) const {
+  return spf_.distance_to(router);
+}
+
+std::optional<RouterId> OspfEngine::first_hop_to(RouterId router) const {
+  return spf_.first_hop_to(router);
+}
+
+}  // namespace hbguard

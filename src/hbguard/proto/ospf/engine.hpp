@@ -1,0 +1,85 @@
+// Per-router OSPF engine: LSA origination, flooding, and route computation.
+//
+// The engine is the IGP substrate under BGP: it resolves iBGP next hops
+// (distance_to / first_hop_to) and contributes internal prefix routes to the
+// RIB. Like the BGP engine it is transport-agnostic — the router shell
+// delivers LSAs and forwards flood requests across links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hbguard/config/config.hpp"
+#include "hbguard/proto/ospf/lsdb.hpp"
+#include "hbguard/proto/ospf/spf.hpp"
+
+namespace hbguard {
+
+class OspfEngine {
+ public:
+  struct Callbacks {
+    /// Send an LSA to one specific neighbor. The engine handles flooding
+    /// fan-out and per-neighbor duplicate suppression (the moral equivalent
+    /// of OSPF's LSAck-based retransmission suppression).
+    std::function<void(const RouterLsa&, RouterId to)> send;
+    /// A prefix's OSPF route changed; nullptr = route lost.
+    std::function<void(const Prefix&, const OspfRoute*)> route_changed;
+    /// IGP reachability changed at all (BGP must re-check next hops).
+    std::function<void()> topology_changed;
+  };
+
+  OspfEngine(RouterId self, Callbacks callbacks);
+
+  void set_config(const RouterConfig* config) { config_ = config; }
+
+  /// Current up adjacencies as (neighbor, cost) — provided by the shell,
+  /// which knows link state and per-link cost overrides.
+  using AdjacencyFn = std::function<std::vector<std::pair<RouterId, std::uint32_t>>()>;
+  void set_adjacency_source(AdjacencyFn fn) { adjacency_fn_ = std::move(fn); }
+
+  /// Originate our LSA and compute initial routes.
+  void start();
+
+  /// An LSA arrived from neighbor `from`.
+  void handle_lsa(RouterId from, const RouterLsa& lsa);
+
+  /// Local link state or config changed: re-originate and recompute.
+  void refresh();
+
+  /// IGP distance to an internal router; nullopt if unreachable.
+  std::optional<std::uint32_t> distance_to(RouterId router) const;
+
+  /// First-hop neighbor on the shortest path to `router`.
+  std::optional<RouterId> first_hop_to(RouterId router) const;
+
+  const SpfResult& spf() const { return spf_; }
+  const Lsdb& lsdb() const { return lsdb_; }
+
+ private:
+  void originate();
+  void recompute();
+
+  /// Flood an LSA to all current up neighbors except `exclude`, suppressing
+  /// (neighbor, origin, seq) repeats.
+  void flood(const RouterLsa& lsa, RouterId exclude);
+  /// Directed send with the same suppression.
+  void send_suppressed(const RouterLsa& lsa, RouterId to);
+
+  RouterId self_;
+  Callbacks callbacks_;
+  const RouterConfig* config_ = nullptr;
+  AdjacencyFn adjacency_fn_;
+  Lsdb lsdb_;
+  SpfResult spf_;
+  std::map<Prefix, OspfRoute> routes_;
+  /// Highest LSA seq already sent per (neighbor, origin).
+  std::map<std::pair<RouterId, RouterId>, std::uint64_t> sent_;
+  std::uint64_t own_seq_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,25 @@
+#include "hbguard/proto/ospf/lsdb.hpp"
+
+namespace hbguard {
+
+bool Lsdb::install(const RouterLsa& lsa) {
+  auto it = lsas_.find(lsa.origin);
+  if (it != lsas_.end() && it->second.seq >= lsa.seq) return false;
+  lsas_[lsa.origin] = lsa;
+  return true;
+}
+
+const RouterLsa* Lsdb::get(RouterId origin) const {
+  auto it = lsas_.find(origin);
+  return it == lsas_.end() ? nullptr : &it->second;
+}
+
+bool Lsdb::flush(RouterId origin) {
+  return lsas_.erase(origin) > 0;
+}
+
+void Lsdb::for_each(const std::function<void(const RouterLsa&)>& fn) const {
+  for (const auto& [origin, lsa] : lsas_) fn(lsa);
+}
+
+}  // namespace hbguard

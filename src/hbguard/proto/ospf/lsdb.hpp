@@ -1,0 +1,49 @@
+// OSPF link-state database.
+//
+// We model a single-area OSPF with router LSAs only: each LSA lists the
+// originator's up adjacencies (with costs) and the prefixes it injects.
+// Sequence numbers provide the usual newer-LSA-wins flooding semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "hbguard/net/ip.hpp"
+#include "hbguard/net/topology.hpp"
+
+namespace hbguard {
+
+struct RouterLsa {
+  RouterId origin = kInvalidRouter;
+  std::uint64_t seq = 0;
+  /// (neighbor router, cost) for each up adjacency.
+  std::vector<std::pair<RouterId, std::uint32_t>> adjacencies;
+  /// Prefixes originated into OSPF by this router.
+  std::vector<Prefix> prefixes;
+
+  bool operator==(const RouterLsa&) const = default;
+};
+
+class Lsdb {
+ public:
+  /// Install if strictly newer than what we have. Returns true if installed.
+  bool install(const RouterLsa& lsa);
+
+  /// LSA for a given origin; nullptr if none.
+  const RouterLsa* get(RouterId origin) const;
+
+  /// Remove an origin's LSA (max-age flush). Returns true if present.
+  bool flush(RouterId origin);
+
+  void for_each(const std::function<void(const RouterLsa&)>& fn) const;
+
+  std::size_t size() const { return lsas_.size(); }
+
+ private:
+  std::map<RouterId, RouterLsa> lsas_;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,71 @@
+#include "hbguard/proto/ospf/spf.hpp"
+
+#include <queue>
+#include <tuple>
+
+namespace hbguard {
+
+std::optional<std::uint32_t> SpfResult::distance_to(RouterId router) const {
+  auto it = nodes.find(router);
+  if (it == nodes.end()) return std::nullopt;
+  return it->second.distance;
+}
+
+std::optional<RouterId> SpfResult::first_hop_to(RouterId router) const {
+  auto it = nodes.find(router);
+  if (it == nodes.end()) return std::nullopt;
+  return it->second.first_hop;
+}
+
+SpfResult run_spf(const Lsdb& lsdb, RouterId root) {
+  SpfResult result;
+  if (lsdb.get(root) == nullptr) return result;
+
+  // (distance, tie-break router id, router, first_hop)
+  using QueueEntry = std::tuple<std::uint32_t, RouterId, RouterId, RouterId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> frontier;
+  frontier.emplace(0, root, root, root);
+
+  while (!frontier.empty()) {
+    auto [dist, tie, router, first_hop] = frontier.top();
+    frontier.pop();
+    if (result.nodes.contains(router)) continue;
+    result.nodes[router] = SpfNode{dist, first_hop};
+
+    const RouterLsa* lsa = lsdb.get(router);
+    if (lsa == nullptr) continue;
+    for (const auto& [neighbor, cost] : lsa->adjacencies) {
+      if (result.nodes.contains(neighbor)) continue;
+      // Two-way check: the neighbor must also advertise `router`.
+      const RouterLsa* back = lsdb.get(neighbor);
+      if (back == nullptr) continue;
+      bool two_way = false;
+      for (const auto& [peer, back_cost] : back->adjacencies) {
+        if (peer == router) {
+          two_way = true;
+          break;
+        }
+      }
+      if (!two_way) continue;
+      RouterId hop = (router == root) ? neighbor : first_hop;
+      frontier.emplace(dist + cost, neighbor, neighbor, hop);
+    }
+  }
+
+  // Prefix routes: lowest cost wins; ties broken by lower origin router id
+  // for determinism.
+  for (const auto& [router, node] : result.nodes) {
+    const RouterLsa* lsa = lsdb.get(router);
+    if (lsa == nullptr) continue;
+    for (const Prefix& prefix : lsa->prefixes) {
+      auto it = result.prefix_routes.find(prefix);
+      if (it == result.prefix_routes.end() || node.distance < it->second.cost ||
+          (node.distance == it->second.cost && router < it->second.origin_router)) {
+        result.prefix_routes[prefix] = OspfRoute{prefix, node.distance, router, node.first_hop};
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hbguard

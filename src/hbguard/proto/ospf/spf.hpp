@@ -1,0 +1,41 @@
+// Shortest-path-first (Dijkstra) computation over an OSPF LSDB.
+//
+// Edges are only considered when both endpoints advertise each other
+// (OSPF's two-way connectivity check), so a half-flooded topology never
+// yields paths through a dead link.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "hbguard/proto/ospf/lsdb.hpp"
+
+namespace hbguard {
+
+struct SpfNode {
+  std::uint32_t distance = 0;
+  /// Immediate neighbor of the root on the shortest path (== destination if
+  /// directly adjacent; == root for the root itself).
+  RouterId first_hop = kInvalidRouter;
+};
+
+struct OspfRoute {
+  Prefix prefix;
+  std::uint32_t cost = 0;
+  RouterId origin_router = kInvalidRouter;  // who injected the prefix
+  RouterId first_hop = kInvalidRouter;      // next router from the SPF root
+};
+
+struct SpfResult {
+  std::map<RouterId, SpfNode> nodes;          // reachable routers
+  std::map<Prefix, OspfRoute> prefix_routes;  // best route per prefix
+
+  std::optional<std::uint32_t> distance_to(RouterId router) const;
+  std::optional<RouterId> first_hop_to(RouterId router) const;
+};
+
+/// Run Dijkstra rooted at `root` over the LSDB.
+SpfResult run_spf(const Lsdb& lsdb, RouterId root);
+
+}  // namespace hbguard

@@ -1,0 +1,82 @@
+#include "hbguard/provenance/distributed_hbg.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace hbguard {
+
+DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global) {
+  global.for_each_vertex([&](const IoRecord& record) {
+    owner_[record.id] = record.router;
+    auto [it, inserted] = subgraphs_.try_emplace(record.router);
+    it->second.add_vertex(record);
+  });
+  global.for_each_edge([&](const HbgEdge& edge) {
+    RouterId from_owner = owner_.at(edge.from);
+    RouterId to_owner = owner_.at(edge.to);
+    if (from_owner == to_owner) {
+      subgraphs_.at(from_owner).add_edge(edge);
+    } else {
+      cross_in_[edge.to].push_back(edge);
+      ++cross_edge_total_;
+    }
+  });
+}
+
+const HappensBeforeGraph* DistributedHbgStore::subgraph(RouterId router) const {
+  auto it = subgraphs_.find(router);
+  return it == subgraphs_.end() ? nullptr : &it->second;
+}
+
+std::vector<IoId> DistributedHbgStore::root_causes(IoId fault, double min_confidence,
+                                                   DistributedQueryStats* stats) const {
+  std::vector<IoId> roots;
+  auto owner_it = owner_.find(fault);
+  if (owner_it == owner_.end()) return roots;
+
+  DistributedQueryStats local_stats;
+  std::set<RouterId> contacted{owner_it->second};
+  std::set<IoId> visited{fault};
+  std::deque<IoId> frontier{fault};
+
+  while (!frontier.empty()) {
+    IoId current = frontier.front();
+    frontier.pop_front();
+    RouterId router = owner_.at(current);
+    const HappensBeforeGraph& shard = subgraphs_.at(router);
+
+    bool has_parent = false;
+    // Local in-edges: free (the router expands within its own subgraph).
+    for (const HbgEdge* edge : shard.in_edges(current, min_confidence)) {
+      has_parent = true;
+      ++local_stats.edges_walked;
+      if (visited.insert(edge->from).second) frontier.push_back(edge->from);
+    }
+    // Cross-router in-edges: ship the partial path to the sender's router.
+    auto cross = cross_in_.find(current);
+    if (cross != cross_in_.end()) {
+      for (const HbgEdge& edge : cross->second) {
+        if (edge.confidence < min_confidence) continue;
+        has_parent = true;
+        ++local_stats.edges_walked;
+        ++local_stats.messages;
+        contacted.insert(owner_.at(edge.from));
+        if (visited.insert(edge.from).second) frontier.push_back(edge.from);
+      }
+    }
+    if (!has_parent) roots.push_back(current);
+  }
+
+  // The fault itself only counts as a root when it has no parents at all
+  // (mirrors HappensBeforeGraph::root_causes).
+  if (!(roots.size() == 1 && roots.front() == fault)) {
+    std::erase(roots, fault);
+  }
+  std::sort(roots.begin(), roots.end());
+
+  local_stats.routers_contacted = contacted.size();
+  if (stats != nullptr) *stats = local_stats;
+  return roots;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,55 @@
+// Distributed HBG storage and provenance queries (§5).
+//
+// "Each router can store its own happens-before subgraph containing that
+// router's control plane I/Os. Partial paths through the HBG can be passed
+// to neighboring routers that can expand the paths based on their
+// happens-before subgraph."
+//
+// DistributedHbgStore splits a (conceptually global) HBG into per-router
+// subgraphs plus an index of cross-router edges, then answers provenance
+// queries by walking: local expansion is free, every cross-router edge
+// traversal ships a partial path to the owning router (one message). The
+// results are identical to the centralized traversal; the stats expose the
+// communication cost the distributed deployment pays.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "hbguard/hbg/graph.hpp"
+
+namespace hbguard {
+
+struct DistributedQueryStats {
+  std::size_t messages = 0;           // partial paths shipped across routers
+  std::size_t routers_contacted = 0;  // distinct routers involved
+  std::size_t edges_walked = 0;       // total HBG edges traversed
+};
+
+class DistributedHbgStore {
+ public:
+  /// Shard a global HBG into per-router subgraphs + cross-edge index.
+  explicit DistributedHbgStore(const HappensBeforeGraph& global);
+
+  /// Backward traversal from `fault` to its provenance leaves — the same
+  /// answer HappensBeforeGraph::root_causes gives, computed by distributed
+  /// expansion.
+  std::vector<IoId> root_causes(IoId fault, double min_confidence = 0.0,
+                                DistributedQueryStats* stats = nullptr) const;
+
+  /// The subgraph a given router stores (its own I/Os and edges among them).
+  const HappensBeforeGraph* subgraph(RouterId router) const;
+
+  std::size_t shard_count() const { return subgraphs_.size(); }
+  std::size_t cross_edge_count() const { return cross_edge_total_; }
+
+ private:
+  std::map<RouterId, HappensBeforeGraph> subgraphs_;
+  /// Cross-router edges indexed by destination vertex.
+  std::map<IoId, std::vector<HbgEdge>> cross_in_;
+  std::map<IoId, RouterId> owner_;
+  std::size_t cross_edge_total_ = 0;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,70 @@
+#include "hbguard/repair/blocker.hpp"
+
+namespace hbguard {
+
+VerifyingBlocker::VerifyingBlocker(Network& network, PolicyList policies)
+    : network_(network), verifier_(std::move(policies)) {
+  network_.set_fib_interceptor([this](RouterId router, const Prefix& prefix,
+                                      const FibEntry* entry) {
+    return inspect(router, prefix, entry);
+  });
+}
+
+bool VerifyingBlocker::inspect(RouterId router, const Prefix& prefix, const FibEntry* entry) {
+  if (released_) return true;
+  // Hypothetical data plane: the current data-plane FIBs with the proposed
+  // update applied.
+  DataPlaneSnapshot hypothetical = take_instant_snapshot(network_);
+  RouterFibView& view = hypothetical.routers[router];
+  Fib fib;
+  for (const FibEntry& e : view.entries) fib.install(e);
+  if (entry != nullptr) {
+    fib.install(*entry);
+  } else {
+    fib.remove(prefix);
+  }
+  view.entries = fib.entries();
+  hypothetical.invalidate_lookup_cache();
+
+  bool clean = verifier_.verify(hypothetical).clean();
+  if (clean) {
+    ++allowed_;
+    return true;
+  }
+  ++blocked_;
+  blocked_updates_.emplace_back(router, prefix);
+  return false;
+}
+
+void VerifyingBlocker::release_and_resync() {
+  released_ = true;
+  std::set<std::pair<RouterId, Prefix>> unique(blocked_updates_.begin(), blocked_updates_.end());
+  for (const auto& [router, prefix] : unique) {
+    network_.router(router).resync_data_fib(prefix);
+  }
+}
+
+SelectiveBlocker::SelectiveBlocker(Network& network) : network_(network) {
+  network_.set_fib_interceptor([this](RouterId router, const Prefix& prefix, const FibEntry*) {
+    if (rules_.contains({router, prefix})) {
+      ++blocked_;
+      return false;
+    }
+    return true;
+  });
+}
+
+void SelectiveBlocker::block(RouterId router, const Prefix& prefix) {
+  rules_.insert({router, prefix});
+}
+
+void SelectiveBlocker::unblock(RouterId router, const Prefix& prefix, bool resync) {
+  rules_.erase({router, prefix});
+  if (resync) network_.router(router).resync_data_fib(prefix);
+}
+
+bool SelectiveBlocker::is_blocked(RouterId router, const Prefix& prefix) const {
+  return rules_.contains({router, prefix});
+}
+
+}  // namespace hbguard

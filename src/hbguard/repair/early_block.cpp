@@ -1,0 +1,49 @@
+#include "hbguard/repair/early_block.hpp"
+
+#include <cctype>
+
+namespace hbguard {
+
+void EarlyBlockModel::observe(const EarlyBlockKey& key, bool caused_violation) {
+  EarlyBlockStats& stats = stats_[key];
+  if (caused_violation) {
+    ++stats.violations;
+  } else {
+    ++stats.benign;
+  }
+}
+
+std::optional<double> EarlyBlockModel::predict(const EarlyBlockKey& key) const {
+  auto it = stats_.find(key);
+  if (it == stats_.end()) return std::nullopt;
+  return it->second.violation_rate();
+}
+
+std::string normalize_change_description(const std::string& description) {
+  // Replace anything that looks like an IPv4 address or prefix with <net>.
+  // Scalar values (local-pref, MED, ...) are left intact: they decide the
+  // routing outcome and must distinguish signatures.
+  std::string out;
+  std::size_t i = 0;
+  while (i < description.size()) {
+    // Detect d.d.d.d(/len)? starting here.
+    std::size_t j = i;
+    int dots = 0;
+    while (j < description.size() &&
+           (std::isdigit(static_cast<unsigned char>(description[j])) || description[j] == '.' ||
+            description[j] == '/')) {
+      if (description[j] == '.') ++dots;
+      ++j;
+    }
+    if (dots == 3) {
+      out += "<net>";
+      i = j;
+    } else {
+      out += description[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace hbguard

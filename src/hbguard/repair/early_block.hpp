@@ -1,0 +1,63 @@
+// Early blocking via learned equivalence-class behaviour (§6, "Reverting the
+// root cause event, early on in the computation").
+//
+// "Control plane computations tend to be highly repetitive across prefixes
+// ... This repetition enables us to automatically learn a model of the
+// control plane behavior from the data that we can then use to predict
+// control plane outcomes."
+//
+// The model keys past outcomes on (router, configuration-change signature,
+// equivalence-class signature of the affected destination). When the same
+// kind of change later hits any destination in the same equivalence class,
+// the outcome is predicted without waiting for FIB updates to propagate —
+// letting the guard revert the input before the violation materializes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hbguard/net/topology.hpp"
+
+namespace hbguard {
+
+struct EarlyBlockKey {
+  RouterId router = kInvalidRouter;
+  std::string change_signature;  // normalized config-change description
+  std::string ec_signature;      // equivalence-class behaviour signature
+
+  auto operator<=>(const EarlyBlockKey&) const = default;
+};
+
+struct EarlyBlockStats {
+  std::size_t violations = 0;
+  std::size_t benign = 0;
+  double violation_rate() const {
+    std::size_t total = violations + benign;
+    return total == 0 ? 0.0 : static_cast<double>(violations) / static_cast<double>(total);
+  }
+};
+
+class EarlyBlockModel {
+ public:
+  /// Record the observed outcome of a configuration change.
+  void observe(const EarlyBlockKey& key, bool caused_violation);
+
+  /// Predicted violation probability for a change, or nullopt when this
+  /// (change, class) combination has never been seen.
+  std::optional<double> predict(const EarlyBlockKey& key) const;
+
+  std::size_t known_patterns() const { return stats_.size(); }
+  const std::map<EarlyBlockKey, EarlyBlockStats>& stats() const { return stats_; }
+
+ private:
+  std::map<EarlyBlockKey, EarlyBlockStats> stats_;
+};
+
+/// Normalize a configuration-change description into a signature: prefix
+/// and address literals are replaced by placeholders so the same *kind* of
+/// change matches across destinations, while scalar parameters (e.g. the
+/// local-pref value, which determines the outcome) are preserved.
+std::string normalize_change_description(const std::string& description);
+
+}  // namespace hbguard

@@ -1,0 +1,26 @@
+#include "hbguard/repair/reverter.hpp"
+
+namespace hbguard {
+
+std::optional<RevertAction> ConfigReverter::revert_root_cause(
+    const ProvenanceResult& provenance) {
+  for (const RootCause& cause : provenance.causes) {
+    if (cause.kind != CauseKind::kConfigChange) continue;
+    ConfigVersion version = cause.record.config_version;
+    if (version == kNoVersion) continue;
+    const ConfigChangeRecord& record = network_->configs().record(version);
+    if (record.reverted || record.parent == kNoVersion) continue;
+
+    RevertAction action;
+    action.reverted = version;
+    action.router = record.router;
+    action.description = "revert of v" + std::to_string(version) + " (" + record.description +
+                         ") — identified as policy-violation root cause";
+    action.new_version = network_->revert_config_change(version, action.description);
+    ++reverts_;
+    return action;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,43 @@
+// Root-cause reversion (§6, "Reverting the root cause event, prior to
+// installing any problematic FIB updates").
+//
+// "We would therefore automatically revert it and report the configuration
+// change as problematic to the operator. If the change was intended, the
+// operator can simply adapt the policy accordingly."
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hbguard/provenance/root_cause.hpp"
+#include "hbguard/sim/network.hpp"
+
+namespace hbguard {
+
+struct RevertAction {
+  ConfigVersion reverted = kNoVersion;   // the faulty change
+  ConfigVersion new_version = kNoVersion;  // the version created by the revert
+  RouterId router = kInvalidRouter;
+  std::string description;
+};
+
+class ConfigReverter {
+ public:
+  explicit ConfigReverter(Network& network) : network_(&network) {}
+
+  /// Revert the best revertible cause in `provenance` (the highest-ranked
+  /// non-initial configuration change that has not already been reverted).
+  /// Returns nullopt when nothing is revertible — e.g. the cause is a link
+  /// failure or an external withdrawal, where §8 notes blocking/reverting
+  /// has "no good effects".
+  std::optional<RevertAction> revert_root_cause(const ProvenanceResult& provenance);
+
+  /// Number of reverts applied over this reverter's lifetime.
+  std::size_t reverts_applied() const { return reverts_; }
+
+ private:
+  Network* network_;
+  std::size_t reverts_ = 0;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,48 @@
+#include "hbguard/rib/fib.hpp"
+
+namespace hbguard {
+
+std::string FibEntry::describe() const {
+  switch (action) {
+    case Action::kForward:
+      return prefix.to_string() + " -> R" + std::to_string(next_hop);
+    case Action::kExternal:
+      return prefix.to_string() + " -> ext(" + external_session + ")";
+    case Action::kLocal:
+      return prefix.to_string() + " -> local";
+    case Action::kDrop:
+      return prefix.to_string() + " -> drop";
+  }
+  return prefix.to_string() + " -> ?";
+}
+
+std::optional<FibEntry> Fib::install(const FibEntry& entry) {
+  std::optional<FibEntry> previous;
+  if (const FibEntry* existing = trie_.find(entry.prefix)) previous = *existing;
+  trie_.insert(entry.prefix, entry);
+  return previous;
+}
+
+std::optional<FibEntry> Fib::remove(const Prefix& prefix) {
+  std::optional<FibEntry> previous;
+  if (const FibEntry* existing = trie_.find(prefix)) previous = *existing;
+  trie_.erase(prefix);
+  return previous;
+}
+
+const FibEntry* Fib::lookup(IpAddress destination) const {
+  return trie_.longest_match(destination);
+}
+
+const FibEntry* Fib::find(const Prefix& prefix) const {
+  return trie_.find(prefix);
+}
+
+std::vector<FibEntry> Fib::entries() const {
+  std::vector<FibEntry> out;
+  out.reserve(trie_.size());
+  trie_.for_each([&](const Prefix&, const FibEntry& entry) { out.push_back(entry); });
+  return out;
+}
+
+}  // namespace hbguard

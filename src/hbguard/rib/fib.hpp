@@ -1,0 +1,61 @@
+// Forwarding information base.
+//
+// FIB entries are the control plane's final output — the thing the paper's
+// verifier checks and the thing its repair machinery may block. Lookups are
+// longest-prefix match over a binary trie.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hbguard/config/config.hpp"
+#include "hbguard/net/prefix_trie.hpp"
+#include "hbguard/net/topology.hpp"
+
+namespace hbguard {
+
+struct FibEntry {
+  enum class Action : std::uint8_t {
+    kForward,   // to an adjacent internal router
+    kExternal,  // out an eBGP uplink (leaves the administrative domain)
+    kLocal,     // delivered locally (originated prefix)
+    kDrop,      // discard (null route)
+  };
+
+  Prefix prefix;
+  Action action = Action::kDrop;
+  RouterId next_hop = kInvalidRouter;  // kForward: the adjacent router
+  std::string external_session;        // kExternal: which uplink
+  Protocol source = Protocol::kConnected;
+
+  bool operator==(const FibEntry&) const = default;
+  std::string describe() const;
+};
+
+class Fib {
+ public:
+  /// Install or replace the entry for its prefix. Returns the previous
+  /// entry if one existed.
+  std::optional<FibEntry> install(const FibEntry& entry);
+
+  /// Remove the entry for `prefix`. Returns the removed entry if any.
+  std::optional<FibEntry> remove(const Prefix& prefix);
+
+  /// Longest-prefix-match lookup; nullptr if nothing matches.
+  const FibEntry* lookup(IpAddress destination) const;
+
+  /// Exact-prefix fetch.
+  const FibEntry* find(const Prefix& prefix) const;
+
+  std::vector<FibEntry> entries() const;
+  std::size_t size() const { return trie_.size(); }
+  void clear() { trie_.clear(); }
+
+ private:
+  PrefixTrie<FibEntry> trie_;
+};
+
+}  // namespace hbguard

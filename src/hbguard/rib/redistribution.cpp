@@ -1,0 +1,50 @@
+#include "hbguard/rib/redistribution.hpp"
+
+namespace hbguard {
+
+bool RedistributionEngine::redistributes_into_bgp(Protocol from) const {
+  if (config_ == nullptr) return false;
+  for (const Redistribution& r : config_->redistributions) {
+    bool into_bgp = r.into == Protocol::kEbgp || r.into == Protocol::kIbgp;
+    if (into_bgp && r.from == from) return true;
+  }
+  return false;
+}
+
+void RedistributionEngine::on_rib_change(const Prefix& prefix, Protocol protocol,
+                                         const RibRoute* route) {
+  if (protocol == Protocol::kEbgp || protocol == Protocol::kIbgp) return;  // no BGP->BGP
+  auto& prefixes = sources_[protocol];
+  bool changed = route != nullptr ? prefixes.insert(prefix).second : prefixes.erase(prefix) > 0;
+  if (changed && redistributes_into_bgp(protocol)) recompute_and_notify();
+}
+
+void RedistributionEngine::refresh() {
+  recompute_and_notify();
+}
+
+void RedistributionEngine::recompute_and_notify() {
+  std::set<Prefix> next;
+  if (config_ != nullptr) {
+    for (const Redistribution& r : config_->redistributions) {
+      if (r.into != Protocol::kEbgp && r.into != Protocol::kIbgp) continue;
+      auto it = sources_.find(r.from);
+      if (it == sources_.end()) continue;
+      for (const Prefix& prefix : it->second) {
+        if (!r.policy.empty()) {
+          const RouteMap* map = config_->find_route_map(r.policy);
+          if (map != nullptr) {
+            PolicyRouteView view{prefix, 100, 0, {}, ""};
+            if (!map->apply(view)) continue;
+          }
+        }
+        next.insert(prefix);
+      }
+    }
+  }
+  if (next == into_bgp_) return;
+  into_bgp_ = std::move(next);
+  if (callbacks_.bgp_originated_changed) callbacks_.bgp_originated_changed(into_bgp_);
+}
+
+}  // namespace hbguard

@@ -1,0 +1,51 @@
+// Route redistribution between protocols.
+//
+// Watches RIB candidate changes for a source protocol and computes the set
+// of prefixes to inject into a target protocol (in this codebase: into BGP
+// as locally originated networks). Redistribution is one of the "route
+// selection mechanisms" the paper's §4.1 lists as generating additional
+// happens-before relationships: [install P from proto A] → [originate P
+// into proto B].
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "hbguard/config/config.hpp"
+#include "hbguard/rib/rib.hpp"
+
+namespace hbguard {
+
+class RedistributionEngine {
+ public:
+  struct Callbacks {
+    /// The set of extra BGP-originated prefixes changed.
+    std::function<void(const std::set<Prefix>&)> bgp_originated_changed;
+  };
+
+  explicit RedistributionEngine(Callbacks callbacks) : callbacks_(std::move(callbacks)) {}
+
+  void set_config(const RouterConfig* config) { config_ = config; }
+
+  /// Feed every RIB candidate change through here (from RibManager's
+  /// rib_changed callback).
+  void on_rib_change(const Prefix& prefix, Protocol protocol, const RibRoute* route);
+
+  /// Re-derive everything after a config change.
+  void refresh();
+
+  const std::set<Prefix>& bgp_originated() const { return into_bgp_; }
+
+ private:
+  bool redistributes_into_bgp(Protocol from) const;
+  void recompute_and_notify();
+
+  Callbacks callbacks_;
+  const RouterConfig* config_ = nullptr;
+  /// Live candidates per source protocol.
+  std::map<Protocol, std::set<Prefix>> sources_;
+  std::set<Prefix> into_bgp_;
+};
+
+}  // namespace hbguard

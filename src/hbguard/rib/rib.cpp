@@ -1,0 +1,97 @@
+#include "hbguard/rib/rib.hpp"
+
+namespace hbguard {
+
+RibManager::RibManager(RouterId self, AdminDistances distances, Callbacks callbacks)
+    : self_(self), distances_(distances), callbacks_(std::move(callbacks)) {}
+
+void RibManager::update(Protocol protocol, const Prefix& prefix, std::optional<RibRoute> route) {
+  auto& per_proto = rib_[prefix];
+  auto it = per_proto.find(protocol);
+  if (route.has_value()) {
+    if (it != per_proto.end() && it->second == *route) return;  // no change
+    per_proto[protocol] = *route;
+    if (callbacks_.rib_changed) callbacks_.rib_changed(prefix, protocol, &per_proto[protocol]);
+  } else {
+    if (it == per_proto.end()) return;
+    per_proto.erase(it);
+    if (callbacks_.rib_changed) callbacks_.rib_changed(prefix, protocol, nullptr);
+  }
+  recompute(prefix);
+  if (per_proto.empty()) rib_.erase(prefix);
+}
+
+void RibManager::reresolve_all() {
+  for (const auto& [prefix, per_proto] : rib_) recompute(prefix);
+}
+
+const RibRoute* RibManager::best(const Prefix& prefix) const {
+  auto it = rib_.find(prefix);
+  if (it == rib_.end()) return nullptr;
+  const RibRoute* winner = nullptr;
+  for (const auto& [protocol, route] : it->second) {
+    if (winner == nullptr) {
+      winner = &route;
+      continue;
+    }
+    std::uint8_t d_new = distances_.of(protocol);
+    std::uint8_t d_old = distances_.of(winner->protocol);
+    if (d_new < d_old || (d_new == d_old && route.metric < winner->metric)) {
+      winner = &route;
+    }
+  }
+  return winner;
+}
+
+std::map<Protocol, RibRoute> RibManager::candidates(const Prefix& prefix) const {
+  auto it = rib_.find(prefix);
+  return it == rib_.end() ? std::map<Protocol, RibRoute>{} : it->second;
+}
+
+std::optional<FibEntry> RibManager::resolve(const RibRoute& route) const {
+  FibEntry entry;
+  entry.prefix = route.prefix;
+  entry.source = route.protocol;
+  entry.action = route.action;
+  switch (route.action) {
+    case FibEntry::Action::kLocal:
+    case FibEntry::Action::kDrop:
+      return entry;
+    case FibEntry::Action::kExternal:
+      entry.external_session = route.external_session;
+      return entry;
+    case FibEntry::Action::kForward: {
+      if (route.next_hop_router == self_) {
+        entry.action = FibEntry::Action::kLocal;
+        return entry;
+      }
+      if (!callbacks_.resolve_first_hop) {
+        entry.next_hop = route.next_hop_router;
+        return entry;
+      }
+      auto hop = callbacks_.resolve_first_hop(route.next_hop_router);
+      if (!hop.has_value()) return std::nullopt;  // next hop unreachable
+      entry.next_hop = *hop;
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+void RibManager::recompute(const Prefix& prefix) {
+  const RibRoute* winner = best(prefix);
+  std::optional<FibEntry> desired;
+  if (winner != nullptr) desired = resolve(*winner);
+
+  const FibEntry* installed = fib_.find(prefix);
+  if (desired.has_value()) {
+    if (installed != nullptr && *installed == *desired) return;
+    fib_.install(*desired);
+    if (callbacks_.fib_changed) callbacks_.fib_changed(prefix, fib_.find(prefix));
+  } else if (installed != nullptr) {
+    fib_.remove(prefix);
+    if (callbacks_.fib_changed) callbacks_.fib_changed(prefix, nullptr);
+  }
+}
+
+}  // namespace hbguard

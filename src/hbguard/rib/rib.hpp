@@ -1,0 +1,86 @@
+// Multi-protocol RIB with administrative-distance arbitration.
+//
+// Each protocol contributes at most one candidate route per prefix; the RIB
+// picks the winner (lowest admin distance, then lowest metric), resolves its
+// next hop to an immediate neighbor (recursive resolution for iBGP routes
+// whose protocol next hop is a distant router), and installs/withdraws FIB
+// entries. The rib_changed / fib_changed callbacks are the interposition
+// points where the capture layer records the paper's RIB-update and
+// FIB-update I/Os.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hbguard/config/config.hpp"
+#include "hbguard/net/topology.hpp"
+#include "hbguard/rib/fib.hpp"
+
+namespace hbguard {
+
+/// A protocol's candidate route for a prefix.
+struct RibRoute {
+  Prefix prefix;
+  Protocol protocol = Protocol::kConnected;
+  std::uint32_t metric = 0;
+  /// Protocol-level next hop: an internal router (possibly distant, e.g.
+  /// an iBGP next hop), an external uplink session, local delivery or drop.
+  FibEntry::Action action = FibEntry::Action::kDrop;
+  RouterId next_hop_router = kInvalidRouter;
+  std::string external_session;
+  /// Human-readable provenance detail (e.g. BGP decision reason) carried
+  /// into captured I/O records.
+  std::string detail;
+
+  bool operator==(const RibRoute&) const = default;
+};
+
+class RibManager {
+ public:
+  struct Callbacks {
+    /// A protocol's RIB candidate changed (nullptr = withdrawn).
+    std::function<void(const Prefix&, Protocol, const RibRoute*)> rib_changed;
+    /// The FIB entry for a prefix changed (nullptr = removed).
+    std::function<void(const Prefix&, const FibEntry*)> fib_changed;
+    /// Resolve a (possibly distant) internal router to the adjacent
+    /// neighbor to forward through; nullopt = unreachable via the IGP.
+    std::function<std::optional<RouterId>(RouterId)> resolve_first_hop;
+  };
+
+  RibManager(RouterId self, AdminDistances distances, Callbacks callbacks);
+
+  /// Upsert/withdraw a protocol's candidate for a prefix; recomputes the
+  /// FIB entry for that prefix.
+  void update(Protocol protocol, const Prefix& prefix, std::optional<RibRoute> route);
+
+  /// Re-resolve every installed FIB entry (IGP paths changed under us).
+  void reresolve_all();
+
+  void set_distances(AdminDistances distances) { distances_ = distances; }
+
+  const Fib& fib() const { return fib_; }
+
+  /// The winning RIB route for a prefix, if any.
+  const RibRoute* best(const Prefix& prefix) const;
+
+  /// All candidates for a prefix (diagnostics).
+  std::map<Protocol, RibRoute> candidates(const Prefix& prefix) const;
+
+ private:
+  void recompute(const Prefix& prefix);
+
+  /// Resolve a winning RIB route to a concrete FIB entry; nullopt when the
+  /// next hop cannot be resolved (route stays in RIB but not FIB).
+  std::optional<FibEntry> resolve(const RibRoute& route) const;
+
+  RouterId self_;
+  AdminDistances distances_;
+  Callbacks callbacks_;
+  std::map<Prefix, std::map<Protocol, RibRoute>> rib_;
+  Fib fib_;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,172 @@
+#include "hbguard/sim/network.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "hbguard/util/logging.hpp"
+
+namespace hbguard {
+
+Network::Network(Topology topology, NetworkOptions options)
+    : topology_(std::move(topology)),
+      options_(options),
+      configs_(topology_.router_count()),
+      capture_(options.capture, options.seed ^ 0xc0ffee),
+      rng_(options.seed) {
+  routers_.reserve(topology_.router_count());
+  for (const RouterInfo& info : topology_.routers()) {
+    routers_.push_back(
+        std::make_unique<Router>(this, info.id, info.as_number, options_.router, rng_.fork()));
+  }
+}
+
+Network::~Network() = default;
+
+ConfigVersion Network::set_initial_config(RouterId router, RouterConfig config,
+                                          std::string description) {
+  ConfigVersion version = configs_.install(router, std::move(config), std::move(description));
+  routers_.at(router)->attach_config(&configs_.current(router), version);
+  return version;
+}
+
+void Network::start() {
+  if (started_) throw std::logic_error("Network::start called twice");
+  started_ = true;
+  for (auto& router : routers_) router->start();
+}
+
+std::size_t Network::run_to_convergence() {
+  return sim_.run();
+}
+
+std::size_t Network::run_for(SimTime duration) {
+  return sim_.run(sim_.now() + duration);
+}
+
+ConfigVersion Network::apply_config_change(RouterId router, std::string description,
+                                           const std::function<void(RouterConfig&)>& mutate) {
+  ConfigVersion version = configs_.apply(router, description, mutate);
+  routers_.at(router)->on_config_change(version, &configs_.current(router),
+                                        configs_.record(version).description);
+  return version;
+}
+
+ConfigVersion Network::revert_config_change(ConfigVersion version, std::string description) {
+  RouterId router = configs_.record(version).router;
+  ConfigVersion new_version = configs_.revert(router, version, description);
+  routers_.at(router)->on_config_change(new_version, &configs_.current(router),
+                                        configs_.record(new_version).description);
+  return new_version;
+}
+
+void Network::set_link_state(LinkId link, bool up) {
+  Link& l = topology_.link(link);
+  if (l.up == up) return;
+  l.up = up;
+  routers_.at(l.a)->on_link_state(link, up);
+  routers_.at(l.b)->on_link_state(link, up);
+}
+
+void Network::inject_external_advert(RouterId router, const std::string& session, Prefix prefix,
+                                     std::vector<AsNumber> as_path, bool withdraw,
+                                     std::uint32_t med) {
+  BgpUpdateMsg msg;
+  msg.prefix = prefix;
+  msg.withdraw = withdraw;
+  msg.attrs.as_path = std::move(as_path);
+  msg.attrs.med = med;
+  msg.attrs.origin = BgpOrigin::kIgp;
+  msg.attrs.next_hop = BgpNextHop::via_external(session);
+  routers_.at(router)->inject_external(session, msg);
+}
+
+void Network::set_uplink_state(RouterId router, const std::string& session, bool up) {
+  routers_.at(router)->set_uplink_state(session, up);
+}
+
+void Network::set_fib_interceptor(Router::FibInterceptor interceptor) {
+  for (auto& router : routers_) router->set_fib_interceptor(interceptor);
+}
+
+void Network::transmit_bgp(RouterId from, const std::string& session_name,
+                           const BgpUpdateMsg& msg, IoId send_io, SimTime depart) {
+  const RouterConfig& config = configs_.current(from);
+  const BgpSessionConfig* session = config.bgp.find_session(session_name);
+  if (session == nullptr) return;
+
+  if (session->external) {
+    // The peer is outside the administrative domain; deliver to observers.
+    sim_.schedule_at(std::max(depart, sim_.now()), [this, from, session_name, msg] {
+      for (const auto& listener : external_listeners_) listener(from, session_name, msg);
+    });
+    return;
+  }
+
+  RouterId peer = session->peer;
+  auto delay = message_delay(from, peer);
+  if (!delay.has_value()) {
+    HBG_DEBUG << "BGP message R" << from << "->R" << peer << " dropped: partitioned";
+    return;
+  }
+  auto peer_session = reciprocal_session(from, peer);
+  if (!peer_session.has_value()) {
+    HBG_DEBUG << "BGP message R" << from << "->R" << peer << " dropped: no reciprocal session";
+    return;
+  }
+  SimTime when = std::max(depart, sim_.now()) + *delay;
+  sim_.schedule_at(when, [this, peer, peer_session = *peer_session, msg, send_io] {
+    routers_.at(peer)->deliver_bgp(peer_session, msg, send_io, /*from_external=*/false);
+  });
+}
+
+void Network::transmit_lsa(RouterId from, RouterId to, const RouterLsa& lsa, IoId send_io,
+                           SimTime depart) {
+  auto link = topology_.link_between(from, to);
+  if (!link.has_value() || !topology_.link(*link).up) return;
+  SimTime when = std::max(depart, sim_.now()) + topology_.link(*link).delay_us;
+  sim_.schedule_at(when, [this, to, from, lsa, send_io] {
+    routers_.at(to)->deliver_lsa(from, lsa, send_io);
+  });
+}
+
+std::optional<SimTime> Network::message_delay(RouterId from, RouterId to) const {
+  if (from == to) return 0;
+  auto direct = topology_.link_between(from, to);
+  if (direct.has_value() && topology_.link(*direct).up) {
+    return topology_.link(*direct).delay_us;
+  }
+  // Min-delay path over up links (iBGP sessions ride the IGP path).
+  std::vector<SimTime> dist(topology_.router_count(), -1);
+  using Entry = std::pair<SimTime, RouterId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.emplace(0, from);
+  while (!frontier.empty()) {
+    auto [d, r] = frontier.top();
+    frontier.pop();
+    if (dist[r] >= 0) continue;
+    dist[r] = d;
+    if (r == to) return d;
+    for (LinkId lid : topology_.links_of(r)) {
+      const Link& link = topology_.link(lid);
+      if (!link.up) continue;
+      RouterId next = link.other(r);
+      if (dist[next] < 0) frontier.emplace(d + link.delay_us, next);
+    }
+  }
+  return std::nullopt;
+}
+
+bool Network::connected(RouterId a, RouterId b) const {
+  return message_delay(a, b).has_value();
+}
+
+std::optional<std::string> Network::reciprocal_session(RouterId from, RouterId peer) const {
+  const RouterConfig& config = configs_.current(peer);
+  for (const BgpSessionConfig& session : config.bgp.sessions) {
+    if (!session.external && session.peer == from && session.enabled) return session.name;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,134 @@
+// The emulated network: topology + routers + message fabric + capture.
+//
+// Plays the role of the paper's GNS3 testbed (§7): a set of routers running
+// real (if compact) BGP and OSPF implementations, exchanging messages with
+// per-link propagation delays, all control-plane I/Os logged to a central
+// CaptureHub. Scenario code mutates it through the public operations below
+// (config changes, link failures, external advertisements), each of which is
+// recorded as a control-plane *input* — the potential root causes of later
+// violations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hbguard/capture/tap.hpp"
+#include "hbguard/config/config_store.hpp"
+#include "hbguard/event/simulator.hpp"
+#include "hbguard/net/topology.hpp"
+#include "hbguard/sim/router.hpp"
+
+namespace hbguard {
+
+struct NetworkOptions {
+  CaptureOptions capture;
+  RouterOptions router;
+  std::uint64_t seed = 42;
+};
+
+class Network {
+ public:
+  explicit Network(Topology topology, NetworkOptions options = {});
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Install a router's initial configuration. Must be called for every
+  /// router before start().
+  ConfigVersion set_initial_config(RouterId router, RouterConfig config,
+                                   std::string description = "initial configuration");
+
+  /// Bring all routers up. Run the simulator afterwards to converge.
+  void start();
+
+  /// Dispatch events until the network is quiet (no pending events).
+  /// Returns the number of events dispatched.
+  std::size_t run_to_convergence();
+
+  /// Dispatch events for `duration` microseconds of virtual time.
+  std::size_t run_for(SimTime duration);
+
+  // ---- Scenario operations (each captured as a control-plane input) ----
+
+  /// Apply a configuration change to a router; takes effect after the
+  /// router's soft-reconfiguration delay. Returns the new config version.
+  ConfigVersion apply_config_change(RouterId router, std::string description,
+                                    const std::function<void(RouterConfig&)>& mutate);
+
+  /// Revert the configuration change `version` (reinstate its parent).
+  ConfigVersion revert_config_change(ConfigVersion version, std::string description);
+
+  /// Fail or restore a link between two internal routers.
+  void set_link_state(LinkId link, bool up);
+
+  /// Inject an advertisement/withdrawal from an external eBGP peer into
+  /// `router`'s session `session`.
+  void inject_external_advert(RouterId router, const std::string& session, Prefix prefix,
+                              std::vector<AsNumber> as_path, bool withdraw = false,
+                              std::uint32_t med = 0);
+
+  /// Fail or restore an external uplink (hardware event at `router`; a
+  /// failure withdraws everything learned on the session).
+  void set_uplink_state(RouterId router, const std::string& session, bool up);
+
+  // ---- Accessors ----
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+  ConfigStore& configs() { return configs_; }
+  const ConfigStore& configs() const { return configs_; }
+  CaptureHub& capture() { return capture_; }
+  const CaptureHub& capture() const { return capture_; }
+  Router& router(RouterId id) { return *routers_.at(id); }
+  const Router& router(RouterId id) const { return *routers_.at(id); }
+  std::size_t router_count() const { return routers_.size(); }
+
+  /// Install a FIB interceptor on every router (see Router::FibInterceptor).
+  void set_fib_interceptor(Router::FibInterceptor interceptor);
+
+  /// Observe advertisements sent to external peers (scenario assertions).
+  using ExternalListener =
+      std::function<void(RouterId from, const std::string& session, const BgpUpdateMsg&)>;
+  void on_external_advert(ExternalListener listener) {
+    external_listeners_.push_back(std::move(listener));
+  }
+
+  // ---- Used by Router (message fabric) ----
+  /// Transmit a BGP update from `from` on its session `session`, departing
+  /// at `depart` (>= now). Internal sessions resolve the peer and its
+  /// reciprocal session; external sessions notify external listeners.
+  void transmit_bgp(RouterId from, const std::string& session, const BgpUpdateMsg& msg,
+                    IoId send_io, SimTime depart);
+
+  /// Flood an LSA from `from` to neighbor `to` over their link.
+  void transmit_lsa(RouterId from, RouterId to, const RouterLsa& lsa, IoId send_io,
+                    SimTime depart);
+
+  /// One-way message latency between two internal routers over up links
+  /// (direct link preferred, otherwise min-delay path); nullopt when
+  /// partitioned.
+  std::optional<SimTime> message_delay(RouterId from, RouterId to) const;
+
+  /// Reachability over up links only (session liveness checks).
+  bool connected(RouterId a, RouterId b) const;
+
+ private:
+  /// The peer-side session name matching `from`'s internal session, if the
+  /// peer has one configured toward `from`.
+  std::optional<std::string> reciprocal_session(RouterId from, RouterId peer) const;
+
+  Topology topology_;
+  NetworkOptions options_;
+  Simulator sim_;
+  ConfigStore configs_;
+  CaptureHub capture_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<ExternalListener> external_listeners_;
+  bool started_ = false;
+};
+
+}  // namespace hbguard

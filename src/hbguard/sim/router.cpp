@@ -1,0 +1,568 @@
+#include "hbguard/sim/router.hpp"
+
+#include <algorithm>
+
+#include "hbguard/sim/network.hpp"
+#include "hbguard/util/logging.hpp"
+
+namespace hbguard {
+
+Router::Router(Network* network, RouterId id, AsNumber as_number, RouterOptions options, Rng rng)
+    : network_(network),
+      id_(id),
+      as_(as_number),
+      options_(options),
+      rng_(std::move(rng)),
+      tap_(&network->capture(), id),
+      bgp_(id, as_number,
+           BgpEngine::Callbacks{
+               [this](const std::string& session, const BgpUpdateMsg& msg) {
+                 handle_bgp_send(session, msg);
+               },
+               [this](const Prefix& prefix, const LocRibEntry* entry) {
+                 handle_loc_rib_change(prefix, entry);
+               },
+               [this](RouterId target) { return igp_metric(target); },
+               [this]() { return network_->sim().now(); }}),
+      ospf_(id,
+            OspfEngine::Callbacks{
+                [this](const RouterLsa& lsa, RouterId to) { handle_ospf_send(lsa, to); },
+                [this](const Prefix& prefix, const OspfRoute* route) {
+                  handle_ospf_route(prefix, route);
+                },
+                [this]() { handle_igp_topology_change(); }}),
+      rib_(id, AdminDistances{},
+           RibManager::Callbacks{
+               [this](const Prefix& prefix, Protocol protocol, const RibRoute* route) {
+                 handle_rib_change(prefix, protocol, route);
+               },
+               [this](const Prefix& prefix, const FibEntry* entry) {
+                 handle_fib_change(prefix, entry);
+               },
+               [this](RouterId target) { return resolve_first_hop(target); }}),
+      redist_(RedistributionEngine::Callbacks{[this](const std::set<Prefix>& prefixes) {
+        bgp_.set_extra_originated(prefixes);
+      }}) {
+  ospf_.set_adjacency_source([this]() {
+    std::vector<std::pair<RouterId, std::uint32_t>> adjacencies;
+    const Topology& topo = network_->topology();
+    for (LinkId lid : topo.links_of(id_)) {
+      const Link& link = topo.link(lid);
+      if (!link.up) continue;
+      std::uint32_t cost = link.igp_cost;
+      if (config_ != nullptr) {
+        auto it = config_->ospf.cost_override.find(lid);
+        if (it != config_->ospf.cost_override.end()) cost = it->second;
+      }
+      adjacencies.emplace_back(link.other(id_), cost);
+    }
+    return adjacencies;
+  });
+}
+
+void Router::attach_config(const RouterConfig* config, ConfigVersion version) {
+  config_ = config;
+  config_version_ = version;
+  rib_.set_distances(config->distances);
+  bgp_.set_config(config);
+  ospf_.set_config(config);
+  redist_.set_config(config);
+}
+
+void Router::start() {
+  started_ = true;
+  IoRecord record;
+  record.kind = IoKind::kConfigChange;
+  record.config_version = config_version_;
+  record.detail = "initial configuration";
+  IoId io = capture_input(std::move(record));
+  out_clock_ = rng_.uniform_int(options_.proc_delay_min_us, options_.proc_delay_max_us);
+  with_input(io, [this] {
+    refresh_local_routes();
+    redist_.refresh();
+    ospf_.start();
+    bgp_.start();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Capture plumbing
+
+IoId Router::capture_input(IoRecord record) {
+  record.true_time = network_->sim().now();
+  return tap_.record(std::move(record));
+}
+
+IoId Router::capture_output(IoRecord record) {
+  SimTime step = rng_.uniform_int(options_.output_step_min_us, options_.output_step_max_us);
+  out_clock_ = std::max(out_clock_, network_->sim().now()) + step;
+  record.true_time = out_clock_;
+  return tap_.record(std::move(record));
+}
+
+void Router::enqueue(std::function<void()> work) {
+  work_queue_.push_back(std::move(work));
+  pump();
+}
+
+void Router::pump() {
+  if (pump_scheduled_ || work_queue_.empty()) return;
+  pump_scheduled_ = true;
+  SimTime proc = rng_.uniform_int(options_.proc_delay_min_us, options_.proc_delay_max_us);
+  SimTime start = std::max(network_->sim().now(), out_clock_) + proc;
+  network_->sim().schedule_at(start, [this] {
+    pump_scheduled_ = false;
+    auto work = std::move(work_queue_.front());
+    work_queue_.pop_front();
+    out_clock_ = std::max(out_clock_, network_->sim().now());
+    work();
+    pump();
+  });
+}
+
+void Router::with_input(IoId input, const std::function<void()>& fn) {
+  IoId saved = current_input_;
+  current_input_ = input;
+  fn();
+  current_input_ = saved;
+}
+
+// ---------------------------------------------------------------------------
+// BGP wiring
+
+void Router::handle_loc_rib_change(const Prefix& prefix, const LocRibEntry* entry) {
+  Protocol protocol;
+  if (entry != nullptr) {
+    protocol = entry->route.ebgp || entry->route.originated ? Protocol::kEbgp : Protocol::kIbgp;
+    loc_rib_proto_[prefix] = protocol;
+  } else {
+    auto it = loc_rib_proto_.find(prefix);
+    protocol = it != loc_rib_proto_.end() ? it->second : Protocol::kIbgp;
+    loc_rib_proto_.erase(prefix);
+  }
+
+  IoRecord record;
+  record.kind = IoKind::kRibUpdate;
+  record.prefix = prefix;
+  record.protocol = protocol;
+  record.withdraw = entry == nullptr;
+  if (entry != nullptr) {
+    record.local_pref = entry->route.attrs.local_pref;
+    record.detail = entry->route.describe() + " -- " + entry->reason;
+  } else {
+    record.detail = "no path";
+  }
+  record.true_causes.push_back(current_input_);
+  if (entry != nullptr) {
+    auto it = recv_io_of_path_.find(
+        {entry->route.session, prefix, entry->route.attrs.path_id});
+    if (it != recv_io_of_path_.end() && it->second != current_input_) {
+      record.true_causes.push_back(it->second);
+    }
+  }
+  std::erase(record.true_causes, kNoIo);
+
+  IoId io = capture_output(std::move(record));
+  last_bgp_rib_io_[prefix] = io;
+  last_rib_io_[{protocol, prefix}] = io;
+
+  // Feed the main RIB: install the new winner *before* clearing the sibling
+  // BGP slot, so a protocol switch (iBGP best -> eBGP best) is an atomic
+  // FIB replace rather than a transient remove+install.
+  Protocol sibling = protocol == Protocol::kEbgp ? Protocol::kIbgp : Protocol::kEbgp;
+  if (entry == nullptr || entry->route.originated) {
+    // Originated networks are covered by the connected route installed from
+    // the config; no learned-route FIB entry needed.
+    rib_.update(sibling, prefix, std::nullopt);
+    rib_.update(protocol, prefix, std::nullopt);
+    return;
+  }
+  RibRoute route;
+  route.prefix = prefix;
+  route.protocol = protocol;
+  route.metric = 0;
+  route.detail = entry->reason;
+  const BgpNextHop& nh = entry->route.attrs.next_hop;
+  if (nh.external) {
+    route.action = FibEntry::Action::kExternal;
+    route.external_session = nh.external_session;
+  } else {
+    route.action = FibEntry::Action::kForward;
+    route.next_hop_router = nh.router;
+  }
+  rib_.update(protocol, prefix, route);
+  rib_.update(sibling, prefix, std::nullopt);
+}
+
+void Router::handle_bgp_send(const std::string& session_name, const BgpUpdateMsg& msg) {
+  const BgpSessionConfig* session = config_->bgp.find_session(session_name);
+  if (session == nullptr) return;
+
+  IoRecord record;
+  record.kind = IoKind::kSendAdvert;
+  record.prefix = msg.prefix;
+  record.protocol = session->is_ebgp(as_) ? Protocol::kEbgp : Protocol::kIbgp;
+  record.session = session_name;
+  record.peer = session->external ? kExternalRouter : session->peer;
+  record.withdraw = msg.withdraw;
+  if (!msg.withdraw) record.local_pref = msg.attrs.local_pref;
+  record.detail = msg.describe();
+  // HBR ground truth (§4.1): with BGP, [install P in BGP RIB] happens
+  // before [send BGP advertisement for P].
+  auto it = last_bgp_rib_io_.find(msg.prefix);
+  record.true_causes.push_back(it != last_bgp_rib_io_.end() ? it->second : current_input_);
+  std::erase(record.true_causes, kNoIo);
+
+  IoId io = capture_output(std::move(record));
+  const IoRecord* stored = network_->capture().find(io);
+  SimTime depart = stored != nullptr ? stored->true_time : network_->sim().now();
+  network_->transmit_bgp(id_, session_name, msg, io, depart);
+}
+
+void Router::deliver_bgp(const std::string& session_name, const BgpUpdateMsg& msg, IoId send_io,
+                         bool from_external) {
+  enqueue([this, session_name, msg, send_io, from_external] {
+    const BgpSessionConfig* session =
+        config_ != nullptr ? config_->bgp.find_session(session_name) : nullptr;
+    if (session == nullptr) {
+      HBG_DEBUG << "R" << id_ << ": BGP message on unconfigured session " << session_name;
+      return;
+    }
+
+    IoRecord record;
+    record.kind = IoKind::kRecvAdvert;
+    record.prefix = msg.prefix;
+    record.protocol = session->is_ebgp(as_) ? Protocol::kEbgp : Protocol::kIbgp;
+    record.session = session_name;
+    record.peer = session->external ? kExternalRouter : session->peer;
+    record.withdraw = msg.withdraw;
+    if (!msg.withdraw) record.local_pref = msg.attrs.local_pref;
+    record.detail = msg.describe();
+    record.message_id = from_external ? 0 : send_io;
+    if (!from_external && send_io != kNoIo) record.true_causes.push_back(send_io);
+
+    IoId io = capture_input(std::move(record));
+    std::tuple<std::string, Prefix, std::uint32_t> key{session_name, msg.prefix, msg.path_id};
+    if (msg.withdraw) {
+      recv_io_of_path_.erase(key);
+    } else {
+      recv_io_of_path_[key] = io;
+    }
+    with_input(io, [&] { bgp_.handle_update(session_name, msg); });
+  });
+}
+
+void Router::inject_external(const std::string& session, const BgpUpdateMsg& msg) {
+  deliver_bgp(session, msg, kNoIo, /*from_external=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// OSPF wiring
+
+void Router::handle_ospf_send(const RouterLsa& lsa, RouterId to) {
+  auto link = network_->topology().link_between(id_, to);
+  if (!link.has_value() || !network_->topology().link(*link).up) return;
+
+  IoRecord record;
+  record.kind = IoKind::kSendAdvert;
+  record.protocol = Protocol::kOspf;
+  record.session = "ospf";
+  record.peer = to;
+  record.detail = "LSA R" + std::to_string(lsa.origin) + " seq=" + std::to_string(lsa.seq);
+  record.true_causes.push_back(current_input_);
+  std::erase(record.true_causes, kNoIo);
+
+  IoId io = capture_output(std::move(record));
+  const IoRecord* stored = network_->capture().find(io);
+  SimTime depart = stored != nullptr ? stored->true_time : network_->sim().now();
+  network_->transmit_lsa(id_, to, lsa, io, depart);
+}
+
+void Router::deliver_lsa(RouterId from, const RouterLsa& lsa, IoId send_io) {
+  enqueue([this, from, lsa, send_io] {
+    if (config_ == nullptr || !config_->ospf.enabled) return;
+
+    IoRecord record;
+    record.kind = IoKind::kRecvAdvert;
+    record.protocol = Protocol::kOspf;
+    record.session = "ospf";
+    record.peer = from;
+    record.detail = "LSA R" + std::to_string(lsa.origin) + " seq=" + std::to_string(lsa.seq);
+    record.message_id = send_io;
+    if (send_io != kNoIo) record.true_causes.push_back(send_io);
+
+    IoId io = capture_input(std::move(record));
+    with_input(io, [&] { ospf_.handle_lsa(from, lsa); });
+  });
+}
+
+void Router::handle_ospf_route(const Prefix& prefix, const OspfRoute* route) {
+  IoRecord record;
+  record.kind = IoKind::kRibUpdate;
+  record.prefix = prefix;
+  record.protocol = Protocol::kOspf;
+  record.withdraw = route == nullptr;
+  if (route != nullptr) {
+    record.detail = "cost=" + std::to_string(route->cost) + " via R" +
+                    std::to_string(route->first_hop) + " origin R" +
+                    std::to_string(route->origin_router);
+  }
+  record.true_causes.push_back(current_input_);
+  std::erase(record.true_causes, kNoIo);
+  IoId io = capture_output(std::move(record));
+  last_rib_io_[{Protocol::kOspf, prefix}] = io;
+
+  if (route == nullptr) {
+    rib_.update(Protocol::kOspf, prefix, std::nullopt);
+    return;
+  }
+  RibRoute rib_route;
+  rib_route.prefix = prefix;
+  rib_route.protocol = Protocol::kOspf;
+  rib_route.metric = route->cost;
+  if (route->origin_router == id_ || route->first_hop == id_) {
+    rib_route.action = FibEntry::Action::kLocal;
+  } else {
+    rib_route.action = FibEntry::Action::kForward;
+    rib_route.next_hop_router = route->first_hop;
+  }
+  rib_.update(Protocol::kOspf, prefix, rib_route);
+}
+
+void Router::handle_igp_topology_change() {
+  if (!started_) return;
+  sync_bgp_sessions();
+  rib_.reresolve_all();
+  bgp_.reevaluate_all();
+}
+
+// ---------------------------------------------------------------------------
+// RIB / FIB wiring
+
+void Router::handle_rib_change(const Prefix& prefix, Protocol protocol, const RibRoute* route) {
+  redist_.on_rib_change(prefix, protocol, route);
+}
+
+void Router::handle_fib_change(const Prefix& prefix, const FibEntry* entry) {
+  Protocol protocol;
+  if (entry != nullptr) {
+    protocol = entry->source;
+    fib_proto_[prefix] = protocol;
+  } else {
+    auto it = fib_proto_.find(prefix);
+    protocol = it != fib_proto_.end() ? it->second : Protocol::kConnected;
+    fib_proto_.erase(prefix);
+  }
+
+  bool allowed = fib_interceptor_ == nullptr || fib_interceptor_(id_, prefix, entry);
+
+  // Apply to the data plane first: the captured record reports an update
+  // that has taken effect (capture listeners observe post-update state).
+  if (allowed) {
+    if (entry != nullptr) {
+      data_fib_.install(*entry);
+    } else {
+      data_fib_.remove(prefix);
+    }
+  }
+
+  IoRecord record;
+  record.kind = IoKind::kFibUpdate;
+  record.prefix = prefix;
+  record.protocol = protocol;
+  record.withdraw = entry == nullptr;
+  if (entry != nullptr) record.fib_entry = *entry;
+  record.fib_blocked = !allowed;
+  record.detail = entry != nullptr ? entry->describe() : "removed";
+  if (!allowed) record.detail += " [blocked]";
+  auto rib_io = last_rib_io_.find({protocol, prefix});
+  if (rib_io != last_rib_io_.end()) record.true_causes.push_back(rib_io->second);
+  if (record.true_causes.empty() ||
+      (current_input_ != kNoIo && record.true_causes.front() != current_input_ &&
+       protocol == Protocol::kConnected)) {
+    record.true_causes.push_back(current_input_);
+  }
+  std::erase(record.true_causes, kNoIo);
+
+  capture_output(std::move(record));
+}
+
+void Router::resync_data_fib(const Prefix& prefix) {
+  const FibEntry* control = rib_.fib().find(prefix);
+  const FibEntry* data = data_fib_.find(prefix);
+  bool same = (control == nullptr && data == nullptr) ||
+              (control != nullptr && data != nullptr && *control == *data);
+  if (same) return;
+
+  IoRecord record;
+  record.kind = IoKind::kFibUpdate;
+  record.prefix = prefix;
+  record.protocol = control != nullptr ? control->source : Protocol::kConnected;
+  record.withdraw = control == nullptr;
+  if (control != nullptr) record.fib_entry = *control;
+  record.detail = (control != nullptr ? control->describe() : "removed") + " [resync]";
+  record.true_causes.push_back(current_input_);
+  std::erase(record.true_causes, kNoIo);
+
+  if (control != nullptr) {
+    data_fib_.install(*control);
+  } else {
+    data_fib_.remove(prefix);
+  }
+  capture_output(std::move(record));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario entry points
+
+void Router::on_config_change(ConfigVersion version, const RouterConfig* config,
+                              const std::string& description) {
+  enqueue([this, version, config, description] {
+    attach_config(config, version);
+
+    IoRecord record;
+    record.kind = IoKind::kConfigChange;
+    record.config_version = version;
+    record.detail = description;
+    IoId io = capture_input(std::move(record));
+
+    with_input(io, [&] {
+      refresh_local_routes();
+      redist_.refresh();
+      ospf_.refresh();
+      sync_bgp_sessions();
+    });
+
+    // BGP re-evaluates stored Adj-RIB-In routes after the (vendor-specific)
+    // soft-reconfiguration delay — §7 measured ~20-25 s on IOS.
+    SimTime delay = std::max<SimTime>(0, config->bgp.quirks.soft_reconfig_delay_us);
+    network_->sim().schedule_after(delay, [this, io] {
+      enqueue([this, io] { with_input(io, [this] { bgp_.reevaluate_all(); }); });
+    });
+  });
+}
+
+void Router::on_link_state(LinkId link, bool up) {
+  enqueue([this, link, up] {
+    IoRecord record;
+    record.kind = IoKind::kHardwareStatus;
+    record.link = link;
+    record.link_up = up;
+    record.detail = std::string("link ") + std::to_string(link) + (up ? " up" : " down");
+    IoId io = capture_input(std::move(record));
+
+    with_input(io, [&] {
+      if (config_ != nullptr && config_->ospf.enabled) {
+        ospf_.refresh();  // re-originate LSA; topology_changed does the rest
+      } else {
+        sync_bgp_sessions();
+        rib_.reresolve_all();
+        bgp_.reevaluate_all();
+      }
+    });
+  });
+}
+
+void Router::set_uplink_state(const std::string& session, bool up) {
+  enqueue([this, session, up] {
+    IoRecord record;
+    record.kind = IoKind::kHardwareStatus;
+    record.link_up = up;
+    record.session = session;  // identifies which uplink changed state
+    record.detail = "uplink " + session + (up ? " up" : " down");
+    if (up) {
+      failed_uplinks_.erase(session);
+    } else {
+      failed_uplinks_.insert(session);
+    }
+    IoId io = capture_input(std::move(record));
+    with_input(io, [&] { bgp_.set_session_state(session, up); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+std::map<std::string, std::set<Prefix>> Router::external_routes() const {
+  std::map<std::string, std::set<Prefix>> out;
+  if (config_ == nullptr) return out;
+  for (const BgpSessionConfig& session : config_->bgp.sessions) {
+    if (!session.external || !session.enabled || failed_uplinks_.contains(session.name)) {
+      continue;
+    }
+    auto& prefixes = out[session.name];
+    for (const BgpRoute& route : bgp_.adj_rib_in(session.name)) {
+      prefixes.insert(route.prefix);
+    }
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> Router::igp_metric(RouterId target) const {
+  if (target == id_) return 0;
+  if (config_ != nullptr && config_->ospf.enabled) return ospf_.distance_to(target);
+  auto link = network_->topology().link_between(id_, target);
+  if (link.has_value() && network_->topology().link(*link).up) return 1;
+  return std::nullopt;
+}
+
+std::optional<RouterId> Router::resolve_first_hop(RouterId target) const {
+  if (target == id_) return id_;
+  if (config_ != nullptr && config_->ospf.enabled) return ospf_.first_hop_to(target);
+  auto link = network_->topology().link_between(id_, target);
+  if (link.has_value() && network_->topology().link(*link).up) return target;
+  return std::nullopt;
+}
+
+void Router::sync_bgp_sessions() {
+  if (config_ == nullptr || !config_->bgp.enabled) return;
+  for (const BgpSessionConfig& session : config_->bgp.sessions) {
+    if (session.external) continue;  // uplinks are driven by set_uplink_state
+    bool up = session.enabled && network_->connected(id_, session.peer);
+    bgp_.set_session_state(session.name, up);
+  }
+}
+
+void Router::refresh_local_routes() {
+  // Desired connected prefixes: everything this router originates.
+  std::set<Prefix> connected;
+  for (const Prefix& p : config_->bgp.originated) connected.insert(p);
+  for (const Prefix& p : config_->ospf.originated) connected.insert(p);
+
+  std::set<Prefix> desired_static;
+  for (const StaticRoute& s : config_->statics) desired_static.insert(s.prefix);
+
+  for (const Prefix& p : installed_connected_) {
+    if (!connected.contains(p)) rib_.update(Protocol::kConnected, p, std::nullopt);
+  }
+  for (const Prefix& p : installed_static_) {
+    if (!desired_static.contains(p)) rib_.update(Protocol::kStatic, p, std::nullopt);
+  }
+
+  for (const Prefix& p : connected) {
+    RibRoute route;
+    route.prefix = p;
+    route.protocol = Protocol::kConnected;
+    route.action = FibEntry::Action::kLocal;
+    rib_.update(Protocol::kConnected, p, route);
+  }
+  for (const StaticRoute& s : config_->statics) {
+    RibRoute route;
+    route.prefix = s.prefix;
+    route.protocol = Protocol::kStatic;
+    if (!s.next_hop.has_value()) {
+      route.action = FibEntry::Action::kDrop;
+    } else if (*s.next_hop == kExternalRouter) {
+      route.action = FibEntry::Action::kExternal;
+    } else {
+      route.action = FibEntry::Action::kForward;
+      route.next_hop_router = *s.next_hop;
+    }
+    rib_.update(Protocol::kStatic, s.prefix, route);
+  }
+
+  installed_connected_ = std::move(connected);
+  installed_static_ = std::move(desired_static);
+}
+
+}  // namespace hbguard

@@ -1,0 +1,175 @@
+// Router shell: one emulated router.
+//
+// Owns the protocol engines (BGP, OSPF), the RIB/FIB manager and the
+// redistribution engine, wires their callbacks together, applies processing
+// delays, and interposes on every control-plane input and output — the
+// paper's Fig. 3 integration point. Each I/O is recorded through the
+// CaptureHub with ground-truth causal parents (used later to score HBR
+// inference) before the corresponding state change takes effect.
+//
+// The shell also maintains the *data-plane* FIB as a separate copy of the
+// control plane's FIB. A FibInterceptor may veto installation into the data
+// plane (the paper's "block problematic FIB updates" mechanism), which
+// deliberately desynchronizes the two copies — reproducing §2's
+// inconsistency hazard.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "hbguard/capture/tap.hpp"
+#include "hbguard/config/config_store.hpp"
+#include "hbguard/event/simulator.hpp"
+#include "hbguard/proto/bgp/engine.hpp"
+#include "hbguard/proto/ospf/engine.hpp"
+#include "hbguard/rib/redistribution.hpp"
+#include "hbguard/rib/rib.hpp"
+#include "hbguard/util/rng.hpp"
+
+namespace hbguard {
+
+class Network;
+
+struct RouterOptions {
+  /// Delay between an input arriving and the first resulting output.
+  SimTime proc_delay_min_us = 100;
+  SimTime proc_delay_max_us = 2000;
+  /// Gap between successive outputs of one processing episode (RIB install,
+  /// FIB install, advertisements...).
+  SimTime output_step_min_us = 10;
+  SimTime output_step_max_us = 200;
+};
+
+class Router {
+ public:
+  /// Veto hook for data-plane FIB installation. Return false to block the
+  /// update from reaching the data plane (control plane state is unaffected,
+  /// as in §2's blocking strawman). `entry` is nullptr for removals.
+  using FibInterceptor =
+      std::function<bool(RouterId, const Prefix&, const FibEntry* entry)>;
+
+  Router(Network* network, RouterId id, AsNumber as_number, RouterOptions options, Rng rng);
+
+  /// Point at the live config (owned by the ConfigStore) before start().
+  void attach_config(const RouterConfig* config, ConfigVersion version);
+
+  /// Bring the control plane up: installs connected/static routes,
+  /// originates OSPF LSAs and BGP networks. Records the initial
+  /// configuration as a kConfigChange input (the root of all provenance).
+  void start();
+
+  // ---- Entry points called by the Network at message delivery time ----
+  void deliver_bgp(const std::string& session, const BgpUpdateMsg& msg, IoId send_io,
+                   bool from_external);
+  void deliver_lsa(RouterId from, const RouterLsa& lsa, IoId send_io);
+
+  // ---- Scenario entry points ----
+  /// A configuration change was applied (new version already in the store).
+  void on_config_change(ConfigVersion version, const RouterConfig* config,
+                        const std::string& description);
+  /// An attached link changed state.
+  void on_link_state(LinkId link, bool up);
+  /// An external uplink session failed/recovered (hardware event).
+  void set_uplink_state(const std::string& session, bool up);
+  /// An advertisement arrived from an external eBGP peer.
+  void inject_external(const std::string& session, const BgpUpdateMsg& msg);
+
+  // ---- Introspection ----
+  RouterId id() const { return id_; }
+  AsNumber as_number() const { return as_; }
+  const Fib& data_fib() const { return data_fib_; }
+  const Fib& control_fib() const { return rib_.fib(); }
+  BgpEngine& bgp() { return bgp_; }
+  const BgpEngine& bgp() const { return bgp_; }
+  OspfEngine& ospf() { return ospf_; }
+  RibManager& rib() { return rib_; }
+  bool uplink_up(const std::string& session) const { return !failed_uplinks_.contains(session); }
+  const std::set<std::string>& failed_uplinks() const { return failed_uplinks_; }
+
+  /// Prefixes currently offered by each up external uplink (from the BGP
+  /// Adj-RIB-In of the corresponding session).
+  std::map<std::string, std::set<Prefix>> external_routes() const;
+
+  void set_fib_interceptor(FibInterceptor interceptor) {
+    fib_interceptor_ = std::move(interceptor);
+  }
+
+  /// Force the data-plane FIB entry for a prefix to the control plane's
+  /// value (used by repair when un-blocking).
+  void resync_data_fib(const Prefix& prefix);
+
+ private:
+  friend class Network;
+
+  // Capture helpers.
+  IoId capture_input(IoRecord record);
+  IoId capture_output(IoRecord record);
+
+  /// Serialized input processing: real control planes consume one input at
+  /// a time from a queue, and their debug logs record the input when it is
+  /// *processed*. Each work item runs after the router's processing delay,
+  /// never overlapping the output window of the previous item.
+  void enqueue(std::function<void()> work);
+  void pump();
+
+  // Engine callback handlers.
+  void handle_loc_rib_change(const Prefix& prefix, const LocRibEntry* entry);
+  void handle_bgp_send(const std::string& session, const BgpUpdateMsg& msg);
+  void handle_ospf_route(const Prefix& prefix, const OspfRoute* route);
+  void handle_ospf_send(const RouterLsa& lsa, RouterId to);
+  void handle_igp_topology_change();
+  void handle_rib_change(const Prefix& prefix, Protocol protocol, const RibRoute* route);
+  void handle_fib_change(const Prefix& prefix, const FibEntry* entry);
+
+  std::optional<std::uint32_t> igp_metric(RouterId target) const;
+  std::optional<RouterId> resolve_first_hop(RouterId target) const;
+
+  /// Align BGP session liveness with current reachability.
+  void sync_bgp_sessions();
+
+  /// (Re)install static and connected routes from the current config.
+  void refresh_local_routes();
+
+  /// Run `fn` with `input` as the current cause context.
+  void with_input(IoId input, const std::function<void()>& fn);
+
+  Network* network_;
+  RouterId id_;
+  AsNumber as_;
+  RouterOptions options_;
+  Rng rng_;
+  RouterTap tap_;
+
+  const RouterConfig* config_ = nullptr;
+  ConfigVersion config_version_ = kNoVersion;
+
+  BgpEngine bgp_;
+  OspfEngine ospf_;
+  RibManager rib_;
+  RedistributionEngine redist_;
+
+  Fib data_fib_;
+  FibInterceptor fib_interceptor_;
+  std::set<std::string> failed_uplinks_;
+
+  // Cause bookkeeping (ground truth).
+  IoId current_input_ = kNoIo;
+  SimTime out_clock_ = 0;
+  std::deque<std::function<void()>> work_queue_;
+  bool pump_scheduled_ = false;
+  std::map<Prefix, IoId> last_bgp_rib_io_;
+  std::map<std::pair<Protocol, Prefix>, IoId> last_rib_io_;
+  std::map<Prefix, Protocol> fib_proto_;
+  std::map<Prefix, Protocol> loc_rib_proto_;
+  std::map<std::tuple<std::string, Prefix, std::uint32_t>, IoId> recv_io_of_path_;
+  std::set<Prefix> installed_connected_;
+  std::set<Prefix> installed_static_;
+  bool started_ = false;
+};
+
+}  // namespace hbguard

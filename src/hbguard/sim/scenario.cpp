@@ -1,0 +1,194 @@
+#include "hbguard/sim/scenario.hpp"
+
+namespace hbguard {
+
+Prefix loopback_prefix(RouterId id) {
+  return Prefix(IpAddress(10, 255, static_cast<std::uint8_t>(id >> 8),
+                          static_cast<std::uint8_t>(id & 0xff)),
+                32);
+}
+
+RouterConfig base_ibgp_ospf_config(const Topology& topology, RouterId self, AsNumber as_number) {
+  RouterConfig config;
+  config.bgp.enabled = true;
+  config.ospf.enabled = true;
+  config.ospf.originated.push_back(loopback_prefix(self));
+  for (const RouterInfo& info : topology.routers()) {
+    if (info.id == self || info.as_number != as_number) continue;
+    BgpSessionConfig session;
+    session.name = "ibgp-" + info.name;
+    session.peer = info.id;
+    session.peer_as = as_number;
+    config.bgp.sessions.push_back(std::move(session));
+  }
+  return config;
+}
+
+PaperScenario PaperScenario::make(NetworkOptions options) {
+  PaperScenario scenario;
+  scenario.prefix_p = *Prefix::parse("203.0.113.0/24");
+
+  Topology topology;
+  scenario.r1 = topology.add_router("R1", kLocalAs);
+  scenario.r2 = topology.add_router("R2", kLocalAs);
+  scenario.r3 = topology.add_router("R3", kLocalAs);
+  topology.add_link(scenario.r1, scenario.r2, /*delay_us=*/2000);
+  topology.add_link(scenario.r1, scenario.r3, /*delay_us=*/2000);
+  topology.add_link(scenario.r2, scenario.r3, /*delay_us=*/2000);
+
+  scenario.network = std::make_unique<Network>(std::move(topology), options);
+  Network& net = *scenario.network;
+
+  // R1: uplink with local-pref 20.
+  RouterConfig c1 = base_ibgp_ospf_config(net.topology(), scenario.r1);
+  {
+    BgpSessionConfig uplink;
+    uplink.name = kUplink1;
+    uplink.external = true;
+    uplink.peer_as = kUplink1As;
+    uplink.import_policy = "lp-uplink1";
+    c1.bgp.sessions.push_back(uplink);
+    RouteMap map;
+    map.name = "lp-uplink1";
+    RouteMapClause clause;
+    clause.set_local_pref = 20;
+    map.clauses.push_back(clause);
+    c1.route_maps["lp-uplink1"] = std::move(map);
+  }
+  net.set_initial_config(scenario.r1, std::move(c1));
+
+  // R2: uplink with local-pref 30 (the preferred exit).
+  RouterConfig c2 = base_ibgp_ospf_config(net.topology(), scenario.r2);
+  {
+    BgpSessionConfig uplink;
+    uplink.name = kUplink2;
+    uplink.external = true;
+    uplink.peer_as = kUplink2As;
+    uplink.import_policy = "lp-uplink2";
+    c2.bgp.sessions.push_back(uplink);
+    RouteMap map;
+    map.name = "lp-uplink2";
+    RouteMapClause clause;
+    clause.set_local_pref = 30;
+    map.clauses.push_back(clause);
+    c2.route_maps["lp-uplink2"] = std::move(map);
+  }
+  net.set_initial_config(scenario.r2, std::move(c2));
+
+  net.set_initial_config(scenario.r3, base_ibgp_ospf_config(net.topology(), scenario.r3));
+
+  net.start();
+  return scenario;
+}
+
+void PaperScenario::converge_initial() {
+  network->run_to_convergence();
+  advertise_p_via_r1();
+  network->run_to_convergence();
+  advertise_p_via_r2();
+  network->run_to_convergence();
+}
+
+void PaperScenario::advertise_p_via_r1() {
+  network->inject_external_advert(r1, kUplink1, prefix_p, {kUplink1As, 64999});
+}
+
+void PaperScenario::advertise_p_via_r2() {
+  network->inject_external_advert(r2, kUplink2, prefix_p, {kUplink2As, 64999});
+}
+
+void PaperScenario::withdraw_p_via_r2() {
+  network->inject_external_advert(r2, kUplink2, prefix_p, {}, /*withdraw=*/true);
+}
+
+ConfigVersion PaperScenario::misconfigure_r2_lp10() {
+  return network->apply_config_change(r2, "set local-pref 10 on uplink2 import",
+                                      [](RouterConfig& config) {
+                                        config.route_maps["lp-uplink2"].clauses.at(0)
+                                            .set_local_pref = 10;
+                                      });
+}
+
+ConfigVersion PaperScenario::reconfigure_r1_lp200() {
+  return network->apply_config_change(r1, "set local-pref 200 on uplink1 import",
+                                      [](RouterConfig& config) {
+                                        config.route_maps["lp-uplink1"].clauses.at(0)
+                                            .set_local_pref = 200;
+                                      });
+}
+
+void PaperScenario::fail_uplink2() {
+  network->set_uplink_state(r2, kUplink2, false);
+}
+
+void PaperScenario::restore_uplink2() {
+  network->set_uplink_state(r2, kUplink2, true);
+}
+
+FirewallScenario FirewallScenario::make(NetworkOptions options) {
+  FirewallScenario scenario;
+  scenario.protected_prefix = *Prefix::parse("198.51.100.0/24");
+
+  Topology topology;
+  scenario.edge = topology.add_router("E", PaperScenario::kLocalAs);
+  scenario.firewall = topology.add_router("FW", PaperScenario::kLocalAs);
+  scenario.core = topology.add_router("C", PaperScenario::kLocalAs);
+  topology.add_link(scenario.edge, scenario.firewall, 1000, /*igp_cost=*/1);
+  topology.add_link(scenario.firewall, scenario.core, 1000, /*igp_cost=*/1);
+  // The direct edge-core link exists (e.g. a backup path) but is kept
+  // IGP-expensive so routed traffic detours through the firewall.
+  scenario.direct_link = topology.add_link(scenario.edge, scenario.core, 1000,
+                                           /*igp_cost=*/10);
+
+  scenario.network = std::make_unique<Network>(std::move(topology), options);
+  Network& net = *scenario.network;
+  for (RouterId r : {scenario.edge, scenario.firewall, scenario.core}) {
+    RouterConfig config = base_ibgp_ospf_config(net.topology(), r);
+    if (r == scenario.core) {
+      config.ospf.originated.push_back(scenario.protected_prefix);
+    }
+    net.set_initial_config(r, std::move(config));
+  }
+  net.start();
+  return scenario;
+}
+
+ConfigVersion FirewallScenario::misconfigure_direct_cost() {
+  return network->apply_config_change(
+      edge, "set OSPF cost 1 on the direct E-C link ('optimization')",
+      [this](RouterConfig& config) { config.ospf.cost_override[direct_link] = 1; });
+}
+
+bool FirewallScenario::traffic_passes_firewall() const {
+  RouterId current = edge;
+  for (std::size_t hops = 0; hops < network->router_count() + 1; ++hops) {
+    if (current == firewall) return true;
+    const FibEntry* entry = network->router(current).data_fib().find(protected_prefix);
+    if (entry == nullptr) return false;
+    if (entry->action == FibEntry::Action::kLocal) return false;  // delivered, FW skipped
+    if (entry->action != FibEntry::Action::kForward) return false;
+    current = entry->next_hop;
+  }
+  return false;
+}
+
+bool PaperScenario::fib_exits_via(RouterId router, RouterId exit) const {
+  const FibEntry* entry = network->router(router).data_fib().find(prefix_p);
+  if (entry == nullptr) return false;
+  if (router == exit) {
+    return entry->action == FibEntry::Action::kExternal;
+  }
+  if (entry->action != FibEntry::Action::kForward) return false;
+  // Follow the data-plane FIBs hop by hop.
+  RouterId current = entry->next_hop;
+  for (std::size_t hops = 0; hops < network->router_count() + 1; ++hops) {
+    const FibEntry* hop_entry = network->router(current).data_fib().find(prefix_p);
+    if (hop_entry == nullptr) return false;
+    if (hop_entry->action == FibEntry::Action::kExternal) return current == exit;
+    if (hop_entry->action != FibEntry::Action::kForward) return false;
+    current = hop_entry->next_hop;
+  }
+  return false;  // loop
+}
+
+}  // namespace hbguard

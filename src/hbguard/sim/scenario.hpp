@@ -1,0 +1,92 @@
+// Canonical scenarios from the paper.
+//
+// PaperScenario reproduces the running example of Figs. 1 and 2: routers
+// R1, R2, R3 in one AS, iBGP full mesh over OSPF, two eBGP uplinks to an
+// external prefix P — R2 preferred (local-pref 30) over R1 (local-pref 20).
+// The scenario offers the exact perturbations the paper studies: the
+// ill-considered local-pref change on R2 (Fig. 2), the local-pref 200 change
+// on R1 from the §7 feasibility study, uplink failures, and advertisement
+// arrivals (Fig. 1b).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hbguard/sim/network.hpp"
+
+namespace hbguard {
+
+struct PaperScenario {
+  static constexpr const char* kUplink1 = "uplink1";  // on R1, LP 20
+  static constexpr const char* kUplink2 = "uplink2";  // on R2, LP 30
+  static constexpr AsNumber kLocalAs = 65000;
+  static constexpr AsNumber kUplink1As = 64501;
+  static constexpr AsNumber kUplink2As = 64502;
+
+  Prefix prefix_p;  // the external destination P (203.0.113.0/24)
+  RouterId r1 = 0, r2 = 1, r3 = 2;
+  std::unique_ptr<Network> network;
+
+  /// Build and start the network (does not run the simulator).
+  static PaperScenario make(NetworkOptions options = {});
+
+  /// Bring the network to the paper's initial correct state: both uplinks
+  /// advertise P, everything converges to exit via R2. Runs the simulator.
+  void converge_initial();
+
+  // ---- Perturbations ----
+  void advertise_p_via_r1();  // Fig. 1a
+  void advertise_p_via_r2();  // Fig. 1b
+  void withdraw_p_via_r2();
+
+  /// Fig. 2: operator mistakenly sets local-pref 10 on R2's uplink import.
+  ConfigVersion misconfigure_r2_lp10();
+
+  /// §7 feasibility study: set local-pref 200 on R1's uplink import.
+  ConfigVersion reconfigure_r1_lp200();
+
+  /// R2's uplink goes down (hardware event; withdraws P learned there).
+  void fail_uplink2();
+  void restore_uplink2();
+
+  // ---- Convenience ----
+  Router& router1() { return network->router(r1); }
+  Router& router2() { return network->router(r2); }
+  Router& router3() { return network->router(r3); }
+
+  /// True if `router`'s data-plane FIB sends P toward the expected egress.
+  bool fib_exits_via(RouterId router, RouterId exit) const;
+};
+
+/// The firewall-waypoint scenario (§5: "traffic should never bypass a
+/// firewall"). Edge router E reaches a server prefix D behind core router C
+/// via firewall FW (OSPF costs make E->FW->C the IGP path; the direct E-C
+/// link is kept expensive precisely so traffic detours through the
+/// firewall). The canonical misconfiguration: an operator "optimizes" the
+/// direct link's OSPF cost, and the IGP silently routes around the
+/// firewall.
+struct FirewallScenario {
+  Prefix protected_prefix;  // D (198.51.100.0/24), originated at C
+  RouterId edge = 0, firewall = 1, core = 2;
+  LinkId direct_link = kInvalidLink;  // the expensive E-C link
+  std::unique_ptr<Network> network;
+
+  static FirewallScenario make(NetworkOptions options = {});
+
+  /// The misconfiguration: lower the direct E-C link cost on E.
+  ConfigVersion misconfigure_direct_cost();
+
+  /// Does E's traffic for D currently traverse the firewall?
+  bool traffic_passes_firewall() const;
+};
+
+/// Base router config used by PaperScenario and the workload generators:
+/// BGP + OSPF enabled, iBGP full-mesh sessions to every other router in the
+/// same AS, a /32 loopback prefix originated into OSPF.
+RouterConfig base_ibgp_ospf_config(const Topology& topology, RouterId self,
+                                   AsNumber as_number = PaperScenario::kLocalAs);
+
+/// Loopback prefix used for router `id` by base_ibgp_ospf_config.
+Prefix loopback_prefix(RouterId id);
+
+}  // namespace hbguard

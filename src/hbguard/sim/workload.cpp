@@ -1,0 +1,238 @@
+#include "hbguard/sim/workload.hpp"
+
+#include <set>
+
+#include "hbguard/sim/scenario.hpp"
+
+namespace hbguard {
+
+namespace {
+std::string router_name(std::size_t i) {
+  return "R" + std::to_string(i + 1);
+}
+}  // namespace
+
+Topology make_chain_topology(std::size_t n, AsNumber as_number) {
+  Topology topology;
+  for (std::size_t i = 0; i < n; ++i) topology.add_router(router_name(i), as_number);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    topology.add_link(static_cast<RouterId>(i), static_cast<RouterId>(i + 1));
+  }
+  return topology;
+}
+
+Topology make_ring_topology(std::size_t n, AsNumber as_number) {
+  Topology topology = make_chain_topology(n, as_number);
+  if (n > 2) topology.add_link(static_cast<RouterId>(n - 1), 0);
+  return topology;
+}
+
+Topology make_full_mesh_topology(std::size_t n, AsNumber as_number) {
+  Topology topology;
+  for (std::size_t i = 0; i < n; ++i) topology.add_router(router_name(i), as_number);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      topology.add_link(static_cast<RouterId>(i), static_cast<RouterId>(j));
+    }
+  }
+  return topology;
+}
+
+Topology make_random_topology(std::size_t n, std::size_t extra_links, Rng& rng,
+                              AsNumber as_number) {
+  Topology topology;
+  for (std::size_t i = 0; i < n; ++i) topology.add_router(router_name(i), as_number);
+  // Random spanning tree: attach each router to a random earlier one.
+  for (std::size_t i = 1; i < n; ++i) {
+    auto parent = static_cast<RouterId>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    topology.add_link(static_cast<RouterId>(i), parent,
+                      /*delay_us=*/rng.uniform_int(500, 5000));
+  }
+  std::set<std::pair<RouterId, RouterId>> existing;
+  for (const Link& link : topology.links()) {
+    existing.emplace(std::min(link.a, link.b), std::max(link.a, link.b));
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra_links && attempts < extra_links * 20 + 50) {
+    ++attempts;
+    auto a = static_cast<RouterId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto b = static_cast<RouterId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (a == b) continue;
+    auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (existing.contains(key)) continue;
+    existing.insert(key);
+    topology.add_link(a, b, /*delay_us=*/rng.uniform_int(500, 5000));
+    ++added;
+  }
+  return topology;
+}
+
+GeneratedNetwork make_ibgp_network(Topology topology, std::size_t uplink_count,
+                                   NetworkOptions options) {
+  GeneratedNetwork result;
+  AsNumber as_number = topology.routers().empty() ? 65000 : topology.routers().front().as_number;
+  std::size_t n = topology.router_count();
+  result.network = std::make_unique<Network>(std::move(topology), options);
+  Network& net = *result.network;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = static_cast<RouterId>(i);
+    RouterConfig config = base_ibgp_ospf_config(net.topology(), id, as_number);
+    if (i < uplink_count) {
+      UplinkInfo uplink;
+      uplink.router = id;
+      uplink.session = "uplink" + std::to_string(i);
+      uplink.peer_as = static_cast<AsNumber>(64500 + i);
+
+      BgpSessionConfig session;
+      session.name = uplink.session;
+      session.external = true;
+      session.peer_as = uplink.peer_as;
+      session.import_policy = "lp-" + uplink.session;
+      config.bgp.sessions.push_back(session);
+
+      RouteMap map;
+      map.name = session.import_policy;
+      RouteMapClause clause;
+      clause.set_local_pref = static_cast<std::uint32_t>(100 + 10 * i);
+      map.clauses.push_back(clause);
+      config.route_maps[map.name] = std::move(map);
+
+      result.uplinks.push_back(std::move(uplink));
+    }
+    net.set_initial_config(id, std::move(config));
+  }
+  net.start();
+  return result;
+}
+
+GeneratedNetwork make_route_reflector_network(std::size_t spokes, std::size_t uplink_count,
+                                              NetworkOptions options) {
+  constexpr AsNumber kAs = 65000;
+  Topology topology;
+  RouterId hub = topology.add_router("RR", kAs);
+  for (std::size_t i = 0; i < spokes; ++i) {
+    RouterId spoke = topology.add_router("S" + std::to_string(i + 1), kAs);
+    topology.add_link(hub, spoke);
+  }
+
+  GeneratedNetwork result;
+  result.network = std::make_unique<Network>(std::move(topology), options);
+  Network& net = *result.network;
+  const Topology& topo = net.topology();
+
+  // Hub: OSPF + client sessions to every spoke.
+  RouterConfig hub_config;
+  hub_config.bgp.enabled = true;
+  hub_config.ospf.enabled = true;
+  hub_config.ospf.originated.push_back(loopback_prefix(hub));
+  for (std::size_t i = 0; i < spokes; ++i) {
+    auto spoke = static_cast<RouterId>(i + 1);
+    BgpSessionConfig session;
+    session.name = "client-" + topo.router(spoke).name;
+    session.peer = spoke;
+    session.peer_as = kAs;
+    session.rr_client = true;
+    hub_config.bgp.sessions.push_back(std::move(session));
+  }
+  net.set_initial_config(hub, std::move(hub_config));
+
+  // Spokes: OSPF + a single iBGP session to the hub (no mesh).
+  for (std::size_t i = 0; i < spokes; ++i) {
+    auto spoke = static_cast<RouterId>(i + 1);
+    RouterConfig config;
+    config.bgp.enabled = true;
+    config.ospf.enabled = true;
+    config.ospf.originated.push_back(loopback_prefix(spoke));
+    BgpSessionConfig session;
+    session.name = "to-rr";
+    session.peer = hub;
+    session.peer_as = kAs;
+    config.bgp.sessions.push_back(std::move(session));
+
+    if (i < uplink_count) {
+      UplinkInfo uplink;
+      uplink.router = spoke;
+      uplink.session = "uplink" + std::to_string(i);
+      uplink.peer_as = static_cast<AsNumber>(64500 + i);
+
+      BgpSessionConfig external;
+      external.name = uplink.session;
+      external.external = true;
+      external.peer_as = uplink.peer_as;
+      external.import_policy = "lp-" + uplink.session;
+      config.bgp.sessions.push_back(external);
+
+      RouteMap map;
+      map.name = external.import_policy;
+      RouteMapClause clause;
+      clause.set_local_pref = static_cast<std::uint32_t>(100 + 10 * i);
+      map.clauses.push_back(clause);
+      config.route_maps[map.name] = std::move(map);
+
+      result.uplinks.push_back(std::move(uplink));
+    }
+    net.set_initial_config(spoke, std::move(config));
+  }
+  net.start();
+  return result;
+}
+
+Prefix churn_prefix(std::size_t i) {
+  return Prefix(IpAddress(198, 18, static_cast<std::uint8_t>(i & 0xff), 0), 24);
+}
+
+ChurnWorkload::ChurnWorkload(GeneratedNetwork& net, ChurnOptions options) {
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < options.prefix_count; ++i) {
+    prefixes_.push_back(churn_prefix(i));
+  }
+  if (net.uplinks.empty()) return;
+
+  Network* network = net.network.get();
+  // Track which (uplink, prefix) pairs are advertised so withdraw events
+  // target live routes.
+  auto advertised = std::make_shared<std::set<std::pair<std::size_t, std::size_t>>>();
+
+  SimTime when = network->sim().now();
+  for (std::size_t e = 0; e < options.event_count; ++e) {
+    when += static_cast<SimTime>(rng.exponential(static_cast<double>(options.mean_gap_us))) + 1;
+    std::size_t uplink_index =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(net.uplinks.size()) - 1));
+    std::size_t prefix_index =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(prefixes_.size()) - 1));
+    const UplinkInfo& uplink = net.uplinks[uplink_index];
+
+    if (rng.chance(options.config_change_probability)) {
+      auto lp = static_cast<std::uint32_t>(rng.uniform_int(10, 300));
+      std::string policy = "lp-" + uplink.session;
+      network->sim().schedule_at(when, [network, uplink, lp, policy] {
+        network->apply_config_change(
+            uplink.router, "set local-pref " + std::to_string(lp) + " on " + uplink.session,
+            [&](RouterConfig& config) {
+              config.route_maps[policy].clauses.at(0).set_local_pref = lp;
+            });
+      });
+      ++scheduled_;
+      continue;
+    }
+
+    auto key = std::make_pair(uplink_index, prefix_index);
+    bool withdraw = advertised->contains(key) && rng.chance(options.withdraw_probability);
+    if (withdraw) {
+      advertised->erase(key);
+    } else {
+      advertised->insert(key);
+    }
+    Prefix prefix = prefixes_[prefix_index];
+    AsNumber origin_as = static_cast<AsNumber>(65100 + prefix_index);
+    network->sim().schedule_at(when, [network, uplink, prefix, withdraw, origin_as] {
+      network->inject_external_advert(uplink.router, uplink.session, prefix,
+                                      {uplink.peer_as, origin_as}, withdraw);
+    });
+    ++scheduled_;
+  }
+}
+
+}  // namespace hbguard

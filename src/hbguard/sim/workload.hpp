@@ -1,0 +1,87 @@
+// Topology generators and churn workloads for the scaling/ablation benches.
+//
+// The paper's feasibility study uses a 3-router network; the claims in §4-§6
+// (inference accuracy, snapshot consistency, HBG cost) need bigger, busier
+// networks. These helpers build random-but-reproducible multi-router
+// networks with several external uplinks and drive them with route churn
+// (advertise/withdraw flaps) and configuration churn (local-pref changes) —
+// the input mix real enterprise control planes see.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hbguard/sim/network.hpp"
+#include "hbguard/util/rng.hpp"
+
+namespace hbguard {
+
+// ---- Topology generators ----
+Topology make_chain_topology(std::size_t n, AsNumber as_number = 65000);
+Topology make_ring_topology(std::size_t n, AsNumber as_number = 65000);
+Topology make_full_mesh_topology(std::size_t n, AsNumber as_number = 65000);
+/// Random connected graph: a spanning tree plus `extra_links` random links.
+Topology make_random_topology(std::size_t n, std::size_t extra_links, Rng& rng,
+                              AsNumber as_number = 65000);
+
+/// A started iBGP-over-OSPF network with `uplink_count` eBGP uplinks placed
+/// on the first routers (sessions "uplink0", "uplink1", ... with local-pref
+/// 100+10*i so uplinks are strictly ordered by preference).
+struct UplinkInfo {
+  RouterId router;
+  std::string session;
+  AsNumber peer_as;
+};
+
+struct GeneratedNetwork {
+  std::unique_ptr<Network> network;
+  std::vector<UplinkInfo> uplinks;
+};
+
+GeneratedNetwork make_ibgp_network(Topology topology, std::size_t uplink_count,
+                                   NetworkOptions options = {});
+
+/// A hub-and-spoke network using RFC 4456 route reflection instead of an
+/// iBGP full mesh: router 0 is the reflector (hub of a star topology);
+/// every spoke peers only with it. The first `uplink_count` spokes carry
+/// external uplinks ("uplink0", "uplink1", ..., local-pref 100+10*i).
+GeneratedNetwork make_route_reflector_network(std::size_t spokes, std::size_t uplink_count,
+                                              NetworkOptions options = {});
+
+// ---- Churn workloads ----
+
+struct ChurnOptions {
+  std::size_t prefix_count = 8;
+  std::size_t event_count = 50;
+  /// Mean virtual-time gap between events (exponential).
+  SimTime mean_gap_us = 50'000;
+  /// Probability an event is a withdraw of a currently advertised route
+  /// (vs. a fresh advertisement).
+  double withdraw_probability = 0.35;
+  /// Probability an event is a local-pref configuration change instead of a
+  /// route event.
+  double config_change_probability = 0.1;
+  std::uint64_t seed = 7;
+};
+
+/// Schedules a randomized advertise/withdraw/config-change event sequence on
+/// a generated network. Events are pre-planned deterministically from the
+/// seed; run the simulator to play them out.
+class ChurnWorkload {
+ public:
+  ChurnWorkload(GeneratedNetwork& net, ChurnOptions options);
+
+  /// Prefixes used by the workload (198.18.i.0/24).
+  const std::vector<Prefix>& prefixes() const { return prefixes_; }
+  std::size_t scheduled_events() const { return scheduled_; }
+
+ private:
+  std::vector<Prefix> prefixes_;
+  std::size_t scheduled_ = 0;
+};
+
+/// The workload's prefix pool entry i.
+Prefix churn_prefix(std::size_t i);
+
+}  // namespace hbguard

@@ -1,0 +1,172 @@
+#include "hbguard/snapshot/consistent.hpp"
+
+#include <algorithm>
+
+#include "hbguard/util/strings.hpp"
+
+namespace hbguard {
+
+DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records,
+                                               const HappensBeforeGraph& hbg,
+                                               const std::map<RouterId, SimTime>& horizons,
+                                               ConsistencyReport* report) const {
+  // Per-router logs in router_seq order.
+  std::map<RouterId, std::vector<const IoRecord*>> logs;
+  for (const IoRecord& r : records) logs[r.router].push_back(&r);
+  for (auto& [router, log] : logs) {
+    std::sort(log.begin(), log.end(), [](const IoRecord* a, const IoRecord* b) {
+      return a->router_seq < b->router_seq;
+    });
+  }
+
+  // Initial frontier: the longest log prefix whose records were logged at
+  // or before the router's horizon.
+  std::map<RouterId, std::size_t> frontier;
+  for (const auto& [router, log] : logs) {
+    SimTime horizon = Simulator::kForever;
+    auto it = horizons.find(router);
+    if (it != horizons.end()) horizon = it->second;
+    std::size_t count = 0;
+    for (const IoRecord* r : log) {
+      if (r->logged_time > horizon) break;
+      ++count;
+    }
+    frontier[router] = count;
+  }
+  std::map<RouterId, std::size_t> initial_frontier = frontier;
+
+  // Index: record id -> (router, position).
+  std::map<IoId, std::pair<RouterId, std::size_t>> position;
+  for (const auto& [router, log] : logs) {
+    for (std::size_t i = 0; i < log.size(); ++i) position[log[i]->id] = {router, i};
+  }
+  auto included = [&](IoId id) {
+    auto it = position.find(id);
+    if (it == position.end()) return false;  // unknown (lost) record
+    return it->second.second < frontier[it->second.first];
+  };
+
+  // Happens-before closure by rewinding routers that are "ahead".
+  std::size_t unmatched_recvs = 0;
+  std::size_t iterations = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++iterations;
+    for (const auto& [router, log] : logs) {
+      std::size_t limit = frontier[router];
+      for (std::size_t i = 0; i < limit; ++i) {
+        const IoRecord& r = *log[i];
+        bool must_rewind = false;
+        for (const HbgEdge* edge : hbg.in_edges(r.id, options_.min_confidence)) {
+          if (!included(edge->from) && position.contains(edge->from)) {
+            // The cause exists but is beyond its router's horizon: we are
+            // ahead of that router — rewind past this record.
+            must_rewind = true;
+            break;
+          }
+        }
+        if (!must_rewind && options_.require_send_for_recv && r.kind == IoKind::kRecvAdvert &&
+            r.peer != kExternalRouter && r.peer != kInvalidRouter) {
+          bool has_send = false;
+          for (const HbgEdge* edge : hbg.in_edges(r.id, options_.min_confidence)) {
+            const IoRecord* parent = hbg.record(edge->from);
+            if (parent != nullptr && parent->kind == IoKind::kSendAdvert) {
+              has_send = true;
+              break;
+            }
+          }
+          if (!has_send) {
+            ++unmatched_recvs;
+            must_rewind = true;
+          }
+        }
+        if (must_rewind) {
+          frontier[router] = i;  // exclude r and everything after it
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Replay each router's included FIB updates and uplink state changes.
+  DataPlaneSnapshot snapshot;
+  for (const auto& [router, log] : logs) {
+    RouterFibView view;
+    Fib fib;
+    for (std::size_t i = 0; i < frontier[router]; ++i) {
+      const IoRecord& r = *log[i];
+      view.as_of = std::max(view.as_of, r.logged_time);
+      if (r.kind == IoKind::kFibUpdate && !r.fib_blocked) {
+        if (r.withdraw) {
+          if (r.prefix) fib.remove(*r.prefix);
+        } else if (r.fib_entry.has_value()) {
+          fib.install(*r.fib_entry);
+        }
+      } else if (r.kind == IoKind::kHardwareStatus && !r.session.empty()) {
+        if (r.link_up) {
+          view.failed_uplinks.erase(r.session);
+        } else {
+          view.failed_uplinks.insert(r.session);
+          // An uplink failure resets the eBGP session: its offers are gone.
+          view.uplink_routes.erase(r.session);
+        }
+      } else if (r.kind == IoKind::kRecvAdvert && r.peer == kExternalRouter &&
+                 r.prefix.has_value()) {
+        // Track what each external uplink currently offers.
+        if (r.withdraw) {
+          view.uplink_routes[r.session].erase(*r.prefix);
+        } else {
+          view.uplink_routes[r.session].insert(*r.prefix);
+        }
+      }
+    }
+    view.entries = fib.entries();
+    snapshot.routers[router] = std::move(view);
+  }
+
+  if (report != nullptr) {
+    report->unmatched_recvs = unmatched_recvs;
+    report->iterations = iterations;
+    for (const auto& [router, count] : initial_frontier) {
+      report->rewound[router] = count - frontier[router];
+    }
+    // In-flux detection: an included internal send whose matching receive
+    // (per the HBG's cross-router edges) is beyond the peer's frontier
+    // means this prefix has an update mid-propagation at the cut.
+    std::map<RouterId, SimTime> frontier_time;
+    for (const auto& [router, log] : logs) {
+      frontier_time[router] =
+          frontier[router] > 0 ? log[frontier[router] - 1]->logged_time : 0;
+    }
+    for (const auto& [router, log] : logs) {
+      for (std::size_t i = 0; i < frontier[router]; ++i) {
+        const IoRecord& r = *log[i];
+        if (r.kind != IoKind::kSendAdvert || !r.prefix.has_value() ||
+            r.peer == kExternalRouter || r.peer == kInvalidRouter) {
+          continue;
+        }
+        // Sends long before the peer's frontier are presumed delivered even
+        // when the (imperfect) HBG lacks the edge.
+        auto peer_frontier = frontier_time.find(r.peer);
+        if (peer_frontier != frontier_time.end() &&
+            r.logged_time + options_.in_flux_window_us < peer_frontier->second) {
+          continue;
+        }
+        bool received = false;
+        for (const HbgEdge* edge : hbg.out_edges(r.id, options_.min_confidence)) {
+          const IoRecord* child = hbg.record(edge->to);
+          if (child != nullptr && child->kind == IoKind::kRecvAdvert && included(edge->to)) {
+            received = true;
+            break;
+          }
+        }
+        if (!received) report->in_flux.insert(*r.prefix);
+      }
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace hbguard

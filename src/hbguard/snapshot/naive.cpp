@@ -1,0 +1,82 @@
+#include "hbguard/snapshot/naive.hpp"
+
+namespace hbguard {
+
+const FibEntry* DataPlaneSnapshot::lookup(RouterId router, IpAddress destination) const {
+  auto view_it = routers.find(router);
+  if (view_it == routers.end()) return nullptr;
+  auto cached = fib_cache_.find(router);
+  if (cached == fib_cache_.end()) {
+    auto fib = std::make_shared<Fib>();
+    for (const FibEntry& entry : view_it->second.entries) fib->install(entry);
+    cached = fib_cache_.emplace(router, std::move(fib)).first;
+  }
+  return cached->second->lookup(destination);
+}
+
+std::vector<Prefix> DataPlaneSnapshot::all_prefixes() const {
+  std::set<Prefix> unique;
+  for (const auto& [router, view] : routers) {
+    for (const FibEntry& entry : view.entries) unique.insert(entry.prefix);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+bool DataPlaneSnapshot::uplink_up(RouterId router, const std::string& session) const {
+  auto it = routers.find(router);
+  if (it == routers.end()) return true;
+  return !it->second.failed_uplinks.contains(session);
+}
+
+bool DataPlaneSnapshot::uplink_offers(RouterId router, const std::string& session,
+                                      const Prefix& prefix) const {
+  if (!uplink_up(router, session)) return false;
+  auto it = routers.find(router);
+  if (it == routers.end()) return false;
+  auto session_it = it->second.uplink_routes.find(session);
+  if (session_it == it->second.uplink_routes.end()) return false;
+  for (const Prefix& offered : session_it->second) {
+    if (offered.covers(prefix)) return true;
+  }
+  return false;
+}
+
+namespace {
+RouterFibView view_of(const Router& router, SimTime now) {
+  RouterFibView view;
+  view.entries = router.data_fib().entries();
+  view.as_of = now;
+  view.failed_uplinks = router.failed_uplinks();
+  view.uplink_routes = router.external_routes();
+  return view;
+}
+}  // namespace
+
+DataPlaneSnapshot take_instant_snapshot(const Network& network) {
+  DataPlaneSnapshot snapshot;
+  for (std::size_t i = 0; i < network.router_count(); ++i) {
+    auto id = static_cast<RouterId>(i);
+    snapshot.routers[id] = view_of(network.router(id), network.sim().now());
+  }
+  return snapshot;
+}
+
+NaiveSnapshotter::NaiveSnapshotter(Network& network, SimTime max_skew_us, std::uint64_t seed)
+    : network_(network), max_skew_us_(max_skew_us), rng_(seed) {}
+
+void NaiveSnapshotter::request() {
+  state_ = std::make_shared<State>();
+  state_->pending = network_.router_count();
+  for (std::size_t i = 0; i < network_.router_count(); ++i) {
+    auto id = static_cast<RouterId>(i);
+    SimTime skew = max_skew_us_ > 0 ? rng_.uniform_int(0, max_skew_us_) : 0;
+    auto state = state_;
+    Network* network = &network_;
+    network_.sim().schedule_after(skew, [state, network, id] {
+      state->snapshot.routers[id] = view_of(network->router(id), network->sim().now());
+      --state->pending;
+    });
+  }
+}
+
+}  // namespace hbguard

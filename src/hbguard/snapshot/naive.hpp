@@ -1,0 +1,52 @@
+// Naive (skewed) and oracle snapshotters.
+//
+// The naive snapshotter models what existing data-plane verifiers do on a
+// distributed control plane (§2, Fig. 1c): poll every router's FIB, with
+// each response reflecting a slightly different instant. Under churn this
+// yields inconsistent global views — phantom loops and missed violations.
+//
+// The oracle snapshotter reads every FIB at the same virtual instant. It is
+// only possible because we own the simulator; it provides the ground truth
+// against which verifier verdicts are scored.
+#pragma once
+
+#include <memory>
+
+#include "hbguard/sim/network.hpp"
+#include "hbguard/snapshot/snapshot.hpp"
+#include "hbguard/util/rng.hpp"
+
+namespace hbguard {
+
+/// Ground truth: every router's data-plane FIB right now (impossible on a
+/// real network; used for evaluation).
+DataPlaneSnapshot take_instant_snapshot(const Network& network);
+
+/// Asynchronous per-router polling with skew: router r's FIB is sampled at
+/// now + U(0, max_skew_us). Schedule via request(), run the simulator past
+/// the skew window, then read result().
+class NaiveSnapshotter {
+ public:
+  NaiveSnapshotter(Network& network, SimTime max_skew_us, std::uint64_t seed = 1);
+
+  /// Schedule the per-router samples. May be called repeatedly (each call
+  /// starts a fresh snapshot).
+  void request();
+
+  /// True once every router has been sampled.
+  bool complete() const { return state_ != nullptr && state_->pending == 0; }
+
+  const DataPlaneSnapshot& result() const { return state_->snapshot; }
+
+ private:
+  struct State {
+    DataPlaneSnapshot snapshot;
+    std::size_t pending = 0;
+  };
+  Network& network_;
+  SimTime max_skew_us_;
+  Rng rng_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace hbguard

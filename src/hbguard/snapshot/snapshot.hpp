@@ -1,0 +1,52 @@
+// Data-plane snapshot types shared by the naive and consistent snapshotters.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hbguard/event/simulator.hpp"
+#include "hbguard/net/topology.hpp"
+#include "hbguard/rib/fib.hpp"
+
+namespace hbguard {
+
+/// One router's FIB state as seen by the verifier, plus environment state
+/// (which uplinks are up) needed to evaluate conditional policies.
+struct RouterFibView {
+  std::vector<FibEntry> entries;
+  SimTime as_of = 0;  // the instant this view reflects
+  std::set<std::string> failed_uplinks;
+  /// Routes currently offered by each external uplink (derived from the
+  /// captured eBGP advertisements/withdrawals on that session) — the
+  /// environment state conditional policies like preferred-exit need.
+  std::map<std::string, std::set<Prefix>> uplink_routes;
+};
+
+struct DataPlaneSnapshot {
+  std::map<RouterId, RouterFibView> routers;
+
+  /// Longest-prefix-match lookup in `router`'s view; nullptr if no match.
+  /// Builds per-router tries lazily (cached).
+  const FibEntry* lookup(RouterId router, IpAddress destination) const;
+
+  /// All prefixes appearing in any router's view.
+  std::vector<Prefix> all_prefixes() const;
+
+  bool uplink_up(RouterId router, const std::string& session) const;
+
+  /// True if `router`'s uplink `session` is up and currently offers a route
+  /// covering `prefix`.
+  bool uplink_offers(RouterId router, const std::string& session, const Prefix& prefix) const;
+
+  /// Lookups build per-router tries lazily; after mutating `routers`
+  /// in place, call this to drop the stale tries.
+  void invalidate_lookup_cache() const { fib_cache_.clear(); }
+
+ private:
+  mutable std::map<RouterId, std::shared_ptr<Fib>> fib_cache_;
+};
+
+}  // namespace hbguard

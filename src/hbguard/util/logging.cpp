@@ -1,0 +1,51 @@
+#include "hbguard/util/logging.hpp"
+
+#include <cstdio>
+
+namespace hbguard {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::set_time_source(TimeSource source) {
+  std::lock_guard lock(mutex_);
+  time_source_ = std::move(source);
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(mutex_);
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  if (time_source_) {
+    std::fprintf(stderr, "[%s t=%lldus] %.*s\n", std::string(to_string(level)).c_str(),
+                 static_cast<long long>(time_source_()), static_cast<int>(message.size()),
+                 message.data());
+  } else {
+    std::fprintf(stderr, "[%s] %.*s\n", std::string(to_string(level)).c_str(),
+                 static_cast<int>(message.size()), message.data());
+  }
+}
+
+}  // namespace hbguard

@@ -1,0 +1,81 @@
+// Lightweight leveled logger used across hbguard.
+//
+// The simulator and guard pipeline are single-threaded per run, but tests may
+// run scenarios concurrently, so the sink is guarded by a mutex. Log lines
+// carry the *virtual* simulation time when one is registered, since wall time
+// is meaningless inside a discrete-event run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hbguard {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view to_string(LogLevel level);
+
+/// Process-wide logger. Defaults to kWarn on stderr so tests stay quiet.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+  using TimeSource = std::function<std::int64_t()>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Replace the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  /// Register a virtual-time source (microseconds); nullptr to clear.
+  void set_time_source(TimeSource source);
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger() = default;
+  std::mutex mutex_;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  TimeSource time_source_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace hbguard
+
+#define HBG_LOG(level)                                        \
+  if (!::hbguard::Logger::instance().enabled(level)) {        \
+  } else                                                      \
+    ::hbguard::detail::LogLine(level)
+
+#define HBG_TRACE HBG_LOG(::hbguard::LogLevel::kTrace)
+#define HBG_DEBUG HBG_LOG(::hbguard::LogLevel::kDebug)
+#define HBG_INFO HBG_LOG(::hbguard::LogLevel::kInfo)
+#define HBG_WARN HBG_LOG(::hbguard::LogLevel::kWarn)
+#define HBG_ERROR HBG_LOG(::hbguard::LogLevel::kError)

@@ -1,0 +1,42 @@
+#include "hbguard/util/rng.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hbguard {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential requires mean > 0");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("weighted_index on empty weights");
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+Rng Rng::fork() {
+  return Rng(engine_());
+}
+
+}  // namespace hbguard

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in hbguard (link delays, capture jitter,
+// workload generators) draws from an explicitly seeded Rng so that scenarios
+// replay bit-identically — a prerequisite for the paper's §8 determinism
+// discussion and for reproducible benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace hbguard {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    std::shuffle(c.begin(), c.end(), engine_);
+  }
+
+  /// Fork an independent stream (e.g. one per router) so draws in one
+  /// component don't perturb another when scenarios are edited.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hbguard

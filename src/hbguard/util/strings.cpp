@@ -1,0 +1,61 @@
+#include "hbguard/util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace hbguard {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_duration_us(std::int64_t micros) {
+  char buf[64];
+  if (micros >= 1'000'000 && micros % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(micros / 1'000'000));
+  } else if (micros >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", static_cast<double>(micros) / 1e6);
+  } else if (micros >= 1000 && micros % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(micros / 1000));
+  } else if (micros >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(micros) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros));
+  }
+  return buf;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,26 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbguard {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Join items with a separator; items must be string-convertible via
+/// std::string(item) or item.to_string().
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Render microseconds as a compact human string, e.g. "25s", "4ms", "0.1ms".
+std::string format_duration_us(std::int64_t micros);
+
+}  // namespace hbguard

@@ -1,0 +1,68 @@
+#include "hbguard/verify/eqclass.hpp"
+
+#include <sstream>
+
+#include "hbguard/net/prefix_trie.hpp"
+
+namespace hbguard {
+
+namespace {
+/// Per-router behaviour for one destination, compact and comparable.
+std::string behaviour_signature(const DataPlaneSnapshot& snapshot, IpAddress destination) {
+  std::ostringstream out;
+  for (const auto& [router, view] : snapshot.routers) {
+    const FibEntry* entry = snapshot.lookup(router, destination);
+    out << router << ':';
+    if (entry == nullptr) {
+      out << "-;";
+      continue;
+    }
+    switch (entry->action) {
+      case FibEntry::Action::kForward: out << 'F' << entry->next_hop; break;
+      case FibEntry::Action::kExternal: out << 'X' << entry->external_session; break;
+      case FibEntry::Action::kLocal: out << 'L'; break;
+      case FibEntry::Action::kDrop: out << 'D'; break;
+    }
+    out << ';';
+  }
+  return out.str();
+}
+}  // namespace
+
+EquivalenceClasses compute_equivalence_classes(const DataPlaneSnapshot& snapshot) {
+  EquivalenceClasses result;
+  std::vector<std::uint32_t> bounds = prefix_space_boundaries(snapshot.all_prefixes());
+  result.atomic_intervals = bounds.size();
+
+  std::map<std::string, std::size_t> by_signature;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    std::uint32_t start = bounds[i];
+    std::uint32_t end = (i + 1 < bounds.size()) ? bounds[i + 1] - 1 : 0xffffffffu;
+    IpAddress representative(start);
+    std::string signature = behaviour_signature(snapshot, representative);
+
+    auto it = by_signature.find(signature);
+    if (it == by_signature.end()) {
+      it = by_signature.emplace(signature, result.classes.size()).first;
+      EquivalenceClass klass;
+      klass.signature = signature;
+      klass.representative = representative;
+      result.classes.push_back(std::move(klass));
+    }
+    EquivalenceClass& klass = result.classes[it->second];
+    klass.intervals.emplace_back(start, end);
+    klass.size += std::uint64_t{end} - start + 1;
+  }
+  return result;
+}
+
+std::size_t EquivalenceClasses::class_of(IpAddress ip) const {
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    for (const auto& [start, end] : classes[i].intervals) {
+      if (ip.bits() >= start && ip.bits() <= end) return i;
+    }
+  }
+  return classes.size();  // unreachable for a total partition
+}
+
+}  // namespace hbguard

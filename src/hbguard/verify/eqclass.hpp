@@ -1,0 +1,46 @@
+// Packet equivalence classes over a data-plane snapshot (§6, citing [7]).
+//
+// "Control plane computations tend to be highly repetitive across prefixes.
+// Many destinations are treated alike by the network control plane and can
+// therefore be grouped into few equivalence classes. Studies have shown
+// that even large networks (100K prefixes) often have less than 15
+// equivalence classes in total."
+//
+// The computation partitions the 32-bit destination space into atomic
+// intervals induced by every FIB prefix in the snapshot, evaluates each
+// interval's network-wide forwarding behaviour (per-router action vector),
+// and groups intervals with identical behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hbguard/snapshot/snapshot.hpp"
+
+namespace hbguard {
+
+struct EquivalenceClass {
+  /// Atomic [start, end] address intervals (inclusive) in this class.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  /// The shared behaviour: per-router forwarding signature.
+  std::string signature;
+  /// A representative destination inside the class.
+  IpAddress representative;
+  /// Total addresses covered.
+  std::uint64_t size = 0;
+};
+
+struct EquivalenceClasses {
+  std::vector<EquivalenceClass> classes;
+  std::size_t atomic_intervals = 0;
+
+  /// Index of the class containing `ip`; classes are disjoint and total.
+  std::size_t class_of(IpAddress ip) const;
+};
+
+/// Compute the network-wide forwarding equivalence classes of a snapshot.
+EquivalenceClasses compute_equivalence_classes(const DataPlaneSnapshot& snapshot);
+
+}  // namespace hbguard

@@ -1,0 +1,106 @@
+#include "hbguard/verify/truth_monitor.hpp"
+
+#include <set>
+
+#include "hbguard/snapshot/naive.hpp"
+
+namespace hbguard {
+
+TruthMonitor::TruthMonitor(Network& network, PolicyList policies)
+    : network_(network), verifier_(std::move(policies)) {
+  network_.capture().subscribe([this](const IoRecord& record) {
+    // Only FIB updates and hardware events change trace outcomes.
+    if (record.kind == IoKind::kFibUpdate || record.kind == IoKind::kHardwareStatus) {
+      evaluate();
+    }
+  });
+  evaluate();  // baseline state
+}
+
+void TruthMonitor::evaluate() {
+  SimTime now = network_.sim().now();
+  ++evaluations_;
+  last_evaluated_ = now;
+
+  DataPlaneSnapshot snapshot = take_instant_snapshot(network_);
+  std::set<std::string> violated_now;
+  for (const auto& policy : verifier_.policies()) {
+    std::vector<Violation> violations;
+    policy->check(snapshot, violations);
+    if (!violations.empty()) violated_now.insert(policy->name());
+  }
+
+  // Close intervals that ended.
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (!violated_now.contains(it->first)) {
+      closed_[it->first].emplace_back(it->second, now);
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Open intervals that started.
+  for (const std::string& policy : violated_now) {
+    if (!open_.contains(policy)) open_[policy] = now;
+  }
+}
+
+bool TruthMonitor::violated_in(const std::string& policy, SimTime lo, SimTime hi) const {
+  auto closed_it = closed_.find(policy);
+  if (closed_it != closed_.end()) {
+    for (const auto& [start, end] : closed_it->second) {
+      if (start <= hi && end >= lo) return true;
+    }
+  }
+  auto open_it = open_.find(policy);
+  if (open_it != open_.end() && open_it->second <= hi) return true;
+  return false;
+}
+
+bool TruthMonitor::violated_throughout(const std::string& policy, SimTime lo, SimTime hi) const {
+  auto open_it = open_.find(policy);
+  if (open_it != open_.end() && open_it->second <= lo) return true;
+  auto closed_it = closed_.find(policy);
+  if (closed_it != closed_.end()) {
+    for (const auto& [start, end] : closed_it->second) {
+      if (start <= lo && end >= hi) return true;
+    }
+  }
+  return false;
+}
+
+std::map<std::string, std::vector<std::pair<SimTime, SimTime>>> TruthMonitor::intervals() const {
+  auto result = closed_;
+  for (const auto& [policy, start] : open_) {
+    result[policy].emplace_back(start, Simulator::kForever);
+  }
+  return result;
+}
+
+WindowVerdict score_against_truth(const Verifier& verifier, const DataPlaneSnapshot& snapshot,
+                                  const TruthMonitor& truth, SimTime slack_us) {
+  SimTime lo = Simulator::kForever, hi = 0;
+  for (const auto& [router, view] : snapshot.routers) {
+    lo = std::min(lo, view.as_of);
+    hi = std::max(hi, view.as_of);
+  }
+  if (lo > hi) lo = hi;
+
+  WindowVerdict verdict;
+  for (const auto& policy : verifier.policies()) {
+    std::vector<Violation> violations;
+    policy->check(snapshot, violations);
+    bool flagged = !violations.empty();
+    if (flagged && !truth.violated_in(policy->name(), lo - slack_us, hi + slack_us)) {
+      ++verdict.false_alarms;
+    } else if (!flagged &&
+               truth.violated_throughout(policy->name(), lo - slack_us, hi + slack_us)) {
+      ++verdict.missed;
+    } else {
+      ++verdict.agree;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,72 @@
+// Continuous ground-truth violation tracking (evaluation instrumentation).
+//
+// A data-plane snapshot — even a perfectly consistent one — reflects some
+// instant at or before "now", so judging its verdicts against the oracle
+// state at a single instant penalizes mere staleness. The TruthMonitor
+// subscribes to the capture stream and re-evaluates every policy on the
+// true (instantaneous) data plane whenever it can have changed, recording
+// per-policy violation intervals in virtual time. Snapshot verdicts can
+// then be scored against what was actually true anywhere inside the
+// snapshot's cut window:
+//   * false alarm — the snapshot flags a policy that was never violated in
+//     its window (the paper's "loop [that] does not appear in practice");
+//   * miss — the snapshot passes a policy violated across its whole window.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hbguard/sim/network.hpp"
+#include "hbguard/verify/verifier.hpp"
+
+namespace hbguard {
+
+class TruthMonitor {
+ public:
+  /// Subscribes to the network's capture hub; policies are evaluated after
+  /// every event that can change the data plane or environment.
+  TruthMonitor(Network& network, PolicyList policies);
+
+  /// True if `policy` was violated at any point in [lo, hi].
+  bool violated_in(const std::string& policy, SimTime lo, SimTime hi) const;
+
+  /// True if `policy` was violated for all of [lo, hi].
+  bool violated_throughout(const std::string& policy, SimTime lo, SimTime hi) const;
+
+  /// Closed and open violation intervals per policy.
+  std::map<std::string, std::vector<std::pair<SimTime, SimTime>>> intervals() const;
+
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  void evaluate();
+
+  Network& network_;
+  Verifier verifier_;
+  /// Closed intervals per policy; kForever marks a still-open violation.
+  std::map<std::string, std::vector<std::pair<SimTime, SimTime>>> closed_;
+  std::map<std::string, SimTime> open_;  // violation started, not yet ended
+  std::size_t evaluations_ = 0;
+  SimTime last_evaluated_ = -1;
+};
+
+/// Score a snapshot's per-policy verdicts against the recorded truth over
+/// the snapshot's cut window [min as_of, max as_of]:
+///   false alarm — flagged but never violated in the window;
+///   missed      — passed but violated throughout the window;
+///   agree       — everything else (verdict defensible for some instant).
+struct WindowVerdict {
+  std::size_t agree = 0;
+  std::size_t false_alarms = 0;
+  std::size_t missed = 0;
+};
+
+/// `slack_us` widens the window to absorb the offset between a record's
+/// logged stamp (which sets the snapshot's as_of) and the simulation instant
+/// at which the truth monitor evaluated (router pipeline stamps trail the
+/// processing instant by up to a few ms).
+WindowVerdict score_against_truth(const Verifier& verifier, const DataPlaneSnapshot& snapshot,
+                                  const TruthMonitor& truth, SimTime slack_us = 5'000);
+
+}  // namespace hbguard

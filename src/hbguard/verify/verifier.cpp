@@ -1,0 +1,37 @@
+#include "hbguard/verify/verifier.hpp"
+
+#include <set>
+
+namespace hbguard {
+
+VerifyResult Verifier::verify(const DataPlaneSnapshot& snapshot) const {
+  VerifyResult result;
+  for (const auto& policy : policies_) {
+    policy->check(snapshot, result.violations);
+  }
+  return result;
+}
+
+VerdictComparison compare_verdicts(const Verifier& verifier, const DataPlaneSnapshot& observed,
+                                   const DataPlaneSnapshot& truth) {
+  VerdictComparison comparison;
+  for (const auto& policy : verifier.policies()) {
+    std::vector<Violation> observed_violations;
+    policy->check(observed, observed_violations);
+    std::vector<Violation> truth_violations;
+    policy->check(truth, truth_violations);
+
+    bool observed_flags = !observed_violations.empty();
+    bool truth_flags = !truth_violations.empty();
+    if (observed_flags == truth_flags) {
+      ++comparison.agree;
+    } else if (observed_flags) {
+      ++comparison.false_alarms;
+    } else {
+      ++comparison.missed;
+    }
+  }
+  return comparison;
+}
+
+}  // namespace hbguard

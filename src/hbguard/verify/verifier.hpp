@@ -1,0 +1,41 @@
+// The data-plane verifier front end.
+//
+// Runs a policy list against a snapshot and (for evaluation) classifies the
+// verdicts of a possibly-inconsistent snapshot against an oracle snapshot —
+// the false-positive/false-negative accounting behind the paper's claim
+// that naive distributed snapshots mislead verifiers (§2, §5).
+#pragma once
+
+#include "hbguard/verify/policy.hpp"
+
+namespace hbguard {
+
+struct VerifyResult {
+  std::vector<Violation> violations;
+  bool clean() const { return violations.empty(); }
+};
+
+class Verifier {
+ public:
+  explicit Verifier(PolicyList policies) : policies_(std::move(policies)) {}
+
+  VerifyResult verify(const DataPlaneSnapshot& snapshot) const;
+
+  const PolicyList& policies() const { return policies_; }
+
+ private:
+  PolicyList policies_;
+};
+
+/// Compare the verdict drawn from `observed` (e.g. a skewed snapshot) with
+/// the verdict from `truth` (the oracle instantaneous snapshot), per policy.
+struct VerdictComparison {
+  std::size_t agree = 0;            // same verdict (violation or not)
+  std::size_t false_alarms = 0;     // observed flags a policy that truth passes
+  std::size_t missed = 0;           // observed passes a policy that truth flags
+};
+
+VerdictComparison compare_verdicts(const Verifier& verifier, const DataPlaneSnapshot& observed,
+                                   const DataPlaneSnapshot& truth);
+
+}  // namespace hbguard

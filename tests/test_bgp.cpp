@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/proto/bgp/decision.hpp"
+#include "hbguard/proto/bgp/engine.hpp"
+
+namespace hbguard {
+namespace {
+
+BgpRoute make_route(std::uint32_t local_pref, std::size_t as_path_len, bool ebgp,
+                    RouterId peer = 1) {
+  BgpRoute route;
+  route.prefix = *Prefix::parse("203.0.113.0/24");
+  route.attrs.local_pref = local_pref;
+  route.attrs.as_path.assign(as_path_len, 64500);
+  route.attrs.next_hop = ebgp ? BgpNextHop::via_external("up") : BgpNextHop::internal(peer);
+  route.ebgp = ebgp;
+  route.peer = peer;
+  route.peer_as = ebgp ? 64500 : 65000;
+  return route;
+}
+
+BestPathSelector make_selector(VendorQuirks quirks = {}) {
+  return BestPathSelector(quirks, [](RouterId) { return std::uint32_t{1}; });
+}
+
+TEST(Decision, HigherLocalPrefWins) {
+  auto selector = make_selector();
+  std::vector<BgpRoute> candidates{make_route(20, 1, true, 1), make_route(30, 5, true, 2)};
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);
+  EXPECT_EQ(result.reason, "higher local-pref");
+}
+
+TEST(Decision, WeightBeatsLocalPref) {
+  auto selector = make_selector();
+  std::vector<BgpRoute> candidates{make_route(300, 1, true, 1), make_route(20, 1, true, 2)};
+  candidates[1].attrs.weight = 32768;
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);
+  EXPECT_EQ(result.reason, "higher weight");
+}
+
+TEST(Decision, ShorterAsPathBreaksLocalPrefTie) {
+  auto selector = make_selector();
+  std::vector<BgpRoute> candidates{make_route(100, 3, true, 1), make_route(100, 2, true, 2)};
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);
+  EXPECT_EQ(result.reason, "shorter AS path");
+}
+
+TEST(Decision, LowerOriginBreaksTie) {
+  auto selector = make_selector();
+  std::vector<BgpRoute> candidates{make_route(100, 2, true, 1), make_route(100, 2, true, 2)};
+  candidates[0].attrs.origin = BgpOrigin::kIncomplete;
+  candidates[1].attrs.origin = BgpOrigin::kIgp;
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);
+  EXPECT_EQ(result.reason, "lower origin");
+}
+
+TEST(Decision, MedComparedOnlyWithinSameNeighborAs) {
+  auto selector = make_selector();  // always_compare_med = false
+  std::vector<BgpRoute> candidates{make_route(100, 1, true, 1), make_route(100, 1, true, 2)};
+  candidates[0].attrs.as_path = {64500};
+  candidates[0].attrs.med = 50;
+  candidates[1].attrs.as_path = {64600};  // different neighbor AS
+  candidates[1].attrs.med = 10;
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  // MED incomparable across ASes: falls through to later tie-breaks
+  // (router-id favors peer 1 → index 0).
+  EXPECT_EQ(*result.best, 0u);
+  EXPECT_NE(result.reason, "lower MED");
+}
+
+TEST(Decision, AlwaysCompareMedQuirkChangesWinner) {
+  VendorQuirks quirks;
+  quirks.always_compare_med = true;
+  auto selector = make_selector(quirks);
+  std::vector<BgpRoute> candidates{make_route(100, 1, true, 1), make_route(100, 1, true, 2)};
+  candidates[0].attrs.as_path = {64500};
+  candidates[0].attrs.med = 50;
+  candidates[1].attrs.as_path = {64600};
+  candidates[1].attrs.med = 10;
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);  // with the quirk, lower MED wins
+}
+
+TEST(Decision, MedWithinSameNeighborAs) {
+  auto selector = make_selector();
+  std::vector<BgpRoute> candidates{make_route(100, 1, true, 1), make_route(100, 1, true, 2)};
+  candidates[0].attrs.med = 50;
+  candidates[1].attrs.med = 10;  // same neighbor AS 64500
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);
+  EXPECT_EQ(result.reason, "lower MED");
+}
+
+TEST(Decision, EbgpPreferredOverIbgp) {
+  auto selector = make_selector();
+  std::vector<BgpRoute> candidates{make_route(100, 1, false, 1), make_route(100, 1, true, 2)};
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);
+  EXPECT_EQ(result.reason, "eBGP over iBGP");
+}
+
+TEST(Decision, LowerIgpMetricBreaksTie) {
+  BestPathSelector selector({}, [](RouterId target) -> std::optional<std::uint32_t> {
+    return target == 1 ? 5 : 2;
+  });
+  std::vector<BgpRoute> candidates{make_route(100, 1, false, 1), make_route(100, 1, false, 2)};
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);
+  EXPECT_EQ(result.reason, "lower IGP metric to next hop");
+}
+
+TEST(Decision, UnreachableNextHopDisqualifies) {
+  BestPathSelector selector({}, [](RouterId target) -> std::optional<std::uint32_t> {
+    if (target == 1) return std::nullopt;
+    return 1;
+  });
+  std::vector<BgpRoute> candidates{make_route(300, 1, false, 1), make_route(100, 1, false, 2)};
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);  // higher-LP route unusable
+}
+
+TEST(Decision, NoUsablePath) {
+  BestPathSelector selector({}, [](RouterId) -> std::optional<std::uint32_t> {
+    return std::nullopt;
+  });
+  std::vector<BgpRoute> candidates{make_route(100, 1, false, 1)};
+  auto result = selector.select(candidates);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_EQ(result.reason, "no usable path");
+}
+
+TEST(Decision, OldestEbgpRouteQuirk) {
+  VendorQuirks quirks;
+  quirks.prefer_oldest_route = true;
+  auto selector = make_selector(quirks);
+  std::vector<BgpRoute> candidates{make_route(100, 1, true, 5), make_route(100, 1, true, 2)};
+  candidates[0].arrival_seq = 1;  // older
+  candidates[1].arrival_seq = 9;
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 0u);
+  EXPECT_EQ(result.reason, "oldest eBGP route");
+
+  // With the quirk disabled, router-id decides instead.
+  quirks.prefer_oldest_route = false;
+  auto selector2 = make_selector(quirks);
+  result = selector2.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 1u);
+  EXPECT_EQ(result.reason, "lower peer router-id");
+}
+
+TEST(Decision, SingleCandidate) {
+  auto selector = make_selector();
+  std::vector<BgpRoute> candidates{make_route(100, 1, true, 1)};
+  auto result = selector.select(candidates);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(*result.best, 0u);
+  EXPECT_EQ(result.reason, "only usable path");
+}
+
+TEST(Decision, EmptyCandidates) {
+  auto selector = make_selector();
+  auto result = selector.select({});
+  EXPECT_FALSE(result.best.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Engine tests (standalone, no simulator): a single router with two
+// sessions; we inject updates and observe loc-RIB and sent messages.
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture() {
+    config_.bgp.enabled = true;
+
+    BgpSessionConfig uplink;
+    uplink.name = "uplink";
+    uplink.external = true;
+    uplink.peer_as = 64500;
+    config_.bgp.sessions.push_back(uplink);
+
+    BgpSessionConfig ibgp;
+    ibgp.name = "ibgp-peer";
+    ibgp.peer = 2;
+    ibgp.peer_as = 65000;
+    config_.bgp.sessions.push_back(ibgp);
+
+    engine_ = std::make_unique<BgpEngine>(
+        1, 65000,
+        BgpEngine::Callbacks{
+            [this](const std::string& session, const BgpUpdateMsg& msg) {
+              sent_.emplace_back(session, msg);
+            },
+            [this](const Prefix& prefix, const LocRibEntry* entry) {
+              if (entry != nullptr) {
+                loc_rib_events_.emplace_back(prefix, entry->route.describe());
+              } else {
+                loc_rib_events_.emplace_back(prefix, "withdrawn");
+              }
+            },
+            [](RouterId) { return std::uint32_t{1}; }, [] { return SimTime{0}; }});
+    engine_->set_config(&config_);
+    engine_->start();
+  }
+
+  BgpUpdateMsg external_advert(const char* prefix, std::vector<AsNumber> as_path) {
+    BgpUpdateMsg msg;
+    msg.prefix = *Prefix::parse(prefix);
+    msg.attrs.as_path = std::move(as_path);
+    msg.attrs.next_hop = BgpNextHop::via_external("uplink");
+    return msg;
+  }
+
+  RouterConfig config_;
+  std::unique_ptr<BgpEngine> engine_;
+  std::vector<std::pair<std::string, BgpUpdateMsg>> sent_;
+  std::vector<std::pair<Prefix, std::string>> loc_rib_events_;
+};
+
+TEST_F(EngineFixture, ExternalRouteInstalledAndReadvertisedToIbgp) {
+  engine_->handle_update("uplink", external_advert("203.0.113.0/24", {64500}));
+  ASSERT_EQ(loc_rib_events_.size(), 1u);
+  const LocRibEntry* entry = engine_->loc_rib_entry(*Prefix::parse("203.0.113.0/24"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->route.ebgp);
+
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_EQ(sent_[0].first, "ibgp-peer");
+  EXPECT_FALSE(sent_[0].second.withdraw);
+  // next-hop-self on the iBGP export
+  EXPECT_EQ(sent_[0].second.attrs.next_hop, BgpNextHop::internal(1));
+}
+
+TEST_F(EngineFixture, WithdrawRemovesAndPropagates) {
+  engine_->handle_update("uplink", external_advert("203.0.113.0/24", {64500}));
+  sent_.clear();
+  BgpUpdateMsg withdraw;
+  withdraw.prefix = *Prefix::parse("203.0.113.0/24");
+  withdraw.withdraw = true;
+  engine_->handle_update("uplink", withdraw);
+
+  EXPECT_EQ(engine_->loc_rib_entry(*Prefix::parse("203.0.113.0/24")), nullptr);
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_TRUE(sent_[0].second.withdraw);
+}
+
+TEST_F(EngineFixture, EbgpLoopPreventionDropsOwnAs) {
+  engine_->handle_update("uplink", external_advert("203.0.113.0/24", {64500, 65000, 64999}));
+  EXPECT_EQ(engine_->loc_rib_entry(*Prefix::parse("203.0.113.0/24")), nullptr);
+  EXPECT_TRUE(sent_.empty());
+}
+
+TEST_F(EngineFixture, IbgpLearnedRouteNotReflected) {
+  BgpUpdateMsg msg;
+  msg.prefix = *Prefix::parse("198.51.100.0/24");
+  msg.attrs.next_hop = BgpNextHop::internal(2);
+  msg.attrs.local_pref = 100;
+  engine_->handle_update("ibgp-peer", msg);
+
+  const LocRibEntry* entry = engine_->loc_rib_entry(*Prefix::parse("198.51.100.0/24"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->route.ebgp);
+  // Only one iBGP peer (the sender): nothing to send (split horizon +
+  // no-reflection), and nothing to the external uplink? eBGP export is
+  // allowed — the uplink gets the route with our AS prepended.
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_EQ(sent_[0].first, "uplink");
+  ASSERT_FALSE(sent_[0].second.attrs.as_path.empty());
+  EXPECT_EQ(sent_[0].second.attrs.as_path.front(), 65000u);
+}
+
+TEST_F(EngineFixture, ImportPolicyAppliedAtDecisionTime) {
+  // Soft reconfiguration: policy changes re-evaluate stored raw routes.
+  engine_->handle_update("uplink", external_advert("203.0.113.0/24", {64500}));
+  const LocRibEntry* entry = engine_->loc_rib_entry(*Prefix::parse("203.0.113.0/24"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->route.attrs.local_pref, 100u);
+
+  RouteMap map;
+  map.name = "lp30";
+  RouteMapClause clause;
+  clause.set_local_pref = 30;
+  map.clauses.push_back(clause);
+  config_.route_maps["lp30"] = map;
+  config_.bgp.find_session("uplink")->import_policy = "lp30";
+
+  engine_->reevaluate_all();
+  entry = engine_->loc_rib_entry(*Prefix::parse("203.0.113.0/24"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->route.attrs.local_pref, 30u);
+}
+
+TEST_F(EngineFixture, ImportDenyRemovesRoute) {
+  engine_->handle_update("uplink", external_advert("203.0.113.0/24", {64500}));
+  RouteMap map;
+  map.name = "deny-all";
+  RouteMapClause clause;
+  clause.action = RouteMapClause::Action::kDeny;
+  map.clauses.push_back(clause);
+  map.default_permit = false;
+  config_.route_maps["deny-all"] = map;
+  config_.bgp.find_session("uplink")->import_policy = "deny-all";
+
+  engine_->reevaluate_all();
+  EXPECT_EQ(engine_->loc_rib_entry(*Prefix::parse("203.0.113.0/24")), nullptr);
+}
+
+TEST_F(EngineFixture, SessionDownFlushesRoutes) {
+  engine_->handle_update("uplink", external_advert("203.0.113.0/24", {64500}));
+  sent_.clear();
+  engine_->set_session_state("uplink", false);
+  EXPECT_EQ(engine_->loc_rib_entry(*Prefix::parse("203.0.113.0/24")), nullptr);
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_TRUE(sent_[0].second.withdraw);
+  EXPECT_EQ(sent_[0].first, "ibgp-peer");
+}
+
+TEST_F(EngineFixture, OriginatedNetworkAdvertised) {
+  config_.bgp.originated.push_back(*Prefix::parse("192.0.2.0/24"));
+  engine_->reevaluate_all();
+  const LocRibEntry* entry = engine_->loc_rib_entry(*Prefix::parse("192.0.2.0/24"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->route.originated);
+  EXPECT_EQ(entry->route.attrs.weight, 32768u);
+  EXPECT_EQ(sent_.size(), 2u);  // both sessions
+}
+
+TEST_F(EngineFixture, ExtraOriginatedBehavesLikeNetworkStatement) {
+  engine_->set_extra_originated({*Prefix::parse("172.16.0.0/12")});
+  const LocRibEntry* entry = engine_->loc_rib_entry(*Prefix::parse("172.16.0.0/12"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->route.originated);
+
+  engine_->set_extra_originated({});
+  EXPECT_EQ(engine_->loc_rib_entry(*Prefix::parse("172.16.0.0/12")), nullptr);
+}
+
+TEST_F(EngineFixture, DuplicateAdvertisementIsIdempotent) {
+  auto msg = external_advert("203.0.113.0/24", {64500});
+  engine_->handle_update("uplink", msg);
+  auto events = loc_rib_events_.size();
+  auto sends = sent_.size();
+  engine_->handle_update("uplink", msg);
+  EXPECT_EQ(loc_rib_events_.size(), events);
+  EXPECT_EQ(sent_.size(), sends);
+}
+
+}  // namespace
+}  // namespace hbguard

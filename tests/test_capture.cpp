@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/capture/tap.hpp"
+
+namespace hbguard {
+namespace {
+
+IoRecord make_record(IoKind kind, SimTime when, const char* prefix = nullptr) {
+  IoRecord record;
+  record.kind = kind;
+  record.true_time = when;
+  if (prefix != nullptr) record.prefix = *Prefix::parse(prefix);
+  return record;
+}
+
+TEST(CaptureHub, AssignsIdsAndSequences) {
+  CaptureHub hub;
+  RouterTap tap0(&hub, 0);
+  RouterTap tap1(&hub, 1);
+
+  IoId a = tap0.record(make_record(IoKind::kConfigChange, 10));
+  IoId b = tap1.record(make_record(IoKind::kFibUpdate, 20, "10.0.0.0/8"));
+  IoId c = tap0.record(make_record(IoKind::kSendAdvert, 30, "10.0.0.0/8"));
+
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(c, 3u);
+
+  const IoRecord* ra = hub.find(a);
+  const IoRecord* rc = hub.find(c);
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rc, nullptr);
+  EXPECT_EQ(ra->router, 0u);
+  EXPECT_EQ(ra->router_seq, 0u);
+  EXPECT_EQ(rc->router_seq, 1u);  // second record of router 0
+  EXPECT_EQ(hub.find(b)->router_seq, 0u);
+}
+
+TEST(CaptureHub, PerfectClocksByDefault) {
+  CaptureHub hub;
+  RouterTap tap(&hub, 0);
+  IoId id = tap.record(make_record(IoKind::kFibUpdate, 1234));
+  EXPECT_EQ(hub.find(id)->logged_time, 1234);
+}
+
+TEST(CaptureHub, JitterBoundsRespected) {
+  CaptureOptions options;
+  options.timestamp_jitter_us = 100;
+  CaptureHub hub(options, 99);
+  RouterTap tap(&hub, 0);
+  for (int i = 0; i < 200; ++i) {
+    IoId id = tap.record(make_record(IoKind::kFibUpdate, 10'000));
+    const IoRecord* r = hub.find(id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_GE(r->logged_time, 9'900);
+    EXPECT_LE(r->logged_time, 10'100);
+  }
+}
+
+TEST(CaptureHub, JitterNeverProducesNegativeTime) {
+  CaptureOptions options;
+  options.timestamp_jitter_us = 1000;
+  CaptureHub hub(options, 3);
+  RouterTap tap(&hub, 0);
+  for (int i = 0; i < 100; ++i) {
+    IoId id = tap.record(make_record(IoKind::kFibUpdate, 5));
+    EXPECT_GE(hub.find(id)->logged_time, 0);
+  }
+}
+
+TEST(CaptureHub, LossDropsRecordsButKeepsIds) {
+  CaptureOptions options;
+  options.loss_probability = 0.5;
+  CaptureHub hub(options, 7);
+  RouterTap tap(&hub, 0);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) tap.record(make_record(IoKind::kFibUpdate, i));
+  EXPECT_EQ(hub.events_seen(), static_cast<std::uint64_t>(n));
+  EXPECT_GT(hub.events_lost(), 300u);
+  EXPECT_LT(hub.events_lost(), 700u);
+  EXPECT_EQ(hub.records().size() + hub.events_lost(), static_cast<std::size_t>(n));
+  // Ids remain strictly increasing among survivors.
+  IoId last = 0;
+  for (const IoRecord& r : hub.records()) {
+    EXPECT_GT(r.id, last);
+    last = r.id;
+  }
+}
+
+TEST(CaptureHub, FindLostRecordReturnsNull) {
+  CaptureOptions options;
+  options.loss_probability = 1.0;
+  CaptureHub hub(options, 1);
+  RouterTap tap(&hub, 0);
+  IoId id = tap.record(make_record(IoKind::kFibUpdate, 1));
+  EXPECT_EQ(hub.find(id), nullptr);
+}
+
+TEST(CaptureHub, SubscribersSeeSurvivingRecords) {
+  CaptureHub hub;
+  std::vector<IoId> seen;
+  hub.subscribe([&](const IoRecord& r) { seen.push_back(r.id); });
+  RouterTap tap(&hub, 0);
+  tap.record(make_record(IoKind::kFibUpdate, 1));
+  tap.record(make_record(IoKind::kRibUpdate, 2));
+  EXPECT_EQ(seen, (std::vector<IoId>{1, 2}));
+}
+
+TEST(CaptureHub, RecordsOfFiltersByRouter) {
+  CaptureHub hub;
+  RouterTap tap0(&hub, 0);
+  RouterTap tap1(&hub, 1);
+  tap0.record(make_record(IoKind::kFibUpdate, 1));
+  tap1.record(make_record(IoKind::kFibUpdate, 2));
+  tap0.record(make_record(IoKind::kFibUpdate, 3));
+  EXPECT_EQ(hub.records_of(0).size(), 2u);
+  EXPECT_EQ(hub.records_of(1).size(), 1u);
+}
+
+TEST(IoRecord, InputClassification) {
+  EXPECT_TRUE(is_input(IoKind::kConfigChange));
+  EXPECT_TRUE(is_input(IoKind::kHardwareStatus));
+  EXPECT_TRUE(is_input(IoKind::kRecvAdvert));
+  EXPECT_FALSE(is_input(IoKind::kRibUpdate));
+  EXPECT_FALSE(is_input(IoKind::kFibUpdate));
+  EXPECT_FALSE(is_input(IoKind::kSendAdvert));
+}
+
+TEST(IoRecord, LabelMatchesPaperStyle) {
+  IoRecord r;
+  r.router = 2;
+  r.kind = IoKind::kRibUpdate;
+  r.protocol = Protocol::kEbgp;
+  r.prefix = *Prefix::parse("203.0.113.0/24");
+  EXPECT_EQ(r.label(), "R2 update 203.0.113.0/24 in eBGP RIB");
+
+  r.kind = IoKind::kFibUpdate;
+  EXPECT_EQ(r.label(), "R2 install 203.0.113.0/24 in FIB");
+
+  r.kind = IoKind::kConfigChange;
+  r.detail = "set LP=10";
+  EXPECT_EQ(r.label(), "R2 config change: set LP=10");
+}
+
+}  // namespace
+}  // namespace hbguard

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/config/config.hpp"
+#include "hbguard/config/config_store.hpp"
+#include "hbguard/config/policy.hpp"
+
+namespace hbguard {
+namespace {
+
+PolicyRouteView make_view(const char* prefix, const char* neighbor = "s1") {
+  PolicyRouteView view;
+  view.prefix = *Prefix::parse(prefix);
+  view.neighbor = neighbor;
+  return view;
+}
+
+TEST(RouteMap, FirstMatchingClauseWins) {
+  RouteMap map;
+  RouteMapClause deny;
+  deny.match_prefix = *Prefix::parse("10.0.0.0/8");
+  deny.action = RouteMapClause::Action::kDeny;
+  RouteMapClause set_lp;
+  set_lp.set_local_pref = 200;
+  map.clauses = {deny, set_lp};
+
+  auto denied = make_view("10.1.0.0/16");
+  EXPECT_FALSE(map.apply(denied));
+
+  auto permitted = make_view("192.0.2.0/24");
+  EXPECT_TRUE(map.apply(permitted));
+  EXPECT_EQ(permitted.local_pref, 200u);
+}
+
+TEST(RouteMap, ExactMatchRequiresEquality) {
+  RouteMapClause clause;
+  clause.match_prefix = *Prefix::parse("10.0.0.0/8");
+  clause.match_exact = true;
+  EXPECT_TRUE(clause.matches(make_view("10.0.0.0/8")));
+  EXPECT_FALSE(clause.matches(make_view("10.1.0.0/16")));
+}
+
+TEST(RouteMap, NeighborMatch) {
+  RouteMapClause clause;
+  clause.match_neighbor = "uplink1";
+  EXPECT_TRUE(clause.matches(make_view("10.0.0.0/8", "uplink1")));
+  EXPECT_FALSE(clause.matches(make_view("10.0.0.0/8", "uplink2")));
+}
+
+TEST(RouteMap, DefaultPermitControlsUnmatched) {
+  RouteMap map;
+  RouteMapClause clause;
+  clause.match_prefix = *Prefix::parse("10.0.0.0/8");
+  clause.set_local_pref = 50;
+  map.clauses = {clause};
+
+  map.default_permit = true;
+  auto view = make_view("192.0.2.0/24");
+  EXPECT_TRUE(map.apply(view));
+  EXPECT_EQ(view.local_pref, 100u);  // untouched
+
+  map.default_permit = false;
+  EXPECT_FALSE(map.apply(view));
+}
+
+TEST(RouteMap, PrependInsertsPlaceholders) {
+  RouteMap map;
+  RouteMapClause clause;
+  clause.prepend_count = 2;
+  map.clauses = {clause};
+  auto view = make_view("10.0.0.0/8");
+  view.as_path = {64501};
+  EXPECT_TRUE(map.apply(view));
+  ASSERT_EQ(view.as_path.size(), 3u);
+  EXPECT_EQ(view.as_path[0], 0u);
+  EXPECT_EQ(view.as_path[1], 0u);
+  EXPECT_EQ(view.as_path[2], 64501u);
+}
+
+TEST(RouteMap, CommunityMatchAndSet) {
+  RouteMap tagger;
+  RouteMapClause tag;
+  tag.add_communities.push_back(make_community(65000, 666));
+  tagger.clauses = {tag};
+  auto view = make_view("10.0.0.0/8");
+  ASSERT_TRUE(tagger.apply(view));
+  ASSERT_EQ(view.communities.size(), 1u);
+  EXPECT_EQ(view.communities[0], make_community(65000, 666));
+  // Idempotent add.
+  ASSERT_TRUE(tagger.apply(view));
+  EXPECT_EQ(view.communities.size(), 1u);
+
+  RouteMap filter;
+  RouteMapClause deny_tagged;
+  deny_tagged.match_community = make_community(65000, 666);
+  deny_tagged.action = RouteMapClause::Action::kDeny;
+  filter.clauses = {deny_tagged};
+  EXPECT_FALSE(filter.apply(view));
+
+  auto untagged = make_view("10.0.0.0/8");
+  EXPECT_TRUE(filter.apply(untagged));
+}
+
+TEST(RouteMap, ClearCommunitiesRunsBeforeAdd) {
+  RouteMap map;
+  RouteMapClause clause;
+  clause.clear_communities = true;
+  clause.add_communities.push_back(make_community(65000, 1));
+  map.clauses = {clause};
+  auto view = make_view("10.0.0.0/8");
+  view.communities = {make_community(65000, 2), make_community(65000, 3)};
+  ASSERT_TRUE(map.apply(view));
+  ASSERT_EQ(view.communities.size(), 1u);
+  EXPECT_EQ(view.communities[0], make_community(65000, 1));
+}
+
+TEST(RouteMap, SetMed) {
+  RouteMap map;
+  RouteMapClause clause;
+  clause.set_med = 77;
+  map.clauses = {clause};
+  auto view = make_view("10.0.0.0/8");
+  EXPECT_TRUE(map.apply(view));
+  EXPECT_EQ(view.med, 77u);
+}
+
+TEST(AdminDistances, DefaultsFollowCisco) {
+  AdminDistances d;
+  EXPECT_EQ(d.of(Protocol::kConnected), 0);
+  EXPECT_EQ(d.of(Protocol::kStatic), 1);
+  EXPECT_EQ(d.of(Protocol::kEbgp), 20);
+  EXPECT_EQ(d.of(Protocol::kOspf), 110);
+  EXPECT_EQ(d.of(Protocol::kIbgp), 200);
+}
+
+TEST(BgpConfig, FindSession) {
+  BgpConfig config;
+  BgpSessionConfig s;
+  s.name = "a";
+  config.sessions.push_back(s);
+  EXPECT_NE(config.find_session("a"), nullptr);
+  EXPECT_EQ(config.find_session("b"), nullptr);
+}
+
+TEST(BgpSessionConfig, EbgpClassification) {
+  BgpSessionConfig s;
+  s.peer_as = 65000;
+  EXPECT_FALSE(s.is_ebgp(65000));
+  EXPECT_TRUE(s.is_ebgp(65001));
+}
+
+class ConfigStoreTest : public ::testing::Test {
+ protected:
+  ConfigStoreTest() : store_(2) {
+    RouterConfig config;
+    config.bgp.enabled = true;
+    config.bgp.default_local_pref = 100;
+    v1_ = store_.install(0, config, "initial");
+  }
+  ConfigStore store_;
+  ConfigVersion v1_;
+};
+
+TEST_F(ConfigStoreTest, InstallOnceOnly) {
+  RouterConfig config;
+  EXPECT_THROW(store_.install(0, config, "again"), std::logic_error);
+}
+
+TEST_F(ConfigStoreTest, ApplyCreatesNewVersionWithParent) {
+  ConfigVersion v2 = store_.apply(0, "bump LP", [](RouterConfig& c) {
+    c.bgp.default_local_pref = 200;
+  });
+  EXPECT_GT(v2, v1_);
+  EXPECT_EQ(store_.record(v2).parent, v1_);
+  EXPECT_EQ(store_.current(0).bgp.default_local_pref, 200u);
+  EXPECT_EQ(store_.at_version(0, v1_).bgp.default_local_pref, 100u);
+  EXPECT_EQ(store_.current_version(0), v2);
+}
+
+TEST_F(ConfigStoreTest, RevertReinstatesParentSnapshot) {
+  ConfigVersion v2 = store_.apply(0, "bad change", [](RouterConfig& c) {
+    c.bgp.default_local_pref = 10;
+  });
+  ConfigVersion v3 = store_.revert(0, v2, "undo bad change");
+  EXPECT_EQ(store_.current(0).bgp.default_local_pref, 100u);
+  EXPECT_TRUE(store_.record(v2).reverted);
+  EXPECT_EQ(store_.record(v3).parent, v2);
+  EXPECT_EQ(store_.versions_of(0).size(), 3u);
+}
+
+TEST_F(ConfigStoreTest, RevertInitialConfigRejected) {
+  EXPECT_THROW(store_.revert(0, v1_, "nope"), std::invalid_argument);
+}
+
+TEST_F(ConfigStoreTest, RevertWrongRouterRejected) {
+  RouterConfig config;
+  store_.install(1, config, "initial r1");
+  ConfigVersion v2 = store_.apply(0, "change", [](RouterConfig&) {});
+  EXPECT_THROW(store_.revert(1, v2, "wrong router"), std::invalid_argument);
+}
+
+TEST_F(ConfigStoreTest, PointersStableAcrossApplies) {
+  const RouterConfig* first = &store_.current(0);
+  for (int i = 0; i < 100; ++i) {
+    store_.apply(0, "noise", [](RouterConfig&) {});
+  }
+  // The v1 snapshot must not have moved (router shells hold pointers).
+  EXPECT_EQ(&store_.at_version(0, v1_), first);
+}
+
+TEST_F(ConfigStoreTest, UnknownVersionRejected) {
+  EXPECT_THROW(store_.record(999), std::invalid_argument);
+  EXPECT_THROW(store_.record(kNoVersion), std::invalid_argument);
+  EXPECT_THROW(store_.at_version(0, 999), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbguard

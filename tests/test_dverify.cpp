@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/dverify/distributed.hpp"
+#include "hbguard/sim/scenario.hpp"
+#include "hbguard/sim/workload.hpp"
+#include "hbguard/snapshot/naive.hpp"
+
+namespace hbguard {
+namespace {
+
+PolicyList paper_policies(const PaperScenario& scenario) {
+  PolicyList policies;
+  policies.push_back(std::make_shared<LoopFreedomPolicy>(scenario.prefix_p));
+  policies.push_back(std::make_shared<BlackholeFreedomPolicy>(scenario.prefix_p));
+  policies.push_back(std::make_shared<PreferredExitPolicy>(
+      scenario.prefix_p, scenario.r2, PaperScenario::kUplink2, scenario.r1,
+      PaperScenario::kUplink1));
+  return policies;
+}
+
+TEST(Distributed, SameVerdictsAsCentralized) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  scenario.misconfigure_r2_lp10();
+  scenario.network->run_to_convergence();
+
+  auto snapshot = take_instant_snapshot(*scenario.network);
+  auto policies = paper_policies(scenario);
+  Verifier central(policies);
+  DistributedVerifier distributed(scenario.network->topology(), policies);
+
+  auto central_result = central.verify(snapshot);
+  VerifyCost cost;
+  auto distributed_result = distributed.verify(snapshot, &cost);
+  EXPECT_EQ(central_result.violations.size(), distributed_result.violations.size());
+  EXPECT_FALSE(distributed_result.clean());
+}
+
+TEST(Distributed, CostModelShapes) {
+  // A3's claim: distributed verification sends more (smaller) messages and
+  // bounds per-node work below the centralized collector's, at the price of
+  // multi-hop latency.
+  Rng rng(21);
+  auto generated = make_ibgp_network(make_random_topology(12, 6, rng), 2);
+  generated.network->run_to_convergence();
+  for (std::size_t i = 0; i < 6; ++i) {
+    const UplinkInfo& uplink = generated.uplinks[i % generated.uplinks.size()];
+    generated.network->inject_external_advert(uplink.router, uplink.session, churn_prefix(i),
+                                              {uplink.peer_as, 65100});
+  }
+  generated.network->run_to_convergence();
+
+  PolicyList policies;
+  for (std::size_t i = 0; i < 6; ++i) {
+    policies.push_back(std::make_shared<LoopFreedomPolicy>(churn_prefix(i)));
+    policies.push_back(std::make_shared<BlackholeFreedomPolicy>(churn_prefix(i)));
+  }
+  DistributedVerifier verifier(generated.network->topology(), policies);
+  auto snapshot = take_instant_snapshot(*generated.network);
+
+  VerifyCost distributed;
+  auto result = verifier.verify(snapshot, &distributed);
+  EXPECT_TRUE(result.clean());
+  VerifyCost centralized = verifier.centralized_cost(snapshot);
+
+  EXPECT_LT(distributed.max_node_work, centralized.max_node_work)
+      << "distribution must spread the verification work";
+  EXPECT_GT(distributed.messages, centralized.messages)
+      << "partial results mean more, smaller messages";
+  EXPECT_GE(distributed.latency_us, centralized.latency_us)
+      << "hop-by-hop result passing costs latency";
+  EXPECT_EQ(distributed.total_work, centralized.total_work)
+      << "the same lookups happen either way";
+}
+
+TEST(Distributed, PolicyPrefixesDeduplicated) {
+  auto scenario = PaperScenario::make();
+  auto policies = paper_policies(scenario);
+  DistributedVerifier verifier(scenario.network->topology(), policies);
+  EXPECT_EQ(verifier.policy_prefixes().size(), 1u);  // all three reference P
+}
+
+TEST(Distributed, CleanSnapshotZeroViolationsNonzeroCost) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  auto snapshot = take_instant_snapshot(*scenario.network);
+  DistributedVerifier verifier(scenario.network->topology(), paper_policies(scenario));
+  VerifyCost cost;
+  auto result = verifier.verify(snapshot, &cost);
+  EXPECT_TRUE(result.clean());
+  EXPECT_GT(cost.total_work, 0u);
+  EXPECT_GT(cost.messages, 0u);  // R1/R3 ship partial results toward R2
+}
+
+}  // namespace
+}  // namespace hbguard

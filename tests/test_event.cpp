@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/event/simulator.hpp"
+
+namespace hbguard {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CallbacksCanReschedule) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.schedule_after(10, tick);
+  };
+  sim.schedule_at(0, tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulator, DeadlineStopsExecution) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] { ++count; });
+  sim.schedule_at(20, [&] { ++count; });
+  sim.schedule_at(30, [&] { ++count; });
+  std::size_t dispatched = sim.run(20);
+  EXPECT_EQ(dispatched, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, DeadlineAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run(100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(50, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(10, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, StepDispatchesOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, DispatchedCountAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.dispatched(), 7u);
+}
+
+}  // namespace
+}  // namespace hbguard

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/core/guard.hpp"
+#include "hbguard/sim/scenario.hpp"
+#include "hbguard/snapshot/naive.hpp"
+
+namespace hbguard {
+namespace {
+
+PolicyList paper_policies(const PaperScenario& scenario) {
+  PolicyList policies;
+  policies.push_back(std::make_shared<LoopFreedomPolicy>(scenario.prefix_p));
+  policies.push_back(std::make_shared<BlackholeFreedomPolicy>(scenario.prefix_p));
+  policies.push_back(std::make_shared<PreferredExitPolicy>(
+      scenario.prefix_p, scenario.r2, PaperScenario::kUplink2, scenario.r1,
+      PaperScenario::kUplink1));
+  return policies;
+}
+
+TEST(Guard, CleanNetworkNoIncidents) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  GuardOptions options;
+  options.repair = RepairMode::kReport;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+  auto report = guard.run();
+  EXPECT_TRUE(report.incidents.empty());
+  EXPECT_GT(report.clean_scans, 0u);
+}
+
+TEST(Guard, ReportModeDiagnosesFig2) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  GuardOptions options;
+  options.repair = RepairMode::kReport;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+
+  ConfigVersion bad = scenario.misconfigure_r2_lp10();
+  auto report = guard.run();
+
+  ASSERT_FALSE(report.incidents.empty());
+  const GuardIncident& incident = report.incidents.front();
+  EXPECT_EQ(incident.action, "reported");
+  ASSERT_FALSE(incident.causes.empty());
+  bool found = false;
+  for (const RootCause& cause : incident.causes) {
+    if (cause.record.config_version == bad) found = true;
+  }
+  EXPECT_TRUE(found) << "the incident must name the LP=10 change as a cause";
+  // No repair: violation persists.
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r1, scenario.r1));
+  EXPECT_FALSE(scenario.network->configs().record(bad).reverted);
+}
+
+TEST(Guard, RevertModeHealsFig2) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  Guard guard(*scenario.network, paper_policies(scenario));  // default: revert
+
+  ConfigVersion bad = scenario.misconfigure_r2_lp10();
+  auto report = guard.run();
+
+  EXPECT_EQ(report.reverts, 1u);
+  EXPECT_TRUE(scenario.network->configs().record(bad).reverted);
+  // The network is back in the compliant state.
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r1, scenario.r2));
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r3, scenario.r2));
+  // And the guard's final scans were clean.
+  EXPECT_GT(report.clean_scans, 0u);
+}
+
+TEST(Guard, RevertModeWithGroundTruthHbg) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  GuardOptions options;
+  options.use_ground_truth_hbg = true;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+  ConfigVersion bad = scenario.misconfigure_r2_lp10();
+  auto report = guard.run();
+  EXPECT_EQ(report.reverts, 1u);
+  EXPECT_TRUE(scenario.network->configs().record(bad).reverted);
+}
+
+TEST(Guard, UplinkFailureReportedNotReverted) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  Guard guard(*scenario.network, paper_policies(scenario));
+
+  scenario.fail_uplink2();
+  auto report = guard.run();
+
+  // Failover to R1 is policy-compliant; there may be a transient violation
+  // but no revert may ever fire (§8: blocking a withdrawal helps nothing).
+  EXPECT_EQ(report.reverts, 0u);
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r1, scenario.r1));
+}
+
+TEST(Guard, BlockModeShieldsDataPlane) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  GuardOptions options;
+  options.repair = RepairMode::kBlock;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+
+  scenario.misconfigure_r2_lp10();
+  auto report = guard.run();
+
+  EXPECT_GT(report.blocked_updates, 0u);
+  // Data plane still compliant...
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r1, scenario.r2));
+  // ...while the control plane diverged (the §2 hazard in waiting).
+  const FibEntry* control = scenario.router1().control_fib().find(scenario.prefix_p);
+  ASSERT_NE(control, nullptr);
+  EXPECT_EQ(control->action, FibEntry::Action::kExternal);
+}
+
+TEST(Guard, EarlyBlockLearnsAcrossIncidents) {
+  auto scenario = PaperScenario::make();
+  // Slow soft reconfiguration so the config input is visible to the guard
+  // well before its FIB fallout (the window early blocking exploits).
+  scenario.network->apply_config_change(scenario.r2, "set slow soft reconfiguration",
+                                        [](RouterConfig& config) {
+                                          config.bgp.quirks.soft_reconfig_delay_us = 400'000;
+                                        });
+  scenario.converge_initial();
+
+  GuardOptions options;
+  options.repair = RepairMode::kEarlyBlock;
+  options.scan_interval_us = 100'000;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+
+  // First offence: the guard has nothing learned — the violation happens
+  // and is reverted reactively.
+  scenario.misconfigure_r2_lp10();
+  guard.run();
+  EXPECT_EQ(guard.report().reverts, 1u);
+  EXPECT_EQ(guard.report().early_reverts, 0u);
+  EXPECT_GT(guard.early_block_model().known_patterns(), 0u);
+
+  // Second offence, same change: predicted from the learned EC behaviour
+  // and reverted *before* any violation reaches the data plane.
+  scenario.misconfigure_r2_lp10();
+  auto report = guard.run();
+  EXPECT_EQ(report.early_reverts, 1u);
+  EXPECT_EQ(report.reverts, 1u) << "no additional reactive revert was needed";
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r1, scenario.r2));
+}
+
+TEST(Guard, RepeatViolationNotDoubleReported) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  GuardOptions options;
+  options.repair = RepairMode::kReport;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+  scenario.misconfigure_r2_lp10();
+  guard.run();
+  std::size_t incidents = guard.report().incidents.size();
+  // More scans over the same persistent violation add no new incidents.
+  guard.scan();
+  guard.scan();
+  EXPECT_EQ(guard.report().incidents.size(), incidents);
+}
+
+TEST(Guard, SummaryMentionsActions) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  Guard guard(*scenario.network, paper_policies(scenario));
+  scenario.misconfigure_r2_lp10();
+  auto report = guard.run();
+  std::string summary = report.summary();
+  EXPECT_NE(summary.find("reverted"), std::string::npos);
+  EXPECT_NE(summary.find("incident"), std::string::npos);
+}
+
+TEST(Guard, HbgAccessorProducesGraph) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  Guard guard(*scenario.network, paper_policies(scenario));
+  auto hbg = guard.current_hbg();
+  EXPECT_GT(hbg.vertex_count(), 0u);
+  EXPECT_GT(hbg.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hbguard

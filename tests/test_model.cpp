@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/model_verifier/model.hpp"
+#include "hbguard/verify/forwarding_graph.hpp"
+#include "hbguard/sim/scenario.hpp"
+#include "hbguard/snapshot/naive.hpp"
+
+namespace hbguard {
+namespace {
+
+std::vector<AssumedExternalRoute> paper_routes(const PaperScenario& scenario) {
+  return {
+      {scenario.r1, PaperScenario::kUplink1, scenario.prefix_p,
+       {PaperScenario::kUplink1As, 64999}, 0},
+      {scenario.r2, PaperScenario::kUplink2, scenario.prefix_p,
+       {PaperScenario::kUplink2As, 64999}, 0},
+  };
+}
+
+TEST(ModelVerifier, MatchesSimulatorOnPlainLocalPrefScenario) {
+  // Fig. 1/2 uses only local-pref, which the simplified model understands:
+  // prediction and reality agree.
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+
+  ControlPlaneModel model;
+  auto predicted = model.predict(scenario.network->topology(), scenario.network->configs(),
+                                 paper_routes(scenario));
+  auto actual = take_instant_snapshot(*scenario.network);
+  EXPECT_EQ(count_fib_divergence(predicted, actual, {scenario.prefix_p}), 0u);
+}
+
+TEST(ModelVerifier, TracksConfigChanges) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  scenario.misconfigure_r2_lp10();
+  scenario.network->run_to_convergence();
+
+  ControlPlaneModel model;
+  auto predicted = model.predict(scenario.network->topology(), scenario.network->configs(),
+                                 paper_routes(scenario));
+  auto actual = take_instant_snapshot(*scenario.network);
+  // The model reads the *current* configs, so it follows the LP change.
+  EXPECT_EQ(count_fib_divergence(predicted, actual, {scenario.prefix_p}), 0u);
+  const FibEntry* r2 = predicted.lookup(scenario.r2, representative(scenario.prefix_p));
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r2->action, FibEntry::Action::kForward);  // model also predicts the R1 exit
+}
+
+TEST(ModelVerifier, DivergesOnMedSemantics) {
+  // §2's vendor-quirk gap: two uplinks in the SAME neighbor AS with equal
+  // local-pref and path length but different MEDs. The real decision
+  // process compares MED within a neighbor AS and picks the lower (R2's
+  // uplink); the simplified model ignores MED and tie-breaks on router id
+  // (R1). The model's predicted FIBs are wrong.
+  auto scenario = PaperScenario::make();
+  // Make both uplinks the same neighbor AS and neutralize local-pref.
+  scenario.network->apply_config_change(scenario.r1, "neutral LP on uplink1",
+                                        [](RouterConfig& config) {
+                                          config.route_maps["lp-uplink1"].clauses.at(0)
+                                              .set_local_pref = 100;
+                                          config.bgp.find_session(PaperScenario::kUplink1)
+                                              ->peer_as = 64500;
+                                        });
+  scenario.network->apply_config_change(scenario.r2, "neutral LP on uplink2",
+                                        [](RouterConfig& config) {
+                                          config.route_maps["lp-uplink2"].clauses.at(0)
+                                              .set_local_pref = 100;
+                                          config.bgp.find_session(PaperScenario::kUplink2)
+                                              ->peer_as = 64500;
+                                        });
+  scenario.network->run_to_convergence();
+
+  // R1 hears MED 50, R2 hears MED 10 — same neighbor AS 64500.
+  scenario.network->inject_external_advert(scenario.r1, PaperScenario::kUplink1,
+                                           scenario.prefix_p, {64500, 64999}, false, 50);
+  scenario.network->inject_external_advert(scenario.r2, PaperScenario::kUplink2,
+                                           scenario.prefix_p, {64500, 64999}, false, 10);
+  scenario.network->run_to_convergence();
+
+  // Reality: lower MED wins, exit via R2.
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r3, scenario.r2));
+
+  std::vector<AssumedExternalRoute> routes = {
+      {scenario.r1, PaperScenario::kUplink1, scenario.prefix_p, {64500, 64999}, 50},
+      {scenario.r2, PaperScenario::kUplink2, scenario.prefix_p, {64500, 64999}, 10},
+  };
+  ControlPlaneModel model;
+  auto predicted = model.predict(scenario.network->topology(), scenario.network->configs(),
+                                 routes);
+  const FibEntry* r3 = predicted.lookup(scenario.r3, representative(scenario.prefix_p));
+  ASSERT_NE(r3, nullptr);
+  EXPECT_EQ(r3->next_hop, scenario.r1) << "the MED-blind model predicts the R1 exit";
+
+  auto actual = take_instant_snapshot(*scenario.network);
+  EXPECT_GT(count_fib_divergence(predicted, actual, {scenario.prefix_p}), 0u)
+      << "model and reality must diverge when vendor MED semantics matter";
+}
+
+TEST(ModelVerifier, RespectsImportDeny) {
+  auto scenario = PaperScenario::make();
+  scenario.network->apply_config_change(scenario.r2, "deny P on uplink2",
+                                        [&](RouterConfig& config) {
+                                          RouteMapClause deny;
+                                          deny.action = RouteMapClause::Action::kDeny;
+                                          config.route_maps["lp-uplink2"].clauses.insert(
+                                              config.route_maps["lp-uplink2"].clauses.begin(),
+                                              deny);
+                                        });
+  ControlPlaneModel model;
+  auto predicted = model.predict(scenario.network->topology(), scenario.network->configs(),
+                                 paper_routes(scenario));
+  const FibEntry* r3 = predicted.lookup(scenario.r3, representative(scenario.prefix_p));
+  ASSERT_NE(r3, nullptr);
+  EXPECT_EQ(r3->next_hop, scenario.r1);  // only the R1 route survives
+}
+
+TEST(ModelVerifier, NoRoutesNoEntries) {
+  auto scenario = PaperScenario::make();
+  ControlPlaneModel model;
+  auto predicted =
+      model.predict(scenario.network->topology(), scenario.network->configs(), {});
+  for (const auto& [router, view] : predicted.routers) {
+    EXPECT_TRUE(view.entries.empty());
+  }
+}
+
+}  // namespace
+}  // namespace hbguard

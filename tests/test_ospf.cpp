@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/proto/ospf/engine.hpp"
+#include "hbguard/proto/ospf/lsdb.hpp"
+#include "hbguard/proto/ospf/spf.hpp"
+
+namespace hbguard {
+namespace {
+
+RouterLsa make_lsa(RouterId origin, std::uint64_t seq,
+                   std::vector<std::pair<RouterId, std::uint32_t>> adjacencies,
+                   std::vector<Prefix> prefixes = {}) {
+  RouterLsa lsa;
+  lsa.origin = origin;
+  lsa.seq = seq;
+  lsa.adjacencies = std::move(adjacencies);
+  lsa.prefixes = std::move(prefixes);
+  return lsa;
+}
+
+TEST(Lsdb, NewerSequenceWins) {
+  Lsdb lsdb;
+  EXPECT_TRUE(lsdb.install(make_lsa(1, 1, {{2, 1}})));
+  EXPECT_FALSE(lsdb.install(make_lsa(1, 1, {{2, 1}})));  // same seq: reject
+  EXPECT_FALSE(lsdb.install(make_lsa(1, 0, {{3, 1}})));  // older: reject
+  EXPECT_TRUE(lsdb.install(make_lsa(1, 2, {{3, 1}})));
+  ASSERT_NE(lsdb.get(1), nullptr);
+  EXPECT_EQ(lsdb.get(1)->adjacencies[0].first, 3u);
+}
+
+TEST(Lsdb, FlushRemoves) {
+  Lsdb lsdb;
+  lsdb.install(make_lsa(1, 1, {}));
+  EXPECT_TRUE(lsdb.flush(1));
+  EXPECT_FALSE(lsdb.flush(1));
+  EXPECT_EQ(lsdb.get(1), nullptr);
+}
+
+class SpfFixture : public ::testing::Test {
+ protected:
+  // Diamond: 0-1 (1), 0-2 (2), 1-3 (1), 2-3 (1); plus prefix P at 3.
+  SpfFixture() {
+    p_ = *Prefix::parse("10.3.0.0/16");
+    lsdb_.install(make_lsa(0, 1, {{1, 1}, {2, 2}}));
+    lsdb_.install(make_lsa(1, 1, {{0, 1}, {3, 1}}));
+    lsdb_.install(make_lsa(2, 1, {{0, 2}, {3, 1}}));
+    lsdb_.install(make_lsa(3, 1, {{1, 1}, {2, 1}}, {p_}));
+  }
+  Lsdb lsdb_;
+  Prefix p_;
+};
+
+TEST_F(SpfFixture, ShortestDistances) {
+  auto result = run_spf(lsdb_, 0);
+  EXPECT_EQ(result.distance_to(0), 0u);
+  EXPECT_EQ(result.distance_to(1), 1u);
+  EXPECT_EQ(result.distance_to(2), 2u);
+  EXPECT_EQ(result.distance_to(3), 2u);  // via 1
+}
+
+TEST_F(SpfFixture, FirstHopsFollowShortestPath) {
+  auto result = run_spf(lsdb_, 0);
+  EXPECT_EQ(result.first_hop_to(3), 1u);
+  EXPECT_EQ(result.first_hop_to(1), 1u);
+  EXPECT_EQ(result.first_hop_to(2), 2u);
+  EXPECT_EQ(result.first_hop_to(0), 0u);
+}
+
+TEST_F(SpfFixture, PrefixRoutes) {
+  auto result = run_spf(lsdb_, 0);
+  ASSERT_TRUE(result.prefix_routes.contains(p_));
+  const OspfRoute& route = result.prefix_routes.at(p_);
+  EXPECT_EQ(route.cost, 2u);
+  EXPECT_EQ(route.first_hop, 1u);
+  EXPECT_EQ(route.origin_router, 3u);
+}
+
+TEST_F(SpfFixture, TwoWayCheckIgnoresOneSidedAdjacency) {
+  // Router 4 claims adjacency to 0, but 0 does not reciprocate.
+  lsdb_.install(make_lsa(4, 1, {{0, 1}}));
+  auto result = run_spf(lsdb_, 0);
+  EXPECT_FALSE(result.distance_to(4).has_value());
+}
+
+TEST_F(SpfFixture, UnreachableRouterAbsent) {
+  lsdb_.install(make_lsa(9, 1, {{8, 1}}));
+  lsdb_.install(make_lsa(8, 1, {{9, 1}}));
+  auto result = run_spf(lsdb_, 0);
+  EXPECT_FALSE(result.distance_to(9).has_value());
+  EXPECT_TRUE(result.distance_to(3).has_value());
+}
+
+TEST_F(SpfFixture, RootWithoutLsaYieldsEmptyResult) {
+  Lsdb empty;
+  auto result = run_spf(empty, 0);
+  EXPECT_TRUE(result.nodes.empty());
+  EXPECT_TRUE(result.prefix_routes.empty());
+}
+
+TEST_F(SpfFixture, PrefixTieBreaksByCostThenOriginId) {
+  Prefix shared = *Prefix::parse("10.9.0.0/16");
+  // Both 1 (dist 1) and 2 (dist 2) originate `shared`: 1 must win on cost.
+  lsdb_.install(make_lsa(1, 2, {{0, 1}, {3, 1}}, {shared}));
+  lsdb_.install(make_lsa(2, 2, {{0, 2}, {3, 1}}, {shared}));
+  auto result = run_spf(lsdb_, 0);
+  ASSERT_TRUE(result.prefix_routes.contains(shared));
+  EXPECT_EQ(result.prefix_routes.at(shared).origin_router, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine tests: two engines connected by a test harness that forwards
+// floods directly.
+
+class OspfEnginePair : public ::testing::Test {
+ protected:
+  OspfEnginePair() {
+    config_a_.ospf.enabled = true;
+    config_a_.ospf.originated.push_back(*Prefix::parse("10.0.1.0/24"));
+    config_b_.ospf.enabled = true;
+    config_b_.ospf.originated.push_back(*Prefix::parse("10.0.2.0/24"));
+
+    a_ = std::make_unique<OspfEngine>(0, OspfEngine::Callbacks{
+        [this](const RouterLsa& lsa, RouterId to) {
+          if (to == 1 && b_) b_->handle_lsa(0, lsa);
+        },
+        [this](const Prefix& prefix, const OspfRoute* route) {
+          a_routes_[prefix] = route != nullptr;
+        },
+        nullptr});
+    b_ = std::make_unique<OspfEngine>(1, OspfEngine::Callbacks{
+        [this](const RouterLsa& lsa, RouterId to) {
+          if (to == 0 && a_) a_->handle_lsa(1, lsa);
+        },
+        [this](const Prefix& prefix, const OspfRoute* route) {
+          b_routes_[prefix] = route != nullptr;
+        },
+        nullptr});
+    a_->set_config(&config_a_);
+    b_->set_config(&config_b_);
+    a_->set_adjacency_source([] {
+      return std::vector<std::pair<RouterId, std::uint32_t>>{{1, 1}};
+    });
+    b_->set_adjacency_source([] {
+      return std::vector<std::pair<RouterId, std::uint32_t>>{{0, 1}};
+    });
+  }
+
+  RouterConfig config_a_, config_b_;
+  std::unique_ptr<OspfEngine> a_, b_;
+  std::map<Prefix, bool> a_routes_, b_routes_;
+};
+
+TEST_F(OspfEnginePair, ConvergesAndExchangesPrefixes) {
+  a_->start();
+  b_->start();
+  // This harness delivers synchronously, so a's initial flood (sent before
+  // b started) was dropped — something that cannot happen over the real
+  // message fabric, where delivery is delayed past the receiver's start.
+  // A refresh re-floods with a higher sequence number, as a real adjacency
+  // bring-up would.
+  a_->refresh();
+  EXPECT_EQ(a_->distance_to(1), 1u);
+  EXPECT_EQ(b_->distance_to(0), 1u);
+  EXPECT_TRUE(a_routes_.at(*Prefix::parse("10.0.2.0/24")));
+  EXPECT_TRUE(b_routes_.at(*Prefix::parse("10.0.1.0/24")));
+}
+
+TEST_F(OspfEnginePair, AdjacencyLossPartitions) {
+  a_->start();
+  b_->start();
+  a_->set_adjacency_source([] {
+    return std::vector<std::pair<RouterId, std::uint32_t>>{};
+  });
+  a_->refresh();
+  EXPECT_FALSE(a_->distance_to(1).has_value());
+  EXPECT_FALSE(a_routes_.at(*Prefix::parse("10.0.2.0/24")));
+}
+
+TEST_F(OspfEnginePair, DisabledEngineIgnoresLsas) {
+  config_a_.ospf.enabled = false;
+  a_->start();
+  b_->start();
+  EXPECT_FALSE(a_->distance_to(1).has_value());
+}
+
+}  // namespace
+}  // namespace hbguard

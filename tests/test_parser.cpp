@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/config/parser.hpp"
+#include "hbguard/sim/network.hpp"
+#include "hbguard/sim/scenario.hpp"
+
+namespace hbguard {
+namespace {
+
+Topology three_routers() {
+  Topology topology;
+  topology.add_router("R1", 65000);
+  topology.add_router("R2", 65000);
+  topology.add_router("R3", 65000);
+  topology.add_link(0, 1);
+  topology.add_link(1, 2);
+  return topology;
+}
+
+constexpr const char* kFullConfig = R"(
+# R1's configuration
+router bgp 65000
+  network 203.0.113.0/24
+  add-path
+  default-local-pref 150
+  soft-reconfig-delay 20s
+  always-compare-med
+  no-prefer-oldest
+  neighbor R2 remote-as 65000
+  neighbor R2 route-reflector-client
+  neighbor R3 remote-as 65000
+  neighbor uplink1 external remote-as 64501
+  neighbor uplink1 import lp-uplink1
+  neighbor uplink1 export out-map
+router ospf
+  network 10.255.0.1/32
+  cost 1 7
+ip route 10.9.0.0/16 via R3
+ip route 192.0.2.0/24 drop
+ip route 0.0.0.0/0 external
+redistribute static into bgp
+redistribute ospf into bgp policy only-loopbacks
+route-map lp-uplink1
+  clause permit
+    match prefix 0.0.0.0/0
+    match neighbor uplink1
+    set local-pref 20
+    set med 5
+    prepend 2
+  clause deny
+    match prefix-exact 192.168.0.0/16
+  default deny
+)";
+
+TEST(ConfigParser, ParsesFullConfig) {
+  auto topology = three_routers();
+  auto result = parse_router_config(kFullConfig, topology);
+  for (const auto& error : result.errors) ADD_FAILURE() << error.describe();
+  ASSERT_TRUE(result.ok());
+
+  const RouterConfig& config = result.config;
+  EXPECT_TRUE(config.bgp.enabled);
+  EXPECT_TRUE(config.bgp.add_path);
+  EXPECT_EQ(config.bgp.default_local_pref, 150u);
+  EXPECT_EQ(config.bgp.quirks.soft_reconfig_delay_us, 20'000'000);
+  EXPECT_TRUE(config.bgp.quirks.always_compare_med);
+  EXPECT_FALSE(config.bgp.quirks.prefer_oldest_route);
+  ASSERT_EQ(config.bgp.originated.size(), 1u);
+  EXPECT_EQ(config.bgp.originated[0].to_string(), "203.0.113.0/24");
+
+  ASSERT_EQ(config.bgp.sessions.size(), 3u);
+  const BgpSessionConfig* r2 = config.bgp.find_session("R2");
+  ASSERT_NE(r2, nullptr);
+  EXPECT_FALSE(r2->external);
+  EXPECT_EQ(r2->peer, 1u);
+  EXPECT_TRUE(r2->rr_client);
+  const BgpSessionConfig* uplink = config.bgp.find_session("uplink1");
+  ASSERT_NE(uplink, nullptr);
+  EXPECT_TRUE(uplink->external);
+  EXPECT_EQ(uplink->peer_as, 64501u);
+  EXPECT_EQ(uplink->import_policy, "lp-uplink1");
+  EXPECT_EQ(uplink->export_policy, "out-map");
+
+  EXPECT_TRUE(config.ospf.enabled);
+  ASSERT_EQ(config.ospf.originated.size(), 1u);
+  EXPECT_EQ(config.ospf.cost_override.at(1), 7u);
+
+  ASSERT_EQ(config.statics.size(), 3u);
+  EXPECT_EQ(config.statics[0].next_hop, 2u);
+  EXPECT_FALSE(config.statics[1].next_hop.has_value());
+  EXPECT_EQ(config.statics[2].next_hop, kExternalRouter);
+
+  ASSERT_EQ(config.redistributions.size(), 2u);
+  EXPECT_EQ(config.redistributions[1].policy, "only-loopbacks");
+
+  const RouteMap* map = config.find_route_map("lp-uplink1");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses.size(), 2u);
+  EXPECT_EQ(map->clauses[0].set_local_pref, 20u);
+  EXPECT_EQ(map->clauses[0].set_med, 5u);
+  EXPECT_EQ(map->clauses[0].prepend_count, 2);
+  EXPECT_EQ(map->clauses[0].match_neighbor, "uplink1");
+  EXPECT_TRUE(map->clauses[1].match_exact);
+  EXPECT_EQ(map->clauses[1].action, RouteMapClause::Action::kDeny);
+  EXPECT_FALSE(map->default_permit);
+}
+
+TEST(ConfigParser, RoundTripThroughRenderer) {
+  auto topology = three_routers();
+  auto first = parse_router_config(kFullConfig, topology);
+  ASSERT_TRUE(first.ok());
+  std::string rendered = render_router_config(first.config, topology);
+  auto second = parse_router_config(rendered, topology);
+  for (const auto& error : second.errors) ADD_FAILURE() << error.describe() << "\n" << rendered;
+  ASSERT_TRUE(second.ok());
+  // Semantically identical after a round trip.
+  EXPECT_EQ(render_router_config(second.config, topology), rendered);
+}
+
+TEST(ConfigParser, ReportsErrorsWithLineNumbers) {
+  auto topology = three_routers();
+  auto result = parse_router_config(R"(
+router bgp 65000
+  neighbor R9 remote-as 65000
+  bogus-statement here
+)", topology);
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0].line, 3u);
+  EXPECT_NE(result.errors[0].message.find("unknown router"), std::string::npos);
+  EXPECT_EQ(result.errors[1].line, 4u);
+}
+
+TEST(ConfigParser, RejectsStatementOutsideSection) {
+  auto topology = three_routers();
+  auto result = parse_router_config("network 10.0.0.0/8\n", topology);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("outside any section"), std::string::npos);
+}
+
+TEST(ConfigParser, RejectsNeighborOptionsBeforeDeclaration) {
+  auto topology = three_routers();
+  auto result = parse_router_config(R"(
+router bgp 65000
+  neighbor R2 import some-map
+)", topology);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("before its remote-as"), std::string::npos);
+}
+
+TEST(ConfigParser, RejectsMalformedPrefixAndDuration) {
+  auto topology = three_routers();
+  auto result = parse_router_config(R"(
+router bgp 65000
+  network 10.0.0.0/40
+  soft-reconfig-delay soon
+)", topology);
+  EXPECT_EQ(result.errors.size(), 2u);
+}
+
+TEST(ConfigParser, CommunitiesParseAndRender) {
+  auto topology = three_routers();
+  auto result = parse_router_config(R"(
+route-map tag-and-filter
+  clause permit
+    match community 65000:100
+    clear-communities
+    set community 65000:666
+    set community 65000:667
+  default deny
+)", topology);
+  for (const auto& error : result.errors) ADD_FAILURE() << error.describe();
+  ASSERT_TRUE(result.ok());
+  const RouteMap* map = result.config.find_route_map("tag-and-filter");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses.size(), 1u);
+  EXPECT_EQ(map->clauses[0].match_community, make_community(65000, 100));
+  EXPECT_TRUE(map->clauses[0].clear_communities);
+  ASSERT_EQ(map->clauses[0].add_communities.size(), 2u);
+  EXPECT_EQ(map->clauses[0].add_communities[1], make_community(65000, 667));
+
+  // Round trip.
+  std::string rendered = render_router_config(result.config, topology);
+  auto again = parse_router_config(rendered, topology);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(render_router_config(again.config, topology), rendered);
+}
+
+TEST(ConfigParser, RejectsBadCommunity) {
+  auto topology = three_routers();
+  auto result = parse_router_config(R"(
+route-map m
+  clause permit
+    match community 70000:5
+)", topology);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("bad community"), std::string::npos);
+}
+
+TEST(ConfigParser, DurationUnits) {
+  auto topology = three_routers();
+  auto parse_delay = [&](const char* text) {
+    std::string config = std::string("router bgp 65000\n  soft-reconfig-delay ") + text + "\n";
+    auto result = parse_router_config(config, topology);
+    EXPECT_TRUE(result.ok());
+    return result.config.bgp.quirks.soft_reconfig_delay_us;
+  };
+  EXPECT_EQ(parse_delay("25s"), 25'000'000);
+  EXPECT_EQ(parse_delay("250ms"), 250'000);
+  EXPECT_EQ(parse_delay("1500us"), 1'500);
+  EXPECT_EQ(parse_delay("42"), 42);
+}
+
+TEST(ConfigParser, CommentsAndBlankLinesIgnored) {
+  auto topology = three_routers();
+  auto result = parse_router_config(R"(
+# full line comment
+
+router bgp 65000   # trailing comment
+  add-path         # another
+)", topology);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.config.bgp.add_path);
+}
+
+TEST(ConfigParser, ParsedConfigDrivesARealNetwork) {
+  // End to end: build the paper network from DSL text instead of C++.
+  Topology topology;
+  topology.add_router("R1", 65000);
+  topology.add_router("R2", 65000);
+  topology.add_router("R3", 65000);
+  topology.add_link(0, 1, 2000);
+  topology.add_link(0, 2, 2000);
+  topology.add_link(1, 2, 2000);
+
+  const char* r1_text = R"(
+router bgp 65000
+  neighbor R2 remote-as 65000
+  neighbor R3 remote-as 65000
+  neighbor uplink1 external remote-as 64501
+  neighbor uplink1 import lp1
+router ospf
+  network 10.255.0.0/32
+route-map lp1
+  clause permit
+    set local-pref 20
+)";
+  const char* r2_text = R"(
+router bgp 65000
+  neighbor R1 remote-as 65000
+  neighbor R3 remote-as 65000
+  neighbor uplink2 external remote-as 64502
+  neighbor uplink2 import lp2
+router ospf
+  network 10.255.0.1/32
+route-map lp2
+  clause permit
+    set local-pref 30
+)";
+  const char* r3_text = R"(
+router bgp 65000
+  neighbor R1 remote-as 65000
+  neighbor R2 remote-as 65000
+router ospf
+  network 10.255.0.2/32
+)";
+
+  auto net = std::make_unique<Network>(std::move(topology));
+  for (auto [id, text] : {std::pair<RouterId, const char*>{0, r1_text}, {1, r2_text},
+                          {2, r3_text}}) {
+    auto parsed = parse_router_config(text, net->topology());
+    ASSERT_TRUE(parsed.ok());
+    net->set_initial_config(id, std::move(parsed.config));
+  }
+  net->start();
+  net->run_to_convergence();
+
+  Prefix p = *Prefix::parse("203.0.113.0/24");
+  net->inject_external_advert(0, "uplink1", p, {64501, 64999});
+  net->inject_external_advert(1, "uplink2", p, {64502, 64999});
+  net->run_to_convergence();
+
+  // LP 30 (uplink2 on R2) must win, exactly like the hand-built scenario.
+  const FibEntry* r1 = net->router(0).data_fib().find(p);
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->action, FibEntry::Action::kForward);
+  EXPECT_EQ(r1->next_hop, 1u);
+  const FibEntry* r2 = net->router(1).data_fib().find(p);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r2->action, FibEntry::Action::kExternal);
+}
+
+}  // namespace
+}  // namespace hbguard

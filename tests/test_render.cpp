@@ -1,0 +1,146 @@
+// Rendering and reporting surfaces: GraphViz/timeline output, fault chains,
+// guard report summaries, record describe()/label() formats.
+#include <gtest/gtest.h>
+
+#include "hbguard/core/report.hpp"
+#include "hbguard/hbg/render.hpp"
+#include "hbguard/provenance/root_cause.hpp"
+#include "hbguard/verify/policy.hpp"
+
+namespace hbguard {
+namespace {
+
+IoRecord record_of(IoId id, RouterId router, IoKind kind, SimTime when,
+                   const char* prefix = nullptr) {
+  IoRecord r;
+  r.id = id;
+  r.router = router;
+  r.kind = kind;
+  r.true_time = when;
+  r.logged_time = when;
+  if (prefix != nullptr) r.prefix = *Prefix::parse(prefix);
+  return r;
+}
+
+class RenderFixture : public ::testing::Test {
+ protected:
+  RenderFixture() {
+    graph_.add_vertex(record_of(1, 0, IoKind::kConfigChange, 0));
+    graph_.add_vertex(record_of(2, 0, IoKind::kRibUpdate, 1'500, "10.0.0.0/8"));
+    graph_.add_vertex(record_of(3, 0, IoKind::kSendAdvert, 2'000, "10.0.0.0/8"));
+    graph_.add_vertex(record_of(4, 1, IoKind::kRecvAdvert, 4'000, "10.0.0.0/8"));
+    graph_.add_edge({1, 2, 1.0, "config->rib"});
+    graph_.add_edge({2, 3, 1.0, "bgp-rib->send"});
+    graph_.add_edge({3, 4, 0.7, "send->recv"});
+  }
+  HappensBeforeGraph graph_;
+};
+
+TEST_F(RenderFixture, DotContainsVerticesAndEdges) {
+  std::string dot = to_dot(graph_);
+  EXPECT_NE(dot.find("digraph hbg"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("config->rib"), std::string::npos);
+  // Sub-1.0 confidences are annotated on the edge.
+  EXPECT_NE(dot.find("0.70"), std::string::npos);
+  // Inputs are highlighted.
+  EXPECT_NE(dot.find("orange"), std::string::npos);
+}
+
+TEST_F(RenderFixture, DotConfidenceFilter) {
+  std::string dot = to_dot(graph_, 0.9);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_EQ(dot.find("n3 -> n4"), std::string::npos);  // 0.7 < 0.9
+}
+
+TEST_F(RenderFixture, TimelineGroupsByRouterWithGaps) {
+  std::string timeline = to_timeline(graph_);
+  EXPECT_NE(timeline.find("=== R0 ==="), std::string::npos);
+  EXPECT_NE(timeline.find("=== R1 ==="), std::string::npos);
+  EXPECT_NE(timeline.find("+1.5ms"), std::string::npos);  // config -> rib gap
+  EXPECT_NE(timeline.find("cross-router edges"), std::string::npos);
+  EXPECT_NE(timeline.find("R0 #3 -> R1 #4"), std::string::npos);
+}
+
+TEST_F(RenderFixture, ChainRendersLatencies) {
+  std::string chain = render_chain(graph_, {1, 2, 3, 4});
+  EXPECT_NE(chain.find("cause: R0 config change"), std::string::npos);
+  EXPECT_NE(chain.find("+1.5ms"), std::string::npos);
+  EXPECT_NE(chain.find("+2ms"), std::string::npos);  // send -> recv
+}
+
+TEST_F(RenderFixture, ChainSkipsUnknownVertices) {
+  std::string chain = render_chain(graph_, {1, 99, 2});
+  EXPECT_NE(chain.find("cause:"), std::string::npos);
+  EXPECT_EQ(chain.find("99"), std::string::npos);
+}
+
+TEST(Report, SummaryListsIncidentsAndCauses) {
+  GuardReport report;
+  report.scans = 5;
+  report.clean_scans = 3;
+  report.records_processed = 120;
+  report.reverts = 1;
+
+  GuardIncident incident;
+  incident.detected_at = 42'000;
+  Violation violation;
+  violation.policy = "preferred-exit(203.0.113.0/24)";
+  violation.prefix = *Prefix::parse("203.0.113.0/24");
+  violation.router = 2;
+  violation.detail = "wrong exit";
+  incident.violations.push_back(violation);
+  RootCause cause;
+  cause.kind = CauseKind::kConfigChange;
+  cause.record = record_of(7, 1, IoKind::kConfigChange, 40'000);
+  cause.record.detail = "set local-pref 10";
+  incident.causes.push_back(cause);
+  incident.action = "reverted v4 on R1";
+  report.incidents.push_back(incident);
+
+  std::string summary = report.summary();
+  EXPECT_NE(summary.find("5 scans (3 clean)"), std::string::npos);
+  EXPECT_NE(summary.find("1 incident(s)"), std::string::npos);
+  EXPECT_NE(summary.find("reverted v4 on R1"), std::string::npos);
+  EXPECT_NE(summary.find("preferred-exit"), std::string::npos);
+  EXPECT_NE(summary.find("config-change"), std::string::npos);
+  EXPECT_NE(summary.find("set local-pref 10"), std::string::npos);
+}
+
+TEST(Describe, ViolationFormat) {
+  Violation violation;
+  violation.policy = "loop-freedom(10.0.0.0/8)";
+  violation.prefix = *Prefix::parse("10.0.0.0/8");
+  violation.router = 3;
+  violation.detail = "R3 -> R1 -> R3 [loop]";
+  EXPECT_EQ(violation.describe(),
+            "loop-freedom(10.0.0.0/8): 10.0.0.0/8 at R3 (R3 -> R1 -> R3 [loop])");
+}
+
+TEST(Describe, IoRecordFormats) {
+  IoRecord r = record_of(12, 1, IoKind::kSendAdvert, 5'000, "203.0.113.0/24");
+  r.session = "ibgp-R3";
+  r.withdraw = true;
+  std::string text = r.describe();
+  EXPECT_NE(text.find("#12"), std::string::npos);
+  EXPECT_NE(text.find("R1"), std::string::npos);
+  EXPECT_NE(text.find("withdraw"), std::string::npos);
+  EXPECT_NE(text.find("ibgp-R3"), std::string::npos);
+
+  EXPECT_EQ(r.label(), "R1 send withdraw 203.0.113.0/24 on ibgp-R3");
+
+  IoRecord hardware = record_of(13, 0, IoKind::kHardwareStatus, 1);
+  hardware.link = 2;
+  hardware.link_up = false;
+  EXPECT_EQ(hardware.label(), "R0 link2 down");
+}
+
+TEST(Describe, CauseKindNames) {
+  EXPECT_EQ(to_string(CauseKind::kConfigChange), "config-change");
+  EXPECT_EQ(to_string(CauseKind::kHardwareStatus), "hardware");
+  EXPECT_EQ(to_string(CauseKind::kExternalAdvert), "external-advert");
+  EXPECT_EQ(to_string(CauseKind::kInitialConfig), "initial-config");
+}
+
+}  // namespace
+}  // namespace hbguard

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/rib/fib.hpp"
+#include "hbguard/rib/redistribution.hpp"
+#include "hbguard/rib/rib.hpp"
+
+namespace hbguard {
+namespace {
+
+TEST(Fib, InstallLookupRemove) {
+  Fib fib;
+  FibEntry entry;
+  entry.prefix = *Prefix::parse("10.0.0.0/8");
+  entry.action = FibEntry::Action::kForward;
+  entry.next_hop = 3;
+
+  EXPECT_FALSE(fib.install(entry).has_value());
+  const FibEntry* hit = fib.lookup(IpAddress(10, 1, 1, 1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->next_hop, 3u);
+
+  FibEntry replacement = entry;
+  replacement.next_hop = 4;
+  auto previous = fib.install(replacement);
+  ASSERT_TRUE(previous.has_value());
+  EXPECT_EQ(previous->next_hop, 3u);
+
+  auto removed = fib.remove(entry.prefix);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->next_hop, 4u);
+  EXPECT_EQ(fib.lookup(IpAddress(10, 1, 1, 1)), nullptr);
+}
+
+TEST(Fib, LongestPrefixMatchOrder) {
+  Fib fib;
+  FibEntry broad;
+  broad.prefix = *Prefix::parse("10.0.0.0/8");
+  broad.action = FibEntry::Action::kForward;
+  broad.next_hop = 1;
+  FibEntry narrow;
+  narrow.prefix = *Prefix::parse("10.1.0.0/16");
+  narrow.action = FibEntry::Action::kForward;
+  narrow.next_hop = 2;
+  fib.install(broad);
+  fib.install(narrow);
+
+  EXPECT_EQ(fib.lookup(IpAddress(10, 1, 5, 5))->next_hop, 2u);
+  EXPECT_EQ(fib.lookup(IpAddress(10, 2, 5, 5))->next_hop, 1u);
+}
+
+TEST(FibEntry, Describe) {
+  FibEntry e;
+  e.prefix = *Prefix::parse("10.0.0.0/8");
+  e.action = FibEntry::Action::kExternal;
+  e.external_session = "uplink2";
+  EXPECT_EQ(e.describe(), "10.0.0.0/8 -> ext(uplink2)");
+}
+
+class RibFixture : public ::testing::Test {
+ protected:
+  RibFixture()
+      : rib_(0, AdminDistances{},
+             RibManager::Callbacks{
+                 [this](const Prefix& p, Protocol proto, const RibRoute* r) {
+                   rib_events_.push_back({p, proto, r != nullptr});
+                 },
+                 [this](const Prefix& p, const FibEntry* e) {
+                   fib_events_.emplace_back(p, e != nullptr ? std::optional<FibEntry>(*e)
+                                                            : std::nullopt);
+                 },
+                 [this](RouterId target) { return resolve_(target); }}) {}
+
+  RibRoute bgp_route(const char* prefix, Protocol proto, RouterId next_hop) {
+    RibRoute route;
+    route.prefix = *Prefix::parse(prefix);
+    route.protocol = proto;
+    route.action = FibEntry::Action::kForward;
+    route.next_hop_router = next_hop;
+    return route;
+  }
+
+  struct RibEvent {
+    Prefix prefix;
+    Protocol protocol;
+    bool installed;
+  };
+
+  std::function<std::optional<RouterId>(RouterId)> resolve_ = [](RouterId r) {
+    return std::optional<RouterId>(r);  // everything directly adjacent
+  };
+  RibManager rib_;
+  std::vector<RibEvent> rib_events_;
+  std::vector<std::pair<Prefix, std::optional<FibEntry>>> fib_events_;
+};
+
+TEST_F(RibFixture, LowerAdminDistanceWins) {
+  Prefix p = *Prefix::parse("203.0.113.0/24");
+  rib_.update(Protocol::kIbgp, p, bgp_route("203.0.113.0/24", Protocol::kIbgp, 5));
+  ASSERT_EQ(fib_events_.size(), 1u);
+  EXPECT_EQ(fib_events_[0].second->next_hop, 5u);
+
+  rib_.update(Protocol::kEbgp, p, bgp_route("203.0.113.0/24", Protocol::kEbgp, 7));
+  ASSERT_EQ(fib_events_.size(), 2u);
+  EXPECT_EQ(fib_events_[1].second->next_hop, 7u);  // eBGP (20) beats iBGP (200)
+
+  rib_.update(Protocol::kEbgp, p, std::nullopt);
+  ASSERT_EQ(fib_events_.size(), 3u);
+  EXPECT_EQ(fib_events_[2].second->next_hop, 5u);  // falls back to iBGP
+}
+
+TEST_F(RibFixture, MetricBreaksTieWithinProtocol) {
+  // Two updates from the same protocol replace each other, so the metric
+  // tie-break applies across protocols of equal distance — verify the
+  // best() comparator handles equal distances deterministically.
+  Prefix p = *Prefix::parse("10.0.0.0/8");
+  RibRoute a = bgp_route("10.0.0.0/8", Protocol::kOspf, 1);
+  a.metric = 20;
+  rib_.update(Protocol::kOspf, p, a);
+  const RibRoute* best = rib_.best(p);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->metric, 20u);
+
+  RibRoute b = a;
+  b.metric = 5;
+  b.next_hop_router = 2;
+  rib_.update(Protocol::kOspf, p, b);
+  best = rib_.best(p);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->metric, 5u);
+  EXPECT_EQ(rib_.fib().find(p)->next_hop, 2u);
+}
+
+TEST_F(RibFixture, UnresolvableNextHopKeepsRouteOutOfFib) {
+  resolve_ = [](RouterId) { return std::nullopt; };
+  Prefix p = *Prefix::parse("203.0.113.0/24");
+  rib_.update(Protocol::kIbgp, p, bgp_route("203.0.113.0/24", Protocol::kIbgp, 5));
+  EXPECT_TRUE(fib_events_.empty());
+  EXPECT_EQ(rib_.fib().find(p), nullptr);
+  // RIB still has the candidate.
+  EXPECT_NE(rib_.best(p), nullptr);
+}
+
+TEST_F(RibFixture, ReresolveAllPicksUpIgpChanges) {
+  Prefix p = *Prefix::parse("203.0.113.0/24");
+  rib_.update(Protocol::kIbgp, p, bgp_route("203.0.113.0/24", Protocol::kIbgp, 5));
+  ASSERT_EQ(fib_events_.size(), 1u);
+  EXPECT_EQ(fib_events_[0].second->next_hop, 5u);
+
+  resolve_ = [](RouterId) { return std::optional<RouterId>(9); };  // IGP re-route
+  rib_.reresolve_all();
+  ASSERT_EQ(fib_events_.size(), 2u);
+  EXPECT_EQ(fib_events_[1].second->next_hop, 9u);
+}
+
+TEST_F(RibFixture, SelfNextHopBecomesLocal) {
+  Prefix p = *Prefix::parse("192.0.2.0/24");
+  rib_.update(Protocol::kIbgp, p, bgp_route("192.0.2.0/24", Protocol::kIbgp, 0));  // self=0
+  ASSERT_EQ(fib_events_.size(), 1u);
+  EXPECT_EQ(fib_events_[0].second->action, FibEntry::Action::kLocal);
+}
+
+TEST_F(RibFixture, ExternalAndDropActions) {
+  Prefix p = *Prefix::parse("0.0.0.0/0");
+  RibRoute route;
+  route.prefix = p;
+  route.protocol = Protocol::kStatic;
+  route.action = FibEntry::Action::kExternal;
+  route.external_session = "uplink1";
+  rib_.update(Protocol::kStatic, p, route);
+  ASSERT_EQ(fib_events_.size(), 1u);
+  EXPECT_EQ(fib_events_[0].second->action, FibEntry::Action::kExternal);
+  EXPECT_EQ(fib_events_[0].second->external_session, "uplink1");
+
+  route.action = FibEntry::Action::kDrop;
+  rib_.update(Protocol::kStatic, p, route);
+  ASSERT_EQ(fib_events_.size(), 2u);
+  EXPECT_EQ(fib_events_[1].second->action, FibEntry::Action::kDrop);
+}
+
+TEST_F(RibFixture, NoChangeNoEvent) {
+  Prefix p = *Prefix::parse("203.0.113.0/24");
+  auto route = bgp_route("203.0.113.0/24", Protocol::kEbgp, 3);
+  rib_.update(Protocol::kEbgp, p, route);
+  auto fib_count = fib_events_.size();
+  auto rib_count = rib_events_.size();
+  rib_.update(Protocol::kEbgp, p, route);  // identical
+  EXPECT_EQ(fib_events_.size(), fib_count);
+  EXPECT_EQ(rib_events_.size(), rib_count);
+}
+
+TEST_F(RibFixture, WithdrawUnknownIsNoop) {
+  rib_.update(Protocol::kEbgp, *Prefix::parse("203.0.113.0/24"), std::nullopt);
+  EXPECT_TRUE(fib_events_.empty());
+  EXPECT_TRUE(rib_events_.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Redistribution
+
+TEST(Redistribution, StaticsFlowIntoBgp) {
+  std::set<Prefix> observed;
+  RedistributionEngine redist({[&](const std::set<Prefix>& prefixes) { observed = prefixes; }});
+  RouterConfig config;
+  config.redistributions.push_back({Protocol::kStatic, Protocol::kEbgp, ""});
+  redist.set_config(&config);
+
+  Prefix p = *Prefix::parse("172.16.0.0/12");
+  RibRoute route;
+  route.prefix = p;
+  route.protocol = Protocol::kStatic;
+  redist.on_rib_change(p, Protocol::kStatic, &route);
+  EXPECT_TRUE(observed.contains(p));
+
+  redist.on_rib_change(p, Protocol::kStatic, nullptr);
+  EXPECT_FALSE(observed.contains(p));
+}
+
+TEST(Redistribution, PolicyFiltersPrefixes) {
+  std::set<Prefix> observed;
+  RedistributionEngine redist({[&](const std::set<Prefix>& prefixes) { observed = prefixes; }});
+  RouterConfig config;
+  config.redistributions.push_back({Protocol::kStatic, Protocol::kEbgp, "only-172"});
+  RouteMap map;
+  map.name = "only-172";
+  RouteMapClause permit;
+  permit.match_prefix = *Prefix::parse("172.16.0.0/12");
+  map.clauses.push_back(permit);
+  map.default_permit = false;
+  config.route_maps["only-172"] = map;
+  redist.set_config(&config);
+
+  Prefix inside = *Prefix::parse("172.16.5.0/24");
+  Prefix outside = *Prefix::parse("10.0.0.0/8");
+  RibRoute route;
+  route.protocol = Protocol::kStatic;
+  route.prefix = inside;
+  redist.on_rib_change(inside, Protocol::kStatic, &route);
+  route.prefix = outside;
+  redist.on_rib_change(outside, Protocol::kStatic, &route);
+
+  EXPECT_TRUE(observed.contains(inside));
+  EXPECT_FALSE(observed.contains(outside));
+}
+
+TEST(Redistribution, BgpRoutesNeverFedBack) {
+  std::set<Prefix> observed;
+  bool fired = false;
+  RedistributionEngine redist({[&](const std::set<Prefix>& prefixes) {
+    observed = prefixes;
+    fired = true;
+  }});
+  RouterConfig config;
+  config.redistributions.push_back({Protocol::kEbgp, Protocol::kIbgp, ""});
+  redist.set_config(&config);
+
+  Prefix p = *Prefix::parse("203.0.113.0/24");
+  RibRoute route;
+  route.prefix = p;
+  route.protocol = Protocol::kEbgp;
+  redist.on_rib_change(p, Protocol::kEbgp, &route);
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace hbguard

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hbguard/capture/trace_io.hpp"
+#include "hbguard/hbg/builder.hpp"
+#include "hbguard/hbr/rule_matcher.hpp"
+#include "hbguard/sim/scenario.hpp"
+
+namespace hbguard {
+namespace {
+
+bool records_equal(const IoRecord& a, const IoRecord& b) {
+  return a.id == b.id && a.router == b.router && a.kind == b.kind &&
+         a.logged_time == b.logged_time && a.true_time == b.true_time &&
+         a.router_seq == b.router_seq && a.prefix == b.prefix && a.protocol == b.protocol &&
+         a.session == b.session && a.peer == b.peer && a.withdraw == b.withdraw &&
+         a.local_pref == b.local_pref && a.detail == b.detail &&
+         a.config_version == b.config_version && a.link == b.link && a.link_up == b.link_up &&
+         a.fib_entry == b.fib_entry && a.fib_blocked == b.fib_blocked &&
+         a.message_id == b.message_id && a.true_causes == b.true_causes;
+}
+
+TEST(TraceIo, RoundTripsAFullScenarioTrace) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  scenario.misconfigure_r2_lp10();
+  scenario.network->run_to_convergence();
+
+  const auto& records = scenario.network->capture().records();
+  std::ostringstream out;
+  write_trace(out, records);
+
+  auto parsed = parse_trace_text(out.str());
+  for (const auto& error : parsed.errors) {
+    ADD_FAILURE() << "line " << error.line << ": " << error.message;
+  }
+  ASSERT_EQ(parsed.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(records_equal(records[i], parsed.records[i]))
+        << "record " << i << ": " << records[i].describe() << " vs "
+        << parsed.records[i].describe();
+  }
+}
+
+TEST(TraceIo, ParsedTraceDrivesTheAnalysisPipeline) {
+  // The round-tripped trace must be as useful as the live one: same HBG,
+  // same root causes.
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  ConfigVersion bad = scenario.misconfigure_r2_lp10();
+  scenario.network->run_to_convergence();
+
+  std::ostringstream out;
+  write_trace(out, scenario.network->capture().records());
+  auto parsed = parse_trace_text(out.str());
+  ASSERT_TRUE(parsed.ok());
+
+  auto hbg = HbgBuilder::build(parsed.records, RuleMatchingInference());
+  IoId fault = kNoIo, cause = kNoIo;
+  for (const IoRecord& r : parsed.records) {
+    if (r.kind == IoKind::kFibUpdate && r.router == scenario.r1 && r.prefix.has_value() &&
+        *r.prefix == scenario.prefix_p && !r.withdraw) {
+      fault = r.id;
+    }
+    if (r.kind == IoKind::kConfigChange && r.config_version == bad) cause = r.id;
+  }
+  ASSERT_NE(fault, kNoIo);
+  auto roots = hbg.root_causes(fault);
+  EXPECT_NE(std::find(roots.begin(), roots.end(), cause), roots.end());
+}
+
+TEST(TraceIo, RedactionDropsOracleFields) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+
+  TraceWriteOptions options;
+  options.redact_ground_truth = true;
+  std::ostringstream out;
+  write_trace(out, scenario.network->capture().records(), options);
+  std::string text = out.str();
+  EXPECT_EQ(text.find("true_causes"), std::string::npos);
+  EXPECT_EQ(text.find("true_time"), std::string::npos);
+  EXPECT_EQ(text.find("message_id"), std::string::npos);
+
+  auto parsed = parse_trace_text(text);
+  ASSERT_TRUE(parsed.ok());
+  for (const IoRecord& record : parsed.records) {
+    EXPECT_TRUE(record.true_causes.empty());
+    EXPECT_EQ(record.message_id, 0u);
+    // true_time falls back to logged_time so time-based analysis still works.
+    EXPECT_EQ(record.true_time, record.logged_time);
+  }
+}
+
+TEST(TraceIo, EscapesSpecialCharacters) {
+  IoRecord record;
+  record.id = 1;
+  record.router = 0;
+  record.kind = IoKind::kConfigChange;
+  record.detail = "set \"desc\" with \\ backslash\nand newline\ttab";
+  std::string line = to_json_line(record);
+
+  auto parsed = parse_trace_text(line);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].detail, record.detail);
+}
+
+TEST(TraceIo, ReportsMalformedLinesWithNumbers) {
+  std::string text =
+      "{\"id\":1,\"router\":0,\"kind\":\"fib\",\"logged_time\":5}\n"
+      "this is not json\n"
+      "{\"id\":2,\"router\":0}\n"            // missing kind
+      "{\"id\":3,\"router\":0,\"kind\":\"nope\"}\n";
+  auto parsed = parse_trace_text(text);
+  EXPECT_EQ(parsed.records.size(), 1u);
+  ASSERT_EQ(parsed.errors.size(), 3u);
+  EXPECT_EQ(parsed.errors[0].line, 2u);
+  EXPECT_EQ(parsed.errors[1].line, 3u);
+  EXPECT_EQ(parsed.errors[2].line, 4u);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::string text = "\n  \n{\"id\":1,\"router\":2,\"kind\":\"send\"}\n\n";
+  auto parsed = parse_trace_text(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].router, 2u);
+}
+
+TEST(TraceIo, FibEntrySurvivesRoundTrip) {
+  IoRecord record;
+  record.id = 7;
+  record.router = 3;
+  record.kind = IoKind::kFibUpdate;
+  record.prefix = *Prefix::parse("203.0.113.0/24");
+  FibEntry entry;
+  entry.prefix = *record.prefix;
+  entry.action = FibEntry::Action::kExternal;
+  entry.external_session = "uplink2";
+  entry.source = Protocol::kEbgp;
+  record.fib_entry = entry;
+
+  auto parsed = parse_trace_text(to_json_line(record));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.records[0].fib_entry.has_value());
+  EXPECT_EQ(*parsed.records[0].fib_entry, entry);
+}
+
+}  // namespace
+}  // namespace hbguard

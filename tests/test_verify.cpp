@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "hbguard/snapshot/naive.hpp"
+#include "hbguard/verify/eqclass.hpp"
+#include "hbguard/verify/verifier.hpp"
+
+namespace hbguard {
+namespace {
+
+FibEntry forward(const char* prefix, RouterId next_hop) {
+  FibEntry e;
+  e.prefix = *Prefix::parse(prefix);
+  e.action = FibEntry::Action::kForward;
+  e.next_hop = next_hop;
+  return e;
+}
+
+FibEntry external(const char* prefix, const char* session) {
+  FibEntry e;
+  e.prefix = *Prefix::parse(prefix);
+  e.action = FibEntry::Action::kExternal;
+  e.external_session = session;
+  return e;
+}
+
+FibEntry local(const char* prefix) {
+  FibEntry e;
+  e.prefix = *Prefix::parse(prefix);
+  e.action = FibEntry::Action::kLocal;
+  return e;
+}
+
+FibEntry drop(const char* prefix) {
+  FibEntry e;
+  e.prefix = *Prefix::parse(prefix);
+  e.action = FibEntry::Action::kDrop;
+  return e;
+}
+
+/// Hand-built snapshot: R0 -> R1 -> R2(exit via "up"), destination P.
+DataPlaneSnapshot chain_snapshot() {
+  DataPlaneSnapshot s;
+  s.routers[0].entries = {forward("203.0.113.0/24", 1)};
+  s.routers[1].entries = {forward("203.0.113.0/24", 2)};
+  s.routers[2].entries = {external("203.0.113.0/24", "up")};
+  return s;
+}
+
+const Prefix kP = *Prefix::parse("203.0.113.0/24");
+
+TEST(Trace, ChainReachesExternal) {
+  auto s = chain_snapshot();
+  auto trace = trace_forwarding(s, 0, representative(kP));
+  EXPECT_EQ(trace.outcome, ForwardOutcome::kExternal);
+  EXPECT_EQ(trace.path, (std::vector<RouterId>{0, 1, 2}));
+  EXPECT_EQ(trace.exit_router, 2u);
+  EXPECT_EQ(trace.exit_session, "up");
+}
+
+TEST(Trace, LoopDetected) {
+  auto s = chain_snapshot();
+  s.routers[2].entries = {forward("203.0.113.0/24", 0)};
+  s.invalidate_lookup_cache();
+  auto trace = trace_forwarding(s, 0, representative(kP));
+  EXPECT_EQ(trace.outcome, ForwardOutcome::kLoop);
+}
+
+TEST(Trace, BlackholeOnMissingEntry) {
+  auto s = chain_snapshot();
+  s.routers[1].entries = {};
+  s.invalidate_lookup_cache();
+  auto trace = trace_forwarding(s, 0, representative(kP));
+  EXPECT_EQ(trace.outcome, ForwardOutcome::kBlackhole);
+  EXPECT_EQ(trace.path.back(), 1u);
+}
+
+TEST(Trace, DropAction) {
+  auto s = chain_snapshot();
+  s.routers[1].entries = {drop("203.0.113.0/24")};
+  s.invalidate_lookup_cache();
+  auto trace = trace_forwarding(s, 0, representative(kP));
+  EXPECT_EQ(trace.outcome, ForwardOutcome::kDropped);
+}
+
+TEST(Trace, LocalDelivery) {
+  auto s = chain_snapshot();
+  s.routers[2].entries = {local("203.0.113.0/24")};
+  s.invalidate_lookup_cache();
+  auto trace = trace_forwarding(s, 0, representative(kP));
+  EXPECT_EQ(trace.outcome, ForwardOutcome::kDelivered);
+  EXPECT_EQ(trace.exit_router, 2u);
+}
+
+TEST(Trace, DeadUplinkDetected) {
+  auto s = chain_snapshot();
+  s.routers[2].failed_uplinks.insert("up");
+  auto trace = trace_forwarding(s, 0, representative(kP));
+  EXPECT_EQ(trace.outcome, ForwardOutcome::kDeadUplink);
+}
+
+TEST(Trace, ForwardToUnknownRouterIsBlackhole) {
+  auto s = chain_snapshot();
+  s.routers[1].entries = {forward("203.0.113.0/24", 99)};
+  s.invalidate_lookup_cache();
+  auto trace = trace_forwarding(s, 0, representative(kP));
+  EXPECT_EQ(trace.outcome, ForwardOutcome::kBlackhole);
+}
+
+TEST(Trace, LongestPrefixMatchGovernsNextHop) {
+  auto s = chain_snapshot();
+  s.routers[0].entries = {forward("203.0.113.0/24", 1), forward("203.0.113.0/25", 2)};
+  s.invalidate_lookup_cache();
+  auto trace = trace_forwarding(s, 0, IpAddress(203, 0, 113, 5));  // inside /25
+  EXPECT_EQ(trace.path[1], 2u);
+}
+
+TEST(Policies, LoopFreedomFlagsEveryLoopedSource) {
+  auto s = chain_snapshot();
+  s.routers[2].entries = {forward("203.0.113.0/24", 0)};
+  s.invalidate_lookup_cache();
+  LoopFreedomPolicy policy(kP);
+  std::vector<Violation> violations;
+  policy.check(s, violations);
+  EXPECT_EQ(violations.size(), 3u);  // every source loops
+}
+
+TEST(Policies, BlackholeFreedomIgnoresRoutelessRouters) {
+  auto s = chain_snapshot();
+  s.routers[0].entries = {};  // no route at R0: not a blackhole by policy
+  s.invalidate_lookup_cache();
+  BlackholeFreedomPolicy policy(kP);
+  std::vector<Violation> violations;
+  policy.check(s, violations);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Policies, BlackholeFreedomFlagsDownstreamHole) {
+  auto s = chain_snapshot();
+  s.routers[2].entries = {};  // R0 and R1 forward into a hole
+  s.invalidate_lookup_cache();
+  BlackholeFreedomPolicy policy(kP);
+  std::vector<Violation> violations;
+  policy.check(s, violations);
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST(Policies, ReachabilityPassAndFail) {
+  auto s = chain_snapshot();
+  ReachabilityPolicy ok(0, kP);
+  std::vector<Violation> violations;
+  ok.check(s, violations);
+  EXPECT_TRUE(violations.empty());
+
+  s.routers[1].entries = {};
+  s.invalidate_lookup_cache();
+  ok.check(s, violations);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].router, 0u);
+}
+
+TEST(Policies, WaypointEnforced) {
+  auto s = chain_snapshot();
+  WaypointPolicy through_r1(kP, 1);
+  std::vector<Violation> violations;
+  through_r1.check(s, violations);
+  EXPECT_TRUE(violations.empty());
+
+  // R0 bypasses R1 straight to R2.
+  s.routers[0].entries = {forward("203.0.113.0/24", 2)};
+  s.invalidate_lookup_cache();
+  through_r1.check(s, violations);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].router, 0u);
+}
+
+TEST(Policies, PreferredExitHonoursUplinkState) {
+  DataPlaneSnapshot s;
+  s.routers[0].entries = {forward("203.0.113.0/24", 2)};
+  s.routers[1].entries = {external("203.0.113.0/24", "backup")};
+  s.routers[2].entries = {external("203.0.113.0/24", "pref")};
+  // Both uplinks currently offer the route.
+  s.routers[1].uplink_routes["backup"].insert(kP);
+  s.routers[2].uplink_routes["pref"].insert(kP);
+
+  PreferredExitPolicy policy(kP, 2, "pref", 1, "backup");
+  {
+    std::vector<Violation> violations;
+    policy.check(s, violations);
+    // R1 exits via backup although preferred is up: violation at R1.
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].router, 1u);
+  }
+  {
+    // Preferred uplink down: now R1's exit is right and R0/R2 are wrong.
+    s.routers[2].failed_uplinks.insert("pref");
+    std::vector<Violation> violations;
+    policy.check(s, violations);
+    EXPECT_EQ(violations.size(), 2u);
+  }
+}
+
+TEST(Policies, PreferredExitQuietWhileExitHasNoOffer) {
+  // Fig. 1a: the preferred uplink is up but has learned no route — exiting
+  // via the backup is correct, not a violation.
+  DataPlaneSnapshot s;
+  s.routers[0].entries = {forward("203.0.113.0/24", 1)};
+  s.routers[1].entries = {external("203.0.113.0/24", "backup")};
+  s.routers[1].uplink_routes["backup"].insert(kP);
+  s.routers[2].entries = {forward("203.0.113.0/24", 1)};
+  PreferredExitPolicy policy(kP, 2, "pref", 1, "backup");
+  std::vector<Violation> violations;
+  policy.check(s, violations);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Policies, PreferredExitQuietWhenPrefixWithdrawn) {
+  DataPlaneSnapshot s;
+  s.routers[0].entries = {};
+  s.routers[1].entries = {};
+  PreferredExitPolicy policy(kP, 0, "pref", 1, "backup");
+  std::vector<Violation> violations;
+  policy.check(s, violations);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Verifier, AggregatesAcrossPolicies) {
+  auto s = chain_snapshot();
+  s.routers[2].entries = {forward("203.0.113.0/24", 0)};
+  s.invalidate_lookup_cache();
+  Verifier verifier({std::make_shared<LoopFreedomPolicy>(kP),
+                     std::make_shared<ReachabilityPolicy>(0, kP)});
+  auto result = verifier.verify(s);
+  EXPECT_EQ(result.violations.size(), 4u);  // 3 loop + 1 reachability
+}
+
+TEST(Verifier, CompareVerdicts) {
+  auto truth = chain_snapshot();
+  auto observed = chain_snapshot();
+  observed.routers[2].entries = {forward("203.0.113.0/24", 0)};  // phantom loop
+
+  Verifier verifier({std::make_shared<LoopFreedomPolicy>(kP)});
+  auto comparison = compare_verdicts(verifier, observed, truth);
+  EXPECT_EQ(comparison.false_alarms, 1u);
+  EXPECT_EQ(comparison.missed, 0u);
+  EXPECT_EQ(comparison.agree, 0u);
+
+  comparison = compare_verdicts(verifier, truth, observed);
+  EXPECT_EQ(comparison.missed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence classes
+
+TEST(EqClass, ChainHasFewClasses) {
+  auto s = chain_snapshot();
+  auto classes = compute_equivalence_classes(s);
+  // Two behaviours: inside P (forwarded to exit) and outside P (no route).
+  EXPECT_EQ(classes.classes.size(), 2u);
+  EXPECT_EQ(classes.class_of(IpAddress(203, 0, 113, 7)),
+            classes.class_of(IpAddress(203, 0, 113, 200)));
+  EXPECT_NE(classes.class_of(IpAddress(203, 0, 113, 7)), classes.class_of(IpAddress(8, 8, 8, 8)));
+}
+
+TEST(EqClass, ManyPrefixesSameTreatmentCollapse) {
+  DataPlaneSnapshot s;
+  for (int i = 0; i < 50; ++i) {
+    std::string p = "10." + std::to_string(i) + ".0.0/16";
+    s.routers[0].entries.push_back(forward(p.c_str(), 1));
+    s.routers[1].entries.push_back(external(p.c_str(), "up"));
+  }
+  auto classes = compute_equivalence_classes(s);
+  // 50 prefixes but only 2 classes: "inside a 10.x/16" and "everything else".
+  EXPECT_EQ(classes.classes.size(), 2u);
+  EXPECT_GT(classes.atomic_intervals, 50u);
+}
+
+TEST(EqClass, DifferentTreatmentSplitsClasses) {
+  DataPlaneSnapshot s;
+  s.routers[0].entries = {forward("10.0.0.0/16", 1), forward("10.1.0.0/16", 2),
+                          drop("10.2.0.0/16")};
+  auto classes = compute_equivalence_classes(s);
+  EXPECT_EQ(classes.classes.size(), 4u);  // three distinct + default no-route
+}
+
+TEST(EqClass, CoversFullAddressSpace) {
+  auto s = chain_snapshot();
+  auto classes = compute_equivalence_classes(s);
+  std::uint64_t total = 0;
+  for (const auto& klass : classes.classes) total += klass.size;
+  EXPECT_EQ(total, std::uint64_t{1} << 32);
+}
+
+}  // namespace
+}  // namespace hbguard

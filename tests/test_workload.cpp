@@ -1,0 +1,168 @@
+// Topology generators and churn workloads (the substrate under the scaling
+// benches) plus the as-path policy match.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hbguard/config/parser.hpp"
+#include "hbguard/sim/scenario.hpp"
+#include "hbguard/sim/workload.hpp"
+
+namespace hbguard {
+namespace {
+
+TEST(Generators, ChainLinkStructure) {
+  Topology topo = make_chain_topology(6);
+  ASSERT_EQ(topo.link_count(), 5u);
+  for (LinkId l = 0; l < 5; ++l) {
+    EXPECT_EQ(topo.link(l).a, l);
+    EXPECT_EQ(topo.link(l).b, l + 1);
+  }
+}
+
+TEST(Generators, RingClosesTheLoop) {
+  Topology topo = make_ring_topology(4);
+  EXPECT_EQ(topo.link_count(), 4u);
+  EXPECT_TRUE(topo.link_between(3, 0).has_value());
+}
+
+TEST(Generators, TinyRingDegeneratesToChain) {
+  EXPECT_EQ(make_ring_topology(2).link_count(), 1u);
+  EXPECT_EQ(make_ring_topology(1).link_count(), 0u);
+}
+
+TEST(Generators, FullMeshAllPairs) {
+  Topology topo = make_full_mesh_topology(6);
+  EXPECT_EQ(topo.link_count(), 15u);
+  for (RouterId a = 0; a < 6; ++a) {
+    for (RouterId b = a + 1; b < 6; ++b) {
+      EXPECT_TRUE(topo.link_between(a, b).has_value());
+    }
+  }
+}
+
+TEST(Generators, RandomTopologyIsConnectedAndDeduplicated) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    Rng rng(seed);
+    Topology topo = make_random_topology(12, 8, rng);
+    // No duplicate links.
+    std::set<std::pair<RouterId, RouterId>> seen;
+    for (const Link& link : topo.links()) {
+      auto key = std::make_pair(std::min(link.a, link.b), std::max(link.a, link.b));
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate link";
+    }
+    // Connected: BFS reaches everyone.
+    std::set<RouterId> reached{0};
+    std::vector<RouterId> frontier{0};
+    while (!frontier.empty()) {
+      RouterId r = frontier.back();
+      frontier.pop_back();
+      for (RouterId n : topo.up_neighbors(r)) {
+        if (reached.insert(n).second) frontier.push_back(n);
+      }
+    }
+    EXPECT_EQ(reached.size(), topo.router_count());
+  }
+}
+
+TEST(Generators, RandomTopologyDeterministicPerSeed) {
+  auto build = [] {
+    Rng rng(42);
+    Topology topo = make_random_topology(10, 5, rng);
+    std::vector<std::tuple<RouterId, RouterId, SimTime>> links;
+    for (const Link& link : topo.links()) links.emplace_back(link.a, link.b, link.delay_us);
+    return links;
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Churn, SchedulesExactlyRequestedEvents) {
+  auto generated = make_ibgp_network(make_chain_topology(4), 2);
+  generated.network->run_to_convergence();
+  ChurnOptions options;
+  options.event_count = 17;
+  ChurnWorkload churn(generated, options);
+  EXPECT_EQ(churn.scheduled_events(), 17u);
+  EXPECT_EQ(churn.prefixes().size(), options.prefix_count);
+  generated.network->run_to_convergence();  // must drain without hanging
+}
+
+TEST(Churn, NoUplinksMeansNoEvents) {
+  auto generated = make_ibgp_network(make_chain_topology(3), 0);
+  generated.network->run_to_convergence();
+  ChurnWorkload churn(generated, {});
+  EXPECT_EQ(churn.scheduled_events(), 0u);
+}
+
+TEST(Churn, ConfigChurnTouchesOnlyUplinkPolicies) {
+  auto generated = make_ibgp_network(make_chain_topology(4), 1);
+  Network& net = *generated.network;
+  net.run_to_convergence();
+  ChurnOptions options;
+  options.config_change_probability = 1.0;  // config changes only
+  options.event_count = 5;
+  ChurnWorkload churn(generated, options);
+  net.run_to_convergence();
+  // All changes landed on the uplink router and only touched its LP map.
+  for (const ConfigChangeRecord& record : net.configs().history()) {
+    if (record.parent == kNoVersion) continue;  // initial configs
+    EXPECT_EQ(record.router, generated.uplinks[0].router);
+    EXPECT_NE(record.description.find("local-pref"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AS-path policy matching (used to express "avoid transit via AS X").
+
+TEST(AsPathPolicy, MatchContains) {
+  RouteMapClause clause;
+  clause.match_as_path_contains = 64999;
+  PolicyRouteView through{*Prefix::parse("10.0.0.0/8"), 100, 0, {64500, 64999}, "s", {}};
+  PolicyRouteView direct{*Prefix::parse("10.0.0.0/8"), 100, 0, {64500}, "s", {}};
+  EXPECT_TRUE(clause.matches(through));
+  EXPECT_FALSE(clause.matches(direct));
+}
+
+TEST(AsPathPolicy, AvoidTransitEndToEnd) {
+  // R3 refuses any path transiting AS 64999; both uplinks advertise P with
+  // 64999 in the path, so R3 must end up with no route even though its
+  // peers have one.
+  auto scenario = PaperScenario::make();
+  scenario.network->apply_config_change(
+      scenario.r3, "avoid AS 64999", [](RouterConfig& config) {
+        RouteMap avoid;
+        avoid.name = "avoid-64999";
+        RouteMapClause deny;
+        deny.match_as_path_contains = 64999;
+        deny.action = RouteMapClause::Action::kDeny;
+        avoid.clauses.push_back(deny);
+        config.route_maps["avoid-64999"] = std::move(avoid);
+        config.bgp.find_session("ibgp-R1")->import_policy = "avoid-64999";
+        config.bgp.find_session("ibgp-R2")->import_policy = "avoid-64999";
+      });
+  scenario.converge_initial();
+
+  EXPECT_EQ(scenario.router3().data_fib().find(scenario.prefix_p), nullptr);
+  EXPECT_NE(scenario.router1().data_fib().find(scenario.prefix_p), nullptr);
+}
+
+TEST(AsPathPolicy, ParserRoundTrip) {
+  Topology topo;
+  topo.add_router("R1");
+  auto result = parse_router_config(R"(
+route-map avoid
+  clause deny
+    match as-path-contains 64999
+)", topo);
+  ASSERT_TRUE(result.ok());
+  const RouteMap* map = result.config.find_route_map("avoid");
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->clauses.at(0).match_as_path_contains, 64999u);
+  std::string rendered = render_router_config(result.config, topo);
+  auto again = parse_router_config(rendered, topo);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(render_router_config(again.config, topo), rendered);
+}
+
+}  // namespace
+}  // namespace hbguard
