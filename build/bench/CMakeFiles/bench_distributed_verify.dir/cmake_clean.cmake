@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_verify.dir/bench_distributed_verify.cpp.o"
+  "CMakeFiles/bench_distributed_verify.dir/bench_distributed_verify.cpp.o.d"
+  "bench_distributed_verify"
+  "bench_distributed_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eqclass.dir/bench_eqclass.cpp.o"
+  "CMakeFiles/bench_eqclass.dir/bench_eqclass.cpp.o.d"
+  "bench_eqclass"
+  "bench_eqclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eqclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1c_snapshot_race.dir/bench_fig1c_snapshot_race.cpp.o"
+  "CMakeFiles/bench_fig1c_snapshot_race.dir/bench_fig1c_snapshot_race.cpp.o.d"
+  "bench_fig1c_snapshot_race"
+  "bench_fig1c_snapshot_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_snapshot_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

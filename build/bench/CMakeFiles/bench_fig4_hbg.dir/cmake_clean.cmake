@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hbg.dir/bench_fig4_hbg.cpp.o"
+  "CMakeFiles/bench_fig4_hbg.dir/bench_fig4_hbg.cpp.o.d"
+  "bench_fig4_hbg"
+  "bench_fig4_hbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_feasibility.dir/bench_fig5_feasibility.cpp.o"
+  "CMakeFiles/bench_fig5_feasibility.dir/bench_fig5_feasibility.cpp.o.d"
+  "bench_fig5_feasibility"
+  "bench_fig5_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hbg_scale.dir/bench_hbg_scale.cpp.o"
+  "CMakeFiles/bench_hbg_scale.dir/bench_hbg_scale.cpp.o.d"
+  "bench_hbg_scale"
+  "bench_hbg_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hbg_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hbr_inference.dir/bench_hbr_inference.cpp.o"
+  "CMakeFiles/bench_hbr_inference.dir/bench_hbr_inference.cpp.o.d"
+  "bench_hbr_inference"
+  "bench_hbr_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hbr_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_gap.dir/bench_model_gap.cpp.o"
+  "CMakeFiles/bench_model_gap.dir/bench_model_gap.cpp.o.d"
+  "bench_model_gap"
+  "bench_model_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_vs_block.dir/bench_repair_vs_block.cpp.o"
+  "CMakeFiles/bench_repair_vs_block.dir/bench_repair_vs_block.cpp.o.d"
+  "bench_repair_vs_block"
+  "bench_repair_vs_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_vs_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_repair_vs_block.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_audit.dir/distributed_audit.cpp.o"
+  "CMakeFiles/distributed_audit.dir/distributed_audit.cpp.o.d"
+  "distributed_audit"
+  "distributed_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

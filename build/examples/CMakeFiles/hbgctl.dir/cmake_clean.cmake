@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbgctl.dir/hbgctl.cpp.o"
+  "CMakeFiles/hbgctl.dir/hbgctl.cpp.o.d"
+  "hbgctl"
+  "hbgctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbgctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

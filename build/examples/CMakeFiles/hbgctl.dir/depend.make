@@ -1,0 +1,2 @@
+# Empty dependencies file for hbgctl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preferred_exit_outage.dir/preferred_exit_outage.cpp.o"
+  "CMakeFiles/preferred_exit_outage.dir/preferred_exit_outage.cpp.o.d"
+  "preferred_exit_outage"
+  "preferred_exit_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preferred_exit_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for preferred_exit_outage.
+# This may be replaced when dependencies are built.

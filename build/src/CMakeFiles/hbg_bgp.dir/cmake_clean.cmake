@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_bgp.dir/hbguard/proto/bgp/attributes.cpp.o"
+  "CMakeFiles/hbg_bgp.dir/hbguard/proto/bgp/attributes.cpp.o.d"
+  "CMakeFiles/hbg_bgp.dir/hbguard/proto/bgp/decision.cpp.o"
+  "CMakeFiles/hbg_bgp.dir/hbguard/proto/bgp/decision.cpp.o.d"
+  "CMakeFiles/hbg_bgp.dir/hbguard/proto/bgp/engine.cpp.o"
+  "CMakeFiles/hbg_bgp.dir/hbguard/proto/bgp/engine.cpp.o.d"
+  "libhbg_bgp.a"
+  "libhbg_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_capture.dir/hbguard/capture/io_record.cpp.o"
+  "CMakeFiles/hbg_capture.dir/hbguard/capture/io_record.cpp.o.d"
+  "CMakeFiles/hbg_capture.dir/hbguard/capture/tap.cpp.o"
+  "CMakeFiles/hbg_capture.dir/hbguard/capture/tap.cpp.o.d"
+  "CMakeFiles/hbg_capture.dir/hbguard/capture/trace_io.cpp.o"
+  "CMakeFiles/hbg_capture.dir/hbguard/capture/trace_io.cpp.o.d"
+  "libhbg_capture.a"
+  "libhbg_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

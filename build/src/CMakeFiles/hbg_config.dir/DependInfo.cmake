@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbguard/config/config.cpp" "src/CMakeFiles/hbg_config.dir/hbguard/config/config.cpp.o" "gcc" "src/CMakeFiles/hbg_config.dir/hbguard/config/config.cpp.o.d"
+  "/root/repo/src/hbguard/config/config_store.cpp" "src/CMakeFiles/hbg_config.dir/hbguard/config/config_store.cpp.o" "gcc" "src/CMakeFiles/hbg_config.dir/hbguard/config/config_store.cpp.o.d"
+  "/root/repo/src/hbguard/config/parser.cpp" "src/CMakeFiles/hbg_config.dir/hbguard/config/parser.cpp.o" "gcc" "src/CMakeFiles/hbg_config.dir/hbguard/config/parser.cpp.o.d"
+  "/root/repo/src/hbguard/config/policy.cpp" "src/CMakeFiles/hbg_config.dir/hbguard/config/policy.cpp.o" "gcc" "src/CMakeFiles/hbg_config.dir/hbguard/config/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

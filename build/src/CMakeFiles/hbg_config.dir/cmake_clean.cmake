@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_config.dir/hbguard/config/config.cpp.o"
+  "CMakeFiles/hbg_config.dir/hbguard/config/config.cpp.o.d"
+  "CMakeFiles/hbg_config.dir/hbguard/config/config_store.cpp.o"
+  "CMakeFiles/hbg_config.dir/hbguard/config/config_store.cpp.o.d"
+  "CMakeFiles/hbg_config.dir/hbguard/config/parser.cpp.o"
+  "CMakeFiles/hbg_config.dir/hbguard/config/parser.cpp.o.d"
+  "CMakeFiles/hbg_config.dir/hbguard/config/policy.cpp.o"
+  "CMakeFiles/hbg_config.dir/hbguard/config/policy.cpp.o.d"
+  "libhbg_config.a"
+  "libhbg_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

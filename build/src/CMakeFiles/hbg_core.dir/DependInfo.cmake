@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbguard/core/guard.cpp" "src/CMakeFiles/hbg_core.dir/hbguard/core/guard.cpp.o" "gcc" "src/CMakeFiles/hbg_core.dir/hbguard/core/guard.cpp.o.d"
+  "/root/repo/src/hbguard/core/report.cpp" "src/CMakeFiles/hbg_core.dir/hbguard/core/report.cpp.o" "gcc" "src/CMakeFiles/hbg_core.dir/hbguard/core/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbg_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_dverify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_model_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_hbr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_rib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_ospf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

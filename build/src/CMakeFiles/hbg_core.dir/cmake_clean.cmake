@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_core.dir/hbguard/core/guard.cpp.o"
+  "CMakeFiles/hbg_core.dir/hbguard/core/guard.cpp.o.d"
+  "CMakeFiles/hbg_core.dir/hbguard/core/report.cpp.o"
+  "CMakeFiles/hbg_core.dir/hbguard/core/report.cpp.o.d"
+  "libhbg_core.a"
+  "libhbg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

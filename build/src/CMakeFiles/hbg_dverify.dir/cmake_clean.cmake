@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_dverify.dir/hbguard/dverify/distributed.cpp.o"
+  "CMakeFiles/hbg_dverify.dir/hbguard/dverify/distributed.cpp.o.d"
+  "libhbg_dverify.a"
+  "libhbg_dverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_dverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

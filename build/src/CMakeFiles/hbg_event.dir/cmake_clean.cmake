@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_event.dir/hbguard/event/simulator.cpp.o"
+  "CMakeFiles/hbg_event.dir/hbguard/event/simulator.cpp.o.d"
+  "libhbg_event.a"
+  "libhbg_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbg_event.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_graph.dir/hbguard/hbg/builder.cpp.o"
+  "CMakeFiles/hbg_graph.dir/hbguard/hbg/builder.cpp.o.d"
+  "CMakeFiles/hbg_graph.dir/hbguard/hbg/graph.cpp.o"
+  "CMakeFiles/hbg_graph.dir/hbguard/hbg/graph.cpp.o.d"
+  "CMakeFiles/hbg_graph.dir/hbguard/hbg/incremental.cpp.o"
+  "CMakeFiles/hbg_graph.dir/hbguard/hbg/incremental.cpp.o.d"
+  "CMakeFiles/hbg_graph.dir/hbguard/hbg/render.cpp.o"
+  "CMakeFiles/hbg_graph.dir/hbguard/hbg/render.cpp.o.d"
+  "libhbg_graph.a"
+  "libhbg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbguard/hbr/incremental.cpp" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/incremental.cpp.o" "gcc" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/incremental.cpp.o.d"
+  "/root/repo/src/hbguard/hbr/inference.cpp" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/inference.cpp.o" "gcc" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/inference.cpp.o.d"
+  "/root/repo/src/hbguard/hbr/pattern_miner.cpp" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/pattern_miner.cpp.o" "gcc" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/pattern_miner.cpp.o.d"
+  "/root/repo/src/hbguard/hbr/rule_matcher.cpp" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/rule_matcher.cpp.o" "gcc" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/rule_matcher.cpp.o.d"
+  "/root/repo/src/hbguard/hbr/rules.cpp" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/rules.cpp.o" "gcc" "src/CMakeFiles/hbg_hbr.dir/hbguard/hbr/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbg_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_rib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_ospf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

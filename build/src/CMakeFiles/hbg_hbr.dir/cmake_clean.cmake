@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/incremental.cpp.o"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/incremental.cpp.o.d"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/inference.cpp.o"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/inference.cpp.o.d"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/pattern_miner.cpp.o"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/pattern_miner.cpp.o.d"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/rule_matcher.cpp.o"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/rule_matcher.cpp.o.d"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/rules.cpp.o"
+  "CMakeFiles/hbg_hbr.dir/hbguard/hbr/rules.cpp.o.d"
+  "libhbg_hbr.a"
+  "libhbg_hbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_hbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_model_verifier.dir/hbguard/model_verifier/model.cpp.o"
+  "CMakeFiles/hbg_model_verifier.dir/hbguard/model_verifier/model.cpp.o.d"
+  "libhbg_model_verifier.a"
+  "libhbg_model_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_model_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbguard/net/ip.cpp" "src/CMakeFiles/hbg_net.dir/hbguard/net/ip.cpp.o" "gcc" "src/CMakeFiles/hbg_net.dir/hbguard/net/ip.cpp.o.d"
+  "/root/repo/src/hbguard/net/prefix_trie.cpp" "src/CMakeFiles/hbg_net.dir/hbguard/net/prefix_trie.cpp.o" "gcc" "src/CMakeFiles/hbg_net.dir/hbguard/net/prefix_trie.cpp.o.d"
+  "/root/repo/src/hbguard/net/topology.cpp" "src/CMakeFiles/hbg_net.dir/hbguard/net/topology.cpp.o" "gcc" "src/CMakeFiles/hbg_net.dir/hbguard/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_net.dir/hbguard/net/ip.cpp.o"
+  "CMakeFiles/hbg_net.dir/hbguard/net/ip.cpp.o.d"
+  "CMakeFiles/hbg_net.dir/hbguard/net/prefix_trie.cpp.o"
+  "CMakeFiles/hbg_net.dir/hbguard/net/prefix_trie.cpp.o.d"
+  "CMakeFiles/hbg_net.dir/hbguard/net/topology.cpp.o"
+  "CMakeFiles/hbg_net.dir/hbguard/net/topology.cpp.o.d"
+  "libhbg_net.a"
+  "libhbg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

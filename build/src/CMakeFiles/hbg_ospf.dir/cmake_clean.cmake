@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_ospf.dir/hbguard/proto/ospf/engine.cpp.o"
+  "CMakeFiles/hbg_ospf.dir/hbguard/proto/ospf/engine.cpp.o.d"
+  "CMakeFiles/hbg_ospf.dir/hbguard/proto/ospf/lsdb.cpp.o"
+  "CMakeFiles/hbg_ospf.dir/hbguard/proto/ospf/lsdb.cpp.o.d"
+  "CMakeFiles/hbg_ospf.dir/hbguard/proto/ospf/spf.cpp.o"
+  "CMakeFiles/hbg_ospf.dir/hbguard/proto/ospf/spf.cpp.o.d"
+  "libhbg_ospf.a"
+  "libhbg_ospf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_ospf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_provenance.dir/hbguard/provenance/distributed_hbg.cpp.o"
+  "CMakeFiles/hbg_provenance.dir/hbguard/provenance/distributed_hbg.cpp.o.d"
+  "CMakeFiles/hbg_provenance.dir/hbguard/provenance/root_cause.cpp.o"
+  "CMakeFiles/hbg_provenance.dir/hbguard/provenance/root_cause.cpp.o.d"
+  "libhbg_provenance.a"
+  "libhbg_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_repair.dir/hbguard/repair/blocker.cpp.o"
+  "CMakeFiles/hbg_repair.dir/hbguard/repair/blocker.cpp.o.d"
+  "CMakeFiles/hbg_repair.dir/hbguard/repair/early_block.cpp.o"
+  "CMakeFiles/hbg_repair.dir/hbguard/repair/early_block.cpp.o.d"
+  "CMakeFiles/hbg_repair.dir/hbguard/repair/reverter.cpp.o"
+  "CMakeFiles/hbg_repair.dir/hbguard/repair/reverter.cpp.o.d"
+  "libhbg_repair.a"
+  "libhbg_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_rib.dir/hbguard/rib/fib.cpp.o"
+  "CMakeFiles/hbg_rib.dir/hbguard/rib/fib.cpp.o.d"
+  "CMakeFiles/hbg_rib.dir/hbguard/rib/redistribution.cpp.o"
+  "CMakeFiles/hbg_rib.dir/hbguard/rib/redistribution.cpp.o.d"
+  "CMakeFiles/hbg_rib.dir/hbguard/rib/rib.cpp.o"
+  "CMakeFiles/hbg_rib.dir/hbguard/rib/rib.cpp.o.d"
+  "libhbg_rib.a"
+  "libhbg_rib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_rib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

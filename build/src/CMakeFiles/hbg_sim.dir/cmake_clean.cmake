@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_sim.dir/hbguard/sim/network.cpp.o"
+  "CMakeFiles/hbg_sim.dir/hbguard/sim/network.cpp.o.d"
+  "CMakeFiles/hbg_sim.dir/hbguard/sim/router.cpp.o"
+  "CMakeFiles/hbg_sim.dir/hbguard/sim/router.cpp.o.d"
+  "CMakeFiles/hbg_sim.dir/hbguard/sim/scenario.cpp.o"
+  "CMakeFiles/hbg_sim.dir/hbguard/sim/scenario.cpp.o.d"
+  "CMakeFiles/hbg_sim.dir/hbguard/sim/workload.cpp.o"
+  "CMakeFiles/hbg_sim.dir/hbguard/sim/workload.cpp.o.d"
+  "libhbg_sim.a"
+  "libhbg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

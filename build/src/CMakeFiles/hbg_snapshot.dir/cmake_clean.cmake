@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_snapshot.dir/hbguard/snapshot/consistent.cpp.o"
+  "CMakeFiles/hbg_snapshot.dir/hbguard/snapshot/consistent.cpp.o.d"
+  "CMakeFiles/hbg_snapshot.dir/hbguard/snapshot/naive.cpp.o"
+  "CMakeFiles/hbg_snapshot.dir/hbguard/snapshot/naive.cpp.o.d"
+  "libhbg_snapshot.a"
+  "libhbg_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

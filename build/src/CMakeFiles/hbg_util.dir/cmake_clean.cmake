@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_util.dir/hbguard/util/logging.cpp.o"
+  "CMakeFiles/hbg_util.dir/hbguard/util/logging.cpp.o.d"
+  "CMakeFiles/hbg_util.dir/hbguard/util/rng.cpp.o"
+  "CMakeFiles/hbg_util.dir/hbguard/util/rng.cpp.o.d"
+  "CMakeFiles/hbg_util.dir/hbguard/util/strings.cpp.o"
+  "CMakeFiles/hbg_util.dir/hbguard/util/strings.cpp.o.d"
+  "libhbg_util.a"
+  "libhbg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/eqclass.cpp.o"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/eqclass.cpp.o.d"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/forwarding_graph.cpp.o"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/forwarding_graph.cpp.o.d"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/policy.cpp.o"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/policy.cpp.o.d"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/truth_monitor.cpp.o"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/truth_monitor.cpp.o.d"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/verifier.cpp.o"
+  "CMakeFiles/hbg_verify.dir/hbguard/verify/verifier.cpp.o.d"
+  "libhbg_verify.a"
+  "libhbg_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbg_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dverify.dir/test_dverify.cpp.o"
+  "CMakeFiles/test_dverify.dir/test_dverify.cpp.o.d"
+  "test_dverify"
+  "test_dverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

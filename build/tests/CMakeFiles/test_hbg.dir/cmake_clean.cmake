@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbg.dir/test_hbg.cpp.o"
+  "CMakeFiles/test_hbg.dir/test_hbg.cpp.o.d"
+  "test_hbg"
+  "test_hbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

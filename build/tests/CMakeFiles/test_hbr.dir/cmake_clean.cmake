@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbr.dir/test_hbr.cpp.o"
+  "CMakeFiles/test_hbr.dir/test_hbr.cpp.o.d"
+  "test_hbr"
+  "test_hbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

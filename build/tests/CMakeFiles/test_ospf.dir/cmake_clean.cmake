@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ospf.dir/test_ospf.cpp.o"
+  "CMakeFiles/test_ospf.dir/test_ospf.cpp.o.d"
+  "test_ospf"
+  "test_ospf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ospf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
