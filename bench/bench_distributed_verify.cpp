@@ -23,7 +23,8 @@ int main() {
   header("bench_distributed_verify",
          "§5 (A3) — centralized vs distributed verification cost",
          "distributed: bounded per-node work, more messages, higher latency; "
-         "centralized: one hot node whose work grows with network size");
+         "centralized: one hot node whose work grows with network size",
+         /*seed=*/77);
 
   Table table({"routers", "prefixes", "c.msgs", "d.msgs", "c.max-node-work", "d.max-node-work",
                "c.latency", "d.latency"});

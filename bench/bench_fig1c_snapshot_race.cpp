@@ -82,7 +82,8 @@ int main() {
   header("bench_fig1c_snapshot_race",
          "Fig. 1c — per-router snapshot skew vs verifier verdict quality",
          "naive false alarms (incl. phantom loops) appear once skew overlaps "
-         "update propagation; HBG-consistent verdicts stay clean");
+         "update propagation; HBG-consistent verdicts stay clean",
+         /*seed=*/1000);
 
   Table table({"poll skew", "trials", "naive false alarms", "naive phantom loops",
                "naive missed", "consistent false alarms", "consistent missed"});

@@ -18,7 +18,8 @@ int main() {
   header("bench_hbg_scale",
          "A7 — HBG construction/query cost vs network size and churn",
          "build time grows near-linearly with captured I/Os; provenance "
-         "queries stay sub-millisecond; inference accuracy holds at scale");
+         "queries stay sub-millisecond; inference accuracy holds at scale",
+         /*seed=*/31);
 
   Table table({"routers", "churn events", "I/Os", "build", "vertices", "edges",
                "root-cause query", "precision", "recall"});

@@ -51,7 +51,8 @@ int main() {
   header("bench_hbr_inference",
          "§4.2 (A1) — precision/recall of HBR inference strategies",
          "timestamps: poor precision; prefix: better; rules: near-perfect; "
-         "patterns: automated but weaker; combined >= rules in recall");
+         "patterns: automated but weaker; combined >= rules in recall",
+         /*seed=*/501);
 
   // --- Strategy comparison across logging-quality regimes ---
   struct Regime {

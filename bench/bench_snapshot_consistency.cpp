@@ -21,7 +21,8 @@ int main() {
   header("bench_snapshot_consistency",
          "§5 (A2) — verifier verdict quality: naive vs HBG-consistent snapshots",
          "naive false verdicts grow as churn gets denser; consistent stays ~0 "
-         "(it rewinds instead of mixing incomparable instants)");
+         "(it rewinds instead of mixing incomparable instants)",
+         /*seed=*/11);
 
   Table table({"mean event gap", "samples", "naive FP", "naive FN", "consistent FP",
                "consistent FN", "consistent+defer FP", "deferred verdicts",

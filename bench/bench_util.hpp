@@ -6,7 +6,9 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hbguard/sim/scenario.hpp"
@@ -16,11 +18,16 @@
 namespace hbguard::bench {
 
 inline void header(const std::string& title, const std::string& artifact,
-                   const std::string& expectation) {
+                   const std::string& expectation,
+                   std::optional<std::uint64_t> seed = std::nullopt) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces : %s\n", artifact.c_str());
   std::printf("expect     : %s\n", expectation.c_str());
+  std::printf("host       : %u hardware thread(s)\n",
+              std::max(1u, std::thread::hardware_concurrency()));
+  if (seed.has_value()) std::printf("seed       : %llu\n",
+                                    static_cast<unsigned long long>(*seed));
   std::printf("==============================================================\n");
 }
 

@@ -17,15 +17,31 @@ std::string_view to_string(RepairMode mode) {
   return "?";
 }
 
+namespace {
+
+// The snapshotter inherits the Guard-wide thread knob so one setting
+// parallelizes the whole pipeline.
+ConsistentSnapshotter::Options snapshot_options(const GuardOptions& options) {
+  ConsistentSnapshotter::Options snap = options.snapshot;
+  snap.num_threads = options.num_threads;
+  return snap;
+}
+
+}  // namespace
+
 Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
     : network_(network),
-      verifier_(policies),
+      pool_(resolve_num_threads(options.num_threads) == 1
+                ? nullptr
+                : std::make_shared<ThreadPool>(options.num_threads)),
+      verifier_(policies, VerifierOptions{options.num_threads}, pool_),
       options_(options),
       rules_(options.matcher),
-      snapshotter_(options.snapshot),
+      snapshotter_(snapshot_options(options)),
       analyzer_(RootCauseAnalyzer::Options{options.min_confidence}),
       reverter_(network),
       incremental_builder_(options.matcher) {
+  snapshotter_.set_thread_pool(pool_);
   if (options_.repair == RepairMode::kBlock) {
     blocker_ = std::make_unique<VerifyingBlocker>(network, std::move(policies));
   }
@@ -212,7 +228,7 @@ void Guard::learn_early_block(const ProvenanceResult& provenance,
     const HappensBeforeGraph& hbg = live_hbg();
     DataPlaneSnapshot before =
         snapshotter_.build(network_.capture().records(), hbg, horizons);
-    EquivalenceClasses classes = compute_equivalence_classes(before);
+    EquivalenceClasses classes = compute_equivalence_classes(before, pool_.get());
 
     std::string change_signature = normalize_change_description(cause.record.detail);
     for (const Violation& violation : violations) {
@@ -243,7 +259,7 @@ std::optional<RevertAction> Guard::try_early_block(std::span<const IoRecord> rec
     }
     const HappensBeforeGraph& hbg = live_hbg();
     DataPlaneSnapshot before = snapshotter_.build(records, hbg, horizons);
-    EquivalenceClasses classes = compute_equivalence_classes(before);
+    EquivalenceClasses classes = compute_equivalence_classes(before, pool_.get());
 
     std::string change_signature = normalize_change_description(record.detail);
     std::vector<EarlyBlockKey> keys;

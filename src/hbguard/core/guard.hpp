@@ -46,6 +46,12 @@ std::string_view to_string(RepairMode mode);
 
 struct GuardOptions {
   RepairMode repair = RepairMode::kRevert;
+  /// Worker threads for the pipeline's parallel stages (sharded
+  /// verification, per-router snapshot replay, EC computation). One pool is
+  /// created per Guard and reused by every scan. 0 = one worker per
+  /// hardware thread; 1 = the exact serial legacy behaviour. Reports are
+  /// byte-identical for every setting (see tests/test_parallel_verify.cpp).
+  unsigned num_threads = 0;
   /// Minimum HBG edge confidence used for snapshots and provenance.
   double min_confidence = 0.9;
   /// Virtual time between scans of the capture stream.
@@ -85,6 +91,8 @@ class Guard {
 
   const GuardReport& report() const { return report_; }
   const EarlyBlockModel& early_block_model() const { return early_model_; }
+  /// Sharded-verification counters (EC memo cache hits/misses per scan).
+  VerifyStats verifier_stats() const { return verifier_.stats(); }
 
   /// Build the current HBG (for rendering/inspection; copies in
   /// incremental mode).
@@ -104,6 +112,9 @@ class Guard {
   std::optional<RevertAction> try_early_block(std::span<const IoRecord> records);
 
   Network& network_;
+  /// Shared across the verifier, snapshotter and EC computation; null when
+  /// `num_threads == 1` (serial legacy mode).
+  std::shared_ptr<ThreadPool> pool_;
   Verifier verifier_;
   GuardOptions options_;
   RuleMatchingInference rules_;

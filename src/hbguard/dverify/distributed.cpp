@@ -5,8 +5,9 @@
 
 namespace hbguard {
 
-DistributedVerifier::DistributedVerifier(const Topology& topology, PolicyList policies)
-    : topology_(topology), verifier_(policies), policies_(std::move(policies)) {}
+DistributedVerifier::DistributedVerifier(const Topology& topology, PolicyList policies,
+                                         VerifierOptions options)
+    : topology_(topology), verifier_(policies, options), policies_(std::move(policies)) {}
 
 std::vector<Prefix> DistributedVerifier::policy_prefixes() const {
   std::set<Prefix> unique;
@@ -16,34 +17,63 @@ std::vector<Prefix> DistributedVerifier::policy_prefixes() const {
   return {unique.begin(), unique.end()};
 }
 
+DistributedVerifier::PrefixCost DistributedVerifier::prefix_cost(
+    const DataPlaneSnapshot& snapshot, const Prefix& prefix) const {
+  // Per destination, a verification token starts at every router, each hop
+  // applies that router's transfer function (one lookup) and ships the
+  // partial result across the link.
+  PrefixCost partial;
+  IpAddress destination = representative(prefix);
+  for (const auto& [source, view] : snapshot.routers) {
+    ForwardTrace trace = trace_forwarding(snapshot, source, destination);
+    SimTime path_latency = 0;
+    for (std::size_t i = 0; i < trace.path.size(); ++i) {
+      RouterId hop = trace.path[i];
+      ++partial.node_work[hop];
+      ++partial.cost.total_work;
+      if (i + 1 < trace.path.size()) {
+        ++partial.cost.messages;
+        ++partial.cost.payload_entries;  // one partial result forwarded
+        auto link = topology_.link_between(hop, trace.path[i + 1]);
+        path_latency += link.has_value() ? topology_.link(*link).delay_us : 1000;
+      }
+    }
+    partial.cost.latency_us = std::max(partial.cost.latency_us, path_latency);
+  }
+  return partial;
+}
+
 VerifyResult DistributedVerifier::verify(const DataPlaneSnapshot& snapshot,
                                          VerifyCost* cost) const {
   VerifyResult result = verifier_.verify(snapshot);
   if (cost == nullptr) return result;
 
-  // Cost the distributed execution: per destination, a verification token
-  // starts at every router, each hop applies that router's transfer
-  // function (one lookup) and ships the partial result across the link.
+  // Cost the distributed execution, sharding the per-router transfer-
+  // function evaluation per prefix across the verifier's pool. Partial
+  // costs merge in prefix order — sums and maxes, so the totals equal the
+  // serial evaluation's exactly.
+  std::vector<Prefix> prefixes = policy_prefixes();
+  std::vector<PrefixCost> partials(prefixes.size());
+  std::shared_ptr<ThreadPool> pool = verifier_.thread_pool();
+  if (pool != nullptr && prefixes.size() > 1) {
+    snapshot.warm_lookup_cache();
+    pool->parallel_for(prefixes.size(), [&](std::size_t i) {
+      partials[i] = prefix_cost(snapshot, prefixes[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      partials[i] = prefix_cost(snapshot, prefixes[i]);
+    }
+  }
+
   *cost = VerifyCost{};
   std::map<RouterId, std::size_t> node_work;
-  for (const Prefix& prefix : policy_prefixes()) {
-    IpAddress destination = representative(prefix);
-    for (const auto& [source, view] : snapshot.routers) {
-      ForwardTrace trace = trace_forwarding(snapshot, source, destination);
-      SimTime path_latency = 0;
-      for (std::size_t i = 0; i < trace.path.size(); ++i) {
-        RouterId hop = trace.path[i];
-        ++node_work[hop];
-        ++cost->total_work;
-        if (i + 1 < trace.path.size()) {
-          ++cost->messages;
-          ++cost->payload_entries;  // one partial result forwarded
-          auto link = topology_.link_between(hop, trace.path[i + 1]);
-          path_latency += link.has_value() ? topology_.link(*link).delay_us : 1000;
-        }
-      }
-      cost->latency_us = std::max(cost->latency_us, path_latency);
-    }
+  for (const PrefixCost& partial : partials) {
+    cost->messages += partial.cost.messages;
+    cost->payload_entries += partial.cost.payload_entries;
+    cost->total_work += partial.cost.total_work;
+    cost->latency_us = std::max(cost->latency_us, partial.cost.latency_us);
+    for (const auto& [router, work] : partial.node_work) node_work[router] += work;
   }
   for (const auto& [router, work] : node_work) {
     cost->max_node_work = std::max(cost->max_node_work, work);

@@ -29,8 +29,13 @@ struct VerifyCost {
 
 class DistributedVerifier {
  public:
-  /// `topology` supplies link delays for the latency model.
-  DistributedVerifier(const Topology& topology, PolicyList policies);
+  /// `topology` supplies link delays for the latency model. `options`
+  /// configures the shared thread pool: each policy prefix's per-router
+  /// transfer-function evaluation is an independent unit of work, so the
+  /// cost model shards per prefix across the pool and merges partial costs
+  /// in prefix order (identical totals to the serial evaluation).
+  DistributedVerifier(const Topology& topology, PolicyList policies,
+                      VerifierOptions options = {});
 
   /// Verify like the centralized verifier (same verdicts) while costing the
   /// distributed execution: per destination, each router applies its own
@@ -45,6 +50,14 @@ class DistributedVerifier {
   std::vector<Prefix> policy_prefixes() const;
 
  private:
+  /// Per-prefix slice of the distributed cost model (merged in prefix
+  /// order; `latency_us` maxes, the counters sum).
+  struct PrefixCost {
+    VerifyCost cost;
+    std::map<RouterId, std::size_t> node_work;
+  };
+  PrefixCost prefix_cost(const DataPlaneSnapshot& snapshot, const Prefix& prefix) const;
+
   const Topology& topology_;
   Verifier verifier_;
   PolicyList policies_;

@@ -1,5 +1,7 @@
 #include "hbguard/sim/workload.hpp"
 
+#include <cmath>
+#include <functional>
 #include <set>
 
 #include "hbguard/sim/scenario.hpp"
@@ -64,6 +66,85 @@ Topology make_random_topology(std::size_t n, std::size_t extra_links, Rng& rng,
     existing.insert(key);
     topology.add_link(a, b, /*delay_us=*/rng.uniform_int(500, 5000));
     ++added;
+  }
+  return topology;
+}
+
+Topology make_fattree_topology(std::size_t k, AsNumber as_number) {
+  if (k < 2) k = 2;
+  if (k % 2 != 0) ++k;
+  std::size_t half = k / 2;
+  Topology topology;
+
+  std::vector<RouterId> cores;
+  for (std::size_t i = 0; i < half * half; ++i) {
+    cores.push_back(topology.add_router("C" + std::to_string(i), as_number));
+  }
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    std::vector<RouterId> aggs;
+    std::vector<RouterId> edges;
+    for (std::size_t j = 0; j < half; ++j) {
+      aggs.push_back(topology.add_router(
+          "A" + std::to_string(pod) + "_" + std::to_string(j), as_number));
+    }
+    for (std::size_t j = 0; j < half; ++j) {
+      edges.push_back(topology.add_router(
+          "E" + std::to_string(pod) + "_" + std::to_string(j), as_number));
+    }
+    // Full bipartite edge<->aggregation inside the pod.
+    for (RouterId edge : edges) {
+      for (RouterId agg : aggs) topology.add_link(edge, agg);
+    }
+    // Aggregation j uplinks to its core stripe.
+    for (std::size_t j = 0; j < half; ++j) {
+      for (std::size_t c = j * half; c < (j + 1) * half; ++c) {
+        topology.add_link(aggs[j], cores[c]);
+      }
+    }
+  }
+  return topology;
+}
+
+Topology make_waxman_topology(std::size_t n, Rng& rng, double alpha, double beta,
+                              AsNumber as_number) {
+  Topology topology;
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    topology.add_router("W" + std::to_string(i), as_number);
+    points.emplace_back(rng.uniform_real(0.0, 1.0), rng.uniform_real(0.0, 1.0));
+  }
+  auto distance = [&](std::size_t a, std::size_t b) {
+    double dx = points[a].first - points[b].first;
+    double dy = points[a].second - points[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  auto delay_for = [&](double d) {
+    // Speed-of-light-ish: delays scale with distance, floor of 100us.
+    return static_cast<SimTime>(100 + d * 4000);
+  };
+  std::vector<std::size_t> component(n);
+  for (std::size_t i = 0; i < n; ++i) component[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (component[x] != x) x = component[x] = component[component[x]];
+    return x;
+  };
+  const double kMaxDistance = std::sqrt(2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double d = distance(i, j);
+      if (!rng.chance(alpha * std::exp(-d / (beta * kMaxDistance)))) continue;
+      topology.add_link(static_cast<RouterId>(i), static_cast<RouterId>(j), delay_for(d));
+      component[find(i)] = find(j);
+    }
+  }
+  // Connectivity fallback: routers the Waxman draw left in another component
+  // than router 0's get a link to a random earlier router.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (find(i) == find(0)) continue;
+    auto parent = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    topology.add_link(static_cast<RouterId>(i), static_cast<RouterId>(parent),
+                      delay_for(distance(i, parent)));
+    component[find(i)] = find(parent);
   }
   return topology;
 }

@@ -24,6 +24,18 @@ Topology make_full_mesh_topology(std::size_t n, AsNumber as_number = 65000);
 /// Random connected graph: a spanning tree plus `extra_links` random links.
 Topology make_random_topology(std::size_t n, std::size_t extra_links, Rng& rng,
                               AsNumber as_number = 65000);
+/// k-ary fat-tree (Al-Fares et al.): (k/2)^2 core routers plus k pods of k/2
+/// aggregation and k/2 edge routers each. Edge<->aggregation links form a
+/// full bipartite graph inside each pod; aggregation router j of every pod
+/// connects to cores [j*(k/2), (j+1)*(k/2)). `k` must be even and >= 2.
+/// Total routers: k^2*5/4 (e.g. k=4 -> 20).
+Topology make_fattree_topology(std::size_t k, AsNumber as_number = 65000);
+/// Waxman random graph: n points placed uniformly in the unit square, each
+/// pair linked with probability alpha * exp(-d / (beta * sqrt(2))). A random
+/// spanning tree guarantees connectivity; link delays are proportional to
+/// Euclidean distance. Deterministic for a given rng state.
+Topology make_waxman_topology(std::size_t n, Rng& rng, double alpha = 0.6,
+                              double beta = 0.25, AsNumber as_number = 65000);
 
 /// A started iBGP-over-OSPF network with `uplink_count` eBGP uplinks placed
 /// on the first routers (sessions "uplink0", "uplink1", ... with local-pref

@@ -6,6 +6,13 @@
 
 namespace hbguard {
 
+ThreadPool* ConsistentSnapshotter::replay_pool() const {
+  if (resolve_num_threads(options_.num_threads) == 1) return nullptr;
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr) pool_ = std::make_shared<ThreadPool>(options_.num_threads);
+  return pool_.get();
+}
+
 DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records,
                                                const HappensBeforeGraph& hbg,
                                                const std::map<RouterId, SimTime>& horizons,
@@ -91,12 +98,20 @@ DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records
   }
 
   // Replay each router's included FIB updates and uplink state changes.
-  DataPlaneSnapshot snapshot;
-  for (const auto& [router, log] : logs) {
+  // Replays are independent per router, so they shard across the pool;
+  // results are committed to the snapshot in router-id order, keeping
+  // parallel builds identical to serial ones.
+  std::vector<std::pair<RouterId, const std::vector<const IoRecord*>*>> replay_order;
+  replay_order.reserve(logs.size());
+  for (const auto& [router, log] : logs) replay_order.emplace_back(router, &log);
+
+  std::vector<RouterFibView> views(replay_order.size());
+  auto replay_router = [&](std::size_t index) {
+    const auto& [router, log] = replay_order[index];
     RouterFibView view;
     Fib fib;
     for (std::size_t i = 0; i < frontier[router]; ++i) {
-      const IoRecord& r = *log[i];
+      const IoRecord& r = *(*log)[i];
       view.as_of = std::max(view.as_of, r.logged_time);
       if (r.kind == IoKind::kFibUpdate && !r.fib_blocked) {
         if (r.withdraw) {
@@ -123,7 +138,19 @@ DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records
       }
     }
     view.entries = fib.entries();
-    snapshot.routers[router] = std::move(view);
+    views[index] = std::move(view);
+  };
+
+  ThreadPool* pool = replay_pool();
+  if (pool != nullptr && replay_order.size() > 1) {
+    pool->parallel_for(replay_order.size(), replay_router);
+  } else {
+    for (std::size_t i = 0; i < replay_order.size(); ++i) replay_router(i);
+  }
+
+  DataPlaneSnapshot snapshot;
+  for (std::size_t i = 0; i < replay_order.size(); ++i) {
+    snapshot.routers[replay_order[i].first] = std::move(views[i]);
   }
 
   if (report != nullptr) {

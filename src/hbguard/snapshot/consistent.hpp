@@ -18,10 +18,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 
 #include "hbguard/hbg/graph.hpp"
 #include "hbguard/snapshot/snapshot.hpp"
+#include "hbguard/util/thread_pool.hpp"
 
 namespace hbguard {
 
@@ -60,10 +63,20 @@ class ConsistentSnapshotter {
     /// unmatched sends are presumed delivered (inference can miss an edge;
     /// real propagation completes in well under this bound).
     SimTime in_flux_window_us = 5'000'000;
+    /// Worker threads for the per-router FIB replay (0 = one per hardware
+    /// thread, 1 = serial). The happens-before closure itself is inherently
+    /// sequential; only the replay shards. Parallel and serial builds
+    /// produce identical snapshots.
+    unsigned num_threads = 1;
   };
 
   ConsistentSnapshotter() = default;
   explicit ConsistentSnapshotter(Options options) : options_(options) {}
+
+  /// Share a pool with other pipeline stages (e.g. the Guard's verifier);
+  /// without one, a pool is created lazily when the options ask for
+  /// parallelism.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
 
   /// Build a consistent snapshot from the full capture history. `horizons`
   /// gives the logged-time cut per router (records after it have not
@@ -74,7 +87,11 @@ class ConsistentSnapshotter {
                           ConsistencyReport* report = nullptr) const;
 
  private:
+  ThreadPool* replay_pool() const;
+
   Options options_;
+  mutable std::mutex pool_mutex_;  // guards lazy pool creation
+  mutable std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace hbguard

@@ -14,6 +14,15 @@ const FibEntry* DataPlaneSnapshot::lookup(RouterId router, IpAddress destination
   return cached->second->lookup(destination);
 }
 
+void DataPlaneSnapshot::warm_lookup_cache() const {
+  for (const auto& [router, view] : routers) {
+    if (fib_cache_.contains(router)) continue;
+    auto fib = std::make_shared<Fib>();
+    for (const FibEntry& entry : view.entries) fib->install(entry);
+    fib_cache_.emplace(router, std::move(fib));
+  }
+}
+
 std::vector<Prefix> DataPlaneSnapshot::all_prefixes() const {
   std::set<Prefix> unique;
   for (const auto& [router, view] : routers) {

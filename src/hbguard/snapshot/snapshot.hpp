@@ -32,6 +32,11 @@ struct DataPlaneSnapshot {
   /// Builds per-router tries lazily (cached).
   const FibEntry* lookup(RouterId router, IpAddress destination) const;
 
+  /// Build every router's lookup trie now. Concurrent lookup() calls are
+  /// only safe after warming (or mutual exclusion): the lazy trie build
+  /// mutates the cache. The sharded verifier warms before fanning out.
+  void warm_lookup_cache() const;
+
   /// All prefixes appearing in any router's view.
   std::vector<Prefix> all_prefixes() const;
 

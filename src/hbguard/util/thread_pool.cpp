@@ -1,0 +1,117 @@
+#include "hbguard/util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hbguard {
+
+unsigned resolve_num_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned count = resolve_num_threads(num_threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(packaged));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: queued work is never dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions land in the paired future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (size() <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Chunk indices into one contiguous batch per worker: per-index tasks
+  // would pay a queue/future round trip each, which dominates when the
+  // per-index work is small (or the host has one core). Each batch records
+  // its lowest-index exception; every index still runs.
+  struct BatchError {
+    std::size_t index;
+    std::exception_ptr error;
+  };
+  // More batches than the host can run concurrently just adds wakeups and
+  // context switches, so cap at 2x the hardware threads (2x for balance
+  // when batch costs are uneven) regardless of how many workers were
+  // requested.
+  unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::size_t batches =
+      std::min({static_cast<std::size_t>(size()), count, std::max<std::size_t>(2, 2 * hw)});
+  std::size_t chunk = (count + batches - 1) / batches;
+  std::vector<BatchError> errors(batches, BatchError{count, nullptr});
+  std::vector<std::future<void>> futures;
+  futures.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    std::size_t lo = std::min(count, b * chunk);
+    std::size_t hi = std::min(count, lo + chunk);
+    futures.push_back(submit([&fn, &errors, b, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (errors[b].error == nullptr) errors[b] = {i, std::current_exception()};
+        }
+      }
+    }));
+  }
+
+  // Help drain the queue instead of sleeping: with more workers than cores
+  // (or a busy pool) the submitting thread is compute capacity too.
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+  for (std::future<void>& future : futures) future.get();  // batches don't throw
+
+  // Rethrow the lowest-index failure for a deterministic error. Batches
+  // cover ascending contiguous ranges, so the first recorded error wins.
+  for (const BatchError& error : errors) {
+    if (error.error != nullptr) std::rethrow_exception(error.error);
+  }
+}
+
+}  // namespace hbguard

@@ -1,0 +1,69 @@
+// A reusable fixed-size worker pool with a single FIFO task queue.
+//
+// The verification pipeline is embarrassingly parallel across packet
+// equivalence classes and policies (§5's "verification ... can be
+// parallelized per destination"), but it is also invoked once per guard
+// scan — so the pool must be cheap to reuse, not cheap to create. One pool
+// lives for the lifetime of a Verifier/Guard and serves every scan.
+//
+// Design constraints (see tests/test_thread_pool.cpp):
+//   - FIFO dispatch: a single-worker pool executes tasks in submission
+//     order, which keeps `num_threads = 1` runs bit-identical to the
+//     serial code path.
+//   - Exceptions propagate: submit() returns a future that rethrows, and
+//     parallel_for() rethrows the first (lowest-index) task exception after
+//     all tasks have finished — deterministic regardless of interleaving.
+//   - Shutdown drains: the destructor completes every already-queued task
+//     before joining (no dropped work, no detached threads).
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hbguard {
+
+/// Resolve a thread-count knob: 0 means "all hardware threads", anything
+/// else is taken literally. Always returns >= 1.
+unsigned resolve_num_threads(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// `num_threads = 0` starts one worker per hardware thread.
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Completes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task. The future rethrows any exception the task throws.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(0) ... fn(count-1) across the pool and wait for all of them.
+  /// Indices are chunked into one contiguous batch per worker, and the
+  /// calling thread helps drain the queue while it waits. With a single
+  /// worker (or count <= 1) the calls run inline, in index order. If any
+  /// call throws, the exception from the lowest index is rethrown after
+  /// every index has run.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace hbguard

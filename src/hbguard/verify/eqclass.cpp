@@ -1,45 +1,79 @@
 #include "hbguard/verify/eqclass.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "hbguard/net/prefix_trie.hpp"
+#include "hbguard/util/thread_pool.hpp"
 
 namespace hbguard {
 
 namespace {
 /// Per-router behaviour for one destination, compact and comparable.
 std::string behaviour_signature(const DataPlaneSnapshot& snapshot, IpAddress destination) {
-  std::ostringstream out;
+  // Plain string appends — signatures are computed for every atomic
+  // interval, and stream formatting is the dominant cost at that volume.
+  std::string out;
+  out.reserve(snapshot.routers.size() * 8);
   for (const auto& [router, view] : snapshot.routers) {
     const FibEntry* entry = snapshot.lookup(router, destination);
-    out << router << ':';
+    out += std::to_string(router);
+    out += ':';
     if (entry == nullptr) {
-      out << "-;";
+      out += "-;";
       continue;
     }
     switch (entry->action) {
-      case FibEntry::Action::kForward: out << 'F' << entry->next_hop; break;
-      case FibEntry::Action::kExternal: out << 'X' << entry->external_session; break;
-      case FibEntry::Action::kLocal: out << 'L'; break;
-      case FibEntry::Action::kDrop: out << 'D'; break;
+      case FibEntry::Action::kForward:
+        out += 'F';
+        out += std::to_string(entry->next_hop);
+        break;
+      case FibEntry::Action::kExternal:
+        out += 'X';
+        out += entry->external_session;
+        break;
+      case FibEntry::Action::kLocal: out += 'L'; break;
+      case FibEntry::Action::kDrop: out += 'D'; break;
     }
-    out << ';';
+    out += ';';
   }
-  return out.str();
+  return out;
 }
 }  // namespace
 
-EquivalenceClasses compute_equivalence_classes(const DataPlaneSnapshot& snapshot) {
+EquivalenceClasses compute_equivalence_classes(const DataPlaneSnapshot& snapshot,
+                                               ThreadPool* pool) {
   EquivalenceClasses result;
   std::vector<std::uint32_t> bounds = prefix_space_boundaries(snapshot.all_prefixes());
   result.atomic_intervals = bounds.size();
+
+  // Signature computation (one FIB lookup per router per interval) is the
+  // dominant cost and is independent per interval: shard it into per-thread
+  // batches. The grouping below runs in interval order regardless, so the
+  // class list is identical to the serial one.
+  std::vector<std::string> signatures(bounds.size());
+  auto signature_of = [&](std::size_t i) {
+    signatures[i] = behaviour_signature(snapshot, IpAddress(bounds[i]));
+  };
+  if (pool != nullptr && pool->size() > 1 && bounds.size() > 1) {
+    snapshot.warm_lookup_cache();
+    std::size_t batches = std::min<std::size_t>(bounds.size(), pool->size() * 4);
+    std::size_t per_batch = (bounds.size() + batches - 1) / batches;
+    pool->parallel_for(batches, [&](std::size_t batch) {
+      std::size_t lo = batch * per_batch;
+      std::size_t hi = std::min(bounds.size(), lo + per_batch);
+      for (std::size_t i = lo; i < hi; ++i) signature_of(i);
+    });
+  } else {
+    for (std::size_t i = 0; i < bounds.size(); ++i) signature_of(i);
+  }
 
   std::map<std::string, std::size_t> by_signature;
   for (std::size_t i = 0; i < bounds.size(); ++i) {
     std::uint32_t start = bounds[i];
     std::uint32_t end = (i + 1 < bounds.size()) ? bounds[i + 1] - 1 : 0xffffffffu;
     IpAddress representative(start);
-    std::string signature = behaviour_signature(snapshot, representative);
+    std::string signature = std::move(signatures[i]);
 
     auto it = by_signature.find(signature);
     if (it == by_signature.end()) {

@@ -21,6 +21,8 @@
 
 namespace hbguard {
 
+class ThreadPool;
+
 struct EquivalenceClass {
   /// Atomic [start, end] address intervals (inclusive) in this class.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
@@ -41,6 +43,11 @@ struct EquivalenceClasses {
 };
 
 /// Compute the network-wide forwarding equivalence classes of a snapshot.
-EquivalenceClasses compute_equivalence_classes(const DataPlaneSnapshot& snapshot);
+/// With a pool, the atomic intervals are partitioned into per-thread
+/// batches whose behaviour signatures are computed concurrently; the
+/// grouping pass runs in interval order either way, so the classes (and
+/// their order) are identical to the serial result.
+EquivalenceClasses compute_equivalence_classes(const DataPlaneSnapshot& snapshot,
+                                               ThreadPool* pool = nullptr);
 
 }  // namespace hbguard

@@ -9,23 +9,24 @@ std::string Violation::describe() const {
   return out;
 }
 
-void LoopFreedomPolicy::check(const DataPlaneSnapshot& snapshot,
-                              std::vector<Violation>& out) const {
+void LoopFreedomPolicy::evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const {
   IpAddress destination = representative(prefix_);
-  for (const auto& [router, view] : snapshot.routers) {
-    ForwardTrace trace = trace_forwarding(snapshot, router, destination);
+  for (const auto& [router, view] : ctx.snapshot().routers) {
+    const ForwardTrace& trace = ctx.trace(router, destination);
     if (trace.outcome == ForwardOutcome::kLoop) {
       out.push_back({name(), prefix_, router, trace.describe()});
     }
   }
 }
 
-void BlackholeFreedomPolicy::check(const DataPlaneSnapshot& snapshot,
-                                   std::vector<Violation>& out) const {
+void BlackholeFreedomPolicy::evaluate(const VerifyContext& ctx,
+                                      std::vector<Violation>& out) const {
   IpAddress destination = representative(prefix_);
-  for (const auto& [router, view] : snapshot.routers) {
-    if (snapshot.lookup(router, destination) == nullptr) continue;  // no route: not a blackhole
-    ForwardTrace trace = trace_forwarding(snapshot, router, destination);
+  for (const auto& [router, view] : ctx.snapshot().routers) {
+    if (ctx.snapshot().lookup(router, destination) == nullptr) {
+      continue;  // no route: not a blackhole
+    }
+    const ForwardTrace& trace = ctx.trace(router, destination);
     if (trace.outcome == ForwardOutcome::kBlackhole ||
         trace.outcome == ForwardOutcome::kDropped ||
         trace.outcome == ForwardOutcome::kDeadUplink) {
@@ -34,18 +35,17 @@ void BlackholeFreedomPolicy::check(const DataPlaneSnapshot& snapshot,
   }
 }
 
-void ReachabilityPolicy::check(const DataPlaneSnapshot& snapshot,
-                               std::vector<Violation>& out) const {
-  ForwardTrace trace = trace_forwarding(snapshot, source_, representative(prefix_));
+void ReachabilityPolicy::evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const {
+  const ForwardTrace& trace = ctx.trace(source_, representative(prefix_));
   if (!trace.reaches_exit()) {
     out.push_back({name(), prefix_, source_, trace.describe()});
   }
 }
 
-void WaypointPolicy::check(const DataPlaneSnapshot& snapshot, std::vector<Violation>& out) const {
+void WaypointPolicy::evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const {
   IpAddress destination = representative(prefix_);
-  for (const auto& [router, view] : snapshot.routers) {
-    ForwardTrace trace = trace_forwarding(snapshot, router, destination);
+  for (const auto& [router, view] : ctx.snapshot().routers) {
+    const ForwardTrace& trace = ctx.trace(router, destination);
     if (!trace.reaches_exit()) continue;
     // Traffic originating at the exit itself has no opportunity (or need)
     // to detour through the waypoint.
@@ -60,8 +60,8 @@ void WaypointPolicy::check(const DataPlaneSnapshot& snapshot, std::vector<Violat
   }
 }
 
-void PreferredExitPolicy::check(const DataPlaneSnapshot& snapshot,
-                                std::vector<Violation>& out) const {
+void PreferredExitPolicy::evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const {
+  const DataPlaneSnapshot& snapshot = ctx.snapshot();
   IpAddress destination = representative(prefix_);
 
   // An exit is *available* when its uplink is up and currently offers a
@@ -89,7 +89,7 @@ void PreferredExitPolicy::check(const DataPlaneSnapshot& snapshot,
 
   for (const auto& [router, view] : snapshot.routers) {
     if (snapshot.lookup(router, destination) == nullptr) continue;
-    ForwardTrace trace = trace_forwarding(snapshot, router, destination);
+    const ForwardTrace& trace = ctx.trace(router, destination);
     if (trace.outcome != ForwardOutcome::kExternal || trace.exit_router != want_router ||
         trace.exit_session != *want_session) {
       out.push_back({name(), prefix_, router,

@@ -29,11 +29,19 @@ class Policy {
  public:
   virtual ~Policy() = default;
   virtual std::string name() const = 0;
-  /// Append violations found in `snapshot` to `out`.
-  virtual void check(const DataPlaneSnapshot& snapshot, std::vector<Violation>& out) const = 0;
-  /// Destination prefixes this policy reasons about (drives the distributed
-  /// verifier's work partitioning).
+  /// Append violations found in `ctx`'s snapshot to `out`. Policies obtain
+  /// forwarding traces via `ctx.trace()` so the sharded verifier can serve
+  /// them from pre-computed (and memoized) per-destination graphs; results
+  /// are identical to tracing on the fly.
+  virtual void evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const = 0;
+  /// Destination prefixes this policy reasons about (drives the sharded and
+  /// distributed verifiers' work partitioning).
   virtual std::vector<Prefix> prefixes() const = 0;
+
+  /// Convenience: evaluate against a bare snapshot (traces on the fly).
+  void check(const DataPlaneSnapshot& snapshot, std::vector<Violation>& out) const {
+    evaluate(VerifyContext(snapshot), out);
+  }
 };
 
 /// No forwarding loop for the prefix, from any source.
@@ -41,7 +49,7 @@ class LoopFreedomPolicy : public Policy {
  public:
   explicit LoopFreedomPolicy(Prefix prefix) : prefix_(prefix) {}
   std::string name() const override { return "loop-freedom(" + prefix_.to_string() + ")"; }
-  void check(const DataPlaneSnapshot& snapshot, std::vector<Violation>& out) const override;
+  void evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const override;
   std::vector<Prefix> prefixes() const override { return {prefix_}; }
 
  private:
@@ -54,7 +62,7 @@ class BlackholeFreedomPolicy : public Policy {
  public:
   explicit BlackholeFreedomPolicy(Prefix prefix) : prefix_(prefix) {}
   std::string name() const override { return "blackhole-freedom(" + prefix_.to_string() + ")"; }
-  void check(const DataPlaneSnapshot& snapshot, std::vector<Violation>& out) const override;
+  void evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const override;
   std::vector<Prefix> prefixes() const override { return {prefix_}; }
 
  private:
@@ -68,7 +76,7 @@ class ReachabilityPolicy : public Policy {
   std::string name() const override {
     return "reachability(R" + std::to_string(source_) + "," + prefix_.to_string() + ")";
   }
-  void check(const DataPlaneSnapshot& snapshot, std::vector<Violation>& out) const override;
+  void evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const override;
   std::vector<Prefix> prefixes() const override { return {prefix_}; }
 
  private:
@@ -83,7 +91,7 @@ class WaypointPolicy : public Policy {
   std::string name() const override {
     return "waypoint(" + prefix_.to_string() + ",R" + std::to_string(waypoint_) + ")";
   }
-  void check(const DataPlaneSnapshot& snapshot, std::vector<Violation>& out) const override;
+  void evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const override;
   std::vector<Prefix> prefixes() const override { return {prefix_}; }
 
  private:
@@ -104,7 +112,7 @@ class PreferredExitPolicy : public Policy {
         backup_router_(backup_router),
         backup_session_(std::move(backup_session)) {}
   std::string name() const override { return "preferred-exit(" + prefix_.to_string() + ")"; }
-  void check(const DataPlaneSnapshot& snapshot, std::vector<Violation>& out) const override;
+  void evaluate(const VerifyContext& ctx, std::vector<Violation>& out) const override;
   std::vector<Prefix> prefixes() const override { return {prefix_}; }
 
  private:

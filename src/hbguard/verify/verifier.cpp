@@ -5,11 +5,113 @@
 namespace hbguard {
 
 VerifyResult Verifier::verify(const DataPlaneSnapshot& snapshot) const {
+  if (resolve_num_threads(options_.num_threads) == 1) return verify_serial(snapshot);
+  return verify_sharded(snapshot);
+}
+
+VerifyResult Verifier::verify_serial(const DataPlaneSnapshot& snapshot) const {
   VerifyResult result;
   for (const auto& policy : policies_) {
     policy->check(snapshot, result.violations);
   }
   return result;
+}
+
+VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot) const {
+  std::shared_ptr<ThreadPool> pool = thread_pool();
+
+  // The destinations the policy set reasons about, in first-appearance
+  // order (stable across runs).
+  std::vector<IpAddress> destinations;
+  std::set<std::uint32_t> seen;
+  for (const auto& policy : policies_) {
+    for (const Prefix& prefix : policy->prefixes()) {
+      IpAddress destination = representative(prefix);
+      if (seen.insert(destination.bits()).second) destinations.push_back(destination);
+    }
+  }
+
+  // lookup() builds per-router tries lazily and is not safe for concurrent
+  // first calls; build them all before fanning out.
+  snapshot.warm_lookup_cache();
+
+  // Phase 1 — classify each destination by its behaviour signature and
+  // serve unchanged classes from the memo cache (serially: the signature is
+  // one lookup per router, ~a path-length factor cheaper than tracing).
+  VerifyContext::TraceTable table;
+  std::vector<std::size_t> miss_indices;
+  std::vector<std::string> miss_signatures;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.runs;
+    stats_.destinations += destinations.size();
+    for (std::size_t i = 0; i < destinations.size(); ++i) {
+      std::string signature = forwarding_signature(snapshot, destinations[i]);
+      if (options_.memoize) {
+        auto it = cache_.find(signature);
+        if (it != cache_.end()) {
+          ++stats_.cache_hits;
+          table[destinations[i].bits()] = it->second;
+          continue;
+        }
+      }
+      ++stats_.cache_misses;
+      miss_indices.push_back(i);
+      miss_signatures.push_back(std::move(signature));
+    }
+  }
+
+  // Phase 2 — build the missing forwarding graphs concurrently, one task
+  // per destination (results land in per-index slots: no locks, and the
+  // merge below is order-independent of scheduling).
+  std::vector<DestinationForwardingRef> built(miss_indices.size());
+  pool->parallel_for(miss_indices.size(), [&](std::size_t i) {
+    built[i] = std::make_shared<DestinationForwarding>(
+        compute_destination_forwarding(snapshot, destinations[miss_indices[i]]));
+  });
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.memoize && cache_.size() + built.size() > options_.max_cached_classes) {
+      cache_.clear();
+    }
+    for (std::size_t i = 0; i < miss_indices.size(); ++i) {
+      table[destinations[miss_indices[i]].bits()] = built[i];
+      if (options_.memoize) cache_[miss_signatures[i]] = built[i];
+    }
+  }
+
+  // Phase 3 — evaluate the policies concurrently over the shared graphs,
+  // then merge in policy order: byte-identical to the serial report.
+  VerifyContext ctx(snapshot, &table);
+  std::vector<std::vector<Violation>> per_policy(policies_.size());
+  pool->parallel_for(policies_.size(),
+                     [&](std::size_t i) { policies_[i]->evaluate(ctx, per_policy[i]); });
+
+  VerifyResult result;
+  for (std::vector<Violation>& violations : per_policy) {
+    result.violations.insert(result.violations.end(),
+                             std::make_move_iterator(violations.begin()),
+                             std::make_move_iterator(violations.end()));
+  }
+  return result;
+}
+
+std::shared_ptr<ThreadPool> Verifier::thread_pool() const {
+  unsigned threads = resolve_num_threads(options_.num_threads);
+  if (threads == 1) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_ == nullptr) pool_ = std::make_shared<ThreadPool>(threads);
+  return pool_;
+}
+
+VerifyStats Verifier::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Verifier::clear_cache() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
 }
 
 VerdictComparison compare_verdicts(const Verifier& verifier, const DataPlaneSnapshot& observed,

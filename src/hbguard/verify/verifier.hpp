@@ -4,8 +4,22 @@
 // verdicts of a possibly-inconsistent snapshot against an oracle snapshot —
 // the false-positive/false-negative accounting behind the paper's claim
 // that naive distributed snapshots mislead verifiers (§2, §5).
+//
+// Verification is sharded across a reusable thread pool: the destinations
+// the policy set reasons about are partitioned into per-thread batches,
+// each batch builds its destinations' forwarding graphs concurrently, and
+// the policies are then evaluated concurrently (one task per policy) over
+// the shared graphs. Verdicts are merged in policy order, so parallel and
+// serial runs produce byte-identical reports. Forwarding graphs are
+// memoized across verify() calls keyed on the destination's equivalence-
+// class behaviour signature — under churn, destinations whose class is
+// untouched by a routing event skip re-tracing entirely.
 #pragma once
 
+#include <memory>
+#include <mutex>
+
+#include "hbguard/util/thread_pool.hpp"
 #include "hbguard/verify/policy.hpp"
 
 namespace hbguard {
@@ -15,16 +29,65 @@ struct VerifyResult {
   bool clean() const { return violations.empty(); }
 };
 
+struct VerifierOptions {
+  /// Worker threads for sharded verification. 0 = one per hardware thread;
+  /// 1 = the exact serial legacy path (no pool, no sharing, no
+  /// memoization); N = N workers.
+  unsigned num_threads = 0;
+  /// Memoize per-EC forwarding graphs across verify() calls (skips
+  /// re-tracing destinations whose behaviour signature is unchanged across
+  /// churn steps). Only applies to the sharded path.
+  bool memoize = true;
+  /// Drop the whole memo cache once it holds this many classes (bounds
+  /// memory under adversarial churn; normal workloads stay far below).
+  std::size_t max_cached_classes = 4096;
+};
+
+/// Counters for the sharded path (zero when running serially).
+struct VerifyStats {
+  std::size_t runs = 0;          // verify() calls
+  std::size_t destinations = 0;  // destination evaluations, cumulative
+  std::size_t cache_hits = 0;    // forwarding graphs served from the cache
+  std::size_t cache_misses = 0;  // forwarding graphs built
+
+  double hit_rate() const {
+    std::size_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+};
+
 class Verifier {
  public:
-  explicit Verifier(PolicyList policies) : policies_(std::move(policies)) {}
+  /// `pool` may be shared with other pipeline stages (e.g. the Guard's);
+  /// when null and the options call for parallelism, a pool is created
+  /// lazily on first use.
+  explicit Verifier(PolicyList policies, VerifierOptions options = {},
+                    std::shared_ptr<ThreadPool> pool = nullptr)
+      : policies_(std::move(policies)), options_(options), pool_(std::move(pool)) {}
 
   VerifyResult verify(const DataPlaneSnapshot& snapshot) const;
 
   const PolicyList& policies() const { return policies_; }
+  const VerifierOptions& options() const { return options_; }
+
+  VerifyStats stats() const;
+  void clear_cache() const;
+
+  /// The pool backing the sharded path (created on demand; null while the
+  /// verifier is configured serial).
+  std::shared_ptr<ThreadPool> thread_pool() const;
 
  private:
+  VerifyResult verify_serial(const DataPlaneSnapshot& snapshot) const;
+  VerifyResult verify_sharded(const DataPlaneSnapshot& snapshot) const;
+
   PolicyList policies_;
+  VerifierOptions options_;
+
+  mutable std::mutex mutex_;  // guards pool_ creation, cache_, stats_
+  mutable std::shared_ptr<ThreadPool> pool_;
+  mutable std::map<std::string, DestinationForwardingRef> cache_;  // by signature
+  mutable VerifyStats stats_;
 };
 
 /// Compare the verdict drawn from `observed` (e.g. a skewed snapshot) with

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "hbguard/util/thread_pool.hpp"
+
+namespace hbguard {
+namespace {
+
+TEST(ResolveNumThreads, ZeroMeansHardwareConcurrency) {
+  unsigned resolved = resolve_num_threads(0);
+  EXPECT_GE(resolved, 1u);
+  EXPECT_EQ(resolved, std::max(1u, std::thread::hardware_concurrency()));
+}
+
+TEST(ResolveNumThreads, ExplicitValuesPassThrough) {
+  EXPECT_EQ(resolve_num_threads(1), 1u);
+  EXPECT_EQ(resolve_num_threads(4), 4u);
+  EXPECT_EQ(resolve_num_threads(8), 8u);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmittedTasksRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  // One worker drains the queue strictly in submission order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(64, [](std::size_t i) {
+      if (i == 7 || i == 40) throw std::runtime_error("index " + std::to_string(i));
+    });
+    FAIL() << "expected parallel_for to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 7");
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsInlineOnSerialPool) {
+  // A 1-thread pool executes parallel_for on the calling thread.
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(seen.size(), [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    // No explicit wait: destruction must finish every queued task.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ZeroThreadRequestStillWorks) {
+  ThreadPool pool(0);  // resolves to hardware concurrency, at least one
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace hbguard
