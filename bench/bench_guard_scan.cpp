@@ -1,0 +1,229 @@
+// Guard scan cost under sustained churn: scratch vs incremental snapshots.
+//
+// The tentpole claim (ISSUE 2): with the incremental snapshotter, a scan
+// costs O(new I/Os since the last scan) instead of O(full history). This
+// bench drives identical long churn workloads through two Guards — one with
+// `incremental_snapshot` off (legacy rebuild-from-history) and one with it
+// on — timing every scan() call. Expected shape: the scratch per-scan cost
+// grows linearly with trace length while the incremental cost stays flat,
+// and the two runs' GuardReports are byte-identical (digest-checked; any
+// divergence exits non-zero so CI fails).
+//
+// Writes BENCH_guard_scan.json with the full per-scan cost curves.
+// `--smoke` runs a reduced workload for CI.
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hbguard/core/guard.hpp"
+#include "hbguard/sim/workload.hpp"
+
+namespace hbguard::bench {
+namespace {
+
+constexpr std::uint64_t kSeed = 71;
+/// Pinned worker count for the main comparison: num_threads = 0 resolves
+/// to the host's core count, and on a single-core host that is the serial
+/// legacy path, which bypasses memoization and delta-driven verification
+/// entirely. Pinning keeps both pipelines on the sharded path everywhere.
+constexpr unsigned kThreads = 4;
+
+struct WorkloadSpec {
+  std::string name;
+  Topology topology;
+  std::size_t uplinks;
+  ChurnOptions churn;
+};
+
+struct ScanPoint {
+  std::size_t records;  // trace length when the scan ran
+  double ms;            // cost of that scan() call
+};
+
+struct RunResult {
+  std::vector<ScanPoint> scans;
+  double scan_total_ms = 0;  // sum of scan() costs (excludes simulation)
+  std::size_t records = 0;
+  std::string digest;
+  IncrementalSnapshotter::Stats snapshot_stats;
+  std::size_t delta_skips = 0;
+};
+
+PolicyList churn_policies(std::size_t prefix_count) {
+  PolicyList policies;
+  for (std::size_t i = 0; i < prefix_count; ++i) {
+    Prefix p = churn_prefix(i);
+    policies.push_back(std::make_shared<LoopFreedomPolicy>(p));
+    policies.push_back(std::make_shared<BlackholeFreedomPolicy>(p));
+    policies.push_back(std::make_shared<ReachabilityPolicy>(0, p));
+  }
+  return policies;
+}
+
+/// One full guarded run over the workload, mirroring Guard::run()'s cadence
+/// but timing each scan() individually. Both pipelines see the identical
+/// deterministic event sequence (same seed, fresh network).
+RunResult run_workload(const WorkloadSpec& spec, bool incremental, unsigned num_threads) {
+  NetworkOptions options;
+  options.seed = kSeed;
+  auto generated = make_ibgp_network(spec.topology, spec.uplinks, options);
+  Network& net = *generated.network;
+  net.run_to_convergence();
+  ChurnWorkload churn(generated, spec.churn);
+
+  GuardOptions guard_options;
+  guard_options.incremental_snapshot = incremental;
+  guard_options.num_threads = num_threads;
+  Guard guard(net, churn_policies(spec.churn.prefix_count), guard_options);
+
+  RunResult result;
+  for (std::size_t i = 0; i < guard_options.max_scans; ++i) {
+    net.run_for(guard_options.scan_interval_us);
+    Stopwatch timer;
+    guard.scan();
+    double ms = timer.ms();
+    result.scans.push_back({net.capture().records().size(), ms});
+    result.scan_total_ms += ms;
+    if (net.sim().idle()) break;
+  }
+  result.records = net.capture().records().size();
+  result.digest = guard.report().digest();
+  result.snapshot_stats = guard.snapshot_stats();
+  result.delta_skips = guard.verifier_stats().delta_skips;
+  return result;
+}
+
+double mean_ms(const std::vector<ScanPoint>& scans, std::size_t begin, std::size_t end) {
+  if (begin >= end) return 0.0;
+  double sum = 0;
+  for (std::size_t i = begin; i < end; ++i) sum += scans[i].ms;
+  return sum / static_cast<double>(end - begin);
+}
+
+void emit_json_run(JsonWriter& json, const char* label, const RunResult& run) {
+  json.key(label).begin_object();
+  json.key("scan_total_ms").value(run.scan_total_ms);
+  json.key("curve").begin_array();
+  for (const ScanPoint& p : run.scans) {
+    json.begin_object().key("records").value(p.records).key("ms").value(p.ms).end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+bool bench_workload(const WorkloadSpec& spec, JsonWriter& json) {
+  std::printf("--- workload: %s ---\n", spec.name.c_str());
+  RunResult scratch = run_workload(spec, /*incremental=*/false, kThreads);
+  RunResult incremental = run_workload(spec, /*incremental=*/true, kThreads);
+  // Cross-thread-count digest check: the incremental pipeline must stay
+  // byte-identical in exact-serial mode too.
+  RunResult serial = run_workload(spec, /*incremental=*/true, /*num_threads=*/1);
+
+  bool parity = scratch.digest == incremental.digest && scratch.digest == serial.digest;
+  double speedup =
+      incremental.scan_total_ms > 0 ? scratch.scan_total_ms / incremental.scan_total_ms : 0.0;
+
+  // Flatness: mean per-scan cost over the last third vs the first third of
+  // the run. Scratch grows with the trace; incremental should not.
+  auto growth = [](const RunResult& r) {
+    std::size_t n = r.scans.size();
+    double early = mean_ms(r.scans, 0, n / 3);
+    double late = mean_ms(r.scans, n - n / 3, n);
+    return early > 0 ? late / early : 0.0;
+  };
+
+  Table table({"scan#", "trace len", "scratch ms", "incremental ms"});
+  std::size_t n = std::min(scratch.scans.size(), incremental.scans.size());
+  std::size_t stride = std::max<std::size_t>(1, n / 12);
+  for (std::size_t i = 0; i < n; i += stride) {
+    table.row({std::to_string(i), std::to_string(scratch.scans[i].records),
+               fmt(scratch.scans[i].ms), fmt(incremental.scans[i].ms)});
+  }
+  table.print();
+  std::printf("records      : %zu in %zu scans\n", incremental.records,
+              incremental.scans.size());
+  std::printf("scan time    : scratch %s ms, incremental %s ms  (speedup %sx)\n",
+              fmt(scratch.scan_total_ms).c_str(), fmt(incremental.scan_total_ms).c_str(),
+              fmt(speedup, 1).c_str());
+  std::printf("cost growth  : scratch %sx, incremental %sx (late/early per-scan mean)\n",
+              fmt(growth(scratch), 1).c_str(), fmt(growth(incremental), 1).c_str());
+  std::printf("delta skips  : %zu EC re-keys avoided; closure fallbacks: %zu; full deltas: %zu/%zu\n",
+              incremental.delta_skips, incremental.snapshot_stats.closure_fallbacks,
+              incremental.snapshot_stats.full_deltas, incremental.snapshot_stats.scans);
+  std::printf("parity       : %s\n\n", parity ? "byte-identical reports" : "DIVERGED");
+
+  json.begin_object();
+  json.key("name").value(spec.name);
+  json.key("records").value(incremental.records);
+  json.key("scans").value(incremental.scans.size());
+  json.key("speedup").value(speedup);
+  json.key("scratch_cost_growth").value(growth(scratch));
+  json.key("incremental_cost_growth").value(growth(incremental));
+  json.key("delta_skips").value(incremental.delta_skips);
+  json.key("closure_fallbacks").value(incremental.snapshot_stats.closure_fallbacks);
+  json.key("parity").value(parity);
+  emit_json_run(json, "scratch", scratch);
+  emit_json_run(json, "incremental", incremental);
+  json.end_object();
+  return parity;
+}
+
+int main_impl(bool smoke) {
+  header("guard scan cost: scratch vs incremental snapshots",
+         "§5-§6 integrated pipeline at scale (this repo's incremental-snapshot extension)",
+         "scratch per-scan cost grows with trace length; incremental stays flat; "
+         "reports byte-identical",
+         kSeed);
+
+  Rng waxman_rng(kSeed);
+  std::vector<WorkloadSpec> specs;
+  {
+    ChurnOptions churn;
+    churn.prefix_count = smoke ? 6 : 16;
+    churn.event_count = smoke ? 60 : 400;
+    churn.mean_gap_us = 30'000;
+    churn.seed = kSeed + 1;
+    specs.push_back({"fat-tree k=4", make_fattree_topology(4), 3, churn});
+  }
+  {
+    ChurnOptions churn;
+    churn.prefix_count = smoke ? 6 : 12;
+    churn.event_count = smoke ? 60 : 400;
+    churn.mean_gap_us = 30'000;
+    churn.config_change_probability = 0.15;
+    churn.seed = kSeed + 2;
+    specs.push_back({"waxman n=24", make_waxman_topology(24, waxman_rng), 3, churn});
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("guard_scan");
+  json.key("seed").value(kSeed);
+  json.key("smoke").value(smoke);
+  json.key("workloads").begin_array();
+  bool all_parity = true;
+  for (const WorkloadSpec& spec : specs) all_parity &= bench_workload(spec, json);
+  json.end_array();
+  json.key("parity").value(all_parity);
+  json.end_object();
+  json.write("BENCH_guard_scan.json");
+  std::printf("wrote BENCH_guard_scan.json\n");
+
+  if (!all_parity) {
+    std::printf("FAIL: scratch and incremental GuardReports diverged\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hbguard::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return hbguard::bench::main_impl(smoke);
+}

@@ -8,7 +8,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "hbguard/sim/scenario.hpp"
@@ -101,6 +103,120 @@ class Stopwatch {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Minimal streaming JSON builder for machine-readable bench artifacts
+/// (BENCH_*.json files consumed by CI). Call sequence mirrors the document:
+///   JsonWriter j;
+///   j.begin_object().key("name").value("x").key("runs").begin_array()...
+/// Commas and key/value separators are inserted automatically.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    sep();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    stack_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    sep();
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    stack_.pop_back();
+    return *this;
+  }
+  JsonWriter& key(std::string_view k) {
+    sep();
+    quote(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    sep();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    sep();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    sep();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    out_ += buf;
+    return *this;
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  JsonWriter& value(T v) {
+    sep();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Write the document to `path`; returns false (and prints) on failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("ERROR: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void sep() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open container: "has emitted an element"
+  bool after_key_ = false;
 };
 
 }  // namespace hbguard::bench

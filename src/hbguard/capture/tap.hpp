@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "hbguard/capture/io_record.hpp"
@@ -40,6 +41,16 @@ class CaptureHub {
 
   /// Every record that survived logging, in capture order.
   const std::vector<IoRecord>& records() const { return records_; }
+
+  /// Records captured at position `offset` onward — the delta an online
+  /// consumer (the guard's incremental pipeline) has not seen yet. The
+  /// capture is append-only, so `offset = records().size()` taken after a
+  /// call yields exactly the new records on the next call. The span is
+  /// invalidated by the next record() (the vector may reallocate).
+  std::span<const IoRecord> records_since(std::size_t offset) const {
+    if (offset >= records_.size()) return {};
+    return std::span<const IoRecord>(records_).subspan(offset);
+  }
 
   /// Records of one router, in its log order.
   std::vector<IoRecord> records_of(RouterId router) const;

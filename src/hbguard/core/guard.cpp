@@ -27,6 +27,16 @@ ConsistentSnapshotter::Options snapshot_options(const GuardOptions& options) {
   return snap;
 }
 
+// The incremental snapshotter mirrors the scratch builder's consistency
+// knobs so the two paths stay byte-equivalent.
+IncrementalSnapshotter::Options incremental_snapshot_options(const GuardOptions& options) {
+  IncrementalSnapshotter::Options snap;
+  snap.min_confidence = options.snapshot.min_confidence;
+  snap.require_send_for_recv = options.snapshot.require_send_for_recv;
+  snap.in_flux_window_us = options.snapshot.in_flux_window_us;
+  return snap;
+}
+
 }  // namespace
 
 Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
@@ -40,7 +50,8 @@ Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
       snapshotter_(snapshot_options(options)),
       analyzer_(RootCauseAnalyzer::Options{options.min_confidence}),
       reverter_(network),
-      incremental_builder_(options.matcher) {
+      incremental_builder_(options.matcher),
+      incremental_snapshotter_(incremental_snapshot_options(options)) {
   snapshotter_.set_thread_pool(pool_);
   if (options_.repair == RepairMode::kBlock) {
     blocker_ = std::make_unique<VerifyingBlocker>(network, std::move(policies));
@@ -74,10 +85,18 @@ const HappensBeforeGraph& Guard::live_hbg() {
     return scratch_hbg_;
   }
   if (records.size() > ingested_) {
-    incremental_builder_.append(records.subspan(ingested_));
+    // Collect the edge delta for the incremental snapshotter's closure
+    // invalidation; cleared when a snapshot ingest consumes it.
+    incremental_builder_.append(records.subspan(ingested_),
+                                incremental_snapshot_active() ? &pending_hbg_edges_ : nullptr);
     ingested_ = records.size();
   }
   return incremental_builder_.graph();
+}
+
+bool Guard::incremental_snapshot_active() const {
+  return options_.incremental_snapshot && options_.incremental_hbg &&
+         !options_.use_ground_truth_hbg && options_.inference == nullptr;
 }
 
 GuardReport Guard::run() {
@@ -107,19 +126,18 @@ GuardReport Guard::run() {
   return report_;
 }
 
-std::vector<IoId> Guard::violating_fib_updates(const std::vector<Violation>& violations,
-                                               std::span<const IoRecord> records) const {
+std::vector<IoId> Guard::violating_fib_updates(const std::vector<Violation>& violations) const {
+  // Served from the per-prefix index scan() maintains from the capture
+  // delta — the last matching update in capture order, exactly what the
+  // old full rescan returned.
   std::vector<IoId> out;
   auto latest_fib_update = [&](RouterId router, const Prefix& prefix) -> IoId {
-    IoId best = kNoIo;
-    for (const IoRecord& r : records) {
-      if (r.kind != IoKind::kFibUpdate || !r.prefix.has_value() || !(*r.prefix == prefix)) {
-        continue;
-      }
-      if (router != kInvalidRouter && r.router != router) continue;
-      best = r.id;  // records are in capture order: last match wins
+    if (router != kInvalidRouter) {
+      auto it = latest_fib_update_by_router_.find({router, prefix});
+      return it != latest_fib_update_by_router_.end() ? it->second : kNoIo;
     }
-    return best;
+    auto it = latest_fib_update_.find(prefix);
+    return it != latest_fib_update_.end() ? it->second : kNoIo;
   };
   for (const Violation& violation : violations) {
     IoId io = latest_fib_update(violation.router, violation.prefix);
@@ -138,14 +156,24 @@ std::string violation_signature(const std::vector<Violation>& violations) {
 }  // namespace
 
 std::vector<Violation> Guard::scan() {
-  std::span<const IoRecord> records = network_.capture().records();
+  const CaptureHub& capture = network_.capture();
   ++report_.scans;
-  report_.records_processed = records.size();
+  report_.records_processed = capture.records().size();
+
+  // Fold the capture delta into the per-prefix FIB-update index before any
+  // early return, so provenance lookups later this scan see every record.
+  for (const IoRecord& r : capture.records_since(fib_index_cursor_)) {
+    if (r.kind == IoKind::kFibUpdate && r.prefix.has_value()) {
+      latest_fib_update_[*r.prefix] = r.id;
+      latest_fib_update_by_router_[{r.router, *r.prefix}] = r.id;
+    }
+  }
+  fib_index_cursor_ = capture.records().size();
 
   const HappensBeforeGraph& hbg = live_hbg();
 
   if (options_.repair == RepairMode::kEarlyBlock && !repair_in_flight_) {
-    if (auto action = try_early_block(records)) {
+    if (auto action = try_early_block()) {
       GuardIncident incident;
       incident.detected_at = network_.sim().now();
       incident.action = "early-reverted v" + std::to_string(action->reverted) +
@@ -157,8 +185,22 @@ std::vector<Violation> Guard::scan() {
     }
   }
 
-  DataPlaneSnapshot snapshot = snapshotter_.build(records, hbg, {});
-  VerifyResult result = verifier_.verify(snapshot);
+  // Snapshot + verify. The incremental path feeds only new records (and
+  // the HBG edge delta) into persistent replay state, then hands the
+  // verifier the changed-prefix set so untouched destinations skip
+  // re-keying; the scratch path rebuilds from the full history.
+  VerifyResult result;
+  if (incremental_snapshot_active()) {
+    SnapshotDelta delta;
+    const DataPlaneSnapshot& snapshot = incremental_snapshotter_.ingest(
+        capture.records_since(snapshot_cursor_), hbg, pending_hbg_edges_, &delta);
+    snapshot_cursor_ = capture.records().size();
+    pending_hbg_edges_.clear();
+    result = verifier_.verify(snapshot, &delta);
+  } else {
+    DataPlaneSnapshot snapshot = snapshotter_.build(capture.records(), hbg, {});
+    result = verifier_.verify(snapshot);
+  }
 
   if (result.clean()) {
     ++report_.clean_scans;
@@ -186,7 +228,7 @@ std::vector<Violation> Guard::scan() {
   incident.detected_at = network_.sim().now();
   incident.violations = result.violations;
 
-  std::vector<IoId> fib_ios = violating_fib_updates(result.violations, records);
+  std::vector<IoId> fib_ios = violating_fib_updates(result.violations);
   ProvenanceResult provenance = analyzer_.analyze_all(hbg, fib_ios);
   incident.causes = provenance.causes;
   incident.fault_chain = RootCauseAnalyzer::render(hbg, provenance);
@@ -241,8 +283,15 @@ void Guard::learn_early_block(const ProvenanceResult& provenance,
   }
 }
 
-std::optional<RevertAction> Guard::try_early_block(std::span<const IoRecord> records) {
-  for (const IoRecord& record : records) {
+std::optional<RevertAction> Guard::try_early_block() {
+  // Walk only records past the persistent cursor: each record is examined
+  // exactly once across the guard's lifetime (the capture is append-only).
+  // On an early return the cursor already points past the triggering
+  // record, so the next call resumes where this one stopped — the same
+  // order the old full rescan produced via its config_version dedup.
+  std::span<const IoRecord> records = network_.capture().records();
+  while (early_cursor_ < records.size()) {
+    const IoRecord& record = records[early_cursor_++];
     if (record.kind != IoKind::kConfigChange) continue;
     if (record.config_version == kNoVersion || early_checked_.contains(record.config_version)) {
       continue;

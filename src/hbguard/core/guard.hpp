@@ -33,6 +33,7 @@
 #include "hbguard/repair/reverter.hpp"
 #include "hbguard/sim/network.hpp"
 #include "hbguard/snapshot/consistent.hpp"
+#include "hbguard/snapshot/incremental.hpp"
 #include "hbguard/verify/eqclass.hpp"
 #include "hbguard/verify/verifier.hpp"
 
@@ -62,6 +63,15 @@ struct GuardOptions {
   /// Maintain the HBG incrementally across scans (pay only for new I/Os)
   /// rather than rebuilding from the full history each scan.
   bool incremental_hbg = true;
+  /// Maintain the consistent snapshot incrementally across scans: persist
+  /// per-router FIB replay state, ingest only records past each router's
+  /// frontier, and re-run happens-before closure only where the frontier
+  /// or incoming HBG edges changed. Scan-stream snapshots (and hence
+  /// reports) are byte-identical to scratch builds; flip off to get the
+  /// legacy rebuild-from-history behaviour. Requires the incremental HBG
+  /// path — scratch HBG modes (ground truth, custom inference,
+  /// incremental_hbg = false) always build scratch snapshots.
+  bool incremental_snapshot = true;
   /// Custom HBR inference (e.g. CombinedInference with a trained pattern
   /// miner). Non-null forces scratch (non-incremental) graph builds.
   std::shared_ptr<HbrInferencer> inference;
@@ -93,6 +103,10 @@ class Guard {
   const EarlyBlockModel& early_block_model() const { return early_model_; }
   /// Sharded-verification counters (EC memo cache hits/misses per scan).
   VerifyStats verifier_stats() const { return verifier_.stats(); }
+  /// Incremental-snapshot counters (all zero when scans run scratch).
+  const IncrementalSnapshotter::Stats& snapshot_stats() const {
+    return incremental_snapshotter_.stats();
+  }
 
   /// Build the current HBG (for rendering/inspection; copies in
   /// incremental mode).
@@ -102,14 +116,18 @@ class Guard {
   /// The live graph used by scans: the incremental builder's (after
   /// ingesting new records) or a scratch rebuild.
   const HappensBeforeGraph& live_hbg();
+  /// True when this guard's scans feed the incremental snapshotter rather
+  /// than rebuilding from history (needs the incremental HBG for its edge
+  /// deltas).
+  bool incremental_snapshot_active() const;
   /// Map each violation to the most recent FIB-update I/O that produced
-  /// the offending entry.
-  std::vector<IoId> violating_fib_updates(const std::vector<Violation>& violations,
-                                          std::span<const IoRecord> records) const;
+  /// the offending entry (served from the per-prefix index maintained by
+  /// scan()).
+  std::vector<IoId> violating_fib_updates(const std::vector<Violation>& violations) const;
 
   void learn_early_block(const ProvenanceResult& provenance,
                          const std::vector<Violation>& violations, bool violated);
-  std::optional<RevertAction> try_early_block(std::span<const IoRecord> records);
+  std::optional<RevertAction> try_early_block();
 
   Network& network_;
   /// Shared across the verifier, snapshotter and EC computation; null when
@@ -128,6 +146,19 @@ class Guard {
   IncrementalHbgBuilder incremental_builder_;
   std::size_t ingested_ = 0;             // records fed to the incremental builder
   HappensBeforeGraph scratch_hbg_;       // non-incremental scan graph
+
+  IncrementalSnapshotter incremental_snapshotter_;
+  /// HBG edges added by the incremental builder since the last snapshot
+  /// ingest (the closure-invalidation delta).
+  std::vector<HbgEdge> pending_hbg_edges_;
+  std::size_t snapshot_cursor_ = 0;   // records fed to the incremental snapshotter
+  std::size_t early_cursor_ = 0;      // records walked by try_early_block
+  std::size_t fib_index_cursor_ = 0;  // records folded into the FIB-update index
+  /// Latest FIB-update I/O per prefix (and per router+prefix), in capture
+  /// order — replaces the per-violation linear rescans of the capture.
+  std::map<Prefix, IoId> latest_fib_update_;
+  std::map<std::pair<RouterId, Prefix>, IoId> latest_fib_update_by_router_;
+
   std::set<ConfigVersion> early_checked_;
   /// Config changes awaiting a benign label (cleared on clean converged
   /// scans, when their keys are fed to the early-block model as benign).

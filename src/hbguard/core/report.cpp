@@ -22,4 +22,17 @@ std::string GuardReport::summary() const {
   return out.str();
 }
 
+std::string GuardReport::digest() const {
+  std::ostringstream out;
+  out << summary();
+  for (const GuardIncident& incident : incidents) {
+    out << "@" << incident.detected_at << "|" << incident.action << "\n";
+    for (const RootCause& cause : incident.causes) {
+      out << "  cause io=" << cause.record.id << " v=" << cause.record.config_version << "\n";
+    }
+    out << incident.fault_chain << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace hbguard

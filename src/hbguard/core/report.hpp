@@ -32,6 +32,12 @@ struct GuardReport {
   std::size_t clean_scans = 0;
 
   std::string summary() const;
+
+  /// Canonical full serialization — every field, every incident, every
+  /// fault chain. Two pipeline configurations (scratch vs incremental
+  /// snapshots, any thread count) are byte-equivalent iff their digests
+  /// are equal; the parity tests and bench_guard_scan gate on this.
+  std::string digest() const;
 };
 
 }  // namespace hbguard

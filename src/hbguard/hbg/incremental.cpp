@@ -2,7 +2,8 @@
 
 namespace hbguard {
 
-std::size_t IncrementalHbgBuilder::append(std::span<const IoRecord> records) {
+std::size_t IncrementalHbgBuilder::append(std::span<const IoRecord> records,
+                                          std::vector<HbgEdge>* new_edges) {
   std::vector<InferredHbr> edges;
   std::size_t added = 0;
   for (const IoRecord& record : records) {
@@ -11,7 +12,9 @@ std::size_t IncrementalHbgBuilder::append(std::span<const IoRecord> records) {
     engine_.add(record, edges);
     for (const InferredHbr& edge : edges) {
       if (graph_.has_vertex(edge.from) && graph_.has_vertex(edge.to)) {
-        graph_.add_edge({edge.from, edge.to, edge.confidence, edge.rule});
+        HbgEdge hbg_edge{edge.from, edge.to, edge.confidence, edge.rule};
+        graph_.add_edge(hbg_edge);
+        if (new_edges != nullptr) new_edges->push_back(std::move(hbg_edge));
         ++added;
       }
     }

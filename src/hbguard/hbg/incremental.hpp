@@ -18,8 +18,13 @@ class IncrementalHbgBuilder {
   explicit IncrementalHbgBuilder(MatcherOptions options = {}) : engine_(options) {}
 
   /// Ingest records (capture order; ids must be new). Returns the number
-  /// of edges added.
-  std::size_t append(std::span<const IoRecord> records);
+  /// of edges added. When `new_edges` is non-null, every added edge is also
+  /// appended there — the delta a downstream incremental consumer (e.g. the
+  /// incremental snapshotter's closure) needs to know which vertices gained
+  /// causes. Note edges may target *older* records (late-cause and channel
+  /// matching under clock noise), not just the records in this batch.
+  std::size_t append(std::span<const IoRecord> records,
+                     std::vector<HbgEdge>* new_edges = nullptr);
 
   const HappensBeforeGraph& graph() const { return graph_; }
   std::size_t records_ingested() const { return engine_.records_seen(); }

@@ -1,0 +1,231 @@
+#include "hbguard/snapshot/incremental.hpp"
+
+#include <algorithm>
+
+namespace hbguard {
+
+const DataPlaneSnapshot& IncrementalSnapshotter::ingest(std::span<const IoRecord> new_records,
+                                                        const HappensBeforeGraph& hbg,
+                                                        std::span<const HbgEdge> new_edges,
+                                                        SnapshotDelta* delta,
+                                                        ConsistencyReport* report) {
+  ++stats_.scans;
+  bool delta_full = stats_.scans == 1;
+
+  // 1. Append the new records. Capture order is per-router router_seq
+  // order (the hub assigns sequence numbers monotonically), so appending
+  // keeps each log sorted exactly as the scratch builder's sort would.
+  for (const IoRecord& record : new_records) {
+    auto [it, inserted] = routers_.try_emplace(record.router);
+    if (inserted) delta_full = true;  // a new router changes every signature
+    it->second.log.push_back(record);
+    position_[record.id] = {record.router, it->second.log.size() - 1};
+    ++stats_.records_ingested;
+  }
+
+  // 2. Lowest index per router whose closure verdict may have changed: the
+  // pending suffix (records past the stable frontier — previously rewound
+  // or new), lowered to cover stable records that gained an in-edge.
+  std::map<RouterId, std::size_t> check_from;
+  for (const auto& [router, state] : routers_) check_from[router] = state.stable;
+  for (const HbgEdge& edge : new_edges) {
+    if (edge.confidence < options_.min_confidence) continue;
+    auto pos = position_.find(edge.to);
+    if (pos == position_.end()) continue;
+    std::size_t& from = check_from[pos->second.first];
+    from = std::min(from, pos->second.second);
+  }
+
+  // 3. Happens-before closure, restarted from the tentative full-horizon
+  // frontier (everything known included) but only *checking* records from
+  // check_from upward — everything below is proven stable (see header).
+  std::map<RouterId, std::size_t> frontier;
+  for (const auto& [router, state] : routers_) frontier[router] = state.log.size();
+
+  auto included = [&](IoId id) {
+    auto it = position_.find(id);
+    if (it == position_.end()) return false;  // unknown (lost) record
+    return it->second.second < frontier[it->second.first];
+  };
+  std::size_t unmatched_recvs = 0;
+  auto bad = [&](const IoRecord& r) {
+    ++stats_.closure_checks;
+    for (const HbgEdge* edge : hbg.in_edges(r.id, options_.min_confidence)) {
+      if (!included(edge->from) && position_.contains(edge->from)) return true;
+    }
+    if (options_.require_send_for_recv && r.kind == IoKind::kRecvAdvert &&
+        r.peer != kExternalRouter && r.peer != kInvalidRouter) {
+      bool has_send = false;
+      for (const HbgEdge* edge : hbg.in_edges(r.id, options_.min_confidence)) {
+        const IoRecord* parent = hbg.record(edge->from);
+        if (parent != nullptr && parent->kind == IoKind::kSendAdvert) {
+          has_send = true;
+          break;
+        }
+      }
+      if (!has_send) {
+        ++unmatched_recvs;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::size_t iterations = 0;
+  bool fallback = false;
+  bool changed = true;
+  while (changed && !fallback) {
+    changed = false;
+    ++iterations;
+    for (const auto& [router, state] : routers_) {
+      std::size_t limit = frontier[router];
+      for (std::size_t i = check_from[router]; i < limit; ++i) {
+        if (bad(state.log[i])) {
+          frontier[router] = i;
+          changed = true;
+          // A rewind below the stable frontier voids the other routers'
+          // stable prefixes (they may depend on the newly excluded
+          // records): fall back to the scratch-equivalent full closure.
+          if (i < state.stable) fallback = true;
+          break;
+        }
+      }
+      if (fallback) break;
+    }
+  }
+
+  if (fallback) {
+    ++stats_.closure_fallbacks;
+    delta_full = true;
+    for (const auto& [router, state] : routers_) {
+      frontier[router] = state.log.size();
+      check_from[router] = 0;
+    }
+    changed = true;
+    while (changed) {
+      changed = false;
+      ++iterations;
+      for (const auto& [router, state] : routers_) {
+        std::size_t limit = frontier[router];
+        for (std::size_t i = 0; i < limit; ++i) {
+          if (bad(state.log[i])) {
+            frontier[router] = i;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // 4. Commit: fold [stable, frontier) into each router's persistent FIB
+  // replay state. A frontier below the replayed prefix (possible only on
+  // fallback scans) rebuilds that router from scratch.
+  if (delta != nullptr) {
+    delta->full = false;
+    delta->changed_prefixes.clear();
+  }
+  for (auto& [router, state] : routers_) {
+    std::size_t cut = frontier[router];
+    RouterFibView& view = snapshot_.routers[router];
+    bool fib_changed = false;
+    if (cut < state.stable) {
+      state.fib.clear();
+      view = RouterFibView{};
+      state.stable = 0;
+      fib_changed = true;
+      delta_full = true;
+      ++stats_.rebuilt_routers;
+    }
+    for (std::size_t i = state.stable; i < cut; ++i) {
+      const IoRecord& r = state.log[i];
+      view.as_of = std::max(view.as_of, r.logged_time);
+      if (r.kind == IoKind::kFibUpdate && !r.fib_blocked) {
+        if (r.withdraw) {
+          if (r.prefix) {
+            state.fib.remove(*r.prefix);
+            fib_changed = true;
+            if (delta != nullptr) delta->changed_prefixes.insert(*r.prefix);
+          }
+        } else if (r.fib_entry.has_value()) {
+          state.fib.install(*r.fib_entry);
+          fib_changed = true;
+          if (delta != nullptr) delta->changed_prefixes.insert(r.fib_entry->prefix);
+        }
+      } else if (r.kind == IoKind::kHardwareStatus && !r.session.empty()) {
+        if (r.link_up) {
+          view.failed_uplinks.erase(r.session);
+        } else {
+          view.failed_uplinks.insert(r.session);
+          view.uplink_routes.erase(r.session);
+        }
+        // Uplink up/down state feeds forwarding signatures; there is no
+        // per-prefix story for it, so the whole delta degrades to full.
+        delta_full = true;
+      } else if (r.kind == IoKind::kRecvAdvert && r.peer == kExternalRouter &&
+                 r.prefix.has_value()) {
+        // Offered-route state is read directly off the snapshot by
+        // conditional policies each scan; it does not enter forwarding
+        // signatures, so no delta entry is needed.
+        if (r.withdraw) {
+          view.uplink_routes[r.session].erase(*r.prefix);
+        } else {
+          view.uplink_routes[r.session].insert(*r.prefix);
+        }
+      }
+    }
+    state.stable = cut;
+    if (fib_changed) {
+      view.entries = state.fib.entries();
+      snapshot_.invalidate_lookup_cache(router);
+    }
+  }
+  if (delta_full) ++stats_.full_deltas;
+  if (delta != nullptr && delta_full) {
+    delta->full = true;
+    delta->changed_prefixes.clear();
+  }
+
+  if (report != nullptr) {
+    report->unmatched_recvs = unmatched_recvs;
+    report->iterations = iterations;
+    report->rewound.clear();
+    report->in_flux.clear();
+    for (const auto& [router, state] : routers_) {
+      report->rewound[router] = state.log.size() - frontier[router];
+    }
+    // In-flux detection over the full history — identical to the scratch
+    // builder's diagnostic pass (O(trace); only runs when requested).
+    std::map<RouterId, SimTime> frontier_time;
+    for (const auto& [router, state] : routers_) {
+      frontier_time[router] =
+          frontier[router] > 0 ? state.log[frontier[router] - 1].logged_time : 0;
+    }
+    for (const auto& [router, state] : routers_) {
+      for (std::size_t i = 0; i < frontier[router]; ++i) {
+        const IoRecord& r = state.log[i];
+        if (r.kind != IoKind::kSendAdvert || !r.prefix.has_value() ||
+            r.peer == kExternalRouter || r.peer == kInvalidRouter) {
+          continue;
+        }
+        auto peer_frontier = frontier_time.find(r.peer);
+        if (peer_frontier != frontier_time.end() &&
+            r.logged_time + options_.in_flux_window_us < peer_frontier->second) {
+          continue;
+        }
+        bool received = false;
+        for (const HbgEdge* edge : hbg.out_edges(r.id, options_.min_confidence)) {
+          const IoRecord* child = hbg.record(edge->to);
+          if (child != nullptr && child->kind == IoKind::kRecvAdvert && included(edge->to)) {
+            received = true;
+            break;
+          }
+        }
+        if (!received) report->in_flux.insert(*r.prefix);
+      }
+    }
+  }
+  return snapshot_;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,101 @@
+// Delta-driven HBG-consistent snapshots (§5, §7).
+//
+// ConsistentSnapshotter rebuilds every router's FIB from the full capture
+// history on each call, so a guarded run costs O(trace²). This snapshotter
+// maintains the same snapshot *across* scans: it ingests only the records
+// captured since the previous scan, folds them into persistent per-router
+// FIB replay state, and re-runs the happens-before closure only over the
+// log ranges whose verdict could have changed — each router's pending
+// suffix (records past its validated frontier) plus any record that gained
+// an incoming HBG edge since the last scan.
+//
+// Why that is enough (and when it is not): with full horizons, the
+// closure's fixpoint is the *greatest* frontier vector under which no
+// included record depends on a known-but-excluded cause and no included
+// internal receive lacks a matching send. Records validated by the
+// previous fixpoint stay valid as long as (a) their in-edge sets are
+// unchanged and (b) no router's frontier drops below its previous stable
+// frontier — both monotone-preserving conditions. New edges targeting the
+// stable region void (a) for those records, so their positions are
+// re-checked; if any re-check (or cascade) rewinds a router *below* its
+// stable frontier, condition (b) is void for everyone and the snapshotter
+// falls back to a full scratch-equivalent closure for that scan (counted
+// in Stats::closure_fallbacks), rebuilding replay state where the frontier
+// regressed. The result is byte-identical to ConsistentSnapshotter::build
+// over the full history with empty horizons, every scan.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "hbguard/hbg/graph.hpp"
+#include "hbguard/snapshot/consistent.hpp"
+#include "hbguard/snapshot/snapshot.hpp"
+
+namespace hbguard {
+
+class IncrementalSnapshotter {
+ public:
+  struct Options {
+    /// Minimum edge confidence for closure checking (mirror of
+    /// ConsistentSnapshotter::Options::min_confidence).
+    double min_confidence = 0.9;
+    /// Rewind past internal recvs with no matching send edge.
+    bool require_send_for_recv = true;
+    /// In-flux window for diagnostic reports (see ConsistentSnapshotter).
+    SimTime in_flux_window_us = 5'000'000;
+  };
+
+  struct Stats {
+    std::size_t scans = 0;             // ingest() calls
+    std::size_t records_ingested = 0;  // cumulative records folded in
+    std::size_t closure_checks = 0;    // record inspections across all closures
+    std::size_t closure_fallbacks = 0; // scans that re-ran the closure from scratch
+    std::size_t rebuilt_routers = 0;   // replay states rebuilt after a frontier regression
+    std::size_t full_deltas = 0;       // scans whose SnapshotDelta degraded to `full`
+  };
+
+  IncrementalSnapshotter() = default;
+  explicit IncrementalSnapshotter(Options options) : options_(options) {}
+
+  /// Fold the records captured since the previous call (capture order) and
+  /// the HBG edges added since then into the maintained snapshot, and
+  /// return it. `hbg` must be the live graph containing every ingested
+  /// record; the cut is the full-horizon one (every known record is
+  /// tentatively included, exactly like ConsistentSnapshotter with empty
+  /// horizons). When `delta` is non-null it is filled with what changed
+  /// relative to the previous snapshot. When `report` is non-null the
+  /// consistency diagnostics are computed (the in-flux pass walks the full
+  /// history — request it for debugging, not on the hot path; its
+  /// `iterations`/`unmatched_recvs` counters cover this scan's closure
+  /// work only, while `rewound` and `in_flux` match the scratch builder).
+  const DataPlaneSnapshot& ingest(std::span<const IoRecord> new_records,
+                                  const HappensBeforeGraph& hbg,
+                                  std::span<const HbgEdge> new_edges,
+                                  SnapshotDelta* delta = nullptr,
+                                  ConsistencyReport* report = nullptr);
+
+  /// The snapshot as of the last ingest (empty before the first).
+  const DataPlaneSnapshot& snapshot() const { return snapshot_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct RouterState {
+    std::vector<IoRecord> log;  // owned copies, router_seq (= capture) order
+    /// Validated frontier after the last ingest: records below it passed
+    /// closure and are folded into `fib`/the snapshot view.
+    std::size_t stable = 0;
+    Fib fib;
+  };
+
+  Options options_;
+  Stats stats_;
+  std::map<RouterId, RouterState> routers_;
+  /// Record id -> (router, log position); covers every ingested record.
+  std::map<IoId, std::pair<RouterId, std::size_t>> position_;
+  DataPlaneSnapshot snapshot_;
+};
+
+}  // namespace hbguard

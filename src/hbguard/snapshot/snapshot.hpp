@@ -50,8 +50,38 @@ struct DataPlaneSnapshot {
   /// in place, call this to drop the stale tries.
   void invalidate_lookup_cache() const { fib_cache_.clear(); }
 
+  /// Drop one router's trie only — the incremental snapshotter mutates
+  /// views router-by-router, and unchanged routers keep their warm tries
+  /// across scans.
+  void invalidate_lookup_cache(RouterId router) const { fib_cache_.erase(router); }
+
  private:
   mutable std::map<RouterId, std::shared_ptr<Fib>> fib_cache_;
+};
+
+/// What changed between one snapshot and its predecessor in a scan stream.
+/// Produced by the incremental snapshotter; consumed by the verifier to
+/// invalidate only the affected per-destination memo entries instead of
+/// re-keying every destination. A `full` delta (the default) claims
+/// nothing, so consumers must treat every destination as changed — correct
+/// for the first snapshot and for any fallback rebuild.
+struct SnapshotDelta {
+  bool full = true;
+  /// Prefixes whose FIB entries were installed/removed on some router
+  /// since the previous snapshot (a superset of actual changes is fine).
+  std::set<Prefix> changed_prefixes;
+
+  /// Could `destination`'s forwarding behaviour have changed? A
+  /// destination's per-router action can only move when a FIB entry for a
+  /// prefix containing it changed (longest-prefix match), or on a `full`
+  /// delta (uplink up/down flips, router-set changes, rebuilds).
+  bool affects(IpAddress destination) const {
+    if (full) return true;
+    for (const Prefix& prefix : changed_prefixes) {
+      if (prefix.contains(destination)) return true;
+    }
+    return false;
+  }
 };
 
 }  // namespace hbguard

@@ -5,8 +5,13 @@
 namespace hbguard {
 
 VerifyResult Verifier::verify(const DataPlaneSnapshot& snapshot) const {
+  return verify(snapshot, nullptr);
+}
+
+VerifyResult Verifier::verify(const DataPlaneSnapshot& snapshot,
+                              const SnapshotDelta* delta) const {
   if (resolve_num_threads(options_.num_threads) == 1) return verify_serial(snapshot);
-  return verify_sharded(snapshot);
+  return verify_sharded(snapshot, delta);
 }
 
 VerifyResult Verifier::verify_serial(const DataPlaneSnapshot& snapshot) const {
@@ -17,7 +22,8 @@ VerifyResult Verifier::verify_serial(const DataPlaneSnapshot& snapshot) const {
   return result;
 }
 
-VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot) const {
+VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot,
+                                      const SnapshotDelta* delta) const {
   std::shared_ptr<ThreadPool> pool = thread_pool();
 
   // The destinations the policy set reasons about, in first-appearance
@@ -38,6 +44,10 @@ VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot) const {
   // Phase 1 — classify each destination by its behaviour signature and
   // serve unchanged classes from the memo cache (serially: the signature is
   // one lookup per router, ~a path-length factor cheaper than tracing).
+  // With a caller-supplied delta, destinations it proves untouched skip
+  // even the signature: their graph from the previous verify() is still
+  // exact (the signature is a function of per-router lookups and uplink
+  // state, both covered by SnapshotDelta::affects).
   VerifyContext::TraceTable table;
   std::vector<std::size_t> miss_indices;
   std::vector<std::string> miss_signatures;
@@ -46,12 +56,22 @@ VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot) const {
     ++stats_.runs;
     stats_.destinations += destinations.size();
     for (std::size_t i = 0; i < destinations.size(); ++i) {
+      std::uint32_t bits = destinations[i].bits();
+      if (delta != nullptr && !delta->full && options_.memoize) {
+        auto last = last_graphs_.find(bits);
+        if (last != last_graphs_.end() && !delta->affects(destinations[i])) {
+          ++stats_.delta_skips;
+          table[bits] = last->second;
+          continue;
+        }
+      }
       std::string signature = forwarding_signature(snapshot, destinations[i]);
       if (options_.memoize) {
         auto it = cache_.find(signature);
         if (it != cache_.end()) {
           ++stats_.cache_hits;
-          table[destinations[i].bits()] = it->second;
+          table[bits] = it->second;
+          last_graphs_[bits] = it->second;
           continue;
         }
       }
@@ -75,7 +95,9 @@ VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot) const {
       cache_.clear();
     }
     for (std::size_t i = 0; i < miss_indices.size(); ++i) {
-      table[destinations[miss_indices[i]].bits()] = built[i];
+      std::uint32_t bits = destinations[miss_indices[i]].bits();
+      table[bits] = built[i];
+      last_graphs_[bits] = built[i];
       if (options_.memoize) cache_[miss_signatures[i]] = built[i];
     }
   }
@@ -112,6 +134,7 @@ VerifyStats Verifier::stats() const {
 void Verifier::clear_cache() const {
   std::lock_guard<std::mutex> lock(mutex_);
   cache_.clear();
+  last_graphs_.clear();
 }
 
 VerdictComparison compare_verdicts(const Verifier& verifier, const DataPlaneSnapshot& observed,

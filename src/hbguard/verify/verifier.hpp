@@ -49,6 +49,10 @@ struct VerifyStats {
   std::size_t destinations = 0;  // destination evaluations, cumulative
   std::size_t cache_hits = 0;    // forwarding graphs served from the cache
   std::size_t cache_misses = 0;  // forwarding graphs built
+  /// Destinations whose graph was reused straight from the previous
+  /// verify() because the caller's SnapshotDelta proved them untouched —
+  /// these skip even the signature computation the memo cache needs.
+  std::size_t delta_skips = 0;
 
   double hit_rate() const {
     std::size_t total = cache_hits + cache_misses;
@@ -67,6 +71,15 @@ class Verifier {
 
   VerifyResult verify(const DataPlaneSnapshot& snapshot) const;
 
+  /// Delta-driven verification: `delta` describes what changed in
+  /// `snapshot` since the snapshot passed to the *previous* verify() call
+  /// on this verifier (the guard's scan stream satisfies this). Unaffected
+  /// destinations reuse the previous call's forwarding graph without even
+  /// re-computing their behaviour signature. Results are byte-identical to
+  /// verify(snapshot); a null (or full) delta degrades to it exactly. The
+  /// serial path (num_threads == 1) ignores the delta.
+  VerifyResult verify(const DataPlaneSnapshot& snapshot, const SnapshotDelta* delta) const;
+
   const PolicyList& policies() const { return policies_; }
   const VerifierOptions& options() const { return options_; }
 
@@ -79,7 +92,8 @@ class Verifier {
 
  private:
   VerifyResult verify_serial(const DataPlaneSnapshot& snapshot) const;
-  VerifyResult verify_sharded(const DataPlaneSnapshot& snapshot) const;
+  VerifyResult verify_sharded(const DataPlaneSnapshot& snapshot,
+                              const SnapshotDelta* delta) const;
 
   PolicyList policies_;
   VerifierOptions options_;
@@ -87,6 +101,10 @@ class Verifier {
   mutable std::mutex mutex_;  // guards pool_ creation, cache_, stats_
   mutable std::shared_ptr<ThreadPool> pool_;
   mutable std::map<std::string, DestinationForwardingRef> cache_;  // by signature
+  /// Each destination's graph from the previous verify() — what a
+  /// SnapshotDelta proves still valid. Keyed by destination bits; bounded
+  /// by the policy set's destination count.
+  mutable std::map<std::uint32_t, DestinationForwardingRef> last_graphs_;
   mutable VerifyStats stats_;
 };
 
