@@ -2,32 +2,207 @@
 //
 // The paper proposes building the HBG continuously in the live network, so
 // its construction/query cost must track the I/O volume, not explode with
-// it. Sweep network size and churn volume; report capture volume, HBG
-// build time (rule-matching inference included), graph size, provenance
-// query latency, and inference accuracy as scale grows.
+// it. Two parts:
+//
+//  1. The original scale sweep: network size × churn volume, reporting
+//     capture volume, build time, graph size, query latency and inference
+//     accuracy.
+//  2. The compact-core comparison (ISSUE 3 tentpole): a ≥100k-record
+//     synthetic trace with deep causal chains, swept with root_causes over
+//     every FIB update on (a) the legacy std::map-based graph kept here as
+//     the reference and (b) the CSR/epoch-stamped HappensBeforeGraph. The
+//     two sweeps must produce identical result digests (any divergence
+//     exits non-zero so CI fails) and the compact core must be >= 3x
+//     faster in full mode.
+//
+// Writes BENCH_hbg_scale.json. `--smoke` runs a reduced trace for CI and
+// skips the speedup gate (shared runners have noisy clocks).
+#include <cstring>
+#include <map>
+#include <set>
+
 #include "bench_util.hpp"
 
 #include "hbguard/hbg/builder.hpp"
 #include "hbguard/hbr/rule_matcher.hpp"
 #include "hbguard/sim/workload.hpp"
+#include "hbguard/util/rng.hpp"
 
 using namespace hbguard;
 using namespace hbguard::bench;
 
-int main() {
-  header("bench_hbg_scale",
-         "A7 — HBG construction/query cost vs network size and churn",
-         "build time grows near-linearly with captured I/Os; provenance "
-         "queries stay sub-millisecond; inference accuracy holds at scale",
-         /*seed=*/31);
+namespace {
 
+constexpr std::uint64_t kSeed = 31;
+constexpr double kRequiredSpeedup = 3.0;
+
+// ---------------------------------------------------------------------------
+// Legacy map-based HBG, verbatim pre-compaction semantics: std::map vertex
+// and adjacency storage, per-query std::set closures. This is the timing
+// and correctness reference the compact core is gated against.
+
+class ReferenceHbg {
+ public:
+  void add_vertex(IoRecord record) { vertices_.insert_or_assign(record.id, std::move(record)); }
+
+  void add_edge(const HbgEdge& edge) {
+    if (edge.from == edge.to) return;
+    auto& out = out_[edge.from];
+    for (HbgEdge& existing : out) {
+      if (existing.to == edge.to) {
+        if (edge.confidence > existing.confidence) {
+          existing = edge;
+          for (HbgEdge& in : in_[edge.to]) {
+            if (in.from == edge.from) in = edge;
+          }
+        }
+        return;
+      }
+    }
+    out.push_back(edge);
+    in_[edge.to].push_back(edge);
+  }
+
+  std::set<IoId> ancestors(IoId id, double min_confidence) const {
+    std::set<IoId> seen;
+    std::vector<IoId> queue{id};
+    while (!queue.empty()) {
+      IoId current = queue.back();
+      queue.pop_back();
+      auto it = in_.find(current);
+      if (it == in_.end()) continue;
+      for (const HbgEdge& edge : it->second) {
+        if (edge.confidence < min_confidence) continue;
+        if (seen.insert(edge.from).second) queue.push_back(edge.from);
+      }
+    }
+    seen.erase(id);
+    return seen;
+  }
+
+  bool rootless(IoId id, double min_confidence) const {
+    auto it = in_.find(id);
+    if (it == in_.end()) return true;
+    for (const HbgEdge& edge : it->second) {
+      if (edge.confidence >= min_confidence) return false;
+    }
+    return true;
+  }
+
+  std::vector<IoId> root_causes(IoId id, double min_confidence) const {
+    if (!vertices_.contains(id)) return {};
+    std::set<IoId> up = ancestors(id, min_confidence);
+    std::vector<IoId> roots;
+    if (up.empty()) {
+      if (rootless(id, min_confidence)) roots.push_back(id);
+      return roots;
+    }
+    for (IoId candidate : up) {
+      if (rootless(candidate, min_confidence)) roots.push_back(candidate);
+    }
+    return roots;  // set iteration is already ascending
+  }
+
+ private:
+  std::map<IoId, IoRecord> vertices_;
+  std::map<IoId, std::vector<HbgEdge>> out_;
+  std::map<IoId, std::vector<HbgEdge>> in_;
+};
+
+// ---------------------------------------------------------------------------
+// Synthetic deep-provenance trace. Churn arrives as convergence episodes:
+// within an episode every router chains its own I/Os and cross-router
+// links (send -> recv style) fan causality across routers, so an ancestor
+// closure from a late FIB update pulls in a large fraction of the episode.
+// Episode boundaries cut all causality — exactly the shape real churn
+// produces (a triggering event, a convergence burst, quiescence) — which
+// keeps per-query closure size independent of total trace length, so the
+// sweep scales linearly and the two representations compare fairly at any
+// record count.
+
+struct SyntheticTrace {
+  std::vector<IoRecord> records;
+  std::vector<HbgEdge> edges;
+  std::vector<IoId> fib_updates;
+};
+
+SyntheticTrace make_trace(std::size_t n, std::size_t routers, std::size_t episode_len,
+                          Rng& rng) {
+  SyntheticTrace trace;
+  trace.records.reserve(n);
+  trace.edges.reserve(n * 2);
+  std::vector<IoId> last_on_router(routers, kNoIo);
+  std::size_t episode_start = 0;  // first global index of the current episode
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i - episode_start >= episode_len) {
+      episode_start = i;
+      std::fill(last_on_router.begin(), last_on_router.end(), kNoIo);
+    }
+    IoRecord r;
+    r.id = static_cast<IoId>(i + 1);
+    r.router = static_cast<RouterId>(rng.uniform_int(0, static_cast<std::int64_t>(routers) - 1));
+    switch (i % 4) {
+      case 0: r.kind = IoKind::kRecvAdvert; break;
+      case 1: r.kind = IoKind::kRibUpdate; break;
+      case 2: r.kind = IoKind::kFibUpdate; break;
+      default: r.kind = IoKind::kSendAdvert; break;
+    }
+    r.true_time = static_cast<SimTime>(i);
+    r.logged_time = r.true_time;
+    trace.records.push_back(r);
+    if (r.kind == IoKind::kFibUpdate) trace.fib_updates.push_back(r.id);
+
+    // Same-router chain link within the episode.
+    if (last_on_router[r.router] != kNoIo) {
+      trace.edges.push_back({last_on_router[r.router], r.id, 1.0, "router-order"});
+    }
+    last_on_router[r.router] = r.id;
+
+    // Cross-router causality into the episode's recent window.
+    std::size_t window = std::min<std::size_t>(96, i - episode_start);
+    if (window > 0 && rng.chance(0.35)) {
+      std::size_t back =
+          static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(window)));
+      trace.edges.push_back(
+          {static_cast<IoId>(i + 1 - back), r.id, rng.chance(0.5) ? 0.9 : 1.0, "send->recv"});
+    }
+  }
+  return trace;
+}
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value;
+  return hash * 1099511628211ull;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  header("bench_hbg_scale",
+         "A7 — HBG construction/query cost vs network size and churn, plus "
+         "the compact-core (CSR + epoch traversal) vs legacy map sweep",
+         "build time grows near-linearly with captured I/Os; compact core "
+         ">= 3x faster on ancestor-closure provenance sweeps; digests equal",
+         kSeed);
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("hbg_scale");
+  json.key("smoke").value(smoke);
+
+  // ------------------------------------------------------------------
+  // Part 1: the simulated scale sweep (unchanged in spirit from PR 0).
   Table table({"routers", "churn events", "I/Os", "build", "vertices", "edges",
                "root-cause query", "precision", "recall"});
-
-  for (std::size_t n : {5, 10, 20, 40}) {
+  json.key("scale_sweep").begin_array();
+  std::vector<std::size_t> router_counts = smoke ? std::vector<std::size_t>{5, 10}
+                                                 : std::vector<std::size_t>{5, 10, 20, 40};
+  for (std::size_t n : router_counts) {
     for (std::size_t events : {30, 120}) {
       NetworkOptions options;
-      options.seed = 31 * n + events;
+      options.seed = kSeed * n + events;
       Rng rng(options.seed);
       auto generated = make_ibgp_network(make_random_topology(n, n / 2, rng), 3, options);
       generated.network->run_to_convergence();
@@ -39,14 +214,13 @@ int main() {
       ChurnWorkload churn(generated, churn_options);
       generated.network->run_to_convergence();
 
-      auto records = generated.network->capture().records();
+      const auto& records = generated.network->capture().records();
 
       Stopwatch build_watch;
       RuleMatchingInference rules;
-      auto hbg = HbgBuilder::build(records, rules);
+      auto hbg = HbgBuilder::build(records, rules, &records);
       double build_ms = build_watch.ms();
 
-      // Provenance query: root causes of the last FIB update.
       IoId last_fib = kNoIo;
       for (const IoRecord& r : records) {
         if (r.kind == IoKind::kFibUpdate) last_fib = r.id;
@@ -63,10 +237,118 @@ int main() {
                  fmt(build_ms, 1) + "ms", std::to_string(hbg.vertex_count()),
                  std::to_string(hbg.edge_count()), fmt(query_ms * 1000.0, 0) + "us",
                  fmt(score.precision()), fmt(score.recall())});
+      json.begin_object();
+      json.key("routers").value(n);
+      json.key("events").value(events);
+      json.key("ios").value(records.size());
+      json.key("build_ms").value(build_ms);
+      json.key("vertices").value(hbg.vertex_count());
+      json.key("edges").value(hbg.edge_count());
+      json.key("query_us").value(query_ms * 1000.0);
+      json.key("precision").value(score.precision());
+      json.key("recall").value(score.recall());
+      json.end_object();
     }
   }
+  json.end_array();
   table.print();
+  std::fflush(stdout);
 
+  // ------------------------------------------------------------------
+  // Part 2: compact core vs legacy map reference on a deep trace.
+  const std::size_t trace_n = smoke ? 5'000 : 120'000;
+  Rng rng(kSeed + 1);
+  SyntheticTrace trace = make_trace(trace_n, /*routers=*/64, /*episode_len=*/2048, rng);
+  std::printf("compact-core sweep: %zu records, %zu edges, %zu FIB updates\n\n",
+              trace.records.size(), trace.edges.size(), trace.fib_updates.size());
+
+  Stopwatch ref_build_watch;
+  ReferenceHbg reference;
+  for (const IoRecord& r : trace.records) reference.add_vertex(r);
+  for (const HbgEdge& e : trace.edges) reference.add_edge(e);
+  double ref_build_ms = ref_build_watch.ms();
+
+  Stopwatch compact_build_watch;
+  HappensBeforeGraph compact;
+  compact.attach_record_store(&trace.records);
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    compact.add_vertex_ref(trace.records[i].id, static_cast<std::uint32_t>(i));
+  }
+  for (const HbgEdge& e : trace.edges) compact.add_edge(e);
+  compact.compact();
+  double compact_build_ms = compact_build_watch.ms();
+
+  // The sweep: root_causes of every FIB update at two confidence levels —
+  // the hot loop of provenance analysis under churn.
+  const double thresholds[] = {0.0, 0.95};
+  auto sweep_reference = [&] {
+    std::uint64_t digest = 1469598103934665603ull;
+    for (double conf : thresholds) {
+      for (IoId id : trace.fib_updates) {
+        for (IoId root : reference.root_causes(id, conf)) digest = fnv_mix(digest, root);
+      }
+    }
+    return digest;
+  };
+  auto sweep_compact = [&] {
+    std::uint64_t digest = 1469598103934665603ull;
+    for (double conf : thresholds) {
+      for (IoId id : trace.fib_updates) {
+        for (IoId root : compact.root_causes(id, conf)) digest = fnv_mix(digest, root);
+      }
+    }
+    return digest;
+  };
+
+  Stopwatch ref_watch;
+  std::uint64_t ref_digest = sweep_reference();
+  double ref_ms = ref_watch.ms();
+
+  Stopwatch compact_watch;
+  std::uint64_t compact_digest = sweep_compact();
+  double compact_ms = compact_watch.ms();
+
+  double speedup = compact_ms > 0 ? ref_ms / compact_ms : 0.0;
+  Table cmp({"representation", "build", "provenance sweep", "digest"});
+  char digest_buf[32];
+  std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
+                static_cast<unsigned long long>(ref_digest));
+  cmp.row({"legacy std::map", fmt(ref_build_ms, 1) + "ms", fmt(ref_ms, 1) + "ms", digest_buf});
+  std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
+                static_cast<unsigned long long>(compact_digest));
+  cmp.row({"compact CSR", fmt(compact_build_ms, 1) + "ms", fmt(compact_ms, 1) + "ms",
+           digest_buf});
+  cmp.print();
+  std::printf("sweep speedup: %.2fx (gate: >= %.1fx in full mode)\n\n", speedup,
+              kRequiredSpeedup);
+
+  json.key("compact_core").begin_object();
+  json.key("records").value(trace.records.size());
+  json.key("edges").value(trace.edges.size());
+  json.key("fib_updates").value(trace.fib_updates.size());
+  json.key("reference_build_ms").value(ref_build_ms);
+  json.key("compact_build_ms").value(compact_build_ms);
+  json.key("reference_sweep_ms").value(ref_ms);
+  json.key("compact_sweep_ms").value(compact_ms);
+  json.key("speedup").value(speedup);
+  json.key("digests_match").value(ref_digest == compact_digest);
+  json.end_object();
+  json.end_object();
+  json.write("BENCH_hbg_scale.json");
+  std::printf("wrote BENCH_hbg_scale.json\n");
+
+  if (ref_digest != compact_digest) {
+    std::printf("FAIL: compact core diverged from the map-based reference "
+                "(%016llx vs %016llx)\n",
+                static_cast<unsigned long long>(compact_digest),
+                static_cast<unsigned long long>(ref_digest));
+    return 1;
+  }
+  if (!smoke && speedup < kRequiredSpeedup) {
+    std::printf("FAIL: compact core speedup %.2fx below the %.1fx gate\n", speedup,
+                kRequiredSpeedup);
+    return 1;
+  }
   std::printf("note: per-router subgraphs (§5's distributed storage) would divide the\n"
               "build cost across routers; the numbers here are the centralized\n"
               "worst case.\n\n");

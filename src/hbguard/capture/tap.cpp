@@ -40,10 +40,10 @@ SimTime CaptureHub::router_clock_offset(RouterId router) {
   return per_router_offset_[router];
 }
 
-std::vector<IoRecord> CaptureHub::records_of(RouterId router) const {
-  std::vector<IoRecord> out;
-  for (const IoRecord& r : records_) {
-    if (r.router == router) out.push_back(r);
+std::vector<std::uint32_t> CaptureHub::records_of(RouterId router) const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].router == router) out.push_back(static_cast<std::uint32_t>(i));
   }
   return out;
 }

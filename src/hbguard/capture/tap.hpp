@@ -52,8 +52,10 @@ class CaptureHub {
     return std::span<const IoRecord>(records_).subspan(offset);
   }
 
-  /// Records of one router, in its log order.
-  std::vector<IoRecord> records_of(RouterId router) const;
+  /// Indices (into records()) of one router's records, in its log order.
+  /// Indices rather than copies: the store is append-only, so they stay
+  /// valid across later captures.
+  std::vector<std::uint32_t> records_of(RouterId router) const;
 
   /// Look up a surviving record by id; nullptr if lost or unknown.
   const IoRecord* find(IoId id) const;

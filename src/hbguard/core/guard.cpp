@@ -53,6 +53,11 @@ Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
       incremental_builder_(options.matcher),
       incremental_snapshotter_(incremental_snapshot_options(options)) {
   snapshotter_.set_thread_pool(pool_);
+  // The batch matcher fans candidate matching out over the shared pool; the
+  // HBG and match engine reference the capture store instead of copying
+  // records (the hub outlives the guard and its store only grows).
+  rules_.set_thread_pool(pool_);
+  incremental_builder_.attach_store(&network.capture().records());
   if (options_.repair == RepairMode::kBlock) {
     blocker_ = std::make_unique<VerifyingBlocker>(network, std::move(policies));
   }
@@ -61,13 +66,16 @@ Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
 Guard::~Guard() = default;
 
 HappensBeforeGraph Guard::current_hbg() const {
-  std::span<const IoRecord> records = network_.capture().records();
-  if (options_.use_ground_truth_hbg) return HbgBuilder::build_ground_truth(records);
-  if (options_.inference != nullptr) return HbgBuilder::build(records, *options_.inference);
+  const std::vector<IoRecord>& store = network_.capture().records();
+  std::span<const IoRecord> records = store;
+  if (options_.use_ground_truth_hbg) return HbgBuilder::build_ground_truth(records, &store);
+  if (options_.inference != nullptr) {
+    return HbgBuilder::build(records, *options_.inference, &store);
+  }
   if (options_.incremental_hbg && incremental_builder_.records_ingested() > 0) {
     return incremental_builder_.graph();  // copy of the live graph
   }
-  return HbgBuilder::build(records, rules_);
+  return HbgBuilder::build(records, rules_, &store);
 }
 
 const HappensBeforeGraph& Guard::live_hbg() {
@@ -75,12 +83,13 @@ const HappensBeforeGraph& Guard::live_hbg() {
   bool scratch = options_.use_ground_truth_hbg || options_.inference != nullptr ||
                  !options_.incremental_hbg;
   if (scratch) {
+    const std::vector<IoRecord>* store = &network_.capture().records();
     if (options_.use_ground_truth_hbg) {
-      scratch_hbg_ = HbgBuilder::build_ground_truth(records);
+      scratch_hbg_ = HbgBuilder::build_ground_truth(records, store);
     } else if (options_.inference != nullptr) {
-      scratch_hbg_ = HbgBuilder::build(records, *options_.inference);
+      scratch_hbg_ = HbgBuilder::build(records, *options_.inference, store);
     } else {
-      scratch_hbg_ = HbgBuilder::build(records, rules_);
+      scratch_hbg_ = HbgBuilder::build(records, rules_, store);
     }
     return scratch_hbg_;
   }

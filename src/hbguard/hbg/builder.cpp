@@ -2,26 +2,49 @@
 
 namespace hbguard {
 
-HappensBeforeGraph HbgBuilder::build(std::span<const IoRecord> records,
-                                     const HbrInferencer& inferencer) {
-  HappensBeforeGraph graph;
+namespace {
+
+void add_vertices(HappensBeforeGraph& graph, std::span<const IoRecord> records,
+                  const std::vector<IoRecord>* store) {
+  if (store != nullptr && !records.empty()) {
+    graph.attach_record_store(store);
+    // `records` is a subspan of *store, so pointer arithmetic against the
+    // store's base yields the records' store indices.
+    std::size_t base = static_cast<std::size_t>(records.data() - store->data());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      graph.add_vertex_ref(records[i].id, static_cast<std::uint32_t>(base + i));
+    }
+    return;
+  }
   for (const IoRecord& record : records) graph.add_vertex(record);
+}
+
+}  // namespace
+
+HappensBeforeGraph HbgBuilder::build(std::span<const IoRecord> records,
+                                     const HbrInferencer& inferencer,
+                                     const std::vector<IoRecord>* store) {
+  HappensBeforeGraph graph;
+  add_vertices(graph, records, store);
   for (const InferredHbr& edge : inferencer.infer(records)) {
     if (graph.has_vertex(edge.from) && graph.has_vertex(edge.to)) {
-      graph.add_edge({edge.from, edge.to, edge.confidence, edge.rule});
+      graph.add_edge(edge.from, edge.to, edge.confidence, edge.rule);
     }
   }
+  graph.compact();
   return graph;
 }
 
-HappensBeforeGraph HbgBuilder::build_ground_truth(std::span<const IoRecord> records) {
+HappensBeforeGraph HbgBuilder::build_ground_truth(std::span<const IoRecord> records,
+                                                  const std::vector<IoRecord>* store) {
   HappensBeforeGraph graph;
-  for (const IoRecord& record : records) graph.add_vertex(record);
+  add_vertices(graph, records, store);
   for (const InferredHbr& edge : ground_truth_edges(records)) {
     if (graph.has_vertex(edge.from) && graph.has_vertex(edge.to)) {
-      graph.add_edge({edge.from, edge.to, 1.0, "truth"});
+      graph.add_edge(edge.from, edge.to, 1.0, "truth");
     }
   }
+  graph.compact();
   return graph;
 }
 

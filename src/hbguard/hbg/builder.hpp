@@ -2,6 +2,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "hbguard/hbg/graph.hpp"
 #include "hbguard/hbr/inference.hpp"
@@ -11,13 +12,17 @@ namespace hbguard {
 class HbgBuilder {
  public:
   /// Build an HBG whose edges come from an inference strategy (what the
-  /// system can do in practice).
+  /// system can do in practice). When `store` is non-null, `records` must be
+  /// a subspan of `*store` (typically &CaptureHub::records()); the graph then
+  /// references the store instead of copying every record.
   static HappensBeforeGraph build(std::span<const IoRecord> records,
-                                  const HbrInferencer& inferencer);
+                                  const HbrInferencer& inferencer,
+                                  const std::vector<IoRecord>* store = nullptr);
 
   /// Build the ground-truth HBG from the simulator's cause links
   /// (evaluation oracle; impossible on real routers).
-  static HappensBeforeGraph build_ground_truth(std::span<const IoRecord> records);
+  static HappensBeforeGraph build_ground_truth(std::span<const IoRecord> records,
+                                               const std::vector<IoRecord>* store = nullptr);
 };
 
 }  // namespace hbguard

@@ -1,107 +1,291 @@
 #include "hbguard/hbg/graph.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <numeric>
 #include <stdexcept>
 
 namespace hbguard {
 
-void HappensBeforeGraph::add_vertex(IoRecord record) {
-  vertices_.insert_or_assign(record.id, std::move(record));
+namespace {
+// Compaction trigger: re-pack once the append-side buffer holds at least
+// this many edges AND at least a quarter of the compacted segment — i.e.
+// each compaction grows the CSR by >= 25%, so total re-pack work stays
+// O(E) amortized over any insertion sequence.
+constexpr std::size_t kCompactMinPending = 1024;
+}  // namespace
+
+HappensBeforeGraph::VertexIndex HappensBeforeGraph::insert_vertex(IoId id,
+                                                                  std::uint32_t store_index) {
+  if (id >= id_to_index_.size()) {
+    id_to_index_.resize(static_cast<std::size_t>(id) + 1, kNoVertexIndex);
+  }
+  VertexIndex v = static_cast<VertexIndex>(vertices_.size());
+  if (!vertices_.empty() && vertices_.back().id >= id) ids_monotone_ = false;
+  vertices_.push_back({id, store_index});
+  id_to_index_[static_cast<std::size_t>(id)] = v;
+  id_order_dirty_ = true;
+  return v;
 }
 
-void HappensBeforeGraph::add_edge(HbgEdge edge) {
-  if (!vertices_.contains(edge.from) || !vertices_.contains(edge.to)) {
-    throw std::invalid_argument("HBG edge references unknown vertex");
+void HappensBeforeGraph::add_vertex(IoRecord record) {
+  VertexIndex v = index_of(record.id);
+  if (v != kNoVertexIndex) {
+    // Replace semantics (a re-added vertex keeps its edges, new content).
+    std::uint32_t& slot = vertices_[v].store_index;
+    if ((slot & kOwnedRecordBit) != 0) {
+      owned_records_[slot & ~kOwnedRecordBit] = std::move(record);
+    } else {
+      slot = kOwnedRecordBit | static_cast<std::uint32_t>(owned_records_.size());
+      owned_records_.push_back(std::move(record));
+    }
+    return;
   }
-  if (edge.from == edge.to) return;
-  auto& outs = out_[edge.from];
-  for (HbgEdge& existing : outs) {
-    if (existing.to == edge.to) {
-      if (edge.confidence > existing.confidence) {
-        existing.confidence = edge.confidence;
-        existing.origin = edge.origin;
-        for (HbgEdge& in_edge : in_[edge.to]) {
-          if (in_edge.from == edge.from) {
-            in_edge.confidence = edge.confidence;
-            in_edge.origin = edge.origin;
-          }
-        }
-      }
-      return;
+  IoId id = record.id;
+  std::uint32_t slot = kOwnedRecordBit | static_cast<std::uint32_t>(owned_records_.size());
+  owned_records_.push_back(std::move(record));
+  insert_vertex(id, slot);
+}
+
+void HappensBeforeGraph::add_vertex_ref(IoId id, std::uint32_t store_index) {
+  if (external_store_ == nullptr) {
+    throw std::logic_error("add_vertex_ref requires an attached record store");
+  }
+  VertexIndex v = index_of(id);
+  if (v != kNoVertexIndex) {
+    vertices_[v].store_index = store_index;
+    return;
+  }
+  insert_vertex(id, store_index);
+}
+
+std::uint32_t HappensBeforeGraph::intern_origin(std::string_view origin) {
+  auto it = origin_ids_.find(origin);
+  if (it != origin_ids_.end()) return it->second;
+  std::uint32_t id = static_cast<std::uint32_t>(origin_pool_.size());
+  origin_pool_.emplace_back(origin);
+  origin_ids_.emplace(origin_pool_.back(), id);
+  return id;
+}
+
+void HappensBeforeGraph::append_half(Adjacency& adj, VertexIndex v, const HalfEdge& half) {
+  if (adj.head.size() < vertices_.size()) {
+    adj.head.resize(vertices_.size(), kNoPending);
+    adj.tail.resize(vertices_.size(), kNoPending);
+  }
+  std::uint32_t slot = static_cast<std::uint32_t>(adj.pending.size());
+  adj.pending.push_back({half, kNoPending});
+  if (adj.head[v] == kNoPending) {
+    adj.head[v] = slot;
+  } else {
+    adj.pending[adj.tail[v]].next = slot;
+  }
+  adj.tail[v] = slot;
+}
+
+HappensBeforeGraph::HalfEdge* HappensBeforeGraph::find_half(Adjacency& adj, VertexIndex v,
+                                                            VertexIndex other) {
+  if (v + 1 < adj.offsets.size()) {
+    for (std::uint32_t i = adj.offsets[v]; i < adj.offsets[v + 1]; ++i) {
+      if (adj.csr[i].other == other) return &adj.csr[i];
     }
   }
-  outs.push_back(edge);
-  in_[edge.to].push_back(std::move(edge));
+  if (v < adj.head.size()) {
+    for (std::uint32_t p = adj.head[v]; p != kNoPending; p = adj.pending[p].next) {
+      if (adj.pending[p].half.other == other) return &adj.pending[p].half;
+    }
+  }
+  return nullptr;
+}
+
+void HappensBeforeGraph::add_edge(IoId from, IoId to, double confidence,
+                                  std::string_view origin) {
+  VertexIndex f = index_of(from);
+  VertexIndex t = index_of(to);
+  if (f == kNoVertexIndex || t == kNoVertexIndex) {
+    throw std::invalid_argument("HBG edge references unknown vertex");
+  }
+  if (from == to) return;
+  if (HalfEdge* existing = find_half(out_, f, t)) {
+    if (confidence > existing->confidence) {
+      std::uint32_t origin_id = intern_origin(origin);
+      existing->confidence = confidence;
+      existing->origin = origin_id;
+      HalfEdge* back = find_half(in_, t, f);
+      back->confidence = confidence;
+      back->origin = origin_id;
+    }
+    return;
+  }
+  std::uint32_t origin_id = intern_origin(origin);
+  append_half(out_, f, {t, origin_id, confidence});
+  append_half(in_, t, {f, origin_id, confidence});
   ++edge_total_;
+  maybe_compact();
+}
+
+void HappensBeforeGraph::maybe_compact() {
+  if (out_.pending.size() >= kCompactMinPending &&
+      out_.pending.size() * 4 >= out_.csr.size()) {
+    compact();
+  }
+}
+
+void HappensBeforeGraph::compact_adjacency(Adjacency& adj) {
+  std::size_t n = vertices_.size();
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  for (VertexIndex v = 0; v < n; ++v) {
+    std::uint32_t degree = 0;
+    scan_adjacency(adj, v, [&](const HalfEdge&) {
+      ++degree;
+      return false;
+    });
+    offsets[v + 1] = offsets[v] + degree;
+  }
+  std::vector<HalfEdge> csr(offsets[n]);
+  for (VertexIndex v = 0; v < n; ++v) {
+    std::uint32_t cursor = offsets[v];
+    scan_adjacency(adj, v, [&](const HalfEdge& half) {
+      csr[cursor++] = half;
+      return false;
+    });
+  }
+  adj.offsets = std::move(offsets);
+  adj.csr = std::move(csr);
+  adj.pending.clear();
+  adj.head.clear();
+  adj.tail.clear();
+}
+
+void HappensBeforeGraph::compact() {
+  compact_adjacency(out_);
+  compact_adjacency(in_);
 }
 
 const IoRecord* HappensBeforeGraph::record(IoId id) const {
-  auto it = vertices_.find(id);
-  return it == vertices_.end() ? nullptr : &it->second;
+  VertexIndex v = index_of(id);
+  return v == kNoVertexIndex ? nullptr : &record_at(v);
 }
 
-std::vector<const HbgEdge*> HappensBeforeGraph::in_edges(IoId id, double min_confidence) const {
-  std::vector<const HbgEdge*> result;
-  auto it = in_.find(id);
-  if (it == in_.end()) return result;
-  for (const HbgEdge& edge : it->second) {
-    if (edge.confidence >= min_confidence) result.push_back(&edge);
-  }
+std::vector<HbgEdge> HappensBeforeGraph::in_edges(IoId id, double min_confidence) const {
+  std::vector<HbgEdge> result;
+  for_each_in_edge(id, min_confidence, [&](const HbgEdgeView& e) {
+    result.push_back({e.from, e.to, e.confidence, std::string(e.origin)});
+  });
   return result;
 }
 
-std::vector<const HbgEdge*> HappensBeforeGraph::out_edges(IoId id, double min_confidence) const {
-  std::vector<const HbgEdge*> result;
-  auto it = out_.find(id);
-  if (it == out_.end()) return result;
-  for (const HbgEdge& edge : it->second) {
-    if (edge.confidence >= min_confidence) result.push_back(&edge);
-  }
+std::vector<HbgEdge> HappensBeforeGraph::out_edges(IoId id, double min_confidence) const {
+  std::vector<HbgEdge> result;
+  for_each_out_edge(id, min_confidence, [&](const HbgEdgeView& e) {
+    result.push_back({e.from, e.to, e.confidence, std::string(e.origin)});
+  });
   return result;
+}
+
+bool HappensBeforeGraph::has_in_edge(IoId id, double min_confidence) const {
+  VertexIndex v = index_of(id);
+  if (v == kNoVertexIndex) return false;
+  bool found = false;
+  scan_adjacency(in_, v, [&](const HalfEdge& half) {
+    if (half.confidence < min_confidence) return false;
+    found = true;
+    return true;
+  });
+  return found;
+}
+
+std::uint32_t HappensBeforeGraph::next_epoch() const {
+  if (visit_epoch_.size() < vertices_.size()) visit_epoch_.resize(vertices_.size(), 0);
+  if (++epoch_ == 0) {
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  return epoch_;
 }
 
 namespace {
-std::set<IoId> closure(IoId start, double min_confidence,
-                       const std::function<std::vector<const HbgEdge*>(IoId)>& step,
-                       const std::function<IoId(const HbgEdge&)>& next) {
-  std::set<IoId> visited;
-  std::deque<IoId> frontier{start};
-  while (!frontier.empty()) {
-    IoId current = frontier.front();
-    frontier.pop_front();
-    for (const HbgEdge* edge : step(current)) {
-      if (edge->confidence < min_confidence) continue;
-      IoId n = next(*edge);
-      if (visited.insert(n).second) frontier.push_back(n);
-    }
+/// BFS closure over one adjacency direction into `queue` (start at [0]),
+/// marking visits in `visit` with `epoch`.
+template <typename Scan>
+void bfs_closure(std::vector<HappensBeforeGraph::VertexIndex>& queue,
+                 std::vector<std::uint32_t>& visit, std::uint32_t epoch,
+                 HappensBeforeGraph::VertexIndex start, const Scan& scan_neighbors) {
+  queue.clear();
+  queue.push_back(start);
+  visit[start] = epoch;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    scan_neighbors(queue[head], [&](HappensBeforeGraph::VertexIndex next) {
+      if (visit[next] != epoch) {
+        visit[next] = epoch;
+        queue.push_back(next);
+      }
+    });
   }
-  visited.erase(start);
-  return visited;
 }
 }  // namespace
 
-std::set<IoId> HappensBeforeGraph::ancestors(IoId id, double min_confidence) const {
-  return closure(
-      id, min_confidence, [&](IoId v) { return in_edges(v, min_confidence); },
-      [](const HbgEdge& e) { return e.from; });
+std::vector<IoId> HappensBeforeGraph::ancestors(IoId id, double min_confidence) const {
+  VertexIndex s = index_of(id);
+  if (s == kNoVertexIndex) return {};
+  std::uint32_t epoch = next_epoch();
+  bfs_closure(bfs_queue_, visit_epoch_, epoch, s, [&](VertexIndex v, auto&& visit) {
+    scan_adjacency(in_, v, [&](const HalfEdge& half) {
+      if (half.confidence >= min_confidence) visit(half.other);
+      return false;
+    });
+  });
+  std::vector<IoId> result;
+  result.reserve(bfs_queue_.size() - 1);
+  for (std::size_t i = 1; i < bfs_queue_.size(); ++i) result.push_back(vertices_[bfs_queue_[i]].id);
+  std::sort(result.begin(), result.end());
+  return result;
 }
 
-std::set<IoId> HappensBeforeGraph::descendants(IoId id, double min_confidence) const {
-  return closure(
-      id, min_confidence, [&](IoId v) { return out_edges(v, min_confidence); },
-      [](const HbgEdge& e) { return e.to; });
+std::vector<IoId> HappensBeforeGraph::descendants(IoId id, double min_confidence) const {
+  VertexIndex s = index_of(id);
+  if (s == kNoVertexIndex) return {};
+  std::uint32_t epoch = next_epoch();
+  bfs_closure(bfs_queue_, visit_epoch_, epoch, s, [&](VertexIndex v, auto&& visit) {
+    scan_adjacency(out_, v, [&](const HalfEdge& half) {
+      if (half.confidence >= min_confidence) visit(half.other);
+      return false;
+    });
+  });
+  std::vector<IoId> result;
+  result.reserve(bfs_queue_.size() - 1);
+  for (std::size_t i = 1; i < bfs_queue_.size(); ++i) result.push_back(vertices_[bfs_queue_[i]].id);
+  std::sort(result.begin(), result.end());
+  return result;
 }
 
 std::vector<IoId> HappensBeforeGraph::root_causes(IoId id, double min_confidence) const {
+  VertexIndex s = index_of(id);
+  if (s == kNoVertexIndex) return {};
+  std::uint32_t epoch = next_epoch();
+  bfs_closure(bfs_queue_, visit_epoch_, epoch, s, [&](VertexIndex v, auto&& visit) {
+    scan_adjacency(in_, v, [&](const HalfEdge& half) {
+      if (half.confidence >= min_confidence) visit(half.other);
+      return false;
+    });
+  });
+  auto rootless = [&](VertexIndex v) {
+    bool found = false;
+    scan_adjacency(in_, v, [&](const HalfEdge& half) {
+      if (half.confidence < min_confidence) return false;
+      found = true;
+      return true;
+    });
+    return !found;
+  };
   std::vector<IoId> roots;
-  auto up = ancestors(id, min_confidence);
-  if (up.empty()) {
-    if (in_edges(id, min_confidence).empty()) roots.push_back(id);
+  if (bfs_queue_.size() == 1) {
+    // No ancestors: `id` is its own root iff it has no (filtered) parents.
+    if (rootless(s)) roots.push_back(id);
     return roots;
   }
-  for (IoId ancestor : up) {
-    if (in_edges(ancestor, min_confidence).empty()) roots.push_back(ancestor);
+  for (std::size_t i = 1; i < bfs_queue_.size(); ++i) {
+    VertexIndex v = bfs_queue_[i];
+    if (rootless(v)) roots.push_back(vertices_[v].id);
   }
   std::sort(roots.begin(), roots.end());
   return roots;
@@ -109,65 +293,117 @@ std::vector<IoId> HappensBeforeGraph::root_causes(IoId id, double min_confidence
 
 std::vector<IoId> HappensBeforeGraph::path_from(IoId root, IoId id, double min_confidence) const {
   if (root == id) return {root};
-  std::map<IoId, IoId> parent;
-  std::deque<IoId> frontier{root};
-  parent[root] = root;
-  while (!frontier.empty()) {
-    IoId current = frontier.front();
-    frontier.pop_front();
-    for (const HbgEdge* edge : out_edges(current, min_confidence)) {
-      if (parent.contains(edge->to)) continue;
-      parent[edge->to] = current;
-      if (edge->to == id) {
-        std::vector<IoId> path{id};
-        IoId walk = id;
-        while (walk != root) {
-          walk = parent[walk];
-          path.push_back(walk);
-        }
-        std::reverse(path.begin(), path.end());
-        return path;
+  VertexIndex rs = index_of(root);
+  VertexIndex target = index_of(id);
+  if (rs == kNoVertexIndex || target == kNoVertexIndex) return {};
+  std::uint32_t epoch = next_epoch();
+  if (bfs_parent_.size() < vertices_.size()) bfs_parent_.resize(vertices_.size());
+  bfs_queue_.clear();
+  bfs_queue_.push_back(rs);
+  visit_epoch_[rs] = epoch;
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    VertexIndex current = bfs_queue_[head];
+    bool done = false;
+    scan_adjacency(out_, current, [&](const HalfEdge& half) {
+      if (half.confidence < min_confidence) return false;
+      if (visit_epoch_[half.other] == epoch) return false;
+      visit_epoch_[half.other] = epoch;
+      bfs_parent_[half.other] = current;
+      if (half.other == target) {
+        done = true;
+        return true;
       }
-      frontier.push_back(edge->to);
+      bfs_queue_.push_back(half.other);
+      return false;
+    });
+    if (done) {
+      std::vector<IoId> path;
+      for (VertexIndex walk = target; walk != rs; walk = bfs_parent_[walk]) {
+        path.push_back(vertices_[walk].id);
+      }
+      path.push_back(root);
+      std::reverse(path.begin(), path.end());
+      return path;
     }
   }
   return {};
 }
 
+const std::vector<HappensBeforeGraph::VertexIndex>& HappensBeforeGraph::id_order() const {
+  if (id_order_dirty_ || id_order_cache_.size() != vertices_.size()) {
+    id_order_cache_.resize(vertices_.size());
+    std::iota(id_order_cache_.begin(), id_order_cache_.end(), 0u);
+    if (!ids_monotone_) {
+      std::sort(id_order_cache_.begin(), id_order_cache_.end(),
+                [&](VertexIndex a, VertexIndex b) { return vertices_[a].id < vertices_[b].id; });
+    }
+    id_order_dirty_ = false;
+  }
+  return id_order_cache_;
+}
+
 HappensBeforeGraph HappensBeforeGraph::router_subgraph(RouterId router) const {
   HappensBeforeGraph sub;
-  for (const auto& [id, record] : vertices_) {
-    if (record.router == router) sub.add_vertex(record);
-  }
-  for (const auto& [from, edges] : out_) {
-    for (const HbgEdge& edge : edges) {
-      if (sub.has_vertex(edge.from) && sub.has_vertex(edge.to)) sub.add_edge(edge);
+  sub.external_store_ = external_store_;
+  for (VertexIndex v : id_order()) {
+    const IoRecord& rec = record_at(v);
+    if (rec.router != router) continue;
+    std::uint32_t slot = vertices_[v].store_index;
+    if ((slot & kOwnedRecordBit) != 0 || external_store_ == nullptr) {
+      sub.add_vertex(rec);
+    } else {
+      sub.add_vertex_ref(vertices_[v].id, slot);
     }
+  }
+  for (VertexIndex v : id_order()) {
+    scan_adjacency(out_, v, [&](const HalfEdge& half) {
+      IoId from = vertices_[v].id;
+      IoId to = vertices_[half.other].id;
+      if (sub.has_vertex(from) && sub.has_vertex(to)) {
+        sub.add_edge(from, to, half.confidence, origin_pool_[half.origin]);
+      }
+      return false;
+    });
   }
   return sub;
 }
 
 void HappensBeforeGraph::merge(const HappensBeforeGraph& other) {
-  other.for_each_vertex([&](const IoRecord& record) {
-    if (!has_vertex(record.id)) add_vertex(record);
-  });
-  other.for_each_edge([&](const HbgEdge& edge) { add_edge(edge); });
+  bool share = external_store_ != nullptr && other.external_store_ == external_store_;
+  for (VertexIndex v : other.id_order()) {
+    IoId id = other.vertices_[v].id;
+    if (has_vertex(id)) continue;
+    std::uint32_t slot = other.vertices_[v].store_index;
+    if (share && (slot & kOwnedRecordBit) == 0) {
+      add_vertex_ref(id, slot);
+    } else {
+      add_vertex(other.record_at(v));
+    }
+  }
+  other.for_each_edge_view(
+      [&](const HbgEdgeView& e) { add_edge(e.from, e.to, e.confidence, e.origin); });
 }
 
 void HappensBeforeGraph::for_each_vertex(const std::function<void(const IoRecord&)>& fn) const {
-  for (const auto& [id, record] : vertices_) fn(record);
+  for (VertexIndex v : id_order()) fn(record_at(v));
 }
 
 void HappensBeforeGraph::for_each_edge(const std::function<void(const HbgEdge&)>& fn) const {
-  for (const auto& [from, edges] : out_) {
-    for (const HbgEdge& edge : edges) fn(edge);
-  }
+  for_each_edge_view([&](const HbgEdgeView& e) {
+    fn(HbgEdge{e.from, e.to, e.confidence, std::string(e.origin)});
+  });
 }
 
 std::vector<IoId> HappensBeforeGraph::all_leaves(double min_confidence) const {
   std::vector<IoId> leaves;
-  for (const auto& [id, record] : vertices_) {
-    if (in_edges(id, min_confidence).empty()) leaves.push_back(id);
+  for (VertexIndex v : id_order()) {
+    bool found = false;
+    scan_adjacency(in_, v, [&](const HalfEdge& half) {
+      if (half.confidence < min_confidence) return false;
+      found = true;
+      return true;
+    });
+    if (!found) leaves.push_back(vertices_[v].id);
   }
   return leaves;
 }

@@ -1,13 +1,35 @@
 #include "hbguard/hbg/incremental.hpp"
 
+#include <functional>
+
 namespace hbguard {
+
+namespace {
+// Subspan test via std::less for a guaranteed total order on pointers even
+// when `records` does not point into `store`.
+bool within(std::span<const IoRecord> records, const std::vector<IoRecord>& store) {
+  std::less_equal<const IoRecord*> le;
+  return !records.empty() && !store.empty() && le(store.data(), records.data()) &&
+         le(records.data() + records.size(), store.data() + store.size());
+}
+}  // namespace
 
 std::size_t IncrementalHbgBuilder::append(std::span<const IoRecord> records,
                                           std::vector<HbgEdge>* new_edges) {
+  const std::vector<IoRecord>* store = graph_.record_store();
+  std::size_t base = 0;
+  bool shared = store != nullptr && within(records, *store);
+  if (shared) base = static_cast<std::size_t>(records.data() - store->data());
+
   std::vector<InferredHbr> edges;
   std::size_t added = 0;
-  for (const IoRecord& record : records) {
-    graph_.add_vertex(record);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const IoRecord& record = records[i];
+    if (shared) {
+      graph_.add_vertex_ref(record.id, static_cast<std::uint32_t>(base + i));
+    } else {
+      graph_.add_vertex(record);
+    }
     edges.clear();
     engine_.add(record, edges);
     for (const InferredHbr& edge : edges) {

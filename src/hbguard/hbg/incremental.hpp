@@ -7,6 +7,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "hbguard/hbg/graph.hpp"
 #include "hbguard/hbr/incremental.hpp"
@@ -16,6 +17,15 @@ namespace hbguard {
 class IncrementalHbgBuilder {
  public:
   explicit IncrementalHbgBuilder(MatcherOptions options = {}) : engine_(options) {}
+
+  /// Share the capture record store (typically &CaptureHub::records()) with
+  /// the graph and match engine so neither copies records. The store must
+  /// outlive this builder and only grow; spans passed to append must then be
+  /// subspans of the store. Call before the first append.
+  void attach_store(const std::vector<IoRecord>* store) {
+    graph_.attach_record_store(store);
+    engine_.attach_store(store);
+  }
 
   /// Ingest records (capture order; ids must be new). Returns the number
   /// of edges added. When `new_edges` is non-null, every added edge is also

@@ -19,7 +19,7 @@ std::string to_dot(const HappensBeforeGraph& graph, double min_confidence) {
     out << "  n" << record.id << " [label=\"" << record.label() << "\", style=filled, fillcolor="
         << color << "];\n";
   });
-  graph.for_each_edge([&](const HbgEdge& edge) {
+  graph.for_each_edge_view([&](const HbgEdgeView& edge) {
     if (edge.confidence < min_confidence) return;
     out << "  n" << edge.from << " -> n" << edge.to << " [label=\"" << edge.origin;
     if (edge.confidence < 1.0) {
@@ -63,7 +63,7 @@ std::string to_timeline(const HappensBeforeGraph& graph, const Topology* topolog
   }
 
   out << "=== cross-router edges ===\n";
-  graph.for_each_edge([&](const HbgEdge& edge) {
+  graph.for_each_edge_view([&](const HbgEdgeView& edge) {
     if (edge.confidence < min_confidence) return;
     const IoRecord* from = graph.record(edge.from);
     const IoRecord* to = graph.record(edge.to);

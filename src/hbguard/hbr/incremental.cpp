@@ -1,6 +1,7 @@
 #include "hbguard/hbr/incremental.hpp"
 
 #include <algorithm>
+#include <functional>
 
 namespace hbguard {
 
@@ -10,29 +11,32 @@ bool is_bgp(Protocol protocol) {
 }
 }  // namespace
 
-void RuleMatchEngine::RouterLog::insert_sorted(const IoRecord* record) {
+void RuleMatchEngine::log_insert(RouterLog& log, RecordRef ref) {
+  const IoRecord& record = at(ref);
   // Logs arrive nearly sorted; search from the back.
-  auto position = records.end();
-  while (position != records.begin()) {
-    const IoRecord* previous = *(position - 1);
-    if (previous->logged_time < record->logged_time ||
-        (previous->logged_time == record->logged_time && previous->id < record->id)) {
+  auto position = log.records.end();
+  while (position != log.records.begin()) {
+    const IoRecord& previous = at(*(position - 1));
+    if (previous.logged_time < record.logged_time ||
+        (previous.logged_time == record.logged_time && previous.id < record.id)) {
       break;
     }
     --position;
   }
-  records.insert(position, record);
+  log.records.insert(position, ref);
 }
 
-const IoRecord* RuleMatchEngine::RouterLog::nearest(
-    SimTime before, SimTime window, SimTime slack,
-    const std::function<bool(const IoRecord&)>& pred) const {
-  auto it = std::upper_bound(records.begin(), records.end(), before,
-                             [](SimTime t, const IoRecord* r) { return t < r->logged_time; });
+template <typename Pred>
+const IoRecord* RuleMatchEngine::log_nearest(const RouterLog& log, SimTime before,
+                                             SimTime window, SimTime slack,
+                                             Pred&& pred) const {
+  const std::vector<RecordRef>& refs = log.records;
+  auto it = std::upper_bound(refs.begin(), refs.end(), before,
+                             [&](SimTime t, RecordRef r) { return t < at(r).logged_time; });
   const IoRecord* backward = nullptr;
-  for (auto walk = it; walk != records.begin();) {
+  for (auto walk = it; walk != refs.begin();) {
     --walk;
-    const IoRecord& candidate = **walk;
+    const IoRecord& candidate = at(*walk);
     if (candidate.logged_time < before - window) break;
     if (pred(candidate)) {
       backward = &candidate;
@@ -40,8 +44,8 @@ const IoRecord* RuleMatchEngine::RouterLog::nearest(
     }
   }
   const IoRecord* forward = nullptr;
-  for (auto walk = it; walk != records.end(); ++walk) {
-    const IoRecord& candidate = **walk;
+  for (auto walk = it; walk != refs.end(); ++walk) {
+    const IoRecord& candidate = at(*walk);
     if (candidate.logged_time > before + slack) break;
     if (pred(candidate)) {
       forward = &candidate;
@@ -70,22 +74,31 @@ void RuleMatchEngine::add_all(std::span<const IoRecord> records,
 }
 
 void RuleMatchEngine::add(const IoRecord& record, std::vector<InferredHbr>& out) {
-  store_.push_back({record});
-  const IoRecord& stored = store_.back().record;
-  logs_[stored.router].insert_sorted(&stored);
+  RecordRef ref;
+  std::less_equal<const IoRecord*> le;
+  std::less<const IoRecord*> lt;
+  if (external_ != nullptr && !external_->empty() && le(external_->data(), &record) &&
+      lt(&record, external_->data() + external_->size())) {
+    ref = static_cast<RecordRef>(&record - external_->data());
+  } else {
+    ref = kOwnedBit | static_cast<RecordRef>(owned_.size());
+    owned_.push_back(record);
+  }
+  const IoRecord& stored = at(ref);
+  log_insert(logs_[stored.router], ref);
   ++records_seen_;
 
   match_as_late_cause(stored, out);
   match_as_effect(stored, out);
-  match_channels(stored, out);
+  match_channels(ref, stored, out);
 
   // Track effects that might still gain a late cause; prune old ones.
   if (stored.kind == IoKind::kRibUpdate || stored.kind == IoKind::kFibUpdate ||
       stored.kind == IoKind::kSendAdvert) {
-    recent_effects_.push_back(&stored);
+    recent_effects_.push_back(ref);
   }
   SimTime horizon = stored.logged_time - options_.local_slack_us - 1;
-  while (!recent_effects_.empty() && recent_effects_.front()->logged_time < horizon) {
+  while (!recent_effects_.empty() && at(recent_effects_.front()).logged_time < horizon) {
     recent_effects_.pop_front();
   }
 }
@@ -112,12 +125,12 @@ void RuleMatchEngine::match_as_effect(const IoRecord& r, std::vector<InferredHbr
     return best;
   };
   auto find_config = [&](SimTime window) {
-    return local.nearest(t, window, ls,
-                         [](const IoRecord& c) { return c.kind == IoKind::kConfigChange; });
+    return log_nearest(local, t, window, ls,
+                       [](const IoRecord& c) { return c.kind == IoKind::kConfigChange; });
   };
   auto find_hardware = [&] {
-    return local.nearest(t, w, ls,
-                         [](const IoRecord& c) { return c.kind == IoKind::kHardwareStatus; });
+    return log_nearest(local, t, w, ls,
+                       [](const IoRecord& c) { return c.kind == IoKind::kHardwareStatus; });
   };
 
   switch (r.kind) {
@@ -125,12 +138,12 @@ void RuleMatchEngine::match_as_effect(const IoRecord& r, std::vector<InferredHbr
       const IoRecord* recv = nullptr;
       const char* recv_rule = nullptr;
       if (is_bgp(r.protocol)) {
-        recv = local.nearest(t, w, ls, [&](const IoRecord& c) {
+        recv = log_nearest(local, t, w, ls, [&](const IoRecord& c) {
           return c.kind == IoKind::kRecvAdvert && is_bgp(c.protocol) && c.prefix == r.prefix;
         });
         recv_rule = "recv-advert->rib";
       } else if (r.protocol == Protocol::kOspf) {
-        recv = local.nearest(t, w, ls, [](const IoRecord& c) {
+        recv = log_nearest(local, t, w, ls, [](const IoRecord& c) {
           return c.kind == IoKind::kRecvAdvert && c.protocol == Protocol::kOspf;
         });
         recv_rule = "recv-lsa->ospf-rib";
@@ -143,8 +156,8 @@ void RuleMatchEngine::match_as_effect(const IoRecord& r, std::vector<InferredHbr
       if (recv == nullptr && pick.record != nullptr && is_bgp(r.protocol) &&
           (pick.record->kind == IoKind::kConfigChange ||
            pick.record->kind == IoKind::kHardwareStatus)) {
-        const IoRecord* stored_path = local.nearest(
-            t, options_.soft_reconfig_window_us, ls, [&](const IoRecord& c) {
+        const IoRecord* stored_path = log_nearest(
+            local, t, options_.soft_reconfig_window_us, ls, [&](const IoRecord& c) {
               return c.kind == IoKind::kRecvAdvert && is_bgp(c.protocol) &&
                      c.prefix == r.prefix && !c.withdraw;
             });
@@ -154,7 +167,7 @@ void RuleMatchEngine::match_as_effect(const IoRecord& r, std::vector<InferredHbr
     }
 
     case IoKind::kFibUpdate: {
-      const IoRecord* rib = local.nearest(t, w, ls, [&](const IoRecord& c) {
+      const IoRecord* rib = log_nearest(local, t, w, ls, [&](const IoRecord& c) {
         return c.kind == IoKind::kRibUpdate && c.prefix == r.prefix &&
                c.protocol == r.protocol;
       });
@@ -171,7 +184,7 @@ void RuleMatchEngine::match_as_effect(const IoRecord& r, std::vector<InferredHbr
 
     case IoKind::kSendAdvert: {
       if (is_bgp(r.protocol)) {
-        const IoRecord* rib = local.nearest(t, w, ls, [&](const IoRecord& c) {
+        const IoRecord* rib = log_nearest(local, t, w, ls, [&](const IoRecord& c) {
           return c.kind == IoKind::kRibUpdate && is_bgp(c.protocol) && c.prefix == r.prefix;
         });
         if (rib != nullptr) {
@@ -183,14 +196,14 @@ void RuleMatchEngine::match_as_effect(const IoRecord& r, std::vector<InferredHbr
           emit(pick.record, pick.rule != nullptr ? pick.rule : "");
         }
       } else {
-        const IoRecord* same_lsa = local.nearest(t, w, ls, [&](const IoRecord& c) {
+        const IoRecord* same_lsa = log_nearest(local, t, w, ls, [&](const IoRecord& c) {
           return c.kind == IoKind::kRecvAdvert && c.protocol == Protocol::kOspf &&
                  c.detail == r.detail;
         });
         if (same_lsa != nullptr) {
           emit(same_lsa, "lsa-recv->flood");
         } else {
-          const IoRecord* any_lsa = local.nearest(t, w, ls, [](const IoRecord& c) {
+          const IoRecord* any_lsa = log_nearest(local, t, w, ls, [](const IoRecord& c) {
             return c.kind == IoKind::kRecvAdvert && c.protocol == Protocol::kOspf;
           });
           Candidate pick = closest({{any_lsa, "lsa-recv->flood"},
@@ -210,34 +223,35 @@ void RuleMatchEngine::match_as_effect(const IoRecord& r, std::vector<InferredHbr
   }
 }
 
-void RuleMatchEngine::match_channels(const IoRecord& r, std::vector<InferredHbr>& out) {
+void RuleMatchEngine::match_channels(RecordRef self, const IoRecord& r,
+                                     std::vector<InferredHbr>& out) {
   if (r.peer == kExternalRouter || r.peer == kInvalidRouter) return;
   if (r.kind == IoKind::kSendAdvert) {
     Channel& channel = channels_[channel_key(r, true)];
     // Receives that this (too-late) send can no longer serve are dropped,
     // matching the batch matcher's skip semantics.
     while (!channel.unmatched_recvs.empty() &&
-           r.logged_time >
-               channel.unmatched_recvs.front()->logged_time + options_.cross_router_slack_us) {
+           r.logged_time > at(channel.unmatched_recvs.front()).logged_time +
+                               options_.cross_router_slack_us) {
       channel.unmatched_recvs.pop_front();
     }
     if (!channel.unmatched_recvs.empty()) {
-      const IoRecord* recv = channel.unmatched_recvs.front();
+      const IoRecord& recv = at(channel.unmatched_recvs.front());
       channel.unmatched_recvs.pop_front();
-      out.push_back({r.id, recv->id, 1.0, "send->recv"});
+      out.push_back({r.id, recv.id, 1.0, "send->recv"});
     } else {
-      channel.unmatched_sends.push_back(&store_.back().record);
+      channel.unmatched_sends.push_back(self);
     }
   } else if (r.kind == IoKind::kRecvAdvert) {
     Channel& channel = channels_[channel_key(r, false)];
     if (!channel.unmatched_sends.empty() &&
-        channel.unmatched_sends.front()->logged_time <=
+        at(channel.unmatched_sends.front()).logged_time <=
             r.logged_time + options_.cross_router_slack_us) {
-      const IoRecord* send = channel.unmatched_sends.front();
+      const IoRecord& send = at(channel.unmatched_sends.front());
       channel.unmatched_sends.pop_front();
-      out.push_back({send->id, r.id, 1.0, "send->recv"});
+      out.push_back({send.id, r.id, 1.0, "send->recv"});
     } else {
-      channel.unmatched_recvs.push_back(&store_.back().record);
+      channel.unmatched_recvs.push_back(self);
     }
   }
 }
@@ -248,47 +262,48 @@ void RuleMatchEngine::match_as_late_cause(const IoRecord& r, std::vector<Inferre
                         r.kind == IoKind::kRecvAdvert || r.kind == IoKind::kRibUpdate;
   if (!possible_cause) return;
 
-  for (const IoRecord* effect : recent_effects_) {
-    if (effect->router != r.router) continue;
-    if (effect->logged_time > r.logged_time ||
-        effect->logged_time < r.logged_time - options_.local_slack_us) {
+  for (RecordRef effect_ref : recent_effects_) {
+    const IoRecord& effect = at(effect_ref);
+    if (effect.router != r.router) continue;
+    if (effect.logged_time > r.logged_time ||
+        effect.logged_time < r.logged_time - options_.local_slack_us) {
       continue;
     }
     // Does `r` qualify as a cause of `effect` under some same-router rule?
     const char* rule = nullptr;
-    switch (effect->kind) {
+    switch (effect.kind) {
       case IoKind::kRibUpdate:
-        if (r.kind == IoKind::kRecvAdvert && is_bgp(r.protocol) && is_bgp(effect->protocol) &&
-            r.prefix == effect->prefix) {
+        if (r.kind == IoKind::kRecvAdvert && is_bgp(r.protocol) && is_bgp(effect.protocol) &&
+            r.prefix == effect.prefix) {
           rule = "recv-advert->rib";
         } else if (r.kind == IoKind::kConfigChange) {
           rule = "config->rib";
         } else if (r.kind == IoKind::kHardwareStatus) {
           rule = "hardware->rib";
         } else if (r.kind == IoKind::kRecvAdvert && r.protocol == Protocol::kOspf &&
-                   effect->protocol == Protocol::kOspf) {
+                   effect.protocol == Protocol::kOspf) {
           rule = "recv-lsa->ospf-rib";
         }
         break;
       case IoKind::kFibUpdate:
-        if (r.kind == IoKind::kRibUpdate && r.prefix == effect->prefix &&
-            r.protocol == effect->protocol) {
+        if (r.kind == IoKind::kRibUpdate && r.prefix == effect.prefix &&
+            r.protocol == effect.protocol) {
           rule = "rib->fib";
         }
         break;
       case IoKind::kSendAdvert:
-        if (r.kind == IoKind::kRibUpdate && is_bgp(r.protocol) && is_bgp(effect->protocol) &&
-            r.prefix == effect->prefix) {
+        if (r.kind == IoKind::kRibUpdate && is_bgp(r.protocol) && is_bgp(effect.protocol) &&
+            r.prefix == effect.prefix) {
           rule = "bgp-rib->send";
         } else if (r.kind == IoKind::kRecvAdvert && r.protocol == Protocol::kOspf &&
-                   effect->protocol == Protocol::kOspf && r.detail == effect->detail) {
+                   effect.protocol == Protocol::kOspf && r.detail == effect.detail) {
           rule = "lsa-recv->flood";
         }
         break;
       default:
         break;
     }
-    if (rule != nullptr) out.push_back({r.id, effect->id, 1.0, rule});
+    if (rule != nullptr) out.push_back({r.id, effect.id, 1.0, rule});
   }
 }
 

@@ -6,6 +6,12 @@
 // per-router time indexes and per-channel FIFO cursors, and emits the same
 // edges the batch matcher produces.
 //
+// Records are held as 32-bit RecordRefs — indices into the attached capture
+// store (attach_store) with a high-bit tag for the owned-copy fallback —
+// rather than pointers or copies, so the engine adds no per-record resident
+// memory when fed straight from a CaptureHub. Refs resolve to records only
+// within a single add() call; the store growing between calls is fine.
+//
 // One caveat under clock noise: a cause logged *after* its effect (within
 // the slack) may arrive after the effect was already matched; the engine
 // then emits the late edge additionally rather than replacing the earlier
@@ -17,14 +23,22 @@
 #include "hbguard/hbr/inference.hpp"
 #include "hbguard/hbr/rule_matcher.hpp"
 
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <vector>
 
 namespace hbguard {
 
 class RuleMatchEngine {
  public:
   explicit RuleMatchEngine(MatcherOptions options = {}) : options_(options) {}
+
+  /// Share the capture record store: records passed to add() that live
+  /// inside *store are referenced by index instead of copied (records from
+  /// anywhere else still get owned copies). The store must outlive the
+  /// engine and may only grow.
+  void attach_store(const std::vector<IoRecord>* store) { external_ = store; }
 
   /// Ingest one record; appends any edges it completes (as effect or as
   /// late-arriving cause) to `out`.
@@ -36,38 +50,44 @@ class RuleMatchEngine {
   std::size_t records_seen() const { return records_seen_; }
 
  private:
-  struct StoredRecord {
-    IoRecord record;  // owned copy (the engine outlives any input span)
-  };
+  /// Index into the attached store, or (kOwnedBit set) into owned_.
+  using RecordRef = std::uint32_t;
+  static constexpr RecordRef kOwnedBit = 0x80000000u;
+
+  const IoRecord& at(RecordRef ref) const {
+    return (ref & kOwnedBit) != 0 ? owned_[ref & ~kOwnedBit] : (*external_)[ref];
+  }
 
   /// Per-router records sorted by (logged_time, id).
   struct RouterLog {
-    std::vector<const IoRecord*> records;
-
-    void insert_sorted(const IoRecord* record);
-    const IoRecord* nearest(SimTime before, SimTime window, SimTime slack,
-                            const std::function<bool(const IoRecord&)>& pred) const;
+    std::vector<RecordRef> records;
   };
 
   /// FIFO send→recv channel (ordered session).
   struct Channel {
-    std::deque<const IoRecord*> unmatched_sends;
-    std::deque<const IoRecord*> unmatched_recvs;
+    std::deque<RecordRef> unmatched_sends;
+    std::deque<RecordRef> unmatched_recvs;
   };
 
+  void log_insert(RouterLog& log, RecordRef ref);
+  template <typename Pred>
+  const IoRecord* log_nearest(const RouterLog& log, SimTime before, SimTime window,
+                              SimTime slack, Pred&& pred) const;
+
   void match_as_effect(const IoRecord& record, std::vector<InferredHbr>& out);
-  void match_channels(const IoRecord& record, std::vector<InferredHbr>& out);
+  void match_channels(RecordRef self, const IoRecord& record, std::vector<InferredHbr>& out);
   void match_as_late_cause(const IoRecord& record, std::vector<InferredHbr>& out);
 
   std::string channel_key(const IoRecord& record, bool is_send) const;
 
   MatcherOptions options_;
-  std::deque<StoredRecord> store_;  // stable addresses
+  const std::vector<IoRecord>* external_ = nullptr;
+  std::deque<IoRecord> owned_;  // fallback copies (no store / foreign records)
   std::map<RouterId, RouterLog> logs_;
   std::map<std::string, Channel> channels_;
   /// Recent effects that could still acquire a better/late cause, kept for
   /// the slack horizon.
-  std::deque<const IoRecord*> recent_effects_;
+  std::deque<RecordRef> recent_effects_;
   std::size_t records_seen_ = 0;
 };
 

@@ -14,10 +14,14 @@
 // (same prefix for BGP, same LSA identity for OSPF) when one exists.
 #pragma once
 
+#include <memory>
+
 #include "hbguard/hbr/inference.hpp"
 #include "hbguard/hbr/rules.hpp"
 
 namespace hbguard {
+
+class ThreadPool;
 
 struct MatcherOptions {
   /// Window for ordinary input→output and output→output rules.
@@ -47,8 +51,17 @@ class RuleMatchingInference : public HbrInferencer {
 
   const MatcherOptions& options() const { return options_; }
 
+  /// Fan candidate matching out over per-router log windows on `pool`
+  /// (nullptr = serial). Each worker chunk emits edges into its own buffer
+  /// in record order and the chunks concatenate in record order, so the
+  /// edge list — and every downstream HBG — is byte-identical to the serial
+  /// result at any thread count. The cross-router FIFO channel pass stays
+  /// serial (it is a linear stitch over already-grouped streams).
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
+
  private:
   MatcherOptions options_;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace hbguard

@@ -2,25 +2,40 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 
 namespace hbguard {
 
 DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global) {
+  // Shards share the global graph's record store when it has one (each
+  // vertex then costs one id+index slot instead of a full record copy).
+  const std::vector<IoRecord>* store = global.record_store();
+  std::less_equal<const IoRecord*> le;
+  std::less<const IoRecord*> lt;
   global.for_each_vertex([&](const IoRecord& record) {
     owner_[record.id] = record.router;
     auto [it, inserted] = subgraphs_.try_emplace(record.router);
-    it->second.add_vertex(record);
+    if (inserted && store != nullptr) it->second.attach_record_store(store);
+    if (store != nullptr && !store->empty() && le(store->data(), &record) &&
+        lt(&record, store->data() + store->size())) {
+      it->second.add_vertex_ref(record.id,
+                                static_cast<std::uint32_t>(&record - store->data()));
+    } else {
+      it->second.add_vertex(record);
+    }
   });
-  global.for_each_edge([&](const HbgEdge& edge) {
+  global.for_each_edge_view([&](const HbgEdgeView& edge) {
     RouterId from_owner = owner_.at(edge.from);
     RouterId to_owner = owner_.at(edge.to);
     if (from_owner == to_owner) {
-      subgraphs_.at(from_owner).add_edge(edge);
+      subgraphs_.at(from_owner).add_edge(edge.from, edge.to, edge.confidence, edge.origin);
     } else {
-      cross_in_[edge.to].push_back(edge);
+      cross_in_[edge.to].push_back(
+          {edge.from, edge.to, edge.confidence, std::string(edge.origin)});
       ++cross_edge_total_;
     }
   });
+  for (auto& [router, shard] : subgraphs_) shard.compact();
 }
 
 const HappensBeforeGraph* DistributedHbgStore::subgraph(RouterId router) const {
@@ -47,11 +62,11 @@ std::vector<IoId> DistributedHbgStore::root_causes(IoId fault, double min_confid
 
     bool has_parent = false;
     // Local in-edges: free (the router expands within its own subgraph).
-    for (const HbgEdge* edge : shard.in_edges(current, min_confidence)) {
+    shard.for_each_in_edge(current, min_confidence, [&](const HbgEdgeView& edge) {
       has_parent = true;
       ++local_stats.edges_walked;
-      if (visited.insert(edge->from).second) frontier.push_back(edge->from);
-    }
+      if (visited.insert(edge.from).second) frontier.push_back(edge.from);
+    });
     // Cross-router in-edges: ship the partial path to the sender's router.
     auto cross = cross_in_.find(current);
     if (cross != cross_in_.end()) {

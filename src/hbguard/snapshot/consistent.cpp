@@ -65,24 +65,26 @@ DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records
       for (std::size_t i = 0; i < limit; ++i) {
         const IoRecord& r = *log[i];
         bool must_rewind = false;
-        for (const HbgEdge* edge : hbg.in_edges(r.id, options_.min_confidence)) {
-          if (!included(edge->from) && position.contains(edge->from)) {
+        hbg.for_each_in_edge(r.id, options_.min_confidence, [&](const HbgEdgeView& edge) {
+          if (!included(edge.from) && position.contains(edge.from)) {
             // The cause exists but is beyond its router's horizon: we are
             // ahead of that router — rewind past this record.
             must_rewind = true;
-            break;
+            return true;
           }
-        }
+          return false;
+        });
         if (!must_rewind && options_.require_send_for_recv && r.kind == IoKind::kRecvAdvert &&
             r.peer != kExternalRouter && r.peer != kInvalidRouter) {
           bool has_send = false;
-          for (const HbgEdge* edge : hbg.in_edges(r.id, options_.min_confidence)) {
-            const IoRecord* parent = hbg.record(edge->from);
+          hbg.for_each_in_edge(r.id, options_.min_confidence, [&](const HbgEdgeView& edge) {
+            const IoRecord* parent = hbg.record(edge.from);
             if (parent != nullptr && parent->kind == IoKind::kSendAdvert) {
               has_send = true;
-              break;
+              return true;
             }
-          }
+            return false;
+          });
           if (!has_send) {
             ++unmatched_recvs;
             must_rewind = true;
@@ -182,13 +184,14 @@ DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records
           continue;
         }
         bool received = false;
-        for (const HbgEdge* edge : hbg.out_edges(r.id, options_.min_confidence)) {
-          const IoRecord* child = hbg.record(edge->to);
-          if (child != nullptr && child->kind == IoKind::kRecvAdvert && included(edge->to)) {
+        hbg.for_each_out_edge(r.id, options_.min_confidence, [&](const HbgEdgeView& edge) {
+          const IoRecord* child = hbg.record(edge.to);
+          if (child != nullptr && child->kind == IoKind::kRecvAdvert && included(edge.to)) {
             received = true;
-            break;
+            return true;
           }
-        }
+          return false;
+        });
         if (!received) report->in_flux.insert(*r.prefix);
       }
     }

@@ -50,19 +50,26 @@ const DataPlaneSnapshot& IncrementalSnapshotter::ingest(std::span<const IoRecord
   std::size_t unmatched_recvs = 0;
   auto bad = [&](const IoRecord& r) {
     ++stats_.closure_checks;
-    for (const HbgEdge* edge : hbg.in_edges(r.id, options_.min_confidence)) {
-      if (!included(edge->from) && position_.contains(edge->from)) return true;
-    }
+    bool missing_cause = false;
+    hbg.for_each_in_edge(r.id, options_.min_confidence, [&](const HbgEdgeView& edge) {
+      if (!included(edge.from) && position_.contains(edge.from)) {
+        missing_cause = true;
+        return true;
+      }
+      return false;
+    });
+    if (missing_cause) return true;
     if (options_.require_send_for_recv && r.kind == IoKind::kRecvAdvert &&
         r.peer != kExternalRouter && r.peer != kInvalidRouter) {
       bool has_send = false;
-      for (const HbgEdge* edge : hbg.in_edges(r.id, options_.min_confidence)) {
-        const IoRecord* parent = hbg.record(edge->from);
+      hbg.for_each_in_edge(r.id, options_.min_confidence, [&](const HbgEdgeView& edge) {
+        const IoRecord* parent = hbg.record(edge.from);
         if (parent != nullptr && parent->kind == IoKind::kSendAdvert) {
           has_send = true;
-          break;
+          return true;
         }
-      }
+        return false;
+      });
       if (!has_send) {
         ++unmatched_recvs;
         return true;
@@ -214,13 +221,14 @@ const DataPlaneSnapshot& IncrementalSnapshotter::ingest(std::span<const IoRecord
           continue;
         }
         bool received = false;
-        for (const HbgEdge* edge : hbg.out_edges(r.id, options_.min_confidence)) {
-          const IoRecord* child = hbg.record(edge->to);
-          if (child != nullptr && child->kind == IoKind::kRecvAdvert && included(edge->to)) {
+        hbg.for_each_out_edge(r.id, options_.min_confidence, [&](const HbgEdgeView& edge) {
+          const IoRecord* child = hbg.record(edge.to);
+          if (child != nullptr && child->kind == IoKind::kRecvAdvert && included(edge.to)) {
             received = true;
-            break;
+            return true;
           }
-        }
+          return false;
+        });
         if (!received) report->in_flux.insert(*r.prefix);
       }
     }

@@ -113,8 +113,16 @@ TEST(CaptureHub, RecordsOfFiltersByRouter) {
   tap0.record(make_record(IoKind::kFibUpdate, 1));
   tap1.record(make_record(IoKind::kFibUpdate, 2));
   tap0.record(make_record(IoKind::kFibUpdate, 3));
-  EXPECT_EQ(hub.records_of(0).size(), 2u);
-  EXPECT_EQ(hub.records_of(1).size(), 1u);
+  auto r0 = hub.records_of(0);
+  auto r1 = hub.records_of(1);
+  ASSERT_EQ(r0.size(), 2u);
+  ASSERT_EQ(r1.size(), 1u);
+  // records_of returns indices into records(); check they resolve to the
+  // right router, in log order.
+  EXPECT_EQ(hub.records()[r0[0]].router, 0u);
+  EXPECT_EQ(hub.records()[r0[1]].router, 0u);
+  EXPECT_LT(hub.records()[r0[0]].router_seq, hub.records()[r0[1]].router_seq);
+  EXPECT_EQ(hub.records()[r1[0]].router, 1u);
 }
 
 TEST(IoRecord, InputClassification) {
