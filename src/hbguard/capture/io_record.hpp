@@ -67,6 +67,11 @@ struct IoRecord {
   std::optional<FibEntry> fib_entry;
   /// kFibUpdate: the update was vetoed before reaching the data plane.
   bool fib_blocked = false;
+  /// kHardwareStatus checkpoint marker: everything previously replayed for
+  /// this router is void — the device cold-booted (crash/restart) or dumped
+  /// a full state resync after a capture outage. Replay engines clear the
+  /// router's reconstructed FIB/uplink view before applying what follows.
+  bool fib_reset = false;
 
   // Ground truth (never consumed by inference; used for evaluation and by
   // the ground-truth oracle builder).

@@ -1,6 +1,7 @@
 #include "hbguard/capture/tap.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace hbguard {
 
@@ -16,14 +17,48 @@ IoId CaptureHub::record(IoRecord record) {
   }
   record.logged_time = std::max<SimTime>(0, record.true_time + jitter);
 
+  last_lost_ = false;
   if (options_.loss_probability > 0.0 && rng_.chance(options_.loss_probability)) {
     ++lost_;
+    last_lost_ = true;
     return record.id;
   }
   IoId id = record.id;
+  if (transport_ != nullptr) {
+    transport_->submit(std::move(record));
+  } else {
+    SimTime stamped = record.true_time;
+    deliver(std::move(record), stamped);
+  }
+  return id;
+}
+
+void CaptureHub::deliver(IoRecord record, SimTime now) {
+  if (health_ != nullptr) {
+    health_->admit(std::move(record), now,
+                   [this](IoRecord released) { append(std::move(released)); });
+  } else {
+    append(std::move(record));
+  }
+}
+
+void CaptureHub::append(IoRecord record) {
+  ++generation_;
+  if (!records_.empty() && record.id < records_.back().id) id_sorted_ = false;
   records_.push_back(std::move(record));
   for (const auto& listener : listeners_) listener(records_.back());
-  return id;
+}
+
+void CaptureHub::enable_stream_health(StreamHealthOptions options) {
+  health_ = std::make_unique<StreamHealthTracker>(options);
+  for (RouterId router = 0; router < per_router_seq_.size(); ++router) {
+    if (per_router_seq_[router] > 0) health_->prime(router, per_router_seq_[router]);
+  }
+}
+
+void CaptureHub::tick_health(SimTime now) {
+  if (health_ == nullptr) return;
+  health_->tick(now, [this](IoRecord released) { append(std::move(released)); });
 }
 
 SimTime CaptureHub::router_clock_offset(RouterId router) {
@@ -49,12 +84,22 @@ std::vector<std::uint32_t> CaptureHub::records_of(RouterId router) const {
 }
 
 const IoRecord* CaptureHub::find(IoId id) const {
-  // Records are stored in id order but some may be missing (lost); binary
-  // search by id.
-  auto it = std::lower_bound(records_.begin(), records_.end(), id,
-                             [](const IoRecord& r, IoId target) { return r.id < target; });
-  if (it == records_.end() || it->id != id) return nullptr;
-  return &*it;
+  if (id_sorted_) {
+    // Records are stored in id order but some may be missing (lost); binary
+    // search by id.
+    auto it = std::lower_bound(records_.begin(), records_.end(), id,
+                               [](const IoRecord& r, IoId target) { return r.id < target; });
+    if (it == records_.end() || it->id != id) return nullptr;
+    return &*it;
+  }
+  // A transport delivered out of global-id order; extend the id index over
+  // anything appended since the last lookup, then consult it.
+  while (indexed_up_to_ < records_.size()) {
+    id_index_[records_[indexed_up_to_].id] = indexed_up_to_;
+    ++indexed_up_to_;
+  }
+  auto it = id_index_.find(id);
+  return it == id_index_.end() ? nullptr : &records_[it->second];
 }
 
 }  // namespace hbguard

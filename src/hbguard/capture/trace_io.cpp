@@ -306,6 +306,7 @@ std::string to_json_line(const IoRecord& record, const TraceWriteOptions& option
   if (record.link != kInvalidLink) add_int("link", record.link);
   if (record.kind == IoKind::kHardwareStatus) add_bool("link_up", record.link_up);
   if (record.fib_blocked) add_bool("fib_blocked", true);
+  if (record.fib_reset) add_bool("fib_reset", true);
   if (record.fib_entry.has_value()) {
     const FibEntry& entry = *record.fib_entry;
     if (out.size() > 1) out += ',';
@@ -395,7 +396,15 @@ TraceParseResult parse_trace(std::istream& in) {
     record.kind = *kind;
     record.logged_time = int_field(value, "logged_time").value_or(0);
     record.true_time = int_field(value, "true_time").value_or(record.logged_time);
-    record.router_seq = static_cast<std::uint64_t>(int_field(value, "seq").value_or(0));
+    // A record without a parseable seq cannot be placed in its router's log
+    // order; defaulting it (to 0) would silently corrupt per-router replay
+    // on archive ingest, so reject the record instead.
+    auto seq = int_field(value, "seq");
+    if (!seq || *seq < 0) {
+      result.errors.push_back({line_number, "missing or invalid seq"});
+      continue;
+    }
+    record.router_seq = static_cast<std::uint64_t>(*seq);
     if (auto protocol = string_field(value, "protocol")) {
       if (auto parsed = protocol_from(*protocol)) record.protocol = *parsed;
     }
@@ -420,6 +429,7 @@ TraceParseResult parse_trace(std::istream& in) {
     if (auto link = int_field(value, "link")) record.link = static_cast<LinkId>(*link);
     record.link_up = bool_field(value, "link_up");
     record.fib_blocked = bool_field(value, "fib_blocked");
+    record.fib_reset = bool_field(value, "fib_reset");
     if (auto message = int_field(value, "message_id")) {
       record.message_id = static_cast<std::uint64_t>(*message);
     }

@@ -165,9 +165,36 @@ std::string violation_signature(const std::vector<Violation>& violations) {
 }  // namespace
 
 std::vector<Violation> Guard::scan() {
-  const CaptureHub& capture = network_.capture();
+  CaptureHub& capture = network_.capture();
+  // Expire gap grace windows first: abandoned buffers append to the store
+  // now, so this scan sees them (and the cursors below stay consistent).
+  capture.tick_health(network_.sim().now());
   ++report_.scans;
   report_.records_processed = capture.records().size();
+
+  // Telemetry health: copy the tracker's counters into the report and note
+  // whether any stream's view is currently unreliable.
+  const StreamHealthTracker* health = capture.health();
+  bool degraded = false;
+  bool health_flipped = false;
+  std::set<RouterId> lossy;
+  if (health != nullptr) {
+    // Streams with records gone for good: the snapshotters use this to keep
+    // receives whose matching send was dropped in capture (it can never
+    // arrive) instead of rewinding the receiving router forever.
+    lossy = health->lossy_routers();
+    report_.degrade.enabled = true;
+    const StreamHealthStats& hs = health->stats();
+    report_.degrade.gaps = hs.gaps_detected;
+    report_.degrade.duplicates = hs.duplicates_dropped;
+    report_.degrade.late_records = hs.late_dropped;
+    report_.degrade.records_lost = hs.records_lost;
+    report_.degrade.quarantine_windows = hs.quarantines;
+    report_.degrade.resyncs = hs.resyncs;
+    degraded = health->any_degraded();
+    health_flipped = health->transitions() != last_health_transitions_;
+    last_health_transitions_ = health->transitions();
+  }
 
   // Fold the capture delta into the per-prefix FIB-update index before any
   // early return, so provenance lookups later this scan see every record.
@@ -181,7 +208,9 @@ std::vector<Violation> Guard::scan() {
 
   const HappensBeforeGraph& hbg = live_hbg();
 
-  if (options_.repair == RepairMode::kEarlyBlock && !repair_in_flight_) {
+  // Skip predictive blocking while degraded: it learns and predicts from
+  // replayed state that is known-stale right now.
+  if (options_.repair == RepairMode::kEarlyBlock && !repair_in_flight_ && !degraded) {
     if (auto action = try_early_block()) {
       GuardIncident incident;
       incident.detected_at = network_.sim().now();
@@ -190,6 +219,7 @@ std::vector<Violation> Guard::scan() {
       report_.incidents.push_back(std::move(incident));
       ++report_.early_reverts;
       repair_in_flight_ = true;
+      report_.scan_verdicts.push_back(ScanVerdict::kUnknown);  // no verify ran
       return {};
     }
   }
@@ -198,18 +228,53 @@ std::vector<Violation> Guard::scan() {
   // the HBG edge delta) into persistent replay state, then hands the
   // verifier the changed-prefix set so untouched destinations skip
   // re-keying; the scratch path rebuilds from the full history.
+  // Scan watchdog: a health flip (gap opened/healed, quarantine entered or
+  // left) means frontiers may have rewound or a router's replayed view was
+  // wholesale reset — drop incremental trust for this scan and re-verify
+  // everything from the rebuilt snapshot.
+  if (health_flipped) {
+    ++report_.degrade.watchdog_fallbacks;
+    verifier_.clear_cache();
+    pending_full_verify_ = true;
+  }
+
   VerifyResult result;
   if (incremental_snapshot_active()) {
     SnapshotDelta delta;
     const DataPlaneSnapshot& snapshot = incremental_snapshotter_.ingest(
-        capture.records_since(snapshot_cursor_), hbg, pending_hbg_edges_, &delta);
+        capture.records_since(snapshot_cursor_), hbg, pending_hbg_edges_, &delta, nullptr,
+        &lossy);
     snapshot_cursor_ = capture.records().size();
     pending_hbg_edges_.clear();
+    if (degraded) {
+      // At least one router's stream has an open gap or is quarantined: any
+      // PASS/FAIL would be built on a view known to be unreliable. Keep the
+      // replay state warm but report this scan as unknown.
+      ++report_.degrade.degraded_scans;
+      report_.degrade.unknown_verdicts += verifier_.policies().size();
+      report_.scan_verdicts.push_back(ScanVerdict::kUnknown);
+      pending_full_verify_ = true;  // this scan's delta was never verified
+      return {};
+    }
+    if (pending_full_verify_) {
+      delta.full = true;
+      delta.changed_prefixes.clear();
+      pending_full_verify_ = false;
+    }
     result = verifier_.verify(snapshot, &delta);
   } else {
-    DataPlaneSnapshot snapshot = snapshotter_.build(capture.records(), hbg, {});
+    if (degraded) {
+      ++report_.degrade.degraded_scans;
+      report_.degrade.unknown_verdicts += verifier_.policies().size();
+      report_.scan_verdicts.push_back(ScanVerdict::kUnknown);
+      return {};
+    }
+    pending_full_verify_ = false;
+    DataPlaneSnapshot snapshot =
+        snapshotter_.build(capture.records(), hbg, {}, nullptr, &lossy);
     result = verifier_.verify(snapshot);
   }
+  report_.scan_verdicts.push_back(result.clean() ? ScanVerdict::kPass : ScanVerdict::kFail);
 
   if (result.clean()) {
     ++report_.clean_scans;

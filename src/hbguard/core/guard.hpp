@@ -159,6 +159,13 @@ class Guard {
   std::map<Prefix, IoId> latest_fib_update_;
   std::map<std::pair<RouterId, Prefix>, IoId> latest_fib_update_by_router_;
 
+  /// Stream-health transition count at the last scan; a change trips the
+  /// scan watchdog (full re-verify, EC cache cleared).
+  std::uint64_t last_health_transitions_ = 0;
+  /// A degraded scan skipped verification after ingesting its snapshot
+  /// delta; the next verifying scan must not trust its stale delta.
+  bool pending_full_verify_ = false;
+
   std::set<ConfigVersion> early_checked_;
   /// Config changes awaiting a benign label (cleared on clean converged
   /// scans, when their keys are fed to the early-block model as benign).

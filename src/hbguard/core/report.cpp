@@ -4,11 +4,28 @@
 
 namespace hbguard {
 
+char to_char(ScanVerdict verdict) {
+  switch (verdict) {
+    case ScanVerdict::kPass: return 'P';
+    case ScanVerdict::kFail: return 'F';
+    case ScanVerdict::kUnknown: return 'U';
+  }
+  return '?';
+}
+
 std::string GuardReport::summary() const {
   std::ostringstream out;
   out << "guard: " << scans << " scans (" << clean_scans << " clean), " << records_processed
       << " I/Os, " << incidents.size() << " incident(s), " << reverts << " revert(s), "
       << early_reverts << " early-revert(s), " << blocked_updates << " blocked update(s)\n";
+  if (degrade.enabled) {
+    out << "degraded: " << degrade.degraded_scans << " scan(s) unknown ("
+        << degrade.unknown_verdicts << " verdict(s)), gaps=" << degrade.gaps
+        << " dup=" << degrade.duplicates << " late=" << degrade.late_records
+        << " lost=" << degrade.records_lost << " quarantines=" << degrade.quarantine_windows
+        << " resyncs=" << degrade.resyncs << " watchdog=" << degrade.watchdog_fallbacks
+        << "\n";
+  }
   for (const GuardIncident& incident : incidents) {
     out << "incident @" << incident.detected_at << "us: " << incident.violations.size()
         << " violation(s), action: " << incident.action << "\n";
@@ -25,6 +42,11 @@ std::string GuardReport::summary() const {
 std::string GuardReport::digest() const {
   std::ostringstream out;
   out << summary();
+  if (degrade.enabled) {
+    out << "verdicts:";
+    for (ScanVerdict verdict : scan_verdicts) out << ' ' << to_char(verdict);
+    out << "\n";
+  }
   for (const GuardIncident& incident : incidents) {
     out << "@" << incident.detected_at << "|" << incident.action << "\n";
     for (const RootCause& cause : incident.causes) {

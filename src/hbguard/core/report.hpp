@@ -21,6 +21,29 @@ struct GuardIncident {
   std::string fault_chain;
 };
 
+/// Per-scan outcome. kUnknown means the guard refused to verify: its view of
+/// at least one router was degraded (open capture gap or quarantine), so a
+/// PASS/FAIL would have been built on unreliable state.
+enum class ScanVerdict : std::uint8_t { kPass, kFail, kUnknown };
+
+char to_char(ScanVerdict verdict);
+
+/// Telemetry-degradation counters, populated only when the capture hub has
+/// stream health enabled. `enabled` gates their appearance in summary() and
+/// digest() so fault-free runs stay byte-identical to pre-fault behaviour.
+struct DegradeStats {
+  bool enabled = false;
+  std::uint64_t gaps = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t late_records = 0;
+  std::uint64_t records_lost = 0;
+  std::uint64_t quarantine_windows = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t degraded_scans = 0;    // scans skipped with kUnknown verdicts
+  std::uint64_t unknown_verdicts = 0;  // policy verdicts degraded to unknown
+  std::uint64_t watchdog_fallbacks = 0;  // health flips forcing scratch verify
+};
+
 struct GuardReport {
   std::vector<GuardIncident> incidents;
   std::size_t scans = 0;
@@ -30,6 +53,9 @@ struct GuardReport {
   std::size_t blocked_updates = 0;
   /// Scans whose snapshot was consistent and violation-free.
   std::size_t clean_scans = 0;
+  DegradeStats degrade;
+  /// One verdict per scan, in scan order.
+  std::vector<ScanVerdict> scan_verdicts;
 
   std::string summary() const;
 

@@ -1,0 +1,59 @@
+#include "hbguard/fault/delivery.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace hbguard {
+
+DeliveryChannel::DeliveryChannel(Simulator& sim, CaptureHub& hub, DeliveryOptions options)
+    : sim_(sim), hub_(hub), options_(options), rng_(options.seed) {}
+
+void DeliveryChannel::submit(IoRecord record) {
+  // Outage check before any RNG draw: a record dropped during an outage
+  // must not perturb the delay sequence of the records around it, so runs
+  // with different outage windows still reorder the surviving records the
+  // same way.
+  if (outage_active(record.router)) {
+    ++dropped_;
+    return;
+  }
+  SimTime delay = options_.base_delay_us;
+  if (options_.jitter_us > 0) delay += rng_.uniform_int(0, options_.jitter_us);
+  if (options_.reorder_probability > 0 && rng_.chance(options_.reorder_probability)) {
+    delay += options_.reorder_hold_us;
+  }
+  bool duplicate =
+      options_.duplicate_probability > 0 && rng_.chance(options_.duplicate_probability);
+  if (duplicate) {
+    IoRecord copy = record;
+    schedule(std::move(copy), delay + options_.duplicate_lag_us);
+    ++duplicated_;
+  }
+  schedule(std::move(record), delay);
+}
+
+void DeliveryChannel::schedule(IoRecord record, SimTime delay) {
+  // Simulator callbacks are copyable std::functions; park the record in a
+  // shared_ptr so the lambda stays copyable without copying the payload.
+  auto rec = std::make_shared<IoRecord>(std::move(record));
+  sim_.schedule_after(delay, [this, rec] {
+    ++delivered_;
+    hub_.deliver(std::move(*rec), sim_.now());
+  });
+}
+
+void DeliveryChannel::set_outage(RouterId router, bool active) {
+  if (router == kInvalidRouter) {
+    global_outage_ = active;
+  } else if (active) {
+    outages_.insert(router);
+  } else {
+    outages_.erase(router);
+  }
+}
+
+bool DeliveryChannel::outage_active(RouterId router) const {
+  return global_outage_ || outages_.contains(router);
+}
+
+}  // namespace hbguard

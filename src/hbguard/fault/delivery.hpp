@@ -1,0 +1,72 @@
+// Lossy, reordering capture transport.
+//
+// In the paper's testbed every RouterTap writes straight into the
+// CaptureHub's store — delivery is instant and ordered. Real telemetry
+// pipelines are neither: records ride an export channel that delays,
+// reorders, duplicates and (during outages) drops them. DeliveryChannel
+// models that channel as a CaptureTransport: taps submit records, the
+// channel schedules their arrival at the hub through the event simulator,
+// and the hub's StreamHealthTracker is what has to put the pieces back
+// together.
+//
+// The channel owns its own Rng: its draws never touch the hub's or the
+// routers' streams, so a faulty run's *control plane* stays in RNG lockstep
+// with a channel-free oracle run.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "hbguard/capture/tap.hpp"
+#include "hbguard/event/simulator.hpp"
+#include "hbguard/net/topology.hpp"
+#include "hbguard/util/rng.hpp"
+
+namespace hbguard {
+
+struct DeliveryOptions {
+  /// Fixed transit delay from tap to hub.
+  SimTime base_delay_us = 500;
+  /// Extra uniform [0, jitter_us] delay per record (0 = none).
+  SimTime jitter_us = 1500;
+  /// Chance a record is additionally held back `reorder_hold_us`, letting
+  /// later records overtake it.
+  double reorder_probability = 0.1;
+  SimTime reorder_hold_us = 4000;
+  /// Chance a record arrives twice (the copy lags `duplicate_lag_us`).
+  double duplicate_probability = 0.02;
+  SimTime duplicate_lag_us = 2000;
+  std::uint64_t seed = 4242;
+};
+
+class DeliveryChannel : public CaptureTransport {
+ public:
+  DeliveryChannel(Simulator& sim, CaptureHub& hub, DeliveryOptions options = {});
+
+  void submit(IoRecord record) override;
+
+  /// Black-hole records from `router` while active. `kInvalidRouter`
+  /// toggles a global outage (all routers). Dropped records are gone — the
+  /// tap already stamped their router_seq, so the hub sees a gap.
+  void set_outage(RouterId router, bool active);
+  bool outage_active(RouterId router) const;
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+
+ private:
+  void schedule(IoRecord record, SimTime delay);
+
+  Simulator& sim_;
+  CaptureHub& hub_;
+  DeliveryOptions options_;
+  Rng rng_;
+  std::set<RouterId> outages_;
+  bool global_outage_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+};
+
+}  // namespace hbguard

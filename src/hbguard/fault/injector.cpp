@@ -1,0 +1,63 @@
+#include "hbguard/fault/injector.hpp"
+
+#include "hbguard/util/logging.hpp"
+
+namespace hbguard {
+
+FaultInjector::FaultInjector(Network& network, FaultPlan plan, FaultInjectorOptions options)
+    : network_(network), plan_(std::move(plan)), options_(options) {
+  if (options_.install_channel) {
+    channel_ = std::make_unique<DeliveryChannel>(network_.sim(), network_.capture(),
+                                                 options_.delivery);
+    network_.capture().set_transport(channel_.get());
+  }
+  if (options_.enable_health) {
+    network_.capture().enable_stream_health(options_.health);
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  // The hub must not dangle a pointer into this dying injector.
+  if (channel_ != nullptr) network_.capture().set_transport(nullptr);
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  Simulator& sim = network_.sim();
+  for (const FaultEvent& event : plan_.events()) {
+    switch (event.kind) {
+      case FaultKind::kLinkFlap: {
+        LinkId link = event.link;
+        sim.schedule_at(event.at, [this, link] { network_.set_link_state(link, false); });
+        sim.schedule_at(event.at + event.duration_us,
+                        [this, link] { network_.set_link_state(link, true); });
+        break;
+      }
+      case FaultKind::kRouterCrash: {
+        RouterId router = event.router;
+        sim.schedule_at(event.at, [this, router] { network_.crash_router(router); });
+        sim.schedule_at(event.at + event.duration_us,
+                        [this, router] { network_.restart_router(router); });
+        break;
+      }
+      case FaultKind::kCaptureOutage: {
+        if (channel_ == nullptr) break;  // oracle config: capture untouched
+        RouterId router = event.router;
+        sim.schedule_at(event.at, [this, router] {
+          HBG_INFO << "capture outage begins for R" << router;
+          channel_->set_outage(router, true);
+        });
+        sim.schedule_at(event.at + event.duration_us,
+                        [this, router] { channel_->set_outage(router, false); });
+        // Once the channel heals, the router dumps a checkpoint so the hub
+        // can rebuild its view without the lost records.
+        sim.schedule_at(event.at + event.duration_us + options_.resync_delay_us,
+                        [this, router] { network_.resync_router_capture(router); });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hbguard

@@ -1,0 +1,58 @@
+// Drives a FaultPlan against a live Network through the event simulator.
+//
+// The injector arms every event in the plan as simulator callbacks: link
+// flaps call Network::set_link_state, crashes call crash_router/
+// restart_router, and capture outages toggle the DeliveryChannel's
+// black-hole window (then ask the router for a state resync once the
+// channel heals). Construction optionally installs the delivery channel
+// between the taps and the hub and enables the hub's stream-health layer —
+// disable both to build the control-plane-only oracle configuration.
+#pragma once
+
+#include <memory>
+
+#include "hbguard/capture/stream_health.hpp"
+#include "hbguard/fault/delivery.hpp"
+#include "hbguard/fault/plan.hpp"
+#include "hbguard/sim/network.hpp"
+
+namespace hbguard {
+
+struct FaultInjectorOptions {
+  DeliveryOptions delivery;
+  StreamHealthOptions health;
+  /// Route capture records through a DeliveryChannel (delay / reorder /
+  /// duplicate / outage-drop). Off = records reach the hub instantly, as
+  /// before; capture-outage events then have no effect.
+  bool install_channel = true;
+  /// Enable the hub's per-router StreamHealthTracker.
+  bool enable_health = true;
+  /// How long after an outage heals the router waits before dumping its
+  /// resync checkpoint (lets in-flight pre-outage records drain first).
+  SimTime resync_delay_us = 20'000;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Network& network, FaultPlan plan, FaultInjectorOptions options = {});
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every plan event on the network's simulator. Call once,
+  /// before (or while) running the simulation past the plan's first event.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  /// Null when `install_channel` was false.
+  const DeliveryChannel* channel() const { return channel_.get(); }
+
+ private:
+  Network& network_;
+  FaultPlan plan_;
+  FaultInjectorOptions options_;
+  std::unique_ptr<DeliveryChannel> channel_;
+  bool armed_ = false;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,110 @@
+#include "hbguard/fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hbguard/util/rng.hpp"
+
+namespace hbguard {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkFlap: return "link-flap";
+    case FaultKind::kRouterCrash: return "router-crash";
+    case FaultKind::kCaptureOutage: return "capture-outage";
+  }
+  return "?";
+}
+
+namespace {
+
+void sort_events(std::vector<FaultEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(const Topology& topology, FaultPlanOptions options) {
+  Rng rng(options.seed);
+  FaultPlan plan;
+  auto draw_time = [&](FaultEvent& event) {
+    event.at = rng.uniform_int(options.start_us, options.horizon_us);
+    event.duration_us = rng.uniform_int(options.min_duration_us, options.max_duration_us);
+  };
+
+  if (topology.link_count() > 0) {
+    for (std::size_t i = 0; i < options.link_flaps; ++i) {
+      FaultEvent event;
+      event.kind = FaultKind::kLinkFlap;
+      event.link = static_cast<LinkId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(topology.link_count()) - 1));
+      draw_time(event);
+      plan.add(event);
+    }
+  }
+
+  // Crash victims are drawn without replacement: a router that crashes twice
+  // in one plan would need its restart/crash windows disentangled.
+  std::vector<RouterId> victims;
+  victims.reserve(topology.router_count());
+  for (RouterId r = 0; r < topology.router_count(); ++r) victims.push_back(r);
+  rng.shuffle(victims);
+  std::size_t crashes = std::min(options.router_crashes, victims.size());
+  for (std::size_t i = 0; i < crashes; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kRouterCrash;
+    event.router = victims[i];
+    draw_time(event);
+    plan.add(event);
+  }
+
+  if (topology.router_count() > 0) {
+    for (std::size_t i = 0; i < options.capture_outages; ++i) {
+      FaultEvent event;
+      event.kind = FaultKind::kCaptureOutage;
+      event.router = static_cast<RouterId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(topology.router_count()) - 1));
+      draw_time(event);
+      plan.add(event);
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::add(FaultEvent event) {
+  events_.push_back(event);
+  sort_events(events_);
+}
+
+FaultPlan FaultPlan::capture_only() const {
+  FaultPlan plan;
+  for (const FaultEvent& event : events_) {
+    if (event.kind == FaultKind::kCaptureOutage) plan.events_.push_back(event);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::control_only() const {
+  FaultPlan plan;
+  for (const FaultEvent& event : events_) {
+    if (event.kind != FaultKind::kCaptureOutage) plan.events_.push_back(event);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : events_) {
+    out << "@" << event.at << "us " << to_string(event.kind);
+    if (event.kind == FaultKind::kLinkFlap) {
+      out << " L" << event.link;
+    } else {
+      out << " R" << event.router;
+    }
+    out << " for " << event.duration_us << "us\n";
+  }
+  return out.str();
+}
+
+}  // namespace hbguard

@@ -1,0 +1,79 @@
+// Seeded fault schedules.
+//
+// A FaultPlan is a deterministic list of fault events — link flaps, router
+// crash/restart cycles, capture-channel outages — generated from a seed and
+// a topology. The same plan drives both the system under test and its
+// fault-free (or channel-free) oracle, so resilience benchmarks can compare
+// verdicts between runs that experienced identical control-plane history.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hbguard/event/simulator.hpp"
+#include "hbguard/net/topology.hpp"
+
+namespace hbguard {
+
+enum class FaultKind : std::uint8_t {
+  /// Link goes down at `at`, back up at `at + duration_us`.
+  kLinkFlap,
+  /// Router hard-crashes at `at` (state lost, links drop), cold-boots at
+  /// `at + duration_us`.
+  kRouterCrash,
+  /// The router's capture delivery channel black-holes records during
+  /// [at, at + duration_us); afterwards the router dumps a state resync.
+  kCaptureOutage,
+};
+
+std::string_view to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkFlap;
+  SimTime at = 0;
+  SimTime duration_us = 0;
+  LinkId link = kInvalidLink;      // kLinkFlap
+  RouterId router = kInvalidRouter;  // kRouterCrash / kCaptureOutage
+};
+
+struct FaultPlanOptions {
+  std::size_t link_flaps = 2;
+  std::size_t router_crashes = 1;
+  std::size_t capture_outages = 2;
+  /// Faults start no earlier than this (let the network converge first).
+  SimTime start_us = 200'000;
+  /// Faults start no later than this.
+  SimTime horizon_us = 2'000'000;
+  SimTime min_duration_us = 50'000;
+  SimTime max_duration_us = 250'000;
+  std::uint64_t seed = 99;
+};
+
+class FaultPlan {
+ public:
+  /// Draw a random plan over the topology's links and routers. Crashed
+  /// routers are drawn without replacement so no router crashes twice.
+  static FaultPlan random(const Topology& topology, FaultPlanOptions options = {});
+
+  void add(FaultEvent event);
+
+  /// The subset of events touching only the capture path (outages) — the
+  /// control plane is untouched, so a guarded run under this plan must reach
+  /// the exact fault-free verdicts once streams heal.
+  FaultPlan capture_only() const;
+
+  /// The subset touching only the control plane (flaps, crashes). An oracle
+  /// run under this plan shares the system-under-test's control-plane
+  /// history without any capture degradation.
+  FaultPlan control_only() const;
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  std::string describe() const;
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by `at`
+};
+
+}  // namespace hbguard

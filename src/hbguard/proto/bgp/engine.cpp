@@ -112,6 +112,16 @@ void BgpEngine::reevaluate_all() {
   for (const Prefix& prefix : known_prefixes()) decide_and_export(prefix);
 }
 
+void BgpEngine::reset_for_restart() {
+  adj_rib_in_.clear();
+  adj_rib_out_.clear();
+  session_down_.clear();
+  loc_rib_.clear();
+  extra_originated_.clear();
+  arrival_counter_ = 0;
+  started_ = false;
+}
+
 void BgpEngine::set_extra_originated(std::set<Prefix> prefixes) {
   std::set<Prefix> affected;
   for (const Prefix& p : extra_originated_) {

@@ -78,6 +78,11 @@ class BgpEngine {
   /// soft reconfiguration, or IGP metric change).
   void reevaluate_all();
 
+  /// Drop all protocol state (RIBs, session liveness, origination) without
+  /// firing callbacks — the engine's memory does not survive a device
+  /// reboot. start() brings it back up from the config.
+  void reset_for_restart();
+
   const std::map<Prefix, LocRibEntry>& loc_rib() const { return loc_rib_; }
   const LocRibEntry* loc_rib_entry(const Prefix& prefix) const;
 

@@ -54,6 +54,27 @@ void OspfEngine::refresh() {
   recompute();
 }
 
+void OspfEngine::reset_for_restart() {
+  lsdb_ = Lsdb{};
+  spf_ = SpfResult{};
+  routes_.clear();
+  sent_.clear();
+  started_ = false;
+  // own_seq_ deliberately survives: the next origination must outrank the
+  // pre-crash LSA copies neighbors still hold.
+}
+
+void OspfEngine::resync_adjacency(RouterId neighbor) {
+  if (!started_ || config_ == nullptr || !config_->ospf.enabled) return;
+  lsdb_.for_each([&](const RouterLsa& lsa) {
+    if (lsa.origin == neighbor) return;
+    // Forget what we believe the neighbor has seen — a rebooted neighbor
+    // has seen nothing — then send unconditionally.
+    sent_.erase({neighbor, lsa.origin});
+    send_suppressed(lsa, neighbor);
+  });
+}
+
 void OspfEngine::originate() {
   RouterLsa lsa;
   lsa.origin = self_;

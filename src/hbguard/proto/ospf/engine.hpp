@@ -50,6 +50,17 @@ class OspfEngine {
   /// Local link state or config changed: re-originate and recompute.
   void refresh();
 
+  /// Drop LSDB/SPF/route state without firing callbacks (device reboot).
+  /// own_seq_ survives so post-restart LSAs outrank pre-crash copies held
+  /// by neighbors — the same reason real OSPF persists its sequence.
+  void reset_for_restart();
+
+  /// Re-send our whole LSDB to `neighbor`, ignoring send-suppression: the
+  /// database exchange performed when an adjacency (re)forms, without which
+  /// a rebooted neighbor never re-learns LSAs its peers consider "already
+  /// sent".
+  void resync_adjacency(RouterId neighbor);
+
   /// IGP distance to an internal router; nullopt if unreachable.
   std::optional<std::uint32_t> distance_to(RouterId router) const;
 

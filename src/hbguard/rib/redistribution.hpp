@@ -35,6 +35,12 @@ class RedistributionEngine {
   /// Re-derive everything after a config change.
   void refresh();
 
+  /// Drop derived state without firing callbacks (device reboot).
+  void reset_for_restart() {
+    sources_.clear();
+    into_bgp_.clear();
+  }
+
   const std::set<Prefix>& bgp_originated() const { return into_bgp_; }
 
  private:

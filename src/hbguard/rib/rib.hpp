@@ -59,6 +59,13 @@ class RibManager {
   /// Re-resolve every installed FIB entry (IGP paths changed under us).
   void reresolve_all();
 
+  /// Drop all candidates and FIB entries without firing callbacks (device
+  /// reboot — the shell clears its data-plane copy separately).
+  void reset_for_restart() {
+    rib_.clear();
+    fib_.clear();
+  }
+
   void set_distances(AdminDistances distances) { distances_ = distances; }
 
   const Fib& fib() const { return fib_; }

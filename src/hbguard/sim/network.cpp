@@ -85,6 +85,55 @@ void Network::set_uplink_state(RouterId router, const std::string& session, bool
   routers_.at(router)->set_uplink_state(session, up);
 }
 
+void Network::crash_router(RouterId router) {
+  Router& r = *routers_.at(router);
+  if (r.crashed()) return;
+  HBG_INFO << "R" << router << " crashed";
+  r.crash();
+  auto& downed = crash_downed_links_[router];
+  downed.clear();
+  for (LinkId lid : topology_.links_of(router)) {
+    Link& l = topology_.link(lid);
+    if (!l.up) continue;
+    l.up = false;
+    downed.push_back(lid);
+    // Only the surviving endpoint notices: the dead router has no control
+    // plane to log or react with.
+    routers_.at(l.other(router))->on_link_state(lid, false);
+  }
+}
+
+void Network::restart_router(RouterId router) {
+  Router& r = *routers_.at(router);
+  if (!r.crashed()) return;
+  HBG_INFO << "R" << router << " restarting";
+  r.restart();
+  auto it = crash_downed_links_.find(router);
+  if (it != crash_downed_links_.end()) {
+    for (LinkId lid : it->second) {
+      Link& l = topology_.link(lid);
+      if (l.up) continue;  // restored (or flapped up) by something else
+      l.up = true;
+      routers_.at(l.a)->on_link_state(lid, true);
+      routers_.at(l.b)->on_link_state(lid, true);
+    }
+    crash_downed_links_.erase(it);
+  }
+  // Database exchange: live neighbors re-flood their LSDBs toward the
+  // rebooted router, whose adjacency state they considered "already sent".
+  for (LinkId lid : topology_.links_of(router)) {
+    const Link& l = topology_.link(lid);
+    if (!l.up) continue;
+    RouterId other = l.other(router);
+    if (routers_.at(other)->crashed()) continue;
+    routers_.at(other)->ospf_resync_with(router);
+  }
+}
+
+void Network::resync_router_capture(RouterId router) {
+  routers_.at(router)->resync_capture();
+}
+
 void Network::set_fib_interceptor(Router::FibInterceptor interceptor) {
   for (auto& router : routers_) router->set_fib_interceptor(interceptor);
 }
@@ -115,7 +164,12 @@ void Network::transmit_bgp(RouterId from, const std::string& session_name,
     return;
   }
   SimTime when = std::max(depart, sim_.now()) + *delay;
-  sim_.schedule_at(when, [this, peer, peer_session = *peer_session, msg, send_io] {
+  // A crash between send and delivery kills the TCP session; messages in
+  // flight die with it (the incarnation counter detects this).
+  std::uint64_t peer_incarnation = routers_.at(peer)->incarnation();
+  sim_.schedule_at(when, [this, peer, peer_incarnation, peer_session = *peer_session, msg,
+                          send_io] {
+    if (routers_.at(peer)->incarnation() != peer_incarnation) return;
     routers_.at(peer)->deliver_bgp(peer_session, msg, send_io, /*from_external=*/false);
   });
 }
@@ -125,7 +179,9 @@ void Network::transmit_lsa(RouterId from, RouterId to, const RouterLsa& lsa, IoI
   auto link = topology_.link_between(from, to);
   if (!link.has_value() || !topology_.link(*link).up) return;
   SimTime when = std::max(depart, sim_.now()) + topology_.link(*link).delay_us;
-  sim_.schedule_at(when, [this, to, from, lsa, send_io] {
+  std::uint64_t to_incarnation = routers_.at(to)->incarnation();
+  sim_.schedule_at(when, [this, to, to_incarnation, from, lsa, send_io] {
+    if (routers_.at(to)->incarnation() != to_incarnation) return;
     routers_.at(to)->deliver_lsa(from, lsa, send_io);
   });
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,6 +74,22 @@ class Network {
   /// failure withdraws everything learned on the session).
   void set_uplink_state(RouterId router, const std::string& session, bool up);
 
+  // ---- Fault operations (fault/FaultInjector) ----
+
+  /// Hard-crash a router: its control plane state vanishes and every one of
+  /// its up links goes down (neighbors see the interface drop; the dead
+  /// router, having no control plane, records nothing).
+  void crash_router(RouterId router);
+
+  /// Cold-boot a crashed router and restore the links its crash took down
+  /// (unless something else downed them meanwhile). Live neighbors perform
+  /// an OSPF database exchange toward the rebooted router.
+  void restart_router(RouterId router);
+
+  /// Ask a router to dump a full state checkpoint into the capture stream
+  /// (after a capture-channel outage healed). Control plane unaffected.
+  void resync_router_capture(RouterId router);
+
   // ---- Accessors ----
   Simulator& sim() { return sim_; }
   const Simulator& sim() const { return sim_; }
@@ -128,6 +145,8 @@ class Network {
   Rng rng_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<ExternalListener> external_listeners_;
+  /// Links taken down by crash_router, to restore on restart_router.
+  std::map<RouterId, std::vector<LinkId>> crash_downed_links_;
   bool started_ = false;
 };
 

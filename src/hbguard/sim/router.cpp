@@ -101,6 +101,7 @@ IoId Router::capture_output(IoRecord record) {
 }
 
 void Router::enqueue(std::function<void()> work) {
+  if (crashed_) return;  // a dead control plane consumes nothing
   work_queue_.push_back(std::move(work));
   pump();
 }
@@ -112,6 +113,8 @@ void Router::pump() {
   SimTime start = std::max(network_->sim().now(), out_clock_) + proc;
   network_->sim().schedule_at(start, [this] {
     pump_scheduled_ = false;
+    // A crash between scheduling and firing empties the queue.
+    if (work_queue_.empty()) return;
     auto work = std::move(work_queue_.front());
     work_queue_.pop_front();
     out_clock_ = std::max(out_clock_, network_->sim().now());
@@ -214,8 +217,12 @@ void Router::handle_bgp_send(const std::string& session_name, const BgpUpdateMsg
   std::erase(record.true_causes, kNoIo);
 
   IoId io = capture_output(std::move(record));
-  const IoRecord* stored = network_->capture().find(io);
-  SimTime depart = stored != nullptr ? stored->true_time : network_->sim().now();
+  // The message departs when the output was emitted (out_clock_, which
+  // capture_output just stamped as the record's true_time) — unless the log
+  // entry was lost, in which case there is no stamped time to honor. Asking
+  // the shell rather than re-finding the record keeps departure times
+  // independent of how (or when) the capture transport stores the record.
+  SimTime depart = network_->capture().last_record_lost() ? network_->sim().now() : out_clock_;
   network_->transmit_bgp(id_, session_name, msg, io, depart);
 }
 
@@ -273,8 +280,7 @@ void Router::handle_ospf_send(const RouterLsa& lsa, RouterId to) {
   std::erase(record.true_causes, kNoIo);
 
   IoId io = capture_output(std::move(record));
-  const IoRecord* stored = network_->capture().find(io);
-  SimTime depart = stored != nullptr ? stored->true_time : network_->sim().now();
+  SimTime depart = network_->capture().last_record_lost() ? network_->sim().now() : out_clock_;
   network_->transmit_lsa(id_, to, lsa, io, depart);
 }
 
@@ -477,6 +483,142 @@ void Router::set_uplink_state(const std::string& session, bool up) {
     }
     IoId io = capture_input(std::move(record));
     with_input(io, [&] { bgp_.set_session_state(session, up); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fault entry points
+
+void Router::crash() {
+  if (crashed_ || !started_) return;
+  crashed_ = true;
+  started_ = false;
+  ++incarnation_;
+  // Remember what the eBGP peers had advertised: when the sessions
+  // re-establish after reboot, the peers re-send their current routes.
+  saved_external_.clear();
+  if (config_ != nullptr) {
+    for (const BgpSessionConfig& session : config_->bgp.sessions) {
+      if (!session.external || !session.enabled) continue;
+      auto& msgs = saved_external_[session.name];
+      for (const BgpRoute& route : bgp_.adj_rib_in(session.name)) {
+        BgpUpdateMsg msg;
+        msg.prefix = route.prefix;
+        msg.path_id = route.attrs.path_id;
+        msg.attrs = route.attrs;
+        msgs.push_back(std::move(msg));
+      }
+    }
+  }
+  work_queue_.clear();
+  current_input_ = kNoIo;
+  data_fib_.clear();
+  bgp_.reset_for_restart();
+  ospf_.reset_for_restart();
+  rib_.reset_for_restart();
+  redist_.reset_for_restart();
+  last_bgp_rib_io_.clear();
+  last_rib_io_.clear();
+  fib_proto_.clear();
+  loc_rib_proto_.clear();
+  recv_io_of_path_.clear();
+  installed_connected_.clear();
+  installed_static_.clear();
+  // failed_uplinks_ survives: a broken wire is not fixed by rebooting.
+}
+
+void Router::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  attach_config(&network_->configs().current(id_), network_->configs().current_version(id_));
+
+  // Cold-boot checkpoint: replay engines void everything captured before it.
+  IoRecord marker;
+  marker.kind = IoKind::kHardwareStatus;
+  marker.fib_reset = true;
+  marker.detail = "cold boot (restart)";
+  IoId boot_io = capture_input(std::move(marker));
+
+  // Re-report hardware state that survived the reboot so replay can rebuild
+  // it on top of the cleared view.
+  for (const std::string& session : failed_uplinks_) {
+    IoRecord record;
+    record.kind = IoKind::kHardwareStatus;
+    record.link_up = false;
+    record.session = session;
+    record.detail = "uplink " + session + " down [boot]";
+    record.true_causes.push_back(boot_io);
+    capture_input(std::move(record));
+  }
+
+  start();
+  for (const std::string& session : failed_uplinks_) {
+    bgp_.set_session_state(session, false);
+  }
+
+  // eBGP peers re-advertise on session re-establishment.
+  auto saved = std::move(saved_external_);
+  saved_external_.clear();
+  for (auto& [session, msgs] : saved) {
+    if (failed_uplinks_.contains(session)) continue;
+    for (BgpUpdateMsg& msg : msgs) {
+      deliver_bgp(session, msg, kNoIo, /*from_external=*/true);
+    }
+  }
+}
+
+void Router::resync_capture() {
+  if (crashed_ || !started_) return;
+  IoRecord marker;
+  marker.kind = IoKind::kHardwareStatus;
+  marker.fib_reset = true;
+  marker.detail = "capture resync checkpoint";
+  IoId checkpoint = capture_input(std::move(marker));
+
+  for (const std::string& session : failed_uplinks_) {
+    IoRecord record;
+    record.kind = IoKind::kHardwareStatus;
+    record.link_up = false;
+    record.session = session;
+    record.detail = "uplink " + session + " down [resync]";
+    record.true_causes.push_back(checkpoint);
+    capture_input(std::move(record));
+  }
+  for (const auto& [session, prefixes] : external_routes()) {
+    for (const Prefix& prefix : prefixes) {
+      IoRecord record;
+      record.kind = IoKind::kRecvAdvert;
+      record.prefix = prefix;
+      record.protocol = Protocol::kEbgp;
+      record.session = session;
+      record.peer = kExternalRouter;
+      record.detail = "adj-rib-in dump [resync]";
+      record.true_causes.push_back(checkpoint);
+      capture_input(std::move(record));
+    }
+  }
+  for (const FibEntry& entry : data_fib_.entries()) {
+    IoRecord record;
+    record.kind = IoKind::kFibUpdate;
+    record.prefix = entry.prefix;
+    record.protocol = entry.source;
+    record.fib_entry = entry;
+    record.detail = entry.describe() + " [resync]";
+    record.true_causes.push_back(checkpoint);
+    capture_input(std::move(record));
+  }
+}
+
+void Router::ospf_resync_with(RouterId neighbor) {
+  if (crashed_) return;
+  enqueue([this, neighbor] {
+    if (config_ == nullptr || !config_->ospf.enabled || !started_) return;
+    IoRecord record;
+    record.kind = IoKind::kHardwareStatus;
+    record.link_up = true;
+    record.detail = "ospf adjacency resync toward R" + std::to_string(neighbor);
+    IoId io = capture_input(std::move(record));
+    with_input(io, [&] { ospf_.resync_adjacency(neighbor); });
   });
 }
 

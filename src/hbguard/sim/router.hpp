@@ -79,6 +79,29 @@ class Router {
   /// An advertisement arrived from an external eBGP peer.
   void inject_external(const std::string& session, const BgpUpdateMsg& msg);
 
+  // ---- Fault entry points (fault/FaultInjector via Network) ----
+  /// Hard crash: RIB/FIB/protocol state vanishes, queued work is dropped,
+  /// and nothing is processed until restart(). Physical uplink failures
+  /// (failed_uplinks_) survive — they are facts about the wire, not state.
+  void crash();
+  /// Cold boot after crash(): re-attaches the live config, emits a
+  /// fib_reset checkpoint so replay engines discard the pre-crash view,
+  /// and reruns start(). eBGP learned routes are re-delivered (peers
+  /// re-advertise when their sessions re-establish).
+  void restart();
+  /// Dump a full state checkpoint into the capture stream: a fib_reset
+  /// marker followed by uplink status, Adj-RIB-In, and data-plane FIB
+  /// records. Used after a capture-channel outage to re-seed replay; the
+  /// control plane itself is untouched (records no RNG draws, no queue).
+  void resync_capture();
+  /// Re-flood our LSDB to `neighbor` ignoring send-suppression — the OSPF
+  /// database exchange a real adjacency performs when it (re)forms.
+  void ospf_resync_with(RouterId neighbor);
+  bool crashed() const { return crashed_; }
+  /// Bumped on every crash; in-flight message deliveries from a previous
+  /// incarnation are dropped (their TCP session / adjacency died with it).
+  std::uint64_t incarnation() const { return incarnation_; }
+
   // ---- Introspection ----
   RouterId id() const { return id_; }
   AsNumber as_number() const { return as_; }
@@ -170,6 +193,11 @@ class Router {
   std::set<Prefix> installed_connected_;
   std::set<Prefix> installed_static_;
   bool started_ = false;
+  bool crashed_ = false;
+  std::uint64_t incarnation_ = 0;
+  /// Adj-RIB-In content per external session at crash time, re-delivered on
+  /// restart (models the eBGP peer re-advertising its routes).
+  std::map<std::string, std::vector<BgpUpdateMsg>> saved_external_;
 };
 
 }  // namespace hbguard

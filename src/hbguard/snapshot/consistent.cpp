@@ -16,10 +16,17 @@ ThreadPool* ConsistentSnapshotter::replay_pool() const {
 DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records,
                                                const HappensBeforeGraph& hbg,
                                                const std::map<RouterId, SimTime>& horizons,
-                                               ConsistencyReport* report) const {
-  // Per-router logs in router_seq order.
+                                               ConsistencyReport* report,
+                                               const std::set<RouterId>* lossy_routers) const {
+  // Per-router logs in router_seq order, plus how far each log extends
+  // (for the lost-send presumption below).
   std::map<RouterId, std::vector<const IoRecord*>> logs;
-  for (const IoRecord& r : records) logs[r.router].push_back(&r);
+  std::map<RouterId, SimTime> latest_logged;
+  for (const IoRecord& r : records) {
+    logs[r.router].push_back(&r);
+    SimTime& latest = latest_logged[r.router];
+    latest = std::max(latest, r.logged_time);
+  }
   for (auto& [router, log] : logs) {
     std::sort(log.begin(), log.end(), [](const IoRecord* a, const IoRecord* b) {
       return a->router_seq < b->router_seq;
@@ -86,8 +93,21 @@ DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records
             return false;
           });
           if (!has_send) {
-            ++unmatched_recvs;
-            must_rewind = true;
+            // The send may have been dropped for good by a faulty capture
+            // stream rather than being in flight: the sender's stream is
+            // known lossy and its log already extends well past this recv,
+            // so (per-router seq-order admission) the send can never
+            // arrive. The recv is the only surviving evidence of the
+            // update — keep it instead of rewinding its router forever.
+            auto latest = latest_logged.find(r.peer);
+            bool presumed_lost =
+                lossy_routers != nullptr && lossy_routers->contains(r.peer) &&
+                latest != latest_logged.end() &&
+                latest->second >= r.logged_time + options_.lost_send_grace_us;
+            if (!presumed_lost) {
+              ++unmatched_recvs;
+              must_rewind = true;
+            }
           }
         }
         if (must_rewind) {
@@ -115,6 +135,13 @@ DataPlaneSnapshot ConsistentSnapshotter::build(std::span<const IoRecord> records
     for (std::size_t i = 0; i < frontier[router]; ++i) {
       const IoRecord& r = *(*log)[i];
       view.as_of = std::max(view.as_of, r.logged_time);
+      if (r.fib_reset) {
+        // Checkpoint marker (cold boot / capture resync): void everything
+        // replayed so far; subsequent records rebuild the view.
+        fib.clear();
+        view.failed_uplinks.clear();
+        view.uplink_routes.clear();
+      }
       if (r.kind == IoKind::kFibUpdate && !r.fib_blocked) {
         if (r.withdraw) {
           if (r.prefix) fib.remove(*r.prefix);

@@ -63,6 +63,12 @@ class ConsistentSnapshotter {
     /// unmatched sends are presumed delivered (inference can miss an edge;
     /// real propagation completes in well under this bound).
     SimTime in_flux_window_us = 5'000'000;
+    /// A recv whose send is absent is presumed *lost in capture* (rather
+    /// than in flight) — and kept — when the sender is a known-lossy
+    /// stream AND the sender's log extends at least this far past the
+    /// recv: the hub admits per-router records in seq order, so once later
+    /// records of the sender are stored the send can never arrive.
+    SimTime lost_send_grace_us = 10'000;
     /// Worker threads for the per-router FIB replay (0 = one per hardware
     /// thread, 1 = serial). The happens-before closure itself is inherently
     /// sequential; only the replay shards. Parallel and serial builds
@@ -81,10 +87,16 @@ class ConsistentSnapshotter {
   /// Build a consistent snapshot from the full capture history. `horizons`
   /// gives the logged-time cut per router (records after it have not
   /// reached the collector yet); routers absent from the map are taken in
-  /// full. Pass a report pointer for diagnostics.
+  /// full. Pass a report pointer for diagnostics. `lossy_routers` (from
+  /// StreamHealthTracker::lossy_routers) names streams with records
+  /// dropped for good — closure then distinguishes lost sends from
+  /// in-flight ones instead of rewinding their receivers forever; null
+  /// (the default, and any run without stream health) keeps the strict
+  /// behaviour.
   DataPlaneSnapshot build(std::span<const IoRecord> records, const HappensBeforeGraph& hbg,
                           const std::map<RouterId, SimTime>& horizons,
-                          ConsistencyReport* report = nullptr) const;
+                          ConsistencyReport* report = nullptr,
+                          const std::set<RouterId>* lossy_routers = nullptr) const;
 
  private:
   ThreadPool* replay_pool() const;

@@ -8,7 +8,8 @@ const DataPlaneSnapshot& IncrementalSnapshotter::ingest(std::span<const IoRecord
                                                         const HappensBeforeGraph& hbg,
                                                         std::span<const HbgEdge> new_edges,
                                                         SnapshotDelta* delta,
-                                                        ConsistencyReport* report) {
+                                                        ConsistencyReport* report,
+                                                        const std::set<RouterId>* lossy_routers) {
   ++stats_.scans;
   bool delta_full = stats_.scans == 1;
 
@@ -18,6 +19,7 @@ const DataPlaneSnapshot& IncrementalSnapshotter::ingest(std::span<const IoRecord
   for (const IoRecord& record : new_records) {
     auto [it, inserted] = routers_.try_emplace(record.router);
     if (inserted) delta_full = true;  // a new router changes every signature
+    it->second.latest_logged = std::max(it->second.latest_logged, record.logged_time);
     it->second.log.push_back(record);
     position_[record.id] = {record.router, it->second.log.size() - 1};
     ++stats_.records_ingested;
@@ -71,8 +73,18 @@ const DataPlaneSnapshot& IncrementalSnapshotter::ingest(std::span<const IoRecord
         return false;
       });
       if (!has_send) {
-        ++unmatched_recvs;
-        return true;
+        // Mirror of the scratch builder's lost-send presumption: a
+        // known-lossy sender whose log already extends past this recv can
+        // never deliver the matching send — keep the recv.
+        auto peer = routers_.find(r.peer);
+        bool presumed_lost =
+            lossy_routers != nullptr && lossy_routers->contains(r.peer) &&
+            peer != routers_.end() &&
+            peer->second.latest_logged >= r.logged_time + options_.lost_send_grace_us;
+        if (!presumed_lost) {
+          ++unmatched_recvs;
+          return true;
+        }
       }
     }
     return false;
@@ -147,6 +159,17 @@ const DataPlaneSnapshot& IncrementalSnapshotter::ingest(std::span<const IoRecord
     for (std::size_t i = state.stable; i < cut; ++i) {
       const IoRecord& r = state.log[i];
       view.as_of = std::max(view.as_of, r.logged_time);
+      if (r.fib_reset) {
+        // Checkpoint marker (cold boot / capture resync): everything
+        // replayed so far for this router is void. The records that follow
+        // rebuild the view; cached per-prefix deltas cannot describe a
+        // wholesale wipe, so degrade to a full delta.
+        state.fib.clear();
+        view.failed_uplinks.clear();
+        view.uplink_routes.clear();
+        fib_changed = true;
+        delta_full = true;
+      }
       if (r.kind == IoKind::kFibUpdate && !r.fib_blocked) {
         if (r.withdraw) {
           if (r.prefix) {

@@ -45,6 +45,9 @@ class IncrementalSnapshotter {
     bool require_send_for_recv = true;
     /// In-flux window for diagnostic reports (see ConsistentSnapshotter).
     SimTime in_flux_window_us = 5'000'000;
+    /// Lost-send presumption window (mirror of
+    /// ConsistentSnapshotter::Options::lost_send_grace_us).
+    SimTime lost_send_grace_us = 10'000;
   };
 
   struct Stats {
@@ -70,11 +73,16 @@ class IncrementalSnapshotter {
   /// history — request it for debugging, not on the hot path; its
   /// `iterations`/`unmatched_recvs` counters cover this scan's closure
   /// work only, while `rewound` and `in_flux` match the scratch builder).
+  /// `lossy_routers` mirrors ConsistentSnapshotter::build's parameter: the
+  /// set may only grow between calls (StreamHealthTracker membership is
+  /// permanent), which keeps the stable-frontier argument valid — a record
+  /// admitted under the lost-send presumption can never turn bad again.
   const DataPlaneSnapshot& ingest(std::span<const IoRecord> new_records,
                                   const HappensBeforeGraph& hbg,
                                   std::span<const HbgEdge> new_edges,
                                   SnapshotDelta* delta = nullptr,
-                                  ConsistencyReport* report = nullptr);
+                                  ConsistencyReport* report = nullptr,
+                                  const std::set<RouterId>* lossy_routers = nullptr);
 
   /// The snapshot as of the last ingest (empty before the first).
   const DataPlaneSnapshot& snapshot() const { return snapshot_; }
@@ -87,6 +95,9 @@ class IncrementalSnapshotter {
     /// Validated frontier after the last ingest: records below it passed
     /// closure and are folded into `fib`/the snapshot view.
     std::size_t stable = 0;
+    /// Latest logged_time in `log` (monotone; drives the lost-send
+    /// presumption exactly like the scratch builder's per-log maximum).
+    SimTime latest_logged = 0;
     Fib fib;
   };
 

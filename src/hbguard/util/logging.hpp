@@ -6,6 +6,7 @@
 // is meaningless inside a discrete-event run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -47,6 +48,24 @@ class Logger {
   TimeSource time_source_;
 };
 
+/// Suppresses all but every Nth occurrence of a repeating log site. Fault
+/// runs can detect thousands of gaps/duplicates; without this they flood
+/// stderr. Thread-safe (capture admission is single-threaded today, but
+/// tests drive scenarios concurrently).
+class RateLimiter {
+ public:
+  explicit RateLimiter(std::uint64_t every_n) : every_n_(every_n == 0 ? 1 : every_n) {}
+
+  /// True on occurrences 0, N, 2N, ... — the ones that should be logged.
+  bool allow() { return counter_.fetch_add(1, std::memory_order_relaxed) % every_n_ == 0; }
+
+  std::uint64_t seen() const { return counter_.load(std::memory_order_relaxed); }
+
+ private:
+  std::uint64_t every_n_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
 namespace detail {
 class LogLine {
  public:
@@ -73,6 +92,20 @@ class LogLine {
   if (!::hbguard::Logger::instance().enabled(level)) {        \
   } else                                                      \
     ::hbguard::detail::LogLine(level)
+
+// Rate-limited variant: logs occurrence 0 of every `n` at this call site,
+// skips the rest. Each expansion gets its own counter (static local inside a
+// per-site lambda type).
+#define HBG_LOG_EVERY_N(level, n)                             \
+  if (!::hbguard::Logger::instance().enabled(level)) {        \
+  } else if (([]() -> bool {                                  \
+               static ::hbguard::RateLimiter hbg_rl_{n};      \
+               return !hbg_rl_.allow();                       \
+             })()) {                                          \
+  } else                                                      \
+    ::hbguard::detail::LogLine(level)
+
+#define HBG_WARN_EVERY_N(n) HBG_LOG_EVERY_N(::hbguard::LogLevel::kWarn, n)
 
 #define HBG_TRACE HBG_LOG(::hbguard::LogLevel::kTrace)
 #define HBG_DEBUG HBG_LOG(::hbguard::LogLevel::kDebug)

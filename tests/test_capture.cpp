@@ -125,6 +125,212 @@ TEST(CaptureHub, RecordsOfFiltersByRouter) {
   EXPECT_EQ(hub.records()[r1[0]].router, 1u);
 }
 
+TEST(RecordSlice, StaysValidUntilNextAppend) {
+  CaptureHub hub;
+  RouterTap tap(&hub, 0);
+  tap.record(make_record(IoKind::kFibUpdate, 1));
+  tap.record(make_record(IoKind::kFibUpdate, 2));
+
+  RecordSlice slice = hub.records_since(0);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_TRUE(slice.valid());
+  EXPECT_EQ(slice[0].id, 1u);
+  EXPECT_EQ(slice.back().id, 2u);
+
+  RecordSlice tail = slice.subspan(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail.front().id, 2u);
+
+  tap.record(make_record(IoKind::kFibUpdate, 3));
+  EXPECT_FALSE(slice.valid());
+}
+
+TEST(RecordSlice, DebugBuildAssertsOnUseAfterAppend) {
+  CaptureHub hub;
+  RouterTap tap(&hub, 0);
+  tap.record(make_record(IoKind::kFibUpdate, 1));
+  RecordSlice slice = hub.records_since(0);
+  tap.record(make_record(IoKind::kFibUpdate, 2));
+  EXPECT_DEBUG_DEATH({ (void)slice.data(); }, "RecordSlice used after CaptureHub append");
+}
+
+TEST(RecordSlice, LostRecordsDoNotInvalidate) {
+  CaptureOptions options;
+  options.loss_probability = 1.0;
+  CaptureHub hub(options, 1);
+  RouterTap tap(&hub, 0);
+  tap.record(make_record(IoKind::kFibUpdate, 1));
+  RecordSlice slice = hub.records_since(0);
+  tap.record(make_record(IoKind::kFibUpdate, 2));  // dropped: no append
+  EXPECT_TRUE(slice.valid());
+  EXPECT_TRUE(slice.empty());
+}
+
+// ---------------------------------------------------------------------------
+// StreamHealthTracker admission.
+
+IoRecord seq_record(RouterId router, std::uint64_t seq, bool fib_reset = false) {
+  IoRecord record;
+  record.router = router;
+  record.router_seq = seq;
+  record.kind = fib_reset ? IoKind::kHardwareStatus : IoKind::kFibUpdate;
+  record.fib_reset = fib_reset;
+  return record;
+}
+
+struct HealthHarness {
+  StreamHealthTracker tracker;
+  std::vector<std::uint64_t> released;
+  StreamHealthTracker::Sink sink = [this](IoRecord r) { released.push_back(r.router_seq); };
+
+  explicit HealthHarness(StreamHealthOptions options = {}) : tracker(options) {}
+  void admit(IoRecord record, SimTime now = 0) {
+    tracker.admit(std::move(record), now, sink);
+  }
+};
+
+TEST(StreamHealth, InOrderRecordsPassStraightThrough) {
+  HealthHarness h;
+  for (std::uint64_t seq : {0u, 1u, 2u}) h.admit(seq_record(0, seq));
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(h.tracker.state(0), StreamState::kHealthy);
+  EXPECT_FALSE(h.tracker.any_degraded());
+  EXPECT_EQ(h.tracker.stats().gaps_detected, 0u);
+}
+
+TEST(StreamHealth, GapHealsWhenMissingRecordArrives) {
+  HealthHarness h;
+  h.admit(seq_record(0, 0));
+  h.admit(seq_record(0, 2));  // gap: seq 1 missing
+  EXPECT_EQ(h.tracker.state(0), StreamState::kSuspect);
+  EXPECT_TRUE(h.tracker.any_degraded());
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0}));
+
+  h.admit(seq_record(0, 1));  // the straggler arrives
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(h.tracker.state(0), StreamState::kHealthy);
+  EXPECT_EQ(h.tracker.stats().gaps_detected, 1u);
+  EXPECT_EQ(h.tracker.stats().gaps_healed, 1u);
+  EXPECT_EQ(h.tracker.stats().reordered, 1u);
+}
+
+TEST(StreamHealth, DuplicatesAreDropped) {
+  HealthHarness h;
+  h.admit(seq_record(0, 0));
+  h.admit(seq_record(0, 0));
+  h.admit(seq_record(0, 1));
+  h.admit(seq_record(0, 1));
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(h.tracker.stats().duplicates_dropped, 2u);
+  EXPECT_EQ(h.tracker.state(0), StreamState::kHealthy);
+}
+
+TEST(StreamHealth, AbandonedGapQuarantinesUntilReset) {
+  StreamHealthOptions options;
+  options.gap_grace_us = 1'000;
+  HealthHarness h(options);
+  h.admit(seq_record(0, 0), 0);
+  h.admit(seq_record(0, 2), 100);  // gap opens at t=100
+
+  h.tracker.tick(500, h.sink);  // inside grace: still waiting
+  EXPECT_EQ(h.tracker.state(0), StreamState::kSuspect);
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0}));
+
+  h.tracker.tick(1'200, h.sink);  // grace expired: give up on seq 1
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(h.tracker.state(0), StreamState::kQuarantined);
+  EXPECT_TRUE(h.tracker.any_quarantined());
+  EXPECT_EQ(h.tracker.stats().gaps_abandoned, 1u);
+  EXPECT_EQ(h.tracker.stats().records_lost, 1u);
+  EXPECT_EQ(h.tracker.stats().quarantines, 1u);
+
+  // The lost record arriving after abandonment is late, not a duplicate.
+  h.admit(seq_record(0, 1), 1'300);
+  EXPECT_EQ(h.tracker.stats().late_dropped, 1u);
+  EXPECT_EQ(h.tracker.stats().duplicates_dropped, 0u);
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0, 2}));
+
+  // A checkpoint supersedes the losses: trustworthy again.
+  h.admit(seq_record(0, 3, /*fib_reset=*/true), 1'400);
+  EXPECT_EQ(h.tracker.state(0), StreamState::kHealthy);
+  EXPECT_EQ(h.tracker.stats().resyncs, 1u);
+}
+
+TEST(StreamHealth, BufferedResetAbandonsGapEarly) {
+  StreamHealthOptions options;
+  options.gap_grace_us = 1'000'000;  // grace would hold for ages
+  HealthHarness h(options);
+  h.admit(seq_record(0, 0), 0);
+  // Outage ate seqs 1..4; the post-outage checkpoint arrives out of order.
+  h.admit(seq_record(0, 5, /*fib_reset=*/true), 10);
+  // No waiting: the checkpoint supersedes whatever the gap held.
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0, 5}));
+  EXPECT_EQ(h.tracker.state(0), StreamState::kHealthy);
+  EXPECT_EQ(h.tracker.stats().records_lost, 4u);
+  EXPECT_EQ(h.tracker.stats().quarantines, 0u);
+}
+
+TEST(StreamHealth, BufferOverflowForcesAbandonment) {
+  StreamHealthOptions options;
+  options.gap_grace_us = 1'000'000;
+  options.max_buffered_per_router = 4;
+  HealthHarness h(options);
+  h.admit(seq_record(0, 0));
+  for (std::uint64_t seq = 2; seq <= 6; ++seq) h.admit(seq_record(0, seq));
+  // The 5th buffered record breached the cap: everything flushes, seq 1 is
+  // declared lost.
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{0, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(h.tracker.state(0), StreamState::kQuarantined);
+  EXPECT_EQ(h.tracker.stats().records_lost, 1u);
+}
+
+TEST(StreamHealth, PrimedStreamsIgnoreHistory) {
+  HealthHarness h;
+  h.tracker.prime(0, 7);
+  h.admit(seq_record(0, 7));
+  h.admit(seq_record(0, 8));
+  EXPECT_EQ(h.released, (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_EQ(h.tracker.stats().gaps_detected, 0u);
+}
+
+TEST(StreamHealth, StreamsAreIndependentPerRouter) {
+  HealthHarness h;
+  h.admit(seq_record(0, 0));
+  h.admit(seq_record(1, 1));  // router 1 has a gap at seq 0
+  EXPECT_EQ(h.tracker.state(0), StreamState::kHealthy);
+  EXPECT_EQ(h.tracker.state(1), StreamState::kSuspect);
+  EXPECT_TRUE(h.tracker.any_degraded());
+  EXPECT_FALSE(h.tracker.any_quarantined());
+}
+
+TEST(CaptureHub, StreamHealthReordersDeliveredRecords) {
+  // End-to-end through the hub: delivered out of order, stored in order.
+  CaptureHub hub;
+  RouterTap tap(&hub, 0);
+  tap.record(make_record(IoKind::kFibUpdate, 1));  // seq 0, direct
+  hub.enable_stream_health();
+
+  IoRecord late = make_record(IoKind::kFibUpdate, 2);
+  late.router = 0;
+  late.router_seq = 2;
+  late.id = 90;
+  IoRecord early = make_record(IoKind::kFibUpdate, 3);
+  early.router = 0;
+  early.router_seq = 1;
+  early.id = 91;
+  hub.deliver(std::move(late), 10);   // ahead of sequence: buffered
+  EXPECT_EQ(hub.records().size(), 1u);
+  hub.deliver(std::move(early), 11);  // unblocks both
+  ASSERT_EQ(hub.records().size(), 3u);
+  EXPECT_EQ(hub.records()[1].router_seq, 1u);
+  EXPECT_EQ(hub.records()[2].router_seq, 2u);
+  // The store is no longer id-sorted (91 before 90); find() must cope.
+  ASSERT_NE(hub.find(90), nullptr);
+  EXPECT_EQ(hub.find(90)->router_seq, 2u);
+  ASSERT_NE(hub.find(91), nullptr);
+  EXPECT_EQ(hub.find(91)->router_seq, 1u);
+}
+
 TEST(IoRecord, InputClassification) {
   EXPECT_TRUE(is_input(IoKind::kConfigChange));
   EXPECT_TRUE(is_input(IoKind::kHardwareStatus));

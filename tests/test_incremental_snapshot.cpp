@@ -333,5 +333,43 @@ TEST(IncrementalSnapshot, GuardReportParityUnderChurn) {
   }
 }
 
+std::string run_guard_on_lossy_churn(unsigned threads, bool incremental, std::uint64_t seed) {
+  Rng topo_rng(seed);
+  NetworkOptions options;
+  options.seed = seed;
+  options.capture.timestamp_jitter_us = 1'000;
+  options.capture.loss_probability = 0.05;
+  auto generated = make_ibgp_network(make_waxman_topology(8, topo_rng), 2, options);
+  generated.network->run_to_convergence();
+  ChurnOptions churn_options;
+  churn_options.prefix_count = 4;
+  churn_options.event_count = 16;
+  churn_options.config_change_probability = 0.2;
+  churn_options.seed = seed + 1;
+  ChurnWorkload churn(generated, churn_options);
+
+  GuardOptions guard_options;
+  guard_options.num_threads = threads;
+  guard_options.incremental_snapshot = incremental;
+  guard_options.matcher.local_slack_us = 5'000;
+  Guard guard(*generated.network, churn_policies(churn_options.prefix_count), guard_options);
+  return guard.run().digest();
+}
+
+TEST(IncrementalSnapshot, GuardReportParityUnderCaptureLoss) {
+  // Hub-level record loss (loss_probability > 0) punches seq gaps into the
+  // store itself. Whatever the guard concludes from that imperfect history,
+  // it must conclude identically at every thread count, scratch or
+  // incremental — loss is in the data, not in the pipeline.
+  std::string baseline = run_guard_on_lossy_churn(1, /*incremental=*/false, 53);
+  ASSERT_FALSE(baseline.empty());
+  for (unsigned threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(baseline, run_guard_on_lossy_churn(threads, /*incremental=*/true, 53))
+        << "threads=" << threads;
+    EXPECT_EQ(baseline, run_guard_on_lossy_churn(threads, /*incremental=*/false, 53))
+        << "scratch threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace hbguard

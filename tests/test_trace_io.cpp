@@ -18,7 +18,8 @@ bool records_equal(const IoRecord& a, const IoRecord& b) {
          a.local_pref == b.local_pref && a.detail == b.detail &&
          a.config_version == b.config_version && a.link == b.link && a.link_up == b.link_up &&
          a.fib_entry == b.fib_entry && a.fib_blocked == b.fib_blocked &&
-         a.message_id == b.message_id && a.true_causes == b.true_causes;
+         a.fib_reset == b.fib_reset && a.message_id == b.message_id &&
+         a.true_causes == b.true_causes;
 }
 
 TEST(TraceIo, RoundTripsAFullScenarioTrace) {
@@ -109,10 +110,10 @@ TEST(TraceIo, EscapesSpecialCharacters) {
 
 TEST(TraceIo, ReportsMalformedLinesWithNumbers) {
   std::string text =
-      "{\"id\":1,\"router\":0,\"kind\":\"fib\",\"logged_time\":5}\n"
+      "{\"id\":1,\"router\":0,\"kind\":\"fib\",\"seq\":0,\"logged_time\":5}\n"
       "this is not json\n"
-      "{\"id\":2,\"router\":0}\n"            // missing kind
-      "{\"id\":3,\"router\":0,\"kind\":\"nope\"}\n";
+      "{\"id\":2,\"router\":0,\"seq\":1}\n"  // missing kind
+      "{\"id\":3,\"router\":0,\"kind\":\"nope\",\"seq\":2}\n";
   auto parsed = parse_trace_text(text);
   EXPECT_EQ(parsed.records.size(), 1u);
   ASSERT_EQ(parsed.errors.size(), 3u);
@@ -121,12 +122,45 @@ TEST(TraceIo, ReportsMalformedLinesWithNumbers) {
   EXPECT_EQ(parsed.errors[2].line, 4u);
 }
 
+TEST(TraceIo, RejectsMissingOrNegativeSeq) {
+  // Stream-health gap detection depends on every record carrying its
+  // router_seq; a record without one must not default to seq 0 (which
+  // would masquerade as a duplicate of the router's first record).
+  std::string text =
+      "{\"id\":1,\"router\":0,\"kind\":\"fib\",\"logged_time\":5}\n"
+      "{\"id\":2,\"router\":0,\"kind\":\"fib\",\"seq\":-3}\n"
+      "{\"id\":3,\"router\":0,\"kind\":\"fib\",\"seq\":4}\n";
+  auto parsed = parse_trace_text(text);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].router_seq, 4u);
+  ASSERT_EQ(parsed.errors.size(), 2u);
+  EXPECT_EQ(parsed.errors[0].line, 1u);
+  EXPECT_EQ(parsed.errors[1].line, 2u);
+}
+
 TEST(TraceIo, SkipsBlankLines) {
-  std::string text = "\n  \n{\"id\":1,\"router\":2,\"kind\":\"send\"}\n\n";
+  std::string text = "\n  \n{\"id\":1,\"router\":2,\"kind\":\"send\",\"seq\":0}\n\n";
   auto parsed = parse_trace_text(text);
   ASSERT_TRUE(parsed.ok());
   ASSERT_EQ(parsed.records.size(), 1u);
   EXPECT_EQ(parsed.records[0].router, 2u);
+}
+
+TEST(TraceIo, FibResetMarkerSurvivesRoundTrip) {
+  IoRecord record;
+  record.id = 9;
+  record.router = 1;
+  record.kind = IoKind::kHardwareStatus;
+  record.detail = "cold boot (restart)";
+  record.fib_reset = true;
+
+  std::string line = to_json_line(record);
+  EXPECT_NE(line.find("fib_reset"), std::string::npos);
+  auto parsed = parse_trace_text(line);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_TRUE(parsed.records[0].fib_reset);
+  EXPECT_TRUE(records_equal(record, parsed.records[0]));
 }
 
 TEST(TraceIo, FibEntrySurvivesRoundTrip) {
