@@ -1,29 +1,80 @@
-// A3 — §5 "Distributed verification": centralized vs distributed cost.
+// A3 — §5 "Distributed verification": centralized vs distributed cost,
+// plus sharded distributed-HBG *construction*.
 //
 // "[Distributed verification] adds time overhead, due to the delay in
 // passing partial verification results between routers, but the approach
 // avoids the potential for bottlenecks at a centralized verifier."
 //
-// Sweep topology size; for each, verify the converged snapshot both ways
-// and report messages, payload, per-node work (the bottleneck metric) and
-// critical-path latency.
+// Part 1 sweeps topology size; for each, verify the converged snapshot both
+// ways and report messages, payload, per-node work (the bottleneck metric)
+// and critical-path latency.
+//
+// Part 2 times sharded HBG construction against the single-graph build on a
+// large churn trace: per-shard rule matching over a thread pool, cross-shard
+// send→recv pairs exchanged as ShardMessages. It prints the §5 feasibility
+// accounting (per-router resident bytes, messages/bytes on the wire) and
+// enforces two gates:
+//   * byte-identical queries — every sampled root_causes/ancestors answer
+//     must match the single-graph oracle exactly (exit 1 on divergence);
+//   * construction speedup — with >= 4 hardware threads, the 8-shard pooled
+//     build must be at least 2x faster than the serial single-graph build.
+// Writes BENCH_distributed_hbg.json.
 #include "bench_util.hpp"
+
+#include <algorithm>
 
 #include "hbguard/dverify/distributed.hpp"
 #include "hbguard/hbg/builder.hpp"
+#include "hbguard/hbg/incremental.hpp"
 #include "hbguard/hbr/rule_matcher.hpp"
 #include "hbguard/provenance/distributed_hbg.hpp"
 #include "hbguard/sim/workload.hpp"
 #include "hbguard/snapshot/naive.hpp"
+#include "hbguard/util/thread_pool.hpp"
 
 using namespace hbguard;
 using namespace hbguard::bench;
 
+namespace {
+
+/// Deterministic high-churn trace for the construction benchmark.
+std::vector<IoRecord> construction_trace(std::uint64_t seed, std::size_t routers,
+                                         std::size_t churn_events) {
+  Rng topo_rng(seed);
+  NetworkOptions options;
+  options.seed = seed;
+  auto generated = make_ibgp_network(make_waxman_topology(routers, topo_rng), 3, options);
+  Network& net = *generated.network;
+  net.run_to_convergence();
+
+  ChurnOptions churn_options;
+  churn_options.prefix_count = 12;
+  churn_options.event_count = churn_events;
+  churn_options.config_change_probability = 0;
+  churn_options.seed = seed + 1;
+  ChurnWorkload churn(generated, churn_options);
+  net.run_for(20'000'000);
+  net.run_to_convergence();
+  return std::vector<IoRecord>(net.capture().records().begin(),
+                               net.capture().records().end());
+}
+
+double best_of(int runs, const std::function<double()>& once) {
+  double best = 0;
+  for (int i = 0; i < runs; ++i) {
+    double ms = once();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
 int main() {
   header("bench_distributed_verify",
-         "§5 (A3) — centralized vs distributed verification cost",
+         "§5 (A3) — centralized vs distributed verification + sharded HBG construction",
          "distributed: bounded per-node work, more messages, higher latency; "
-         "centralized: one hot node whose work grows with network size",
+         "sharded construction: identical queries, >=2x faster at 8 shards on >=4 cores",
          /*seed=*/77);
 
   Table table({"routers", "prefixes", "c.msgs", "d.msgs", "c.max-node-work", "d.max-node-work",
@@ -31,6 +82,7 @@ int main() {
   Table provenance({"routers", "HBG vertices", "cross-router edges", "query messages",
                     "routers contacted", "same roots as centralized"});
 
+  int exit_code = 0;
   for (std::size_t n : {5, 10, 20, 40, 80}) {
     NetworkOptions options;
     options.seed = 77 + n;
@@ -81,6 +133,7 @@ int main() {
     DistributedQueryStats stats;
     auto roots = store.root_causes(last_fib, 0.0, &stats);
     bool same = roots == hbg.root_causes(last_fib);
+    if (!same) exit_code = 1;
     provenance.row({std::to_string(n), std::to_string(hbg.vertex_count()),
                     std::to_string(store.cross_edge_count()), std::to_string(stats.messages),
                     std::to_string(stats.routers_contacted), same ? "yes" : "NO"});
@@ -93,5 +146,137 @@ int main() {
               "the centralized collector does everything, while distribution caps each\n"
               "node near (#prefixes x its fan-in). Latency is the critical path of\n"
               "partial-result forwarding.\n\n");
-  return 0;
+
+  // -------------------------------------------------------------------------
+  // Part 2: sharded construction vs the single-graph build.
+
+  std::printf("--- sharded distributed-HBG construction (SS5 feasibility) ---\n");
+  std::vector<IoRecord> records = construction_trace(91, 24, 400);
+  std::printf("trace: %zu records over 24 routers\n", records.size());
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int kRuns = 3;
+
+  double serial_ms = best_of(kRuns, [&] {
+    Stopwatch watch;
+    IncrementalHbgBuilder builder;
+    builder.attach_store(&records);
+    builder.append(records);
+    return watch.ms();
+  });
+  // The oracle the equality gate compares against.
+  IncrementalHbgBuilder oracle;
+  oracle.attach_store(&records);
+  oracle.append(records);
+
+  ThreadPool pool(std::min(hw, 8u));
+  Table construction({"shards", "build (best of 3)", "speedup", "cross edges", "messages",
+                      "wire bytes", "queries match"});
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("distributed_hbg");
+  json.key("records").value(records.size());
+  json.key("hardware_threads").value(hw);
+  json.key("serial_build_ms").value(serial_ms);
+  json.key("shards").begin_array();
+
+  std::size_t divergences = 0;
+  double sharded8_ms = 0;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    DistributedHbgStore::Options store_options;
+    store_options.num_shards = shards;
+    double build_ms = best_of(kRuns, [&] {
+      Stopwatch watch;
+      DistributedHbgStore store(store_options);
+      store.attach_store(&records);
+      store.append(records, &pool);
+      return watch.ms();
+    });
+    if (shards == 8) sharded8_ms = build_ms;
+
+    DistributedHbgStore store(store_options);
+    store.attach_store(&records);
+    store.append(records, &pool);
+
+    // Equality gate: sampled queries must match the single graph exactly.
+    std::size_t checked = 0;
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < records.size(); i += 7) {
+      IoId id = records[i].id;
+      if (store.root_causes(id) != oracle.graph().root_causes(id)) ++mismatches;
+      if (store.ancestors(id) != oracle.graph().ancestors(id)) ++mismatches;
+      ++checked;
+    }
+    divergences += mismatches;
+
+    const auto& cs = store.construction_stats();
+    construction.row({std::to_string(shards), fmt(build_ms) + " ms",
+                      fmt(serial_ms / build_ms, 2) + "x", std::to_string(cs.cross_edges),
+                      std::to_string(cs.messages), std::to_string(cs.wire_bytes),
+                      mismatches == 0 ? "yes (" + std::to_string(checked) + " sampled)"
+                                      : "NO (" + std::to_string(mismatches) + " diverged)"});
+
+    json.begin_object();
+    json.key("num_shards").value(shards);
+    json.key("build_ms").value(build_ms);
+    json.key("speedup_vs_serial").value(serial_ms / build_ms);
+    json.key("cross_edges").value(cs.cross_edges);
+    json.key("messages").value(cs.messages);
+    json.key("wire_bytes").value(cs.wire_bytes);
+    json.key("queries_checked").value(checked);
+    json.key("query_mismatches").value(mismatches);
+    json.end_object();
+
+    // §5 storage/communication accounting, printed for the 8-shard build.
+    if (shards == 8) {
+      Table storage({"router", "I/Os", "local edges", "cross-in edges", "inbox msgs",
+                     "resident bytes"});
+      std::size_t total_ios = 0, total_local = 0, total_cross = 0, total_inbox = 0,
+                  total_bytes = 0;
+      for (const auto& [router, rs] : store.per_router_storage()) {
+        storage.row({"R" + std::to_string(router), std::to_string(rs.ios),
+                     std::to_string(rs.local_edges), std::to_string(rs.cross_in_edges),
+                     std::to_string(rs.inbox_messages), std::to_string(rs.storage_bytes)});
+        total_ios += rs.ios;
+        total_local += rs.local_edges;
+        total_cross += rs.cross_in_edges;
+        total_inbox += rs.inbox_messages;
+        total_bytes += rs.storage_bytes;
+      }
+      storage.row({"total", std::to_string(total_ios), std::to_string(total_local),
+                   std::to_string(total_cross), std::to_string(total_inbox),
+                   std::to_string(total_bytes)});
+      std::printf("--- per-router storage at 8 shards ---\n");
+      storage.print();
+    }
+  }
+  json.end_array();
+
+  construction.print();
+
+  const bool enforce_speedup = hw >= 4;
+  const double speedup8 = sharded8_ms > 0 ? serial_ms / sharded8_ms : 0;
+  json.key("speedup_at_8_shards").value(speedup8);
+  json.key("speedup_gate_enforced").value(enforce_speedup);
+  json.key("query_divergences").value(divergences);
+
+  if (divergences > 0) {
+    std::printf("GATE FAILED: %zu sharded query answers diverged from the single graph\n",
+                divergences);
+    exit_code = 1;
+  }
+  if (enforce_speedup) {
+    std::printf("speedup gate: 8-shard build %.2fx vs serial (>= 2.00x required)\n", speedup8);
+    if (speedup8 < 2.0) {
+      std::printf("GATE FAILED: 8-shard construction speedup %.2fx < 2x\n", speedup8);
+      exit_code = 1;
+    }
+  } else {
+    std::printf("speedup gate: skipped (%u hardware thread(s) < 4)\n", hw);
+  }
+  json.key("gates_passed").value(exit_code == 0);
+  json.end_object();
+  json.write("BENCH_distributed_hbg.json");
+  std::printf("wrote BENCH_distributed_hbg.json\n");
+  return exit_code;
 }

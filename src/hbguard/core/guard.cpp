@@ -58,6 +58,13 @@ Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
   // records (the hub outlives the guard and its store only grows).
   rules_.set_thread_pool(pool_);
   incremental_builder_.attach_store(&network.capture().records());
+  if (distributed_active()) {
+    DistributedHbgStore::Options store_options;
+    store_options.num_shards = options_.distributed_shards;
+    store_options.matcher = options_.matcher;
+    distributed_store_ = std::make_unique<DistributedHbgStore>(store_options);
+    distributed_store_->attach_store(&network.capture().records());
+  }
   if (options_.repair == RepairMode::kBlock) {
     blocker_ = std::make_unique<VerifyingBlocker>(network, std::move(policies));
   }
@@ -105,6 +112,11 @@ const HappensBeforeGraph& Guard::live_hbg() {
 
 bool Guard::incremental_snapshot_active() const {
   return options_.incremental_snapshot && options_.incremental_hbg &&
+         !options_.use_ground_truth_hbg && options_.inference == nullptr;
+}
+
+bool Guard::distributed_active() const {
+  return options_.distributed_shards > 0 && options_.incremental_hbg &&
          !options_.use_ground_truth_hbg && options_.inference == nullptr;
 }
 
@@ -208,6 +220,18 @@ std::vector<Violation> Guard::scan() {
 
   const HappensBeforeGraph& hbg = live_hbg();
 
+  // Mirror the capture delta into the sharded store: per-shard rule
+  // matching over each shard's own stream, cross-router HBRs exchanged as
+  // ShardMessages (§5). Incident provenance below is answered through its
+  // distributed queries.
+  if (distributed_store_ != nullptr) {
+    std::span<const IoRecord> all = capture.records();
+    if (all.size() > distributed_cursor_) {
+      distributed_store_->append(all.subspan(distributed_cursor_), pool_.get());
+      distributed_cursor_ = all.size();
+    }
+  }
+
   // Skip predictive blocking while degraded: it learns and predicts from
   // replayed state that is known-stale right now.
   if (options_.repair == RepairMode::kEarlyBlock && !repair_in_flight_ && !degraded) {
@@ -303,7 +327,14 @@ std::vector<Violation> Guard::scan() {
   incident.violations = result.violations;
 
   std::vector<IoId> fib_ios = violating_fib_updates(result.violations);
-  ProvenanceResult provenance = analyzer_.analyze_all(hbg, fib_ios);
+  // Distributed mode answers provenance through the sharded store's
+  // shard-local walks (paying messages per cross-shard edge); the result is
+  // byte-identical to the global-graph analysis, so the incident — and the
+  // report digest — does not depend on the deployment shape.
+  ProvenanceResult provenance =
+      distributed_store_ != nullptr
+          ? analyzer_.analyze_all(*distributed_store_, fib_ios, &distributed_query_stats_)
+          : analyzer_.analyze_all(hbg, fib_ios);
   incident.causes = provenance.causes;
   incident.fault_chain = RootCauseAnalyzer::render(hbg, provenance);
 

@@ -75,6 +75,17 @@ struct GuardOptions {
   /// Custom HBR inference (e.g. CombinedInference with a trained pattern
   /// miner). Non-null forces scratch (non-incremental) graph builds.
   std::shared_ptr<HbrInferencer> inference;
+  /// > 0: maintain a sharded DistributedHbgStore (§5) alongside the live
+  /// HBG — per-shard rule matching over each shard's own tap stream,
+  /// cross-router HBRs exchanged as ShardMessages — and answer incident
+  /// provenance through its distributed queries. Reports stay
+  /// byte-identical to the single-graph pipeline at any shard count (see
+  /// tests/test_distributed_hbg.cpp); construction/query communication
+  /// costs are exposed via distributed_store() and
+  /// distributed_query_stats(), outside the report digest. Requires the
+  /// rules-based incremental HBG path (ground truth, custom inference and
+  /// incremental_hbg = false scans ignore this knob).
+  std::size_t distributed_shards = 0;
   /// Give up on run() after this many scans without quiescence.
   std::size_t max_scans = 10'000;
   MatcherOptions matcher;
@@ -107,6 +118,13 @@ class Guard {
   const IncrementalSnapshotter::Stats& snapshot_stats() const {
     return incremental_snapshotter_.stats();
   }
+  /// The sharded store maintained when distributed_shards > 0 (nullptr
+  /// otherwise) — storage/communication accounting lives here.
+  const DistributedHbgStore* distributed_store() const { return distributed_store_.get(); }
+  /// Communication cost of every distributed provenance query so far.
+  const DistributedQueryStats& distributed_query_stats() const {
+    return distributed_query_stats_;
+  }
 
   /// Build the current HBG (for rendering/inspection; copies in
   /// incremental mode).
@@ -120,6 +138,10 @@ class Guard {
   /// than rebuilding from history (needs the incremental HBG for its edge
   /// deltas).
   bool incremental_snapshot_active() const;
+  /// True when scans maintain (and query) the sharded distributed store —
+  /// requires the same rules-based incremental path the store's engines
+  /// mirror, so its answers provably match the live HBG's.
+  bool distributed_active() const;
   /// Map each violation to the most recent FIB-update I/O that produced
   /// the offending entry (served from the per-prefix index maintained by
   /// scan()).
@@ -146,6 +168,11 @@ class Guard {
   IncrementalHbgBuilder incremental_builder_;
   std::size_t ingested_ = 0;             // records fed to the incremental builder
   HappensBeforeGraph scratch_hbg_;       // non-incremental scan graph
+
+  /// Sharded §5 store (distributed_shards > 0 on the incremental path).
+  std::unique_ptr<DistributedHbgStore> distributed_store_;
+  std::size_t distributed_cursor_ = 0;  // records fed to the sharded store
+  DistributedQueryStats distributed_query_stats_;
 
   IncrementalSnapshotter incremental_snapshotter_;
   /// HBG edges added by the incremental builder since the last snapshot

@@ -292,41 +292,60 @@ std::vector<IoId> HappensBeforeGraph::root_causes(IoId id, double min_confidence
 }
 
 std::vector<IoId> HappensBeforeGraph::path_from(IoId root, IoId id, double min_confidence) const {
+  // Canonical shortest path: BFS fixes the hop distances, then the path is
+  // reconstructed backwards picking the smallest-id predecessor on a
+  // shortest path at every step. The result depends only on the edge *set*
+  // (never on per-vertex insertion order), so any representation holding
+  // the same edges — including a sharded distributed store — reproduces
+  // the exact same fault chain.
   if (root == id) return {root};
   VertexIndex rs = index_of(root);
   VertexIndex target = index_of(id);
   if (rs == kNoVertexIndex || target == kNoVertexIndex) return {};
   std::uint32_t epoch = next_epoch();
-  if (bfs_parent_.size() < vertices_.size()) bfs_parent_.resize(vertices_.size());
+  if (bfs_dist_.size() < vertices_.size()) bfs_dist_.resize(vertices_.size());
   bfs_queue_.clear();
   bfs_queue_.push_back(rs);
   visit_epoch_[rs] = epoch;
-  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+  bfs_dist_[rs] = 0;
+  bool found = false;
+  for (std::size_t head = 0; head < bfs_queue_.size() && !found; ++head) {
     VertexIndex current = bfs_queue_[head];
-    bool done = false;
     scan_adjacency(out_, current, [&](const HalfEdge& half) {
       if (half.confidence < min_confidence) return false;
       if (visit_epoch_[half.other] == epoch) return false;
       visit_epoch_[half.other] = epoch;
-      bfs_parent_[half.other] = current;
+      bfs_dist_[half.other] = bfs_dist_[current] + 1;
       if (half.other == target) {
-        done = true;
+        found = true;
         return true;
       }
       bfs_queue_.push_back(half.other);
       return false;
     });
-    if (done) {
-      std::vector<IoId> path;
-      for (VertexIndex walk = target; walk != rs; walk = bfs_parent_[walk]) {
-        path.push_back(vertices_[walk].id);
-      }
-      path.push_back(root);
-      std::reverse(path.begin(), path.end());
-      return path;
-    }
   }
-  return {};
+  if (!found) return {};
+  // Every vertex at distance < dist(target) was already discovered and
+  // stamped when the target turned up (BFS visits whole levels in order),
+  // so the backtrack below always finds a predecessor.
+  std::vector<IoId> path{vertices_[target].id};
+  VertexIndex walk = target;
+  while (walk != rs) {
+    std::uint32_t want = bfs_dist_[walk] - 1;
+    VertexIndex best = kNoVertexIndex;
+    scan_adjacency(in_, walk, [&](const HalfEdge& half) {
+      if (half.confidence < min_confidence) return false;
+      if (visit_epoch_[half.other] != epoch || bfs_dist_[half.other] != want) return false;
+      if (best == kNoVertexIndex || vertices_[half.other].id < vertices_[best].id) {
+        best = half.other;
+      }
+      return false;
+    });
+    walk = best;
+    path.push_back(vertices_[walk].id);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
 }
 
 const std::vector<HappensBeforeGraph::VertexIndex>& HappensBeforeGraph::id_order() const {

@@ -136,6 +136,9 @@ class HappensBeforeGraph {
 
   /// One shortest path (in hops) from `root` to `id` following edges
   /// forward; empty if unreachable. Used for fault-chain reports (Fig. 4).
+  /// Canonical: among equal-length paths the one whose predecessors have
+  /// the smallest ids wins, so the answer depends only on the edge set —
+  /// a sharded store holding the same edges reproduces it exactly.
   std::vector<IoId> path_from(IoId root, IoId id, double min_confidence = 0.0) const;
 
   /// The sub-HBG of one router's I/Os plus edges among them — what that
@@ -271,7 +274,7 @@ class HappensBeforeGraph {
   mutable std::vector<std::uint32_t> visit_epoch_;
   mutable std::uint32_t epoch_ = 0;
   mutable std::vector<VertexIndex> bfs_queue_;
-  mutable std::vector<VertexIndex> bfs_parent_;
+  mutable std::vector<std::uint32_t> bfs_dist_;
 };
 
 }  // namespace hbguard

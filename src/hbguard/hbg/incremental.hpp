@@ -36,6 +36,32 @@ class IncrementalHbgBuilder {
   std::size_t append(std::span<const IoRecord> records,
                      std::vector<HbgEdge>* new_edges = nullptr);
 
+  // -- Shard-scoped hooks (distributed construction, §5) ------------------
+  //
+  // A DistributedHbgStore shard is one of these builders restricted to the
+  // shard's own tap stream: the engine runs same-router rules only (the
+  // channel pass is stitched from exchanged ShardMessages instead), and
+  // externally matched edges — cross-channel pairs the shard learns about
+  // via its inbox — are appended through add_matched_edge.
+
+  /// Turn the engine's internal send→recv channel pass off (shard-local
+  /// matching). Call before the first append.
+  void set_channel_matching(bool enabled) { engine_.set_channel_matching(enabled); }
+
+  /// Append an edge matched outside the engine (e.g. a channel pair the
+  /// distributed exchange produced). Returns false when either endpoint is
+  /// not a vertex of this shard's graph.
+  bool add_matched_edge(const HbgEdge& edge) {
+    if (!graph_.has_vertex(edge.from) || !graph_.has_vertex(edge.to)) return false;
+    graph_.add_edge(edge);
+    return true;
+  }
+
+  /// Direct access to the underlying graph for shard adoption — splitting
+  /// an already-built global HBG into per-shard slices copies vertices and
+  /// edges in without running the engine at all.
+  HappensBeforeGraph& graph_mutable() { return graph_; }
+
   const HappensBeforeGraph& graph() const { return graph_; }
   std::size_t records_ingested() const { return engine_.records_seen(); }
 

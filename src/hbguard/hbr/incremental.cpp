@@ -58,7 +58,7 @@ const IoRecord* RuleMatchEngine::log_nearest(const RouterLog& log, SimTime befor
                                                                              : forward;
 }
 
-std::string RuleMatchEngine::channel_key(const IoRecord& record, bool is_send) const {
+std::string RuleMatchEngine::channel_key(const IoRecord& record, bool is_send) {
   RouterId from = is_send ? record.router : record.peer;
   RouterId to = is_send ? record.peer : record.router;
   std::string content = record.protocol == Protocol::kOspf
@@ -90,7 +90,7 @@ void RuleMatchEngine::add(const IoRecord& record, std::vector<InferredHbr>& out)
 
   match_as_late_cause(stored, out);
   match_as_effect(stored, out);
-  match_channels(ref, stored, out);
+  if (channel_matching_) match_channels(ref, stored, out);
 
   // Track effects that might still gain a late cause; prune old ones.
   if (stored.kind == IoKind::kRibUpdate || stored.kind == IoKind::kFibUpdate ||

@@ -47,6 +47,19 @@ class RuleMatchEngine {
   /// Ingest a batch (capture order).
   void add_all(std::span<const IoRecord> records, std::vector<InferredHbr>& out);
 
+  /// Disable the cross-router send→recv channel pass, leaving only the
+  /// same-router rules. A sharded deployment runs one local-only engine per
+  /// shard (same-router matching reads nothing but the record's own router
+  /// log, so it decomposes exactly) and stitches channels separately from
+  /// the exchanged send messages — see DistributedHbgStore.
+  void set_channel_matching(bool enabled) { channel_matching_ = enabled; }
+
+  /// The FIFO channel a send/recv record belongs to (sender>receiver,
+  /// announce/withdraw, content identity). Exposed so the distributed store
+  /// can route channel events to the receiving shard with the exact key the
+  /// engine would use.
+  static std::string channel_key(const IoRecord& record, bool is_send);
+
   std::size_t records_seen() const { return records_seen_; }
 
  private:
@@ -78,9 +91,8 @@ class RuleMatchEngine {
   void match_channels(RecordRef self, const IoRecord& record, std::vector<InferredHbr>& out);
   void match_as_late_cause(const IoRecord& record, std::vector<InferredHbr>& out);
 
-  std::string channel_key(const IoRecord& record, bool is_send) const;
-
   MatcherOptions options_;
+  bool channel_matching_ = true;
   const std::vector<IoRecord>* external_ = nullptr;
   std::deque<IoRecord> owned_;  // fallback copies (no store / foreign records)
   std::map<RouterId, RouterLog> logs_;

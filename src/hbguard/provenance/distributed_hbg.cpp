@@ -1,46 +1,227 @@
 #include "hbguard/provenance/distributed_hbg.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <functional>
+
+#include "hbguard/hbr/incremental.hpp"
+#include "hbguard/util/thread_pool.hpp"
 
 namespace hbguard {
 
-DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global) {
-  // Shards share the global graph's record store when it has one (each
-  // vertex then costs one id+index slot instead of a full record copy).
-  const std::vector<IoRecord>* store = global.record_store();
+namespace {
+constexpr std::size_t kVertexSlotBytes = 16;  // id + store index
+constexpr std::size_t kHalfEdgeBytes = 16;    // other + origin + confidence
+bool internal_peer(const IoRecord& r) {
+  return r.peer != kExternalRouter && r.peer != kInvalidRouter;
+}
+}  // namespace
+
+DistributedHbgStore::DistributedHbgStore() : DistributedHbgStore(Options{}) {}
+
+DistributedHbgStore::DistributedHbgStore(Options options) : options_(options) {}
+
+DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global)
+    : DistributedHbgStore(global, Options{}) {}
+
+DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global, Options options)
+    : options_(options) {
+  // Adoption path: partition an already-built graph. Vertices share the
+  // global graph's record store when it has one (each vertex then costs one
+  // id+index slot instead of a full record copy).
+  store_ = global.record_store();
   std::less_equal<const IoRecord*> le;
   std::less<const IoRecord*> lt;
   global.for_each_vertex([&](const IoRecord& record) {
     owner_[record.id] = record.router;
-    auto [it, inserted] = subgraphs_.try_emplace(record.router);
-    if (inserted && store != nullptr) it->second.attach_record_store(store);
-    if (store != nullptr && !store->empty() && le(store->data(), &record) &&
-        lt(&record, store->data() + store->size())) {
-      it->second.add_vertex_ref(record.id,
-                                static_cast<std::uint32_t>(&record - store->data()));
+    Shard& shard = *shards_[assign_shard(record.router)];
+    HappensBeforeGraph& graph = shard.builder.graph_mutable();
+    if (store_ != nullptr && !store_->empty() && le(store_->data(), &record) &&
+        lt(&record, store_->data() + store_->size())) {
+      graph.add_vertex_ref(record.id, static_cast<std::uint32_t>(&record - store_->data()));
     } else {
-      it->second.add_vertex(record);
+      graph.add_vertex(record);
     }
   });
   global.for_each_edge_view([&](const HbgEdgeView& edge) {
-    RouterId from_owner = owner_.at(edge.from);
-    RouterId to_owner = owner_.at(edge.to);
-    if (from_owner == to_owner) {
-      subgraphs_.at(from_owner).add_edge(edge.from, edge.to, edge.confidence, edge.origin);
+    std::uint32_t from_shard = shard_of(owner_.at(edge.from));
+    std::uint32_t to_shard = shard_of(owner_.at(edge.to));
+    if (from_shard == to_shard) {
+      shards_[to_shard]->builder.graph_mutable().add_edge(edge.from, edge.to, edge.confidence,
+                                                          edge.origin);
     } else {
-      cross_in_[edge.to].push_back(
-          {edge.from, edge.to, edge.confidence, std::string(edge.origin)});
+      HbgEdge copy{edge.from, edge.to, edge.confidence, std::string(edge.origin)};
+      shards_[to_shard]->cross_in[edge.to].push_back(copy);
+      shards_[from_shard]->cross_out[edge.from].push_back(std::move(copy));
       ++cross_edge_total_;
     }
   });
-  for (auto& [router, shard] : subgraphs_) shard.compact();
+  for (auto& shard : shards_) shard->builder.graph_mutable().compact();
+}
+
+void DistributedHbgStore::attach_store(const std::vector<IoRecord>* store) { store_ = store; }
+
+DistributedHbgStore::Shard& DistributedHbgStore::new_shard() {
+  shards_.push_back(std::make_unique<Shard>(options_.matcher));
+  if (store_ != nullptr) {
+    shards_.back()->builder.attach_store(store_);
+  }
+  return *shards_.back();
+}
+
+std::uint32_t DistributedHbgStore::shard_of(RouterId router) const {
+  return router_shard_.at(router);
+}
+
+std::uint32_t DistributedHbgStore::assign_shard(RouterId router) {
+  auto it = router_shard_.find(router);
+  if (it != router_shard_.end()) return it->second;
+  std::uint32_t index;
+  if (options_.num_shards > 0) {
+    index = static_cast<std::uint32_t>(router % options_.num_shards);
+    while (shards_.size() <= index) new_shard();
+  } else {
+    // One shard per router, created in order of first appearance (capture
+    // order for streaming construction — deterministic at any thread
+    // count, since assignment happens in the serial routing phase).
+    index = static_cast<std::uint32_t>(shards_.size());
+    new_shard();
+  }
+  router_shard_.emplace(router, index);
+  return index;
+}
+
+void DistributedHbgStore::ingest_shard_batch(Shard& shard, std::span<const IoRecord> records) {
+  // Phase A (parallel per shard): same-router rule matching over the
+  // shard's own tap stream only. Every edge the local-only engine emits
+  // has both endpoints on the same router, hence inside this shard.
+  for (std::uint32_t index : shard.batch) {
+    shard.builder.append(records.subspan(index, 1));
+  }
+  shard.batch.clear();
+}
+
+void DistributedHbgStore::stitch_shard_channels(std::uint32_t shard_index) {
+  // Phase C (parallel per shard): replay the engine's FIFO channel
+  // semantics over this receiver shard's channel events — local sends and
+  // receives merged, in capture order, with inbox sends inserted exactly
+  // where their capture position put them (the routing phase already
+  // interleaved them).
+  Shard& shard = *shards_[shard_index];
+  for (const ChannelEvent& event : shard.events) {
+    ChannelState& channel = shard.channels[event.key];
+    if (event.is_send) {
+      // Receives this (too-late) send can no longer serve are dropped —
+      // RuleMatchEngine::match_channels' skip semantics.
+      while (!channel.unmatched_recvs.empty() &&
+             event.logged_time > channel.unmatched_recvs.front().logged_time +
+                                     options_.matcher.cross_router_slack_us) {
+        channel.unmatched_recvs.pop_front();
+      }
+      if (!channel.unmatched_recvs.empty()) {
+        PendingIo recv = channel.unmatched_recvs.front();
+        channel.unmatched_recvs.pop_front();
+        HbgEdge edge{event.id, recv.id, 1.0, "send->recv"};
+        std::uint32_t send_shard = shard_of(event.sender_router);
+        if (send_shard == shard_index) {
+          shard.builder.add_matched_edge(edge);
+        } else {
+          shard.cross_in[recv.id].push_back(edge);
+          shard.emitted_cross.emplace_back(send_shard, std::move(edge));
+        }
+      } else {
+        channel.unmatched_sends.push_back({event.id, event.logged_time});
+      }
+    } else {
+      if (!channel.unmatched_sends.empty() &&
+          channel.unmatched_sends.front().logged_time <=
+              event.logged_time + options_.matcher.cross_router_slack_us) {
+        PendingIo send = channel.unmatched_sends.front();
+        channel.unmatched_sends.pop_front();
+        HbgEdge edge{send.id, event.id, 1.0, "send->recv"};
+        std::uint32_t send_shard = shard_of(event.sender_router);
+        if (send_shard == shard_index) {
+          shard.builder.add_matched_edge(edge);
+        } else {
+          shard.cross_in[event.id].push_back(edge);
+          shard.emitted_cross.emplace_back(send_shard, std::move(edge));
+        }
+      } else {
+        channel.unmatched_recvs.push_back({event.id, event.logged_time});
+      }
+    }
+  }
+  shard.events.clear();
+}
+
+void DistributedHbgStore::append(std::span<const IoRecord> records, ThreadPool* pool) {
+  if (records.empty()) return;
+  stats_.records_ingested += records.size();
+
+  // Phase B first (serial): assign owners and shards, split the batch into
+  // per-shard record lists, and route channel events to their *receiving*
+  // shard — sends whose receiver lives on another shard cross the wire as
+  // ShardMessages into that shard's inbox.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const IoRecord& r = records[i];
+    owner_[r.id] = r.router;
+    std::uint32_t home = assign_shard(r.router);
+    shards_[home]->batch.push_back(static_cast<std::uint32_t>(i));
+
+    if (r.kind == IoKind::kSendAdvert && internal_peer(r)) {
+      std::uint32_t recv_shard = assign_shard(r.peer);
+      std::string key = RuleMatchEngine::channel_key(r, /*is_send=*/true);
+      if (recv_shard != home) {
+        ShardMessage message{r.id, r.router, r.peer, r.logged_time, key};
+        ++stats_.messages;
+        stats_.wire_bytes += message.wire_bytes();
+        shards_[recv_shard]->inbox_bytes += message.wire_bytes();
+        shards_[recv_shard]->inbox.push_back(std::move(message));
+      }
+      shards_[recv_shard]->events.push_back(
+          {std::move(key), r.id, r.logged_time, r.router, /*is_send=*/true});
+    } else if (r.kind == IoKind::kRecvAdvert && internal_peer(r)) {
+      // The sender may not have produced a record yet; pin its shard now so
+      // the (parallel) stitching phase can classify the match.
+      assign_shard(r.peer);
+      shards_[home]->events.push_back({RuleMatchEngine::channel_key(r, /*is_send=*/false),
+                                       r.id, r.logged_time, r.peer, /*is_send=*/false});
+    }
+  }
+
+  // Phases A + C fan out one task per shard: shards touch disjoint state,
+  // and each shard's work is internally ordered, so results are identical
+  // at any thread count (including pool == nullptr).
+  auto shard_task = [&](std::size_t s) {
+    ingest_shard_batch(*shards_[s], records);
+    stitch_shard_channels(static_cast<std::uint32_t>(s));
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    pool->parallel_for(shards_.size(), shard_task);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) shard_task(s);
+  }
+
+  // Phase D (serial): deliver cross-shard matches back to the sending
+  // shard's forward index so descendant walks can leave the shard too.
+  for (auto& shard : shards_) {
+    for (auto& [send_shard, edge] : shard->emitted_cross) {
+      ++cross_edge_total_;
+      ++stats_.cross_edges;
+      shards_[send_shard]->cross_out[edge.from].push_back(std::move(edge));
+    }
+    shard->emitted_cross.clear();
+  }
 }
 
 const HappensBeforeGraph* DistributedHbgStore::subgraph(RouterId router) const {
-  auto it = subgraphs_.find(router);
-  return it == subgraphs_.end() ? nullptr : &it->second;
+  auto it = router_shard_.find(router);
+  return it == router_shard_.end() ? nullptr : &shards_[it->second]->builder.graph();
+}
+
+const IoRecord* DistributedHbgStore::record(IoId id) const {
+  auto it = owner_.find(id);
+  if (it == owner_.end()) return nullptr;
+  return shards_[shard_of(it->second)]->builder.graph().record(id);
 }
 
 std::vector<IoId> DistributedHbgStore::root_causes(IoId fault, double min_confidence,
@@ -57,19 +238,22 @@ std::vector<IoId> DistributedHbgStore::root_causes(IoId fault, double min_confid
   while (!frontier.empty()) {
     IoId current = frontier.front();
     frontier.pop_front();
-    RouterId router = owner_.at(current);
-    const HappensBeforeGraph& shard = subgraphs_.at(router);
+    const Shard& shard = *shards_[shard_of(owner_.at(current))];
 
     bool has_parent = false;
-    // Local in-edges: free (the router expands within its own subgraph).
-    shard.for_each_in_edge(current, min_confidence, [&](const HbgEdgeView& edge) {
-      has_parent = true;
-      ++local_stats.edges_walked;
-      if (visited.insert(edge.from).second) frontier.push_back(edge.from);
-    });
-    // Cross-router in-edges: ship the partial path to the sender's router.
-    auto cross = cross_in_.find(current);
-    if (cross != cross_in_.end()) {
+    // Local in-edges: free (the shard expands within its own subgraph).
+    shard.builder.graph().for_each_in_edge(current, min_confidence,
+                                           [&](const HbgEdgeView& edge) {
+                                             has_parent = true;
+                                             ++local_stats.edges_walked;
+                                             if (visited.insert(edge.from).second) {
+                                               frontier.push_back(edge.from);
+                                             }
+                                           });
+    // Cross-shard in-edges: resolve the remote parent via the message
+    // index — ship the partial path to the shard owning the send.
+    auto cross = shard.cross_in.find(current);
+    if (cross != shard.cross_in.end()) {
       for (const HbgEdge& edge : cross->second) {
         if (edge.confidence < min_confidence) continue;
         has_parent = true;
@@ -92,6 +276,168 @@ std::vector<IoId> DistributedHbgStore::root_causes(IoId fault, double min_confid
   local_stats.routers_contacted = contacted.size();
   if (stats != nullptr) *stats = local_stats;
   return roots;
+}
+
+std::vector<IoId> DistributedHbgStore::ancestors(IoId fault, double min_confidence,
+                                                 DistributedQueryStats* stats) const {
+  std::vector<IoId> up;
+  auto owner_it = owner_.find(fault);
+  if (owner_it == owner_.end()) return up;
+
+  DistributedQueryStats local_stats;
+  std::set<RouterId> contacted{owner_it->second};
+  std::set<IoId> visited{fault};
+  std::deque<IoId> frontier{fault};
+
+  while (!frontier.empty()) {
+    IoId current = frontier.front();
+    frontier.pop_front();
+    const Shard& shard = *shards_[shard_of(owner_.at(current))];
+    shard.builder.graph().for_each_in_edge(current, min_confidence,
+                                           [&](const HbgEdgeView& edge) {
+                                             ++local_stats.edges_walked;
+                                             if (visited.insert(edge.from).second) {
+                                               frontier.push_back(edge.from);
+                                             }
+                                           });
+    auto cross = shard.cross_in.find(current);
+    if (cross != shard.cross_in.end()) {
+      for (const HbgEdge& edge : cross->second) {
+        if (edge.confidence < min_confidence) continue;
+        ++local_stats.edges_walked;
+        ++local_stats.messages;
+        contacted.insert(owner_.at(edge.from));
+        if (visited.insert(edge.from).second) frontier.push_back(edge.from);
+      }
+    }
+  }
+
+  visited.erase(fault);
+  up.assign(visited.begin(), visited.end());
+  local_stats.routers_contacted = contacted.size();
+  if (stats != nullptr) *stats = local_stats;
+  return up;
+}
+
+std::vector<IoId> DistributedHbgStore::path_from(IoId root, IoId fault, double min_confidence,
+                                                 DistributedQueryStats* stats) const {
+  // Mirrors HappensBeforeGraph::path_from's canonical spec: BFS distances
+  // from the root over the forward edges, then backtrack picking the
+  // smallest-id predecessor on a shortest path at each step.
+  if (root == fault) return {root};
+  if (!owner_.contains(root) || !owner_.contains(fault)) return {};
+
+  DistributedQueryStats local_stats;
+  std::set<RouterId> contacted{owner_.at(root)};
+  std::map<IoId, std::uint32_t> dist;
+  dist[root] = 0;
+  std::deque<IoId> frontier{root};
+  bool found = false;
+
+  auto discover = [&](IoId to, std::uint32_t d) {
+    if (dist.emplace(to, d).second) {
+      if (to == fault) {
+        found = true;
+      } else {
+        frontier.push_back(to);
+      }
+    }
+  };
+
+  while (!frontier.empty() && !found) {
+    IoId current = frontier.front();
+    frontier.pop_front();
+    std::uint32_t next_dist = dist.at(current) + 1;
+    const Shard& shard = *shards_[shard_of(owner_.at(current))];
+    shard.builder.graph().for_each_out_edge(current, min_confidence,
+                                            [&](const HbgEdgeView& edge) {
+                                              ++local_stats.edges_walked;
+                                              discover(edge.to, next_dist);
+                                              return found;
+                                            });
+    if (found) break;
+    auto cross = shard.cross_out.find(current);
+    if (cross != shard.cross_out.end()) {
+      for (const HbgEdge& edge : cross->second) {
+        if (edge.confidence < min_confidence) continue;
+        ++local_stats.edges_walked;
+        ++local_stats.messages;
+        contacted.insert(owner_.at(edge.to));
+        discover(edge.to, next_dist);
+        if (found) break;
+      }
+    }
+  }
+  if (!found) {
+    local_stats.routers_contacted = contacted.size();
+    if (stats != nullptr) *stats = local_stats;
+    return {};
+  }
+
+  std::vector<IoId> path{fault};
+  IoId walk = fault;
+  while (walk != root) {
+    std::uint32_t want = dist.at(walk) - 1;
+    IoId best = kNoIo;
+    auto consider = [&](IoId from, double confidence) {
+      if (confidence < min_confidence) return;
+      auto it = dist.find(from);
+      if (it == dist.end() || it->second != want) return;
+      if (best == kNoIo || from < best) best = from;
+    };
+    const Shard& shard = *shards_[shard_of(owner_.at(walk))];
+    shard.builder.graph().for_each_in_edge(
+        walk, min_confidence, [&](const HbgEdgeView& edge) { consider(edge.from, edge.confidence); });
+    auto cross = shard.cross_in.find(walk);
+    if (cross != shard.cross_in.end()) {
+      for (const HbgEdge& edge : cross->second) {
+        ++local_stats.messages;
+        consider(edge.from, edge.confidence);
+      }
+    }
+    walk = best;
+    path.push_back(walk);
+  }
+  std::reverse(path.begin(), path.end());
+  local_stats.routers_contacted = contacted.size();
+  if (stats != nullptr) *stats = local_stats;
+  return path;
+}
+
+std::map<RouterId, DistributedHbgStore::RouterStorage>
+DistributedHbgStore::per_router_storage() const {
+  std::map<RouterId, RouterStorage> storage;
+  for (const auto& [router, shard_index] : router_shard_) storage[router];
+  for (const auto& shard : shards_) {
+    const HappensBeforeGraph& graph = shard->builder.graph();
+    graph.for_each_vertex([&](const IoRecord& record) {
+      RouterStorage& slot = storage[record.router];
+      ++slot.ios;
+      slot.storage_bytes += kVertexSlotBytes;
+    });
+    // Edges are stored at the head (receiving) router: one half-edge in
+    // each direction.
+    graph.for_each_edge_view([&](const HbgEdgeView& edge) {
+      const IoRecord* to = graph.record(edge.to);
+      if (to == nullptr) return;
+      RouterStorage& slot = storage[to->router];
+      ++slot.local_edges;
+      slot.storage_bytes += 2 * kHalfEdgeBytes;
+    });
+    for (const auto& [recv, edges] : shard->cross_in) {
+      auto owner_it = owner_.find(recv);
+      if (owner_it == owner_.end()) continue;
+      RouterStorage& slot = storage[owner_it->second];
+      slot.cross_in_edges += edges.size();
+      slot.storage_bytes += edges.size() * (kHalfEdgeBytes + sizeof(IoId));
+    }
+    for (const ShardMessage& message : shard->inbox) {
+      RouterStorage& slot = storage[message.to_router];
+      ++slot.inbox_messages;
+      slot.storage_bytes += message.wire_bytes();
+    }
+  }
+  return storage;
 }
 
 }  // namespace hbguard

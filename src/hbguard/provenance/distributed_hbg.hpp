@@ -1,55 +1,227 @@
-// Distributed HBG storage and provenance queries (§5).
+// Distributed HBG storage, construction and provenance queries (§5).
 //
 // "Each router can store its own happens-before subgraph containing that
 // router's control plane I/Os. Partial paths through the HBG can be passed
 // to neighboring routers that can expand the paths based on their
 // happens-before subgraph."
 //
-// DistributedHbgStore splits a (conceptually global) HBG into per-router
-// subgraphs plus an index of cross-router edges, then answers provenance
-// queries by walking: local expansion is free, every cross-router edge
-// traversal ships a partial path to the owning router (one message). The
-// results are identical to the centralized traversal; the stats expose the
-// communication cost the distributed deployment pays.
+// DistributedHbgStore shards the happens-before graph by router (or by a
+// fixed shard count, several routers per shard). Construction itself is
+// sharded: every shard runs the same-router matching rules over only its
+// own tap stream — one local-only RuleMatchEngine per shard, fanned out
+// over a ThreadPool — and appends into its own CSR-backed
+// HappensBeforeGraph. Same-router rules read nothing but the record's own
+// router log, so per-shard matching emits exactly the edges a global
+// engine would.
+//
+// Cross-router HBRs (send→recv) are the only edges whose endpoints can
+// live on different shards. They are stitched by the *receiving* shard:
+// every send whose receiver lives on another shard is exchanged as an
+// explicit ShardMessage into the receiver's inbox, and the receiver
+// replays the engine's FIFO channel semantics over its local channel
+// events merged with the inbox. Matched pairs that stay within one shard
+// become ordinary graph edges; pairs that span shards are stored as
+// remote-parent entries (cross_in) on the receiver and remote-child
+// entries (cross_out) on the sender — the message index provenance
+// queries resolve remote parents through.
+//
+// The exchange is counted exactly — messages and bytes on the wire during
+// construction, per-router resident bytes afterwards — reproducing the
+// feasibility accounting §5 calls for. Provenance queries (root_causes,
+// ancestors, path_from) run shard-local, pay one message per cross-shard
+// edge traversal, and return byte-identical answers to the single global
+// graph (see tests/test_distributed_hbg.cpp).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <set>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "hbguard/hbg/graph.hpp"
+#include "hbguard/hbg/incremental.hpp"
+#include "hbguard/hbr/rule_matcher.hpp"
 
 namespace hbguard {
 
+class ThreadPool;
+
 struct DistributedQueryStats {
-  std::size_t messages = 0;           // partial paths shipped across routers
+  std::size_t messages = 0;           // partial paths shipped across shards
   std::size_t routers_contacted = 0;  // distinct routers involved
   std::size_t edges_walked = 0;       // total HBG edges traversed
+
+  DistributedQueryStats& operator+=(const DistributedQueryStats& other) {
+    messages += other.messages;
+    routers_contacted = std::max(routers_contacted, other.routers_contacted);
+    edges_walked += other.edges_walked;
+    return *this;
+  }
+};
+
+/// One send I/O exchanged between shards during construction: everything
+/// the receiving shard needs to run its FIFO channel matching as if it had
+/// seen the send locally.
+struct ShardMessage {
+  IoId send_io = kNoIo;
+  RouterId from_router = kInvalidRouter;
+  RouterId to_router = kInvalidRouter;
+  SimTime logged_time = 0;
+  std::string channel;  // FIFO channel key (RuleMatchEngine::channel_key)
+
+  /// Serialized size on the wire: the fixed fields plus the channel key.
+  std::size_t wire_bytes() const {
+    return sizeof(IoId) + 2 * sizeof(RouterId) + sizeof(SimTime) + channel.size();
+  }
 };
 
 class DistributedHbgStore {
  public:
-  /// Shard a global HBG into per-router subgraphs + cross-edge index.
+  struct Options {
+    /// Number of shards; 0 = one shard per router (the paper's §5
+    /// deployment). With a fixed count routers map round-robin
+    /// (router % num_shards).
+    std::size_t num_shards = 0;
+    MatcherOptions matcher;
+  };
+
+  /// Communication cost paid while building the sharded graph.
+  struct ConstructionStats {
+    std::size_t records_ingested = 0;
+    std::size_t messages = 0;     // ShardMessages exchanged (cross-shard sends)
+    std::size_t wire_bytes = 0;   // sum of their serialized sizes
+    std::size_t cross_edges = 0;  // matched send→recv pairs spanning shards
+  };
+
+  /// Resident-storage estimate for one router's slice of the graph.
+  struct RouterStorage {
+    std::size_t ios = 0;             // vertices owned by the router
+    std::size_t local_edges = 0;     // edges stored at the router (by head)
+    std::size_t cross_in_edges = 0;  // remote-parent entries
+    std::size_t inbox_messages = 0;  // construction messages retained
+    std::size_t storage_bytes = 0;   // estimated resident bytes
+  };
+
+  /// Streaming construction: attach the capture store, then append record
+  /// batches as they arrive (the Guard feeds its scan deltas).
+  DistributedHbgStore();
+  explicit DistributedHbgStore(Options options);
+
+  /// Adoption: shard an already-built global HBG (any inference, including
+  /// ground truth). No engines run; the edge partition is taken as-is.
   explicit DistributedHbgStore(const HappensBeforeGraph& global);
+  DistributedHbgStore(const HappensBeforeGraph& global, Options options);
+
+  /// Share the capture record store so shard vertices hold indices instead
+  /// of copies. Call before the first append.
+  void attach_store(const std::vector<IoRecord>* store);
+
+  /// Ingest a capture-order batch. Per-shard rule matching and channel
+  /// stitching fan out over `pool` (nullptr = serial; results are
+  /// identical at any thread count).
+  void append(std::span<const IoRecord> records, ThreadPool* pool = nullptr);
+
+  // -- Provenance queries (byte-identical to the global graph) ------------
 
   /// Backward traversal from `fault` to its provenance leaves — the same
   /// answer HappensBeforeGraph::root_causes gives, computed by distributed
-  /// expansion.
+  /// expansion (one message per cross-shard edge).
   std::vector<IoId> root_causes(IoId fault, double min_confidence = 0.0,
                                 DistributedQueryStats* stats = nullptr) const;
 
-  /// The subgraph a given router stores (its own I/Os and edges among them).
+  /// Ancestor closure of `fault` (excludes the fault itself), ascending —
+  /// identical to HappensBeforeGraph::ancestors.
+  std::vector<IoId> ancestors(IoId fault, double min_confidence = 0.0,
+                              DistributedQueryStats* stats = nullptr) const;
+
+  /// Canonical shortest cause→fault chain — identical to
+  /// HappensBeforeGraph::path_from (which is insertion-order independent
+  /// for exactly this reason).
+  std::vector<IoId> path_from(IoId root, IoId fault, double min_confidence = 0.0,
+                              DistributedQueryStats* stats = nullptr) const;
+
+  /// Resolve a record through its owning shard (nullptr when unknown).
+  const IoRecord* record(IoId id) const;
+
+  // -- Introspection / accounting -----------------------------------------
+
+  /// The subgraph stored by the shard holding `router`'s I/Os. With
+  /// per-router sharding (num_shards = 0) this is exactly the router's own
+  /// slice.
   const HappensBeforeGraph* subgraph(RouterId router) const;
 
-  std::size_t shard_count() const { return subgraphs_.size(); }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Matched send→recv edges whose endpoints live on different shards.
   std::size_t cross_edge_count() const { return cross_edge_total_; }
+  const ConstructionStats& construction_stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// The message index one shard retained (its inbox, in arrival order).
+  const std::vector<ShardMessage>& inbox(std::size_t shard) const {
+    return shards_[shard]->inbox;
+  }
+
+  /// Per-router resident-byte accounting over every shard (§5 "each router
+  /// can store its own happens-before subgraph").
+  std::map<RouterId, RouterStorage> per_router_storage() const;
 
  private:
-  std::map<RouterId, HappensBeforeGraph> subgraphs_;
-  /// Cross-router edges indexed by destination vertex.
-  std::map<IoId, std::vector<HbgEdge>> cross_in_;
+  /// FIFO channel state, receiver-owned; replicates
+  /// RuleMatchEngine::match_channels exactly (including the
+  /// skip-too-late-receive semantics) over (id, logged_time) pairs.
+  struct PendingIo {
+    IoId id = kNoIo;
+    SimTime logged_time = 0;
+  };
+  struct ChannelState {
+    std::deque<PendingIo> unmatched_sends;
+    std::deque<PendingIo> unmatched_recvs;
+  };
+  /// One send/recv routed to its receiving shard for this batch.
+  struct ChannelEvent {
+    std::string key;
+    IoId id = kNoIo;
+    SimTime logged_time = 0;
+    RouterId sender_router = kInvalidRouter;
+    bool is_send = false;
+  };
+
+  struct Shard {
+    IncrementalHbgBuilder builder;
+    std::map<std::string, ChannelState> channels;
+    std::vector<ShardMessage> inbox;  // retained message index
+    std::size_t inbox_bytes = 0;
+    std::map<IoId, std::vector<HbgEdge>> cross_in;   // remote parents by local recv
+    std::map<IoId, std::vector<HbgEdge>> cross_out;  // remote children by local send
+    // Per-append scratch (serial routing phase fills, parallel phases
+    // drain):
+    std::vector<std::uint32_t> batch;  // indices into the append span
+    std::vector<ChannelEvent> events;
+    std::vector<InferredHbr> edge_scratch;
+    std::vector<std::pair<std::uint32_t, HbgEdge>> emitted_cross;  // (send shard, edge)
+
+    explicit Shard(const MatcherOptions& matcher) : builder(matcher) {
+      builder.set_channel_matching(false);
+    }
+  };
+
+  std::uint32_t shard_of(RouterId router) const;
+  std::uint32_t assign_shard(RouterId router);
+  Shard& new_shard();
+  void ingest_shard_batch(Shard& shard, std::span<const IoRecord> records);
+  void stitch_shard_channels(std::uint32_t shard_index);
+
+  Options options_;
+  const std::vector<IoRecord>* store_ = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<RouterId, std::uint32_t> router_shard_;
   std::map<IoId, RouterId> owner_;
   std::size_t cross_edge_total_ = 0;
+  ConstructionStats stats_;
 };
 
 }  // namespace hbguard

@@ -17,6 +17,7 @@
 #include <set>
 #include <sstream>
 
+#include "fixtures.hpp"
 #include "hbguard/core/guard.hpp"
 #include "hbguard/fault/injector.hpp"
 #include "hbguard/fault/plan.hpp"
@@ -26,18 +27,6 @@
 
 namespace hbguard {
 namespace {
-
-/// Live data-plane content, excluding as_of (oracle and faulty runs end at
-/// slightly different virtual times because channel deliveries are events).
-std::string content_digest(const DataPlaneSnapshot& snapshot) {
-  std::ostringstream out;
-  for (const auto& [router, view] : snapshot.routers) {
-    out << "R" << router << "\n";
-    for (const FibEntry& entry : view.entries) out << "  " << entry.describe() << "\n";
-    for (const std::string& session : view.failed_uplinks) out << "  down:" << session << "\n";
-  }
-  return out.str();
-}
 
 // ---------------------------------------------------------------------------
 // FaultPlan.
@@ -197,85 +186,8 @@ TEST(FaultInjection, CrashedRouterReconvergesToItsPreCrashFibs) {
 // ---------------------------------------------------------------------------
 // Guarded runs under a fault plan vs the fault-free-capture oracle.
 
-PolicyList loopback_policies(std::size_t router_count) {
-  // Loopbacks are originated into OSPF and ignore the route churn, so the
-  // only legitimate violations are the ones control-plane faults cause —
-  // which the oracle, sharing those faults, must also see.
-  PolicyList policies;
-  for (RouterId r = 1; r < router_count; ++r) {
-    policies.push_back(std::make_shared<ReachabilityPolicy>(0, loopback_prefix(r)));
-  }
-  return policies;
-}
-
-struct GuardedRun {
-  GuardReport report;
-  std::string final_data_plane;
-  bool degraded_at_end = false;
-  std::string health_states;  // per-router, for failure diagnostics
-};
-
-/// One guarded run over the same seeded topology + churn. `faulty` installs
-/// the delivery channel + stream health and plays the full plan; otherwise
-/// the run is the oracle: identical control-plane faults, pristine capture.
-GuardedRun run_guarded(const FaultPlan& plan, bool faulty, unsigned threads,
-                       std::uint64_t seed, std::size_t routers = 8,
-                       std::size_t churn_events = 40) {
-  Rng topo_rng(seed);
-  NetworkOptions options;
-  options.seed = seed;
-  auto generated = make_ibgp_network(make_waxman_topology(routers, topo_rng), 2, options);
-  Network& net = *generated.network;
-  net.run_to_convergence();
-
-  ChurnOptions churn_options;
-  churn_options.prefix_count = 4;
-  churn_options.event_count = churn_events;
-  churn_options.config_change_probability = 0;
-  churn_options.seed = seed + 1;
-  ChurnWorkload churn(generated, churn_options);
-
-  FaultInjectorOptions injector_options;
-  // Stretch the degraded window past one scan interval so every outage is
-  // observed by at least one scan (the gates below assert they were).
-  injector_options.resync_delay_us = 120'000;
-  if (!faulty) {
-    injector_options.install_channel = false;
-    injector_options.enable_health = false;
-  }
-  FaultInjector injector(net, faulty ? plan : plan.control_only(), injector_options);
-  injector.arm();
-
-  GuardOptions guard_options;
-  guard_options.repair = RepairMode::kReport;
-  guard_options.num_threads = threads;
-  Guard guard(net, loopback_policies(net.router_count()), guard_options);
-
-  // Scan through the fault window, then drain and let grace windows expire.
-  for (int i = 0; i < 34; ++i) {
-    net.run_for(100'000);
-    guard.scan();
-  }
-  net.run_to_convergence();
-  for (int i = 0; i < 3; ++i) {
-    net.run_for(200'000);
-    guard.scan();
-  }
-
-  GuardedRun out;
-  out.report = guard.report();
-  out.final_data_plane = content_digest(take_instant_snapshot(net));
-  const StreamHealthTracker* health = net.capture().health();
-  out.degraded_at_end = health != nullptr && health->any_degraded();
-  if (health != nullptr) {
-    std::ostringstream states;
-    for (RouterId r = 0; r < net.router_count(); ++r) {
-      states << "R" << r << "=" << to_string(health->state(r)) << " ";
-    }
-    out.health_states = states.str();
-  }
-  return out;
-}
+// loopback_policies, GuardedRun and run_guarded moved to fixtures.hpp so the
+// distributed-HBG differential harness replays the identical runs.
 
 std::set<std::string> incident_signatures(const GuardReport& report) {
   std::set<std::string> signatures;

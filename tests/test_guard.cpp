@@ -1,21 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "fixtures.hpp"
 #include "hbguard/core/guard.hpp"
 #include "hbguard/sim/scenario.hpp"
 #include "hbguard/snapshot/naive.hpp"
 
 namespace hbguard {
 namespace {
-
-PolicyList paper_policies(const PaperScenario& scenario) {
-  PolicyList policies;
-  policies.push_back(std::make_shared<LoopFreedomPolicy>(scenario.prefix_p));
-  policies.push_back(std::make_shared<BlackholeFreedomPolicy>(scenario.prefix_p));
-  policies.push_back(std::make_shared<PreferredExitPolicy>(
-      scenario.prefix_p, scenario.r2, PaperScenario::kUplink2, scenario.r1,
-      PaperScenario::kUplink1));
-  return policies;
-}
 
 TEST(Guard, CleanNetworkNoIncidents) {
   auto scenario = PaperScenario::make();

@@ -88,9 +88,13 @@ class ReferenceHbg {
     return roots;
   }
 
+  /// Canonical shortest path (the HappensBeforeGraph contract): BFS hop
+  /// distances, then backtrack choosing the smallest-id predecessor on a
+  /// shortest path — depends only on the edge set, never insertion order.
   std::vector<IoId> path_from(IoId root, IoId id, double min_confidence = 0.0) const {
     if (root == id) return {root};
-    std::map<IoId, IoId> parent;
+    std::map<IoId, std::size_t> dist;
+    dist[root] = 0;
     std::vector<IoId> queue{root};
     for (std::size_t head = 0; head < queue.size(); ++head) {
       IoId current = queue[head];
@@ -98,22 +102,25 @@ class ReferenceHbg {
       if (it == out_.end()) continue;
       for (const HbgEdge& edge : it->second) {
         if (edge.confidence < min_confidence) continue;
-        if (parent.contains(edge.to) || edge.to == root) continue;
-        parent[edge.to] = current;
-        if (edge.to == id) {
-          std::vector<IoId> path{id};
-          IoId walk = id;
-          while (walk != root) {
-            walk = parent.at(walk);
-            path.push_back(walk);
-          }
-          std::reverse(path.begin(), path.end());
-          return path;
-        }
-        queue.push_back(edge.to);
+        if (dist.emplace(edge.to, dist.at(current) + 1).second) queue.push_back(edge.to);
       }
     }
-    return {};
+    if (!dist.contains(id)) return {};
+    std::vector<IoId> path{id};
+    IoId walk = id;
+    while (walk != root) {
+      std::size_t want = dist.at(walk) - 1;
+      IoId best = kNoIo;
+      for (const HbgEdge& edge : in_edges(walk, min_confidence)) {
+        auto it = dist.find(edge.from);
+        if (it == dist.end() || it->second != want) continue;
+        if (best == kNoIo || edge.from < best) best = edge.from;
+      }
+      walk = best;
+      path.push_back(walk);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
   }
 
   ReferenceHbg router_subgraph(RouterId router) const {

@@ -6,6 +6,7 @@
 
 #include <sstream>
 
+#include "fixtures.hpp"
 #include "hbguard/core/guard.hpp"
 #include "hbguard/hbg/builder.hpp"
 #include "hbguard/sim/scenario.hpp"
@@ -16,22 +17,6 @@
 namespace hbguard {
 namespace {
 
-FibEntry forward(const char* prefix, RouterId next_hop) {
-  FibEntry e;
-  e.prefix = *Prefix::parse(prefix);
-  e.action = FibEntry::Action::kForward;
-  e.next_hop = next_hop;
-  return e;
-}
-
-FibEntry external(const char* prefix, const char* session) {
-  FibEntry e;
-  e.prefix = *Prefix::parse(prefix);
-  e.action = FibEntry::Action::kExternal;
-  e.external_session = session;
-  return e;
-}
-
 /// A snapshot with varied behaviour across eight prefixes: delivered,
 /// looping, and blackholed destinations so every policy has work to do.
 DataPlaneSnapshot mixed_snapshot() {
@@ -41,19 +26,19 @@ DataPlaneSnapshot mixed_snapshot() {
     const char* p = prefix.c_str();
     switch (i % 4) {
       case 0:  // clean chain 0 -> 1 -> 2 -> uplink
-        s.routers[0].entries.push_back(forward(p, 1));
-        s.routers[1].entries.push_back(forward(p, 2));
-        s.routers[2].entries.push_back(external(p, "up"));
+        s.routers[0].entries.push_back(forward_entry(p, 1));
+        s.routers[1].entries.push_back(forward_entry(p, 2));
+        s.routers[2].entries.push_back(external_entry(p, "up"));
         break;
       case 1:  // loop 0 -> 1 -> 0
-        s.routers[0].entries.push_back(forward(p, 1));
-        s.routers[1].entries.push_back(forward(p, 0));
+        s.routers[0].entries.push_back(forward_entry(p, 1));
+        s.routers[1].entries.push_back(forward_entry(p, 0));
         break;
       case 2:  // blackhole at 1 (route points there, no entry)
-        s.routers[0].entries.push_back(forward(p, 1));
+        s.routers[0].entries.push_back(forward_entry(p, 1));
         break;
       case 3:  // direct exit from 1 only
-        s.routers[1].entries.push_back(external(p, "up"));
+        s.routers[1].entries.push_back(external_entry(p, "up"));
         break;
     }
   }
@@ -125,7 +110,7 @@ TEST(ParallelVerify, CacheMissesOnlyForChangedBehaviour) {
   verifier.verify(snapshot);
 
   // Reroute prefix 0: router 1 now exits directly instead of via router 2.
-  snapshot.routers[1].entries[0] = external(churn_prefix(0).to_string().c_str(), "up");
+  snapshot.routers[1].entries[0] = external_entry(churn_prefix(0).to_string().c_str(), "up");
   snapshot.invalidate_lookup_cache();
 
   VerifyResult changed = verifier.verify(snapshot);
@@ -190,13 +175,7 @@ std::string guarded_run_summary(unsigned num_threads) {
   scenario.converge_initial();
   GuardOptions options;
   options.num_threads = num_threads;
-  Guard guard(*scenario.network, {
-      std::make_shared<LoopFreedomPolicy>(scenario.prefix_p),
-      std::make_shared<BlackholeFreedomPolicy>(scenario.prefix_p),
-      std::make_shared<PreferredExitPolicy>(scenario.prefix_p, scenario.r2,
-                                            PaperScenario::kUplink2, scenario.r1,
-                                            PaperScenario::kUplink1)},
-      options);
+  Guard guard(*scenario.network, paper_policies(scenario), options);
   scenario.misconfigure_r2_lp10();
   GuardReport report = guard.run();
   return report.summary();

@@ -6,6 +6,8 @@
 #include "hbguard/hbg/builder.hpp"
 #include "hbguard/hbr/rule_matcher.hpp"
 #include "hbguard/sim/scenario.hpp"
+#include "hbguard/sim/workload.hpp"
+#include "hbguard/util/rng.hpp"
 
 namespace hbguard {
 namespace {
@@ -161,6 +163,115 @@ TEST(TraceIo, FibResetMarkerSurvivesRoundTrip) {
   ASSERT_EQ(parsed.records.size(), 1u);
   EXPECT_TRUE(parsed.records[0].fib_reset);
   EXPECT_TRUE(records_equal(record, parsed.records[0]));
+}
+
+/// One random record with every optional/conditional field independently
+/// present or absent, constrained only by what the JSONL format can
+/// represent losslessly (link_up is a kHardwareStatus field; a FibEntry
+/// carries next_hop only when forwarding and a session only when external).
+IoRecord random_record(Rng& rng, IoId id) {
+  static constexpr IoKind kKinds[] = {
+      IoKind::kConfigChange, IoKind::kHardwareStatus, IoKind::kRecvAdvert,
+      IoKind::kRibUpdate,    IoKind::kFibUpdate,      IoKind::kSendAdvert,
+  };
+  static constexpr Protocol kProtocols[] = {
+      Protocol::kConnected, Protocol::kStatic, Protocol::kEbgp,
+      Protocol::kIbgp,      Protocol::kOspf,
+  };
+  // Escaping stress: quotes, backslashes, tabs, newlines, raw control chars.
+  static constexpr std::string_view kDetailChars = "ab \"\\\n\tZ:{},[]\x01\x1f";
+
+  auto random_text = [&](std::size_t max_len) {
+    std::string text;
+    std::size_t len = static_cast<std::size_t>(rng.uniform_int(1, max_len));
+    for (std::size_t i = 0; i < len; ++i) {
+      text += kDetailChars[rng.uniform_int(0, kDetailChars.size() - 1)];
+    }
+    return text;
+  };
+
+  IoRecord r;
+  r.id = id;
+  r.router = static_cast<RouterId>(rng.uniform_int(0, 12));
+  r.kind = kKinds[rng.uniform_int(0, 5)];
+  r.logged_time = rng.uniform_int(0, 10'000'000);
+  r.true_time = rng.chance(0.5) ? r.logged_time : rng.uniform_int(0, 10'000'000);
+  r.router_seq = static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000));
+  r.protocol = kProtocols[rng.uniform_int(0, 4)];
+  if (rng.chance(0.5)) r.prefix = churn_prefix(rng.uniform_int(0, 15));
+  if (rng.chance(0.5)) r.session = random_text(12);
+  if (rng.chance(0.5)) {
+    r.peer = rng.chance(0.25) ? kExternalRouter : static_cast<RouterId>(rng.uniform_int(0, 12));
+  }
+  r.withdraw = rng.chance(0.5);
+  if (rng.chance(0.5)) r.local_pref = static_cast<std::uint32_t>(rng.uniform_int(0, 400));
+  if (rng.chance(0.5)) r.detail = random_text(24);
+  if (rng.chance(0.5)) r.config_version = static_cast<ConfigVersion>(rng.uniform_int(1, 999));
+  if (rng.chance(0.5)) r.link = static_cast<LinkId>(rng.uniform_int(0, 64));
+  if (r.kind == IoKind::kHardwareStatus) r.link_up = rng.chance(0.5);
+  r.fib_blocked = rng.chance(0.3);
+  r.fib_reset = rng.chance(0.3);
+  if (rng.chance(0.4)) {
+    FibEntry entry;
+    entry.prefix = churn_prefix(rng.uniform_int(0, 15));
+    static constexpr FibEntry::Action kActions[] = {
+        FibEntry::Action::kForward, FibEntry::Action::kExternal,
+        FibEntry::Action::kLocal,   FibEntry::Action::kDrop,
+    };
+    entry.action = kActions[rng.uniform_int(0, 3)];
+    if (entry.action == FibEntry::Action::kForward) {
+      entry.next_hop = static_cast<RouterId>(rng.uniform_int(0, 12));
+    }
+    if (entry.action == FibEntry::Action::kExternal) entry.external_session = random_text(8);
+    entry.source = kProtocols[rng.uniform_int(0, 4)];
+    r.fib_entry = entry;
+  }
+  if (rng.chance(0.5)) r.message_id = static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000));
+  if (rng.chance(0.4)) {
+    std::size_t causes = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    for (std::size_t i = 0; i < causes; ++i) {
+      r.true_causes.push_back(static_cast<IoId>(rng.uniform_int(1, 1'000'000)));
+    }
+  }
+  return r;
+}
+
+TEST(TraceIo, FuzzRoundTripCoversEveryOptionalFieldCombination) {
+  // Property: write → parse is the identity on any representable record.
+  // 500 seeded random records flip every optional field independently, so
+  // the combinations (prefix × session × peer × local_pref × config_version
+  // × link × fib_entry variants × ground truth) all get exercised together.
+  Rng rng(4242);
+  std::vector<IoRecord> records;
+  for (IoId id = 1; id <= 500; ++id) records.push_back(random_record(rng, id));
+
+  std::ostringstream out;
+  write_trace(out, records);
+  auto parsed = parse_trace_text(out.str());
+  for (const auto& error : parsed.errors) {
+    ADD_FAILURE() << "line " << error.line << ": " << error.message;
+  }
+  ASSERT_EQ(parsed.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(records_equal(records[i], parsed.records[i]))
+        << "record " << i << "\n  wrote:  " << to_json_line(records[i])
+        << "\n  parsed: " << to_json_line(parsed.records[i]);
+  }
+
+  // The redacted form of the same corpus must still parse clean, with the
+  // ground-truth fields scrubbed and true_time falling back to logged_time.
+  TraceWriteOptions redact;
+  redact.redact_ground_truth = true;
+  std::ostringstream redacted_out;
+  write_trace(redacted_out, records, redact);
+  auto redacted = parse_trace_text(redacted_out.str());
+  ASSERT_TRUE(redacted.ok());
+  ASSERT_EQ(redacted.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(redacted.records[i].true_causes.empty());
+    EXPECT_EQ(redacted.records[i].message_id, 0u);
+    EXPECT_EQ(redacted.records[i].true_time, redacted.records[i].logged_time);
+  }
 }
 
 TEST(TraceIo, FibEntrySurvivesRoundTrip) {
