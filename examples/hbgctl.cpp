@@ -1,17 +1,22 @@
-// hbgctl — offline analysis CLI over captured I/O traces (JSONL).
+// hbgctl — operator CLI for the guard: offline trace analysis plus a live
+// control surface for a running hbguardd.
 //
-// The operator-facing surface for the analysis half of the library: feed it
-// a trace exported by write_trace() (or by a real collector emitting the
-// same schema) and ask questions.
+// Offline: feed it a trace exported by write_trace() (or by a real collector
+// emitting the same schema) and ask questions — summarize, infer the HBG,
+// root-cause an I/O, or verify the replayed data plane.
 //
-//   hbgctl stats   <trace.jsonl>                    summarize the trace
-//   hbgctl hbg     <trace.jsonl> [--dot]            infer + print the HBG
-//   hbgctl why     <trace.jsonl> <io-id>            root-cause an I/O
-//   hbgctl verify  <trace.jsonl> <prefix> [...]     loop/blackhole check on
-//                                                   the replayed data plane
-//   hbgctl demo    <out.jsonl>                      generate a sample trace
-//                                                   (the Fig. 2 scenario)
+// Live: `hbgctl live` speaks the line-oriented RPC on hbguardd's control
+// socket (scan, status, why, repairs, shutdown, ...) and `hbgctl feed`
+// streams a JSONL trace into its ingest socket — together they drive a
+// daemon end to end from the shell. Run `hbgctl --help` for the full
+// command table (CI keeps README.md in sync with it).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,14 +36,25 @@ using namespace hbguard;
 
 namespace {
 
+// Keep this text in sync with the command table in README.md — CI diffs
+// `hbgctl --help` against the block between the hbgctl-help markers there.
+constexpr const char* kHelpText =
+    "usage: hbgctl <command> ...\n"
+    "offline analysis:\n"
+    "  stats  <trace.jsonl>              trace summary\n"
+    "  hbg    <trace.jsonl> [--dot]      infer the happens-before graph\n"
+    "  why    <trace.jsonl> <io-id>      root causes of an I/O\n"
+    "  verify <trace.jsonl> <prefix>...  loop/blackhole check\n"
+    "  demo   <out.jsonl>                write a sample trace (Fig. 2)\n"
+    "live control (against a running hbguardd):\n"
+    "  live   <ctl.sock|dir> <rpc...>    one RPC on the control socket:\n"
+    "                                    scan | status | why <io-id> |\n"
+    "                                    repairs list|approve <id>|decline <id>|revert <id> |\n"
+    "                                    pause | resume | finish | digest | shutdown\n"
+    "  feed   <ingest.sock> <trace.jsonl>  stream a trace into the ingest socket\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: hbgctl <command> ...\n"
-               "  stats  <trace.jsonl>              trace summary\n"
-               "  hbg    <trace.jsonl> [--dot]      infer the happens-before graph\n"
-               "  why    <trace.jsonl> <io-id>      root causes of an I/O\n"
-               "  verify <trace.jsonl> <prefix>...  loop/blackhole check\n"
-               "  demo   <out.jsonl>                write a sample trace (Fig. 2)\n");
+  std::fputs(kHelpText, stderr);
   return 2;
 }
 
@@ -142,12 +158,142 @@ int cmd_demo(const std::string& path) {
   return 0;
 }
 
+int connect_unix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "hbgctl: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "hbgctl: socket path too long: %s\n", path.c_str());
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "hbgctl: connect %s: %s\n", path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "hbgctl: write: %s\n", std::strerror(errno));
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Send one RPC line; print the "."-framed response (un-dot-stuffed).
+int cmd_live(const std::string& target, const std::vector<std::string>& rpc) {
+  std::string path = target;
+  // Accept the daemon's socket directory as shorthand for its control socket.
+  if (path.size() < 5 || path.compare(path.size() - 5, 5, ".sock") != 0) {
+    path += "/control.sock";
+  }
+  int fd = connect_unix(path);
+  if (fd < 0) return 1;
+  std::string line;
+  for (const std::string& word : rpc) {
+    if (!line.empty()) line += ' ';
+    line += word;
+  }
+  line += '\n';
+  if (!send_all(fd, line)) {
+    ::close(fd);
+    return 1;
+  }
+  std::string buffer;
+  bool done = false;
+  bool ok = true;
+  while (!done) {
+    char chunk[4096];
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "hbgctl: read: %s\n", std::strerror(errno));
+      ok = false;
+      break;
+    }
+    if (n == 0) {
+      std::fprintf(stderr, "hbgctl: daemon closed the connection mid-response\n");
+      ok = false;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    std::size_t nl;
+    while ((nl = buffer.find('\n', pos)) != std::string::npos) {
+      std::string resp_line = buffer.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (resp_line == ".") {
+        done = true;
+        break;
+      }
+      if (!resp_line.empty() && resp_line[0] == '.') resp_line.erase(0, 1);
+      std::printf("%s\n", resp_line.c_str());
+    }
+    buffer.erase(0, pos);
+  }
+  ::close(fd);
+  return ok ? 0 : 1;
+}
+
+// Stream a JSONL trace into the daemon's ingest socket, verbatim line by
+// line (the daemon parses; we only validate that the file opens).
+int cmd_feed(const std::string& socket_path, const std::string& trace_path) {
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "hbgctl: cannot open %s\n", trace_path.c_str());
+    return 1;
+  }
+  int fd = connect_unix(socket_path);
+  if (fd < 0) return 1;
+  std::string line;
+  std::size_t sent = 0;
+  while (std::getline(in, line)) {
+    line += '\n';
+    if (!send_all(fd, line)) {
+      ::close(fd);
+      return 1;
+    }
+    ++sent;
+  }
+  ::close(fd);
+  std::printf("fed %zu line(s) from %s into %s\n", sent, trace_path.c_str(),
+              socket_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
+  if (args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+    std::fputs(kHelpText, stdout);
+    return 0;
+  }
   const std::string& command = args[0];
+
+  if (command == "live") {
+    if (args.size() < 3) return usage();
+    return cmd_live(args[1], std::vector<std::string>(args.begin() + 2, args.end()));
+  }
+  if (command == "feed") {
+    if (args.size() != 3) return usage();
+    return cmd_feed(args[1], args[2]);
+  }
 
   if (command == "demo") {
     if (args.size() != 2) return usage();

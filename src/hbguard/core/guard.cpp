@@ -13,6 +13,16 @@ std::string_view to_string(RepairMode mode) {
     case RepairMode::kBlock: return "block";
     case RepairMode::kRevert: return "revert";
     case RepairMode::kEarlyBlock: return "early-block";
+    case RepairMode::kProposeOnly: return "propose-only";
+  }
+  return "?";
+}
+
+std::string_view to_string(RepairProposal::Status status) {
+  switch (status) {
+    case RepairProposal::Status::kPending: return "pending";
+    case RepairProposal::Status::kApproved: return "approved";
+    case RepairProposal::Status::kDeclined: return "declined";
   }
   return "?";
 }
@@ -58,6 +68,7 @@ Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
   // records (the hub outlives the guard and its store only grows).
   rules_.set_thread_pool(pool_);
   incremental_builder_.attach_store(&network.capture().records());
+  incremental_builder_.set_compact_budget(options_.compact_budget);
   if (distributed_active()) {
     DistributedHbgStore::Options store_options;
     store_options.num_shards = options_.distributed_shards;
@@ -343,6 +354,51 @@ std::vector<Violation> Guard::scan() {
     case RepairMode::kBlock:
       incident.action = "reported";
       break;
+    case RepairMode::kProposeOnly: {
+      const RootCause* candidate = nullptr;
+      for (const RootCause& cause : provenance.causes) {
+        if (cause.kind != CauseKind::kConfigChange) continue;
+        if (cause.record.config_version == kNoVersion) continue;
+        // One live proposal per offending version.
+        bool seen = false;
+        for (const RepairProposal& p : proposals_) {
+          if (p.cause_version == cause.record.config_version &&
+              p.status != RepairProposal::Status::kDeclined) {
+            seen = true;
+            break;
+          }
+        }
+        if (seen) continue;
+        // When the change is hosted by this network's config store, apply
+        // the executing reverter's rules (skip initial configs and changes
+        // already undone). Replayed traces aren't hosted; still propose —
+        // the rollback happens out of band.
+        const auto& history = network_.configs().history();
+        if (cause.record.config_version - 1 < history.size()) {
+          const ConfigChangeRecord& rec = history[cause.record.config_version - 1];
+          if (rec.reverted || rec.parent == kNoVersion) continue;
+        }
+        candidate = &cause;
+        break;
+      }
+      if (candidate != nullptr) {
+        RepairProposal proposal;
+        proposal.id = next_proposal_id_++;
+        proposal.proposed_at = network_.sim().now();
+        proposal.cause_version = candidate->record.config_version;
+        proposal.router = candidate->record.router;
+        proposal.description = candidate->record.detail;
+        proposal.fault_chain = incident.fault_chain;
+        incident.action = "proposed revert of v" +
+                          std::to_string(candidate->record.config_version) + " on R" +
+                          std::to_string(candidate->record.router) + " (proposal #" +
+                          std::to_string(proposal.id) + ", awaiting approval)";
+        proposals_.push_back(std::move(proposal));
+      } else {
+        incident.action = "reported (no revertible cause)";
+      }
+      break;
+    }
     case RepairMode::kRevert:
     case RepairMode::kEarlyBlock: {
       learn_early_block(provenance, result.violations, /*violated=*/true);
@@ -360,6 +416,67 @@ std::vector<Violation> Guard::scan() {
   }
   report_.incidents.push_back(std::move(incident));
   return result.violations;
+}
+
+Guard::ProposalOutcome Guard::approve_proposal(std::uint64_t id) {
+  for (RepairProposal& p : proposals_) {
+    if (p.id != id) continue;
+    if (p.status != RepairProposal::Status::kPending) {
+      return {false, "proposal #" + std::to_string(id) + " already " +
+                         std::string(to_string(p.status))};
+    }
+    const auto& history = network_.configs().history();
+    if (p.cause_version == kNoVersion || p.cause_version - 1 >= history.size()) {
+      return {false, "config v" + std::to_string(p.cause_version) +
+                         " is not hosted by this guard's network (replayed trace); apply "
+                         "the rollback to the device out of band"};
+    }
+    const ConfigChangeRecord& rec = history[p.cause_version - 1];
+    if (rec.reverted) {
+      p.status = RepairProposal::Status::kDeclined;
+      return {false, "config v" + std::to_string(p.cause_version) + " was already reverted"};
+    }
+    std::string description = "revert of v" + std::to_string(p.cause_version) + " (" +
+                              rec.description + ") — operator-approved proposal #" +
+                              std::to_string(id);
+    p.executed_version = network_.revert_config_change(p.cause_version, description);
+    p.status = RepairProposal::Status::kApproved;
+    ++report_.reverts;
+    repair_in_flight_ = true;
+    return {true, "approved: " + description + " (new v" +
+                      std::to_string(p.executed_version) + ")"};
+  }
+  return {false, "no proposal #" + std::to_string(id)};
+}
+
+Guard::ProposalOutcome Guard::decline_proposal(std::uint64_t id) {
+  for (RepairProposal& p : proposals_) {
+    if (p.id != id) continue;
+    if (p.status != RepairProposal::Status::kPending) {
+      return {false, "proposal #" + std::to_string(id) + " already " +
+                         std::string(to_string(p.status))};
+    }
+    p.status = RepairProposal::Status::kDeclined;
+    return {true, "declined proposal #" + std::to_string(id)};
+  }
+  return {false, "no proposal #" + std::to_string(id)};
+}
+
+Guard::ProposalOutcome Guard::revert_repair(std::uint64_t id) {
+  for (RepairProposal& p : proposals_) {
+    if (p.id != id) continue;
+    if (p.status != RepairProposal::Status::kApproved || p.executed_version == kNoVersion) {
+      return {false, "proposal #" + std::to_string(id) + " has no executed repair to roll back"};
+    }
+    std::string description = "roll back repair of proposal #" + std::to_string(id) +
+                              " (reinstate v" + std::to_string(p.cause_version) + ")";
+    network_.revert_config_change(p.executed_version, description);
+    p.status = RepairProposal::Status::kDeclined;
+    p.executed_version = kNoVersion;
+    repair_in_flight_ = true;
+    return {true, description};
+  }
+  return {false, "no proposal #" + std::to_string(id)};
 }
 
 void Guard::learn_early_block(const ProvenanceResult& provenance,

@@ -41,9 +41,35 @@
 
 namespace hbguard {
 
-enum class RepairMode : std::uint8_t { kReport, kBlock, kRevert, kEarlyBlock };
+//   kProposeOnly kReport's diagnosis plus an explicit repair queue: each
+//               incident's best revertible root cause becomes a
+//               RepairProposal that an operator approves (executing the
+//               revert), declines, or rolls back — the interactive mode
+//               hbguardd's `repairs` RPC drives.
+enum class RepairMode : std::uint8_t { kReport, kBlock, kRevert, kEarlyBlock, kProposeOnly };
 
 std::string_view to_string(RepairMode mode);
+
+/// A repair the guard diagnosed but deliberately did not execute
+/// (RepairMode::kProposeOnly). Proposals are identified by a stable id and
+/// live outside GuardReport::digest() — the report records only the
+/// incident and the actions actually taken.
+struct RepairProposal {
+  enum class Status : std::uint8_t { kPending, kApproved, kDeclined };
+
+  std::uint64_t id = 0;
+  SimTime proposed_at = 0;
+  /// The offending configuration change to revert.
+  ConfigVersion cause_version = kNoVersion;
+  RouterId router = kInvalidRouter;
+  std::string description;  // the offending change's own description
+  std::string fault_chain;  // rendered cause→fault chain (Fig. 4 style)
+  Status status = Status::kPending;
+  /// The version the approved revert created (kNoVersion until approved).
+  ConfigVersion executed_version = kNoVersion;
+};
+
+std::string_view to_string(RepairProposal::Status status);
 
 struct GuardOptions {
   RepairMode repair = RepairMode::kRevert;
@@ -86,6 +112,12 @@ struct GuardOptions {
   /// rules-based incremental HBG path (ground truth, custom inference and
   /// incremental_hbg = false scans ignore this knob).
   std::size_t distributed_shards = 0;
+  /// > 0: amortize the incremental HBG's CSR re-pack under this per-append
+  /// half-edge budget instead of re-packing eagerly inside one add_edge
+  /// (stop-the-world O(E)). Reports are byte-identical either way — the
+  /// re-pack preserves per-vertex insertion order — but a long-running
+  /// ingestion path (hbguardd) must bound its worst-case append latency.
+  std::size_t compact_budget = 0;
   /// Give up on run() after this many scans without quiescence.
   std::size_t max_scans = 10'000;
   MatcherOptions matcher;
@@ -112,6 +144,28 @@ class Guard {
 
   const GuardReport& report() const { return report_; }
   const EarlyBlockModel& early_block_model() const { return early_model_; }
+
+  // ---- Repair proposals (RepairMode::kProposeOnly) ----
+
+  /// Outcome of an operator action on a proposal; `message` is
+  /// human-readable either way.
+  struct ProposalOutcome {
+    bool ok = false;
+    std::string message;
+  };
+
+  const std::vector<RepairProposal>& proposals() const { return proposals_; }
+  /// Execute a pending proposal's revert. Fails (with a message) when the
+  /// proposal is unknown, already settled, or its config version is not
+  /// hosted by this guard's network — e.g. a replayed trace, where the
+  /// rollback must be applied to the real device out of band.
+  ProposalOutcome approve_proposal(std::uint64_t id);
+  /// Dismiss a pending proposal (the change was intended; §6's "the
+  /// operator can simply adapt the policy accordingly").
+  ProposalOutcome decline_proposal(std::uint64_t id);
+  /// Roll back an approved proposal's executed revert (reinstate the
+  /// original change); the proposal is then declined.
+  ProposalOutcome revert_repair(std::uint64_t id);
   /// Sharded-verification counters (EC memo cache hits/misses per scan).
   VerifyStats verifier_stats() const { return verifier_.stats(); }
   /// Incremental-snapshot counters (all zero when scans run scratch).
@@ -192,6 +246,10 @@ class Guard {
   /// A degraded scan skipped verification after ingesting its snapshot
   /// delta; the next verifying scan must not trust its stale delta.
   bool pending_full_verify_ = false;
+
+  /// kProposeOnly repair queue (stable ids; never removed, only settled).
+  std::vector<RepairProposal> proposals_;
+  std::uint64_t next_proposal_id_ = 1;
 
   std::set<ConfigVersion> early_checked_;
   /// Config changes awaiting a benign label (cleared on clean converged

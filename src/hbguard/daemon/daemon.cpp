@@ -1,0 +1,473 @@
+#include "hbguard/daemon/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "hbguard/capture/trace_io.hpp"
+#include "hbguard/provenance/root_cause.hpp"
+#include "hbguard/util/logging.hpp"
+#include "hbguard/util/strings.hpp"
+
+namespace hbguard {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+bool set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Write all of `data` (blocking); RPC replies are small relative to socket
+/// buffers, so a stuck reader only ever delays its own connection.
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+GuardDaemon::GuardDaemon(DaemonOptions options) : options_(std::move(options)) {
+  session_ = std::make_unique<ReplayGuardSession>(options_.session);
+  pool_ = std::make_unique<ThreadPool>(1);
+}
+
+GuardDaemon::~GuardDaemon() {
+  pool_.reset();  // joins the scan lane before the session dies
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  for (int fd : {ingest_listen_, control_listen_, wake_read_, wake_write_}) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (bound_) {
+    ::unlink(ingest_socket_path().c_str());
+    ::unlink(control_socket_path().c_str());
+  }
+}
+
+std::string GuardDaemon::ingest_socket_path() const {
+  return options_.socket_dir + "/ingest.sock";
+}
+
+std::string GuardDaemon::control_socket_path() const {
+  return options_.socket_dir + "/control.sock";
+}
+
+bool GuardDaemon::setup_socket(int& fd, const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    HBG_ERROR << "hbguardd: socket path too long: " << path;
+    return false;
+  }
+  fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    HBG_ERROR << "hbguardd: socket(): " << std::strerror(errno);
+    return false;
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0 || !set_nonblocking(fd)) {
+    HBG_ERROR << "hbguardd: cannot listen on " << path << ": " << std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool GuardDaemon::bind() {
+  if (bound_) return true;
+  ::mkdir(options_.socket_dir.c_str(), 0700);  // EEXIST is fine
+  if (!setup_socket(ingest_listen_, ingest_socket_path())) return false;
+  if (!setup_socket(control_listen_, control_socket_path())) return false;
+  int pipefd[2];
+  if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0) {
+    HBG_ERROR << "hbguardd: pipe2(): " << std::strerror(errno);
+    return false;
+  }
+  wake_read_ = pipefd[0];
+  wake_write_ = pipefd[1];
+  bound_ = true;
+  return true;
+}
+
+void GuardDaemon::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  }
+}
+
+void GuardDaemon::accept_ready(int listen_fd, bool control) {
+  for (;;) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; poll will retry
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->control = control;
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void GuardDaemon::read_connection(Connection& conn) {
+  char buffer[kReadChunk];
+  for (;;) {
+    if (!conn.control && conn.inbox.size() >= options_.inbox_soft_limit) {
+      // Soft limit: stop reading (lossless — the kernel buffer fills and
+      // the sender blocks). The chunk already read still parses below, and
+      // only overshoot past the hard cap is dropped.
+      conn.paused = true;
+      break;
+    }
+    ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.closed = true;
+      break;
+    }
+    if (n == 0) {
+      conn.closed = true;
+      break;
+    }
+    conn.partial.append(buffer, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      std::size_t newline = conn.partial.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = conn.partial.substr(start, newline - start);
+      start = newline + 1;
+      if (line.empty()) continue;
+      if (conn.control) {
+        conn.lines.push_back(std::move(line));
+        continue;
+      }
+      TraceParseResult parsed = parse_trace_text(line);
+      if (!parsed.ok() || parsed.records.size() != 1) {
+        ++conn.parse_errors;
+        HBG_WARN_EVERY_N(64) << "hbguardd: ingest parse error: "
+                             << (parsed.errors.empty() ? "no record"
+                                                       : parsed.errors.front().message);
+        continue;
+      }
+      if (conn.inbox.size() >= options_.inbox_soft_limit * 2) {
+        // Hard cap: a single read burst overshot the paused threshold.
+        ++conn.dropped;
+        ++dropped_;
+        continue;
+      }
+      conn.inbox.push_back(std::move(parsed.records.front()));
+    }
+    conn.partial.erase(0, start);
+  }
+}
+
+bool GuardDaemon::inboxes_empty() const {
+  for (const auto& conn : connections_) {
+    if (!conn->control && !conn->inbox.empty()) return false;
+  }
+  return true;
+}
+
+bool GuardDaemon::ingest_quiescent() const {
+  // A paused connection may hold unread bytes (and an unread EOF) in the
+  // kernel buffer — its empty inbox proves nothing until reads resume.
+  for (const auto& conn : connections_) {
+    if (!conn->control && conn->paused) return false;
+  }
+  return inboxes_empty() && !scan_inflight_ && !session_->scan_due_now();
+}
+
+void GuardDaemon::start_scan() {
+  scan_inflight_ = true;
+  pool_->submit([this] {
+    session_->run_one_due_scan();
+    scan_done_.store(true, std::memory_order_release);
+    char byte = 'c';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  });
+}
+
+void GuardDaemon::reply(Connection& conn, const std::string& body) {
+  // Line-framed response, "." terminated; body lines equal to "." are
+  // dot-stuffed (SMTP style) so any payload round-trips.
+  std::string framed;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t newline = body.find('\n', start);
+    std::string_view line(body.data() + start, (newline == std::string::npos ? body.size() : newline) - start);
+    if (newline == std::string::npos && line.empty() && start > 0) break;
+    if (line == ".") framed += '.';
+    framed.append(line);
+    framed += '\n';
+    if (newline == std::string::npos) break;
+    start = newline + 1;
+  }
+  framed += ".\n";
+  if (!write_all(conn.fd, framed)) conn.closed = true;
+}
+
+std::string GuardDaemon::status_json() const {
+  const GuardReport& report = session_->report();
+  std::size_t pending = 0;
+  for (const RepairProposal& p : session_->guard().proposals()) {
+    if (p.status == RepairProposal::Status::kPending) ++pending;
+  }
+  std::size_t buffered = 0;
+  std::size_t ingest_conns = 0;
+  std::size_t control_conns = 0;
+  for (const auto& conn : connections_) {
+    if (conn->control) {
+      ++control_conns;
+    } else {
+      ++ingest_conns;
+      buffered += conn->inbox.size();
+    }
+  }
+  std::ostringstream out;
+  out << "{\"records_delivered\":" << session_->records_delivered()
+      << ",\"records_buffered\":" << buffered << ",\"records_dropped\":" << dropped_
+      << ",\"watermark_us\":" << session_->watermark() << ",\"scans\":" << report.scans
+      << ",\"clean_scans\":" << report.clean_scans << ",\"incidents\":" << report.incidents.size()
+      << ",\"reverts\":" << report.reverts << ",\"proposals_pending\":" << pending
+      << ",\"stream_gaps\":" << report.degrade.gaps
+      << ",\"ingest_connections\":" << ingest_conns
+      << ",\"control_connections\":" << control_conns
+      << ",\"delivery_paused\":" << (delivery_paused_ ? "true" : "false")
+      << ",\"finished\":" << (session_->finished() ? "true" : "false") << "}";
+  return out.str();
+}
+
+/// Returns false when the command must wait (quiescence-gated) — the line
+/// stays queued and is retried on the next drain pass.
+bool GuardDaemon::execute_command(Connection&, const std::string& line,
+                                  std::string& response) {
+  std::vector<std::string> words = split(trim(line), ' ');
+  const std::string& cmd = words[0];
+
+  if (cmd == "status") {
+    response = status_json();
+    return true;
+  }
+  if (cmd == "scan") {
+    session_->request_scan();
+    response = "ok scan scheduled at watermark " + std::to_string(session_->watermark());
+    return true;
+  }
+  if (cmd == "pause") {
+    delivery_paused_ = true;
+    response = "ok delivery paused (records buffer in inboxes)";
+    return true;
+  }
+  if (cmd == "resume") {
+    delivery_paused_ = false;
+    response = "ok delivery resumed";
+    return true;
+  }
+  if (cmd == "why") {
+    if (words.size() != 2) {
+      response = "err usage: why <io-id>";
+      return true;
+    }
+    IoId io = static_cast<IoId>(std::strtoull(words[1].c_str(), nullptr, 10));
+    HappensBeforeGraph hbg = session_->guard().current_hbg();
+    if (hbg.record(io) == nullptr) {
+      response = "err no record #" + words[1] + " in the capture";
+      return true;
+    }
+    RootCauseAnalyzer analyzer;
+    response = RootCauseAnalyzer::render(hbg, analyzer.analyze(hbg, io));
+    return true;
+  }
+  if (cmd == "repairs") {
+    if (words.size() < 2) {
+      response = "err usage: repairs list|approve <id>|decline <id>|revert <id>";
+      return true;
+    }
+    Guard& guard = session_->guard();
+    if (words[1] == "list") {
+      std::ostringstream out;
+      for (const RepairProposal& p : guard.proposals()) {
+        out << "#" << p.id << " " << to_string(p.status) << " revert v" << p.cause_version
+            << " on R" << p.router << " (" << p.description << ")\n";
+      }
+      response = out.str().empty() ? "no proposals" : out.str();
+      return true;
+    }
+    if (words.size() != 3) {
+      response = "err usage: repairs " + words[1] + " <id>";
+      return true;
+    }
+    std::uint64_t id = std::strtoull(words[2].c_str(), nullptr, 10);
+    Guard::ProposalOutcome outcome;
+    if (words[1] == "approve") {
+      outcome = guard.approve_proposal(id);
+    } else if (words[1] == "decline") {
+      outcome = guard.decline_proposal(id);
+    } else if (words[1] == "revert") {
+      outcome = guard.revert_repair(id);
+    } else {
+      response = "err unknown repairs action: " + words[1];
+      return true;
+    }
+    response = (outcome.ok ? "ok " : "err ") + outcome.message;
+    return true;
+  }
+  if (cmd == "finish" || cmd == "digest") {
+    if (!ingest_quiescent()) return false;  // wait for the stream to drain
+    session_->finish();
+    response = cmd == "digest" ? session_->digest() : "ok finished (tail scan complete)";
+    return true;
+  }
+  if (cmd == "shutdown") {
+    running_ = false;
+    response = "ok shutting down";
+    return true;
+  }
+  response = "err unknown command: " + cmd +
+             " (try: scan status why repairs pause resume finish digest shutdown)";
+  return true;
+}
+
+bool GuardDaemon::process_control(Connection& conn) {
+  bool progressed = false;
+  while (!conn.lines.empty() && !scan_inflight_ && running_) {
+    std::string response;
+    if (!execute_command(conn, conn.lines.front(), response)) break;  // deferred
+    conn.lines.pop_front();
+    reply(conn, response);
+    progressed = true;
+  }
+  return progressed;
+}
+
+void GuardDaemon::drain() {
+  bool progress = true;
+  while (progress && !scan_inflight_ && running_) {
+    progress = false;
+    for (auto& conn : connections_) {
+      if (conn->control) progress |= process_control(*conn);
+    }
+    if (scan_inflight_ || !running_ || delivery_paused_) break;
+    if (session_->scan_due_now()) {
+      start_scan();
+      break;
+    }
+    Connection* next = nullptr;
+    for (auto& conn : connections_) {
+      if (!conn->control && !conn->inbox.empty()) {
+        next = conn.get();
+        break;
+      }
+    }
+    if (next == nullptr) continue;  // one more control pass may have unblocked a command
+    if (session_->scan_due_before(next->inbox.front())) {
+      start_scan();
+      break;
+    }
+    session_->deliver(next->inbox.front());
+    next->inbox.pop_front();
+    if (next->paused && next->inbox.size() <= options_.inbox_soft_limit / 2) {
+      next->paused = false;
+      // Re-read immediately: bytes (or the EOF) that piled up in the kernel
+      // buffer while paused must show in the inbox before any quiescence
+      // check this pass, or a deferred digest could run early.
+      read_connection(*next);
+    }
+    progress = true;
+  }
+
+  // Destroy connections that reached EOF and have nothing left to drain.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection& conn = **it;
+    if (conn.closed && conn.inbox.empty() && conn.lines.empty()) {
+      if (conn.dropped > 0) {
+        HBG_WARN << "hbguardd: ingest connection closed with " << conn.dropped
+                 << " record(s) dropped at the backpressure hard cap";
+      }
+      ::close(conn.fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int GuardDaemon::run() {
+  if (!bound_ && !bind()) return 1;
+  running_ = true;
+  HBG_INFO << "hbguardd: listening on " << ingest_socket_path() << " and "
+           << control_socket_path();
+
+  std::vector<pollfd> fds;
+  while (running_) {
+    fds.clear();
+    fds.push_back({wake_read_, POLLIN, 0});
+    fds.push_back({ingest_listen_, POLLIN, 0});
+    fds.push_back({control_listen_, POLLIN, 0});
+    std::size_t first_conn = fds.size();
+    for (const auto& conn : connections_) {
+      short events = 0;
+      if (!conn->closed && (conn->control || !conn->paused)) events = POLLIN;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      HBG_ERROR << "hbguardd: poll(): " << std::strerror(errno);
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char sink[64];
+      while (::read(wake_read_, sink, sizeof(sink)) > 0) {
+      }
+      if (scan_done_.exchange(false, std::memory_order_acquire)) scan_inflight_ = false;
+      if (stop_requested_.load(std::memory_order_acquire)) running_ = false;
+    }
+    if (fds[1].revents & POLLIN) accept_ready(ingest_listen_, /*control=*/false);
+    if (fds[2].revents & POLLIN) accept_ready(control_listen_, /*control=*/true);
+    // connections_ may have grown via accept; only the polled prefix has
+    // revents to consume.
+    std::size_t polled = fds.size() - first_conn;
+    for (std::size_t i = 0; i < polled && i < connections_.size(); ++i) {
+      if (fds[first_conn + i].fd != connections_[i]->fd) break;  // erased mid-cycle
+      if (fds[first_conn + i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        read_connection(*connections_[i]);
+      }
+    }
+
+    drain();
+  }
+
+  // Let an in-flight scan complete (the pool destructor drains its queue),
+  // then flush rate-limited warning tallies — the shutdown path that
+  // motivated Logger::flush_suppressed().
+  pool_.reset();
+  if (scan_done_.exchange(false)) scan_inflight_ = false;
+  Logger::instance().flush_suppressed();
+  HBG_INFO << "hbguardd: shut down after " << session_->records_delivered() << " records and "
+           << session_->scans_run() << " scans";
+  return 0;
+}
+
+}  // namespace hbguard

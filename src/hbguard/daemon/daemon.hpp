@@ -1,0 +1,121 @@
+// hbguardd — the guard as a long-running process.
+//
+// A single-threaded poll(2) event loop owns two Unix-domain listening
+// sockets:
+//
+//   <dir>/ingest.sock   taps connect and stream IoRecords as JSON Lines
+//                       (the write_trace() schema, one record per line)
+//   <dir>/control.sock  operators (hbgctl live) speak a line-oriented RPC
+//
+// Ownership rule (see DESIGN.md): the event loop thread owns every mutable
+// structure — connections, inboxes, the ReplayGuardSession (capture hub,
+// guard, graph). Scans are offloaded to a one-worker ThreadPool so a long
+// verify never blocks ingestion reads, but while a scan is in flight the
+// loop neither delivers records nor executes control commands that touch
+// guard state: ingest bytes pile into per-connection inboxes (bounded), and
+// control lines queue. Scan completion is signalled back over a self-pipe.
+// At most one thread therefore ever touches the session, without locks.
+//
+// Backpressure, per ingest connection:
+//   - inbox >= soft limit: stop reading the socket (POLLIN off). Lossless —
+//     the kernel buffer fills and the sender blocks. Reading resumes once
+//     the inbox drains below half the soft limit.
+//   - a single read() burst can still overshoot; records past the hard cap
+//     (2x soft) are dropped and counted. Dropped records leave router_seq
+//     gaps, which the session's StreamHealthTracker accounts as telemetry
+//     degradation (the guard degrades scans rather than trusting a stream
+//     with holes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hbguard/daemon/replay_session.hpp"
+#include "hbguard/util/thread_pool.hpp"
+
+namespace hbguard {
+
+struct DaemonOptions {
+  /// Directory the sockets live in (created if missing).
+  std::string socket_dir = "/tmp/hbguardd";
+  ReplaySessionOptions session;
+  /// Ingest records buffered per connection before its socket stops being
+  /// read (see backpressure above).
+  std::size_t inbox_soft_limit = 4096;
+};
+
+class GuardDaemon {
+ public:
+  explicit GuardDaemon(DaemonOptions options);
+  ~GuardDaemon();
+  GuardDaemon(const GuardDaemon&) = delete;
+  GuardDaemon& operator=(const GuardDaemon&) = delete;
+
+  /// Bind the sockets. Returns false (with a logged error) on failure.
+  /// Separate from run() so a launcher can confirm the sockets exist before
+  /// pointing clients at them.
+  bool bind();
+
+  std::string ingest_socket_path() const;
+  std::string control_socket_path() const;
+
+  /// Run the event loop until a `shutdown` RPC (or stop()). Returns 0 on a
+  /// clean shutdown. Calls bind() if it has not run yet.
+  int run();
+
+  /// Ask the loop to exit (thread-safe; used by signal handlers and tests).
+  void stop();
+
+  /// Loop-thread-only introspection (tests drive these between run() exits).
+  const ReplayGuardSession& session() const { return *session_; }
+  std::uint64_t records_dropped() const { return dropped_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    bool control = false;
+    bool paused = false;        // POLLIN off (ingest backpressure)
+    bool closed = false;        // EOF seen; drain inbox, then destroy
+    std::string partial;        // trailing unterminated line from last read
+    std::deque<IoRecord> inbox;     // parsed, undelivered records (ingest)
+    std::deque<std::string> lines;  // queued RPC lines (control)
+    std::uint64_t dropped = 0;      // records past the hard cap
+    std::uint64_t parse_errors = 0;
+  };
+
+  bool setup_socket(int& fd, const std::string& path);
+  void accept_ready(int listen_fd, bool control);
+  void read_connection(Connection& conn);
+  void drain();                   // the canonical deliver/scan loop
+  bool inboxes_empty() const;
+  bool ingest_quiescent() const;  // inboxes empty, no due scan pending
+  void start_scan();              // offload one due scan to the pool
+  bool process_control(Connection& conn);
+  bool execute_command(Connection& conn, const std::string& line, std::string& response);
+  std::string status_json() const;
+  void reply(Connection& conn, const std::string& body);
+  void close_connection(Connection& conn);
+
+  DaemonOptions options_;
+  std::unique_ptr<ReplayGuardSession> session_;
+  std::unique_ptr<ThreadPool> pool_;  // exactly one worker: the scan lane
+
+  int ingest_listen_ = -1;
+  int control_listen_ = -1;
+  int wake_read_ = -1;   // self-pipe: scan completion + stop() wakeups
+  int wake_write_ = -1;
+  bool bound_ = false;
+  bool running_ = false;
+  bool scan_inflight_ = false;
+  bool delivery_paused_ = false;  // `pause` RPC: hold records in inboxes
+  std::atomic<bool> scan_done_{false};      // set by the scan worker
+  std::atomic<bool> stop_requested_{false};
+  std::uint64_t dropped_ = 0;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace hbguard

@@ -73,7 +73,7 @@ void HappensBeforeGraph::append_half(Adjacency& adj, VertexIndex v, const HalfEd
     adj.tail.resize(vertices_.size(), kNoPending);
   }
   std::uint32_t slot = static_cast<std::uint32_t>(adj.pending.size());
-  adj.pending.push_back({half, kNoPending});
+  adj.pending.push_back({half, v, kNoPending});
   if (adj.head[v] == kNoPending) {
     adj.head[v] = slot;
   } else {
@@ -113,6 +113,12 @@ void HappensBeforeGraph::add_edge(IoId from, IoId to, double confidence,
       HalfEdge* back = find_half(in_, t, f);
       back->confidence = confidence;
       back->origin = origin_id;
+      if (inflight_.active) {
+        // The upgraded half may already have been copied into the in-flight
+        // side arrays; mirror it there so the swap installs current values.
+        patch_inflight(0, f, {t, origin_id, confidence});
+        patch_inflight(1, t, {f, origin_id, confidence});
+      }
     }
     return;
   }
@@ -124,9 +130,101 @@ void HappensBeforeGraph::add_edge(IoId from, IoId to, double confidence,
 }
 
 void HappensBeforeGraph::maybe_compact() {
+  if (compact_budget_ > 0) {
+    if (inflight_.active) {
+      advance_compaction(compact_budget_);
+      return;
+    }
+    if (out_.pending.size() >= kCompactMinPending &&
+        out_.pending.size() * 4 >= out_.csr.size()) {
+      start_compaction();
+      advance_compaction(compact_budget_);
+    }
+    return;
+  }
   if (out_.pending.size() >= kCompactMinPending &&
       out_.pending.size() * 4 >= out_.csr.size()) {
     compact();
+  }
+}
+
+void HappensBeforeGraph::start_compaction() {
+  inflight_.active = true;
+  inflight_.stage = 0;
+  inflight_.next_vertex = 0;
+  inflight_.frozen_vertices = static_cast<VertexIndex>(vertices_.size());
+  inflight_.frozen_pending[0] = out_.pending.size();
+  inflight_.frozen_pending[1] = in_.pending.size();
+  inflight_.offsets.clear();
+  inflight_.offsets.reserve(inflight_.frozen_vertices + 1);
+  inflight_.offsets.push_back(0);
+  inflight_.csr.clear();
+  inflight_.csr.reserve(out_.csr.size() + out_.pending.size());
+}
+
+void HappensBeforeGraph::advance_compaction(std::size_t budget) {
+  while (inflight_.active && budget > 0) {
+    Adjacency& adj = inflight_.stage == 0 ? out_ : in_;
+    std::size_t frozen_pending = inflight_.frozen_pending[inflight_.stage];
+    if (inflight_.next_vertex == inflight_.frozen_vertices) {
+      swap_compacted(adj, frozen_pending);
+      if (inflight_.stage == 1) {
+        inflight_ = InflightCompaction{};
+        return;
+      }
+      inflight_.stage = 1;
+      inflight_.next_vertex = 0;
+      inflight_.offsets.clear();
+      inflight_.offsets.push_back(0);
+      inflight_.csr.clear();
+      inflight_.csr.reserve(in_.csr.size() + inflight_.frozen_pending[1]);
+      continue;
+    }
+    // Copy one vertex: CSR segment, then the frozen prefix of its pending
+    // chain (chain slots are monotone, so the frozen entries are a prefix).
+    VertexIndex v = inflight_.next_vertex++;
+    std::size_t copied = 0;
+    if (v + 1 < adj.offsets.size()) {
+      for (std::uint32_t i = adj.offsets[v]; i < adj.offsets[v + 1]; ++i) {
+        inflight_.csr.push_back(adj.csr[i]);
+        ++copied;
+      }
+    }
+    if (v < adj.head.size()) {
+      for (std::uint32_t p = adj.head[v]; p != kNoPending && p < frozen_pending;
+           p = adj.pending[p].next) {
+        inflight_.csr.push_back(adj.pending[p].half);
+        ++copied;
+      }
+    }
+    inflight_.offsets.push_back(static_cast<std::uint32_t>(inflight_.csr.size()));
+    budget -= std::min(budget, std::max<std::size_t>(copied, 1));
+  }
+}
+
+void HappensBeforeGraph::swap_compacted(Adjacency& adj, std::size_t frozen_pending) {
+  adj.offsets = std::move(inflight_.offsets);
+  adj.csr = std::move(inflight_.csr);
+  // Post-freeze appends become the new pending buffer, same relative order.
+  std::vector<PendingEdge> leftover(adj.pending.begin() + frozen_pending, adj.pending.end());
+  adj.pending.clear();
+  adj.head.assign(vertices_.size(), kNoPending);
+  adj.tail.assign(vertices_.size(), kNoPending);
+  for (const PendingEdge& edge : leftover) append_half(adj, edge.src, edge.half);
+}
+
+void HappensBeforeGraph::compact_step(std::size_t budget) {
+  if (inflight_.active && budget > 0) advance_compaction(budget);
+}
+
+void HappensBeforeGraph::patch_inflight(int stage, VertexIndex v, const HalfEdge& updated) {
+  if (stage != inflight_.stage) return;  // not yet started, or already swapped in
+  if (v >= inflight_.next_vertex) return;
+  for (std::uint32_t i = inflight_.offsets[v]; i < inflight_.offsets[v + 1]; ++i) {
+    if (inflight_.csr[i].other == updated.other) {
+      inflight_.csr[i] = updated;
+      return;
+    }
   }
 }
 
@@ -157,6 +255,10 @@ void HappensBeforeGraph::compact_adjacency(Adjacency& adj) {
 }
 
 void HappensBeforeGraph::compact() {
+  // An amortized pass never mutates the live structures before its swap, so
+  // discarding it mid-flight is always safe: the live CSR + chains still
+  // hold every edge in per-vertex insertion order.
+  inflight_ = InflightCompaction{};
   compact_adjacency(out_);
   compact_adjacency(in_);
 }

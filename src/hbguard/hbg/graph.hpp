@@ -173,10 +173,29 @@ class HappensBeforeGraph {
   std::vector<IoId> all_leaves(double min_confidence = 0.0) const;
 
   /// Re-pack the append-side edge buffers into the CSR segments now
-  /// (otherwise triggered automatically as the buffers grow).
+  /// (otherwise triggered automatically as the buffers grow). Discards any
+  /// in-progress amortized pass and re-packs from the live structures, so
+  /// it is safe at any point.
   void compact();
   /// Append-side buffer occupancy (diagnostics/tests).
   std::size_t pending_edge_count() const { return out_.pending.size(); }
+
+  /// Amortize compaction: instead of re-packing the whole CSR inside one
+  /// add_edge call (stop-the-world O(E)), spread the re-pack across
+  /// subsequent add_edge calls, copying at most `budget` half-edges per
+  /// call. 0 (the default) keeps the eager behaviour. Because per-vertex
+  /// insertion order is preserved either way, every query — and every
+  /// downstream report digest — is byte-identical to eager compaction (see
+  /// tests/test_hbg_compact.cpp). A long-running ingester (hbguardd) sets a
+  /// budget so no single append pays the full re-pack latency.
+  void set_compact_budget(std::size_t budget) { compact_budget_ = budget; }
+  std::size_t compact_budget() const { return compact_budget_; }
+  /// An amortized re-pack is currently mid-flight (diagnostics/tests).
+  bool compaction_in_progress() const { return inflight_.active; }
+  /// Advance an in-flight amortized re-pack by up to `budget` half-edge
+  /// copies without adding an edge — idle-time maintenance for a
+  /// long-running ingester. No-op when no pass is active.
+  void compact_step(std::size_t budget);
 
  private:
   static constexpr std::uint32_t kOwnedRecordBit = 0x80000000u;
@@ -193,7 +212,8 @@ class HappensBeforeGraph {
   };
   struct PendingEdge {
     HalfEdge half;
-    std::uint32_t next = kNoPending;  // chain per source vertex, in order
+    VertexIndex src = kNoVertexIndex;  // owning vertex (for pass-leftover rebuild)
+    std::uint32_t next = kNoPending;   // chain per source vertex, in order
   };
   struct Adjacency {
     std::vector<std::uint32_t> offsets;  // CSR; size = compacted vertices + 1
@@ -241,12 +261,39 @@ class HappensBeforeGraph {
     }
   }
 
+  /// In-progress amortized re-pack. The pass freezes the vertex count and
+  /// per-direction pending sizes at start, then copies vertices — CSR
+  /// segment first, then the frozen prefix of the pending chain — into side
+  /// arrays, at most `compact_budget_` half-edges per add_edge call. The
+  /// live structures are never mutated mid-pass (queries keep using them);
+  /// when a direction's copy completes it is swapped in and the post-freeze
+  /// chain suffix is re-appended as the new pending buffer. Edges appended
+  /// (or vertices inserted) during the pass land past the freeze point and
+  /// survive the swap untouched.
+  struct InflightCompaction {
+    bool active = false;
+    int stage = 0;                    // 0 = out_, 1 = in_
+    VertexIndex next_vertex = 0;      // first vertex not yet copied (this stage)
+    VertexIndex frozen_vertices = 0;  // vertex count at pass start
+    std::size_t frozen_pending[2] = {0, 0};  // pending sizes at pass start
+    std::vector<std::uint32_t> offsets;      // side arrays for the stage
+    std::vector<HalfEdge> csr;
+  };
+
   VertexIndex insert_vertex(IoId id, std::uint32_t store_index);
   void append_half(Adjacency& adj, VertexIndex v, const HalfEdge& half);
   HalfEdge* find_half(Adjacency& adj, VertexIndex v, VertexIndex other);
   void compact_adjacency(Adjacency& adj);
   std::uint32_t intern_origin(std::string_view origin);
   void maybe_compact();
+  void start_compaction();
+  void advance_compaction(std::size_t budget);
+  /// Install the completed stage's side arrays into `adj`, keeping the
+  /// post-freeze pending suffix as the new append buffer.
+  void swap_compacted(Adjacency& adj, std::size_t frozen_pending);
+  /// Mirror a confidence upgrade into the in-flight copy when the touched
+  /// half-edge was already copied by the active stage.
+  void patch_inflight(int stage, VertexIndex v, const HalfEdge& updated);
 
   /// Vertex indices in ascending-id order; the identity sequence while ids
   /// were appended monotonically (the capture-stream case), a cached
@@ -262,6 +309,8 @@ class HappensBeforeGraph {
   Adjacency out_;
   Adjacency in_;
   std::size_t edge_total_ = 0;
+  std::size_t compact_budget_ = 0;  // 0 = eager compaction
+  InflightCompaction inflight_;
   std::vector<std::string> origin_pool_;
   std::map<std::string, std::uint32_t, std::less<>> origin_ids_;
 

@@ -57,6 +57,10 @@ class IncrementalHbgBuilder {
     return true;
   }
 
+  /// Amortize the graph's CSR re-pack under a per-append half-edge budget
+  /// (0 = eager). See HappensBeforeGraph::set_compact_budget.
+  void set_compact_budget(std::size_t budget) { graph_.set_compact_budget(budget); }
+
   /// Direct access to the underlying graph for shard adoption — splitting
   /// an already-built global HBG into per-shard slices copies vertices and
   /// edges in without running the engine at all.

@@ -1,8 +1,54 @@
 #include "hbguard/util/logging.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 namespace hbguard {
+
+namespace {
+
+/// Live labelled RateLimiter sites, so Logger::flush_suppressed() can reach
+/// them. Heap-allocated and never destroyed: macro-site limiters are
+/// function-local statics with interleaved teardown order, so the registry
+/// must outlive every possible unregister call.
+class RateLimiterRegistry {
+ public:
+  static RateLimiterRegistry& instance() {
+    static RateLimiterRegistry* registry = new RateLimiterRegistry();
+    return *registry;
+  }
+
+  void add(RateLimiter* limiter) {
+    std::lock_guard lock(mutex_);
+    sites_.push_back(limiter);
+  }
+
+  void remove(RateLimiter* limiter) {
+    std::lock_guard lock(mutex_);
+    sites_.erase(std::remove(sites_.begin(), sites_.end(), limiter), sites_.end());
+  }
+
+  void flush_all() {
+    std::vector<RateLimiter*> sites;
+    {
+      std::lock_guard lock(mutex_);
+      sites = sites_;
+    }
+    for (RateLimiter* site : sites) site->flush();
+  }
+
+ private:
+  RateLimiterRegistry() {
+    // Touch the logger first: it must outlive every registered site's
+    // destructor-time flush.
+    Logger::instance();
+  }
+  std::mutex mutex_;
+  std::vector<RateLimiter*> sites_;
+};
+
+}  // namespace
 
 std::string_view to_string(LogLevel level) {
   switch (level) {
@@ -46,6 +92,37 @@ void Logger::log(LogLevel level, std::string_view message) {
     std::fprintf(stderr, "[%s] %.*s\n", std::string(to_string(level)).c_str(),
                  static_cast<int>(message.size()), message.data());
   }
+}
+
+void Logger::flush_suppressed() { RateLimiterRegistry::instance().flush_all(); }
+
+RateLimiter::RateLimiter(std::uint64_t every_n, std::string site)
+    : every_n_(every_n == 0 ? 1 : every_n), site_(std::move(site)) {
+  if (!site_.empty()) RateLimiterRegistry::instance().add(this);
+}
+
+RateLimiter::~RateLimiter() {
+  if (site_.empty()) return;
+  RateLimiterRegistry::instance().remove(this);
+  flush();
+}
+
+std::uint64_t RateLimiter::suppressed() const {
+  std::uint64_t seen = counter_.load(std::memory_order_relaxed);
+  if (seen == 0) return 0;
+  std::uint64_t logged = (seen + every_n_ - 1) / every_n_;
+  return seen - logged;
+}
+
+void RateLimiter::flush() {
+  std::uint64_t total = suppressed();
+  std::uint64_t already = reported_.exchange(total, std::memory_order_relaxed);
+  if (total <= already || site_.empty()) return;
+  Logger::instance().log(LogLevel::kWarn,
+                         site_ + ": " + std::to_string(total - already) +
+                             " rate-limited warning(s) suppressed (" +
+                             std::to_string(counter_.load(std::memory_order_relaxed)) +
+                             " total occurrences)");
 }
 
 }  // namespace hbguard

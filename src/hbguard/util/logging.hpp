@@ -40,6 +40,12 @@ class Logger {
 
   void log(LogLevel level, std::string_view message);
 
+  /// Emit one "<site>: N rate-limited warning(s) suppressed" line per
+  /// registered RateLimiter site with unreported suppressions. Long-lived
+  /// processes (hbguardd) call this at shutdown; each site also self-flushes
+  /// when it is destroyed, so plain program exit reports the tallies too.
+  void flush_suppressed();
+
  private:
   Logger() = default;
   std::mutex mutex_;
@@ -52,18 +58,34 @@ class Logger {
 /// runs can detect thousands of gaps/duplicates; without this they flood
 /// stderr. Thread-safe (capture admission is single-threaded today, but
 /// tests drive scenarios concurrently).
+///
+/// A limiter constructed with a site label registers itself: its suppressed
+/// tally is reported by Logger::flush_suppressed() and, finally, by its own
+/// destructor — otherwise counts silently vanish at shutdown.
 class RateLimiter {
  public:
-  explicit RateLimiter(std::uint64_t every_n) : every_n_(every_n == 0 ? 1 : every_n) {}
+  explicit RateLimiter(std::uint64_t every_n, std::string site = {});
+  ~RateLimiter();
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
 
   /// True on occurrences 0, N, 2N, ... — the ones that should be logged.
   bool allow() { return counter_.fetch_add(1, std::memory_order_relaxed) % every_n_ == 0; }
 
   std::uint64_t seen() const { return counter_.load(std::memory_order_relaxed); }
 
+  /// Occurrences allow() swallowed so far.
+  std::uint64_t suppressed() const;
+
+  /// Log this site's not-yet-reported suppressed count (idempotent: a
+  /// second flush with no new suppressions emits nothing).
+  void flush();
+
  private:
   std::uint64_t every_n_;
+  std::string site_;
   std::atomic<std::uint64_t> counter_{0};
+  std::atomic<std::uint64_t> reported_{0};  // cumulative suppressions already flushed
 };
 
 namespace detail {
@@ -93,16 +115,21 @@ class LogLine {
   } else                                                      \
     ::hbguard::detail::LogLine(level)
 
+#define HBG_DETAIL_STRINGIZE2(x) #x
+#define HBG_DETAIL_STRINGIZE(x) HBG_DETAIL_STRINGIZE2(x)
+
 // Rate-limited variant: logs occurrence 0 of every `n` at this call site,
 // skips the rest. Each expansion gets its own counter (static local inside a
-// per-site lambda type).
-#define HBG_LOG_EVERY_N(level, n)                             \
-  if (!::hbguard::Logger::instance().enabled(level)) {        \
-  } else if (([]() -> bool {                                  \
-               static ::hbguard::RateLimiter hbg_rl_{n};      \
-               return !hbg_rl_.allow();                       \
-             })()) {                                          \
-  } else                                                      \
+// per-site lambda type), labelled file:line so suppressed tallies can be
+// flushed at teardown.
+#define HBG_LOG_EVERY_N(level, n)                                          \
+  if (!::hbguard::Logger::instance().enabled(level)) {                     \
+  } else if (([]() -> bool {                                               \
+               static ::hbguard::RateLimiter hbg_rl_{                     \
+                   n, __FILE__ ":" HBG_DETAIL_STRINGIZE(__LINE__)};        \
+               return !hbg_rl_.allow();                                    \
+             })()) {                                                       \
+  } else                                                                   \
     ::hbguard::detail::LogLine(level)
 
 #define HBG_WARN_EVERY_N(n) HBG_LOG_EVERY_N(::hbguard::LogLevel::kWarn, n)

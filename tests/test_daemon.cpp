@@ -1,0 +1,303 @@
+// End-to-end tests for hbguardd: a loopback Unix-socket client streams the
+// Fig. 2 trace through a live daemon and asserts that the GuardReport digest
+// matches the synchronous library path (ReplayGuardSession::run_offline) on
+// the same input — the transport must be invisible to verification. Also
+// exercises the control RPC surface (status/scan/repairs), ingest
+// backpressure with a slow (paused) consumer, and clean shutdown.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixtures.hpp"
+#include "hbguard/capture/trace_io.hpp"
+#include "hbguard/daemon/daemon.hpp"
+#include "hbguard/sim/scenario.hpp"
+
+namespace hbguard {
+namespace {
+
+// ---- Minimal blocking loopback client (mirrors hbgctl live / feed) --------
+
+int connect_unix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// One RPC round-trip: send `command`, collect the "."-framed response body.
+std::string rpc(int fd, const std::string& command) {
+  if (!send_all(fd, command + "\n")) return {};
+  std::string buffer;
+  std::string body;
+  char chunk[4096];
+  for (;;) {
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line == ".") return body;
+      if (!line.empty() && line[0] == '.') line.erase(0, 1);  // un-dot-stuff
+      body += line;
+      body += '\n';
+    }
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return body;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string chomp(std::string text) {
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+std::string to_jsonl(const std::vector<IoRecord>& records) {
+  std::ostringstream out;
+  write_trace(out, records);
+  return out.str();
+}
+
+/// Pull an integer field out of the one-line status JSON.
+std::uint64_t status_field(const std::string& status, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  std::size_t pos = status.find(needle);
+  if (pos == std::string::npos) return ~0ULL;
+  return std::strtoull(status.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+struct Fig2Trace {
+  std::vector<IoRecord> records;
+  PolicyList policies;
+};
+
+/// The misconfigured Fig. 2 run: the preferred-exit violation is in the
+/// trace, so proposal-mode scans queue a repair for operator approval.
+Fig2Trace make_fig2_trace() {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  scenario.misconfigure_r2_lp10();
+  scenario.network->run_to_convergence();
+  return {scenario.network->capture().records(), paper_policies(scenario)};
+}
+
+DaemonOptions make_options(const Fig2Trace& trace, const std::string& suffix) {
+  DaemonOptions options;
+  options.socket_dir =
+      "/tmp/hbguardd-test-" + std::to_string(::getpid()) + "-" + suffix;
+  options.session.policies = trace.policies;
+  options.session.scan_every_us = 5'000;  // several cadence boundaries per trace
+  options.session.guard.repair = RepairMode::kProposeOnly;
+  options.session.guard.compact_budget = 64;  // amortized compaction on
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Daemon, DigestParityAcrossThreadCountsWithAmortizedCompaction) {
+  Fig2Trace trace = make_fig2_trace();
+  ASSERT_GT(trace.records.size(), 20u);
+
+  std::vector<std::string> digests;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    DaemonOptions options = make_options(trace, "parity-" + std::to_string(threads));
+    options.session.guard.num_threads = threads;
+
+    GuardReport offline = ReplayGuardSession::run_offline(trace.records, options.session);
+    ASSERT_GE(offline.scans, 2u);  // cadence actually fired mid-stream
+
+    GuardDaemon daemon(options);
+    ASSERT_TRUE(daemon.bind());
+    std::thread server([&daemon] { daemon.run(); });
+
+    int ingest = connect_unix(daemon.ingest_socket_path());
+    ASSERT_GE(ingest, 0);
+    ASSERT_TRUE(send_all(ingest, to_jsonl(trace.records)));
+    ::close(ingest);
+
+    int control = connect_unix(daemon.control_socket_path());
+    ASSERT_GE(control, 0);
+    std::string digest = rpc(control, "digest");  // gated on ingest quiescence
+    std::string bye = rpc(control, "shutdown");
+    ::close(control);
+    server.join();
+
+    EXPECT_EQ(chomp(digest), chomp(offline.digest()));
+    EXPECT_EQ(bye.rfind("ok", 0), 0u) << bye;
+    EXPECT_EQ(daemon.session().records_delivered(), trace.records.size());
+    EXPECT_EQ(daemon.records_dropped(), 0u);
+    digests.push_back(chomp(digest));
+  }
+  // Thread count must not leak into the verdict stream.
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(Daemon, ControlSurfaceDrivesProposalsOverRpc) {
+  Fig2Trace trace = make_fig2_trace();
+  DaemonOptions options = make_options(trace, "rpc");
+
+  GuardDaemon daemon(options);
+  ASSERT_TRUE(daemon.bind());
+  std::thread server([&daemon] { daemon.run(); });
+
+  int ingest = connect_unix(daemon.ingest_socket_path());
+  ASSERT_GE(ingest, 0);
+  ASSERT_TRUE(send_all(ingest, to_jsonl(trace.records)));
+  ::close(ingest);
+
+  int control = connect_unix(daemon.control_socket_path());
+  ASSERT_GE(control, 0);
+
+  // digest first: it waits for the whole stream to drain and the tail scan
+  // to run, so everything after it observes the final state.
+  std::string digest = rpc(control, "digest");
+  EXPECT_FALSE(chomp(digest).empty());
+
+  std::string status = rpc(control, "status");
+  EXPECT_EQ(status_field(status, "records_delivered"), trace.records.size());
+  EXPECT_EQ(status_field(status, "records_dropped"), 0u);
+  EXPECT_GE(status_field(status, "scans"), 2u);
+  EXPECT_GE(status_field(status, "incidents"), 1u);  // preferred-exit violated
+  EXPECT_EQ(status_field(status, "proposals_pending"), 1u);
+  EXPECT_NE(status.find("\"finished\":true"), std::string::npos) << status;
+
+  std::string list = rpc(control, "repairs list");
+  EXPECT_NE(list.find("#1 pending"), std::string::npos) << list;
+
+  // The replay host does not own the misconfigured device's config store, so
+  // approval reports the out-of-band path rather than faking a revert.
+  std::string approve = rpc(control, "repairs approve 1");
+  EXPECT_EQ(approve.rfind("err", 0), 0u) << approve;
+  EXPECT_NE(approve.find("out of band"), std::string::npos) << approve;
+
+  std::string decline = rpc(control, "repairs decline 1");
+  EXPECT_EQ(decline.rfind("ok", 0), 0u) << decline;
+  EXPECT_NE(rpc(control, "repairs list").find("#1 declined"), std::string::npos);
+
+  EXPECT_EQ(rpc(control, "why 999999").rfind("err", 0), 0u);
+  EXPECT_EQ(rpc(control, "bogus-command").rfind("err", 0), 0u);
+
+  std::string bye = rpc(control, "shutdown");
+  EXPECT_EQ(bye.rfind("ok", 0), 0u) << bye;
+  ::close(control);
+  server.join();
+}
+
+TEST(Daemon, BackpressureSlowConsumerDropsAtHardCapThenRecovers) {
+  Fig2Trace trace = make_fig2_trace();
+  ASSERT_GT(trace.records.size(), 20u);
+
+  DaemonOptions options = make_options(trace, "backpressure");
+  options.inbox_soft_limit = 4;  // hard cap 8 — far below the trace size
+
+  GuardDaemon daemon(options);
+  ASSERT_TRUE(daemon.bind());
+  std::thread server([&daemon] { daemon.run(); });
+
+  int control = connect_unix(daemon.control_socket_path());
+  ASSERT_GE(control, 0);
+  ASSERT_EQ(rpc(control, "pause").rfind("ok", 0), 0u);
+
+  // With delivery paused the inbox cannot drain: reads stop at the soft
+  // limit (lossless kernel backpressure), and a single read burst that
+  // overshoots the hard cap is dropped. Send all but the last 12 records as
+  // one burst — the inbox caps at 8, the rest of the burst is dropped.
+  std::size_t tail_count = 12;
+  std::vector<IoRecord> head(trace.records.begin(), trace.records.end() - tail_count);
+  std::vector<IoRecord> tail(trace.records.end() - tail_count, trace.records.end());
+  std::uint64_t sent = trace.records.size();
+
+  int ingest = connect_unix(daemon.ingest_socket_path());
+  ASSERT_GE(ingest, 0);
+  ASSERT_TRUE(send_all(ingest, to_jsonl(head)));
+
+  // Resume: the buffered 8 deliver, the connection unpauses, and the reads
+  // release. digest is the drain barrier — after it, the head is fully
+  // accounted (delivered or dropped).
+  ASSERT_EQ(rpc(control, "resume").rfind("ok", 0), 0u);
+  EXPECT_FALSE(chomp(rpc(control, "digest")).empty());
+  std::string mid_status = rpc(control, "status");
+  std::uint64_t dropped = status_field(mid_status, "records_dropped");
+  EXPECT_GT(dropped, 0u) << mid_status;
+
+  // The tail now streams through the recovered connection in small bursts
+  // with status round-trips in between (bursts can still coalesce while a
+  // cadence scan holds delivery, so a few more hard-cap drops are legal).
+  // Delivered tail records follow the dropped middle of the trace, so their
+  // router_seq jumps must surface as stream-health gaps at the next scan.
+  for (std::size_t i = 0; i < tail.size(); i += 4) {
+    std::vector<IoRecord> burst(tail.begin() + i,
+                                tail.begin() + std::min(i + 4, tail.size()));
+    ASSERT_TRUE(send_all(ingest, to_jsonl(burst)));
+    EXPECT_NE(rpc(control, "status").find("records_delivered"), std::string::npos);
+  }
+  ::close(ingest);
+  EXPECT_FALSE(chomp(rpc(control, "digest")).empty());  // tail drain barrier
+  ASSERT_EQ(rpc(control, "scan").rfind("ok", 0), 0u);
+
+  std::string status = rpc(control, "status");
+  std::uint64_t final_dropped = status_field(status, "records_dropped");
+  EXPECT_GE(final_dropped, dropped) << status;
+  // Every record sent is accounted for: delivered or dropped, never lost.
+  EXPECT_EQ(status_field(status, "records_delivered") + final_dropped, sent) << status;
+  // Dropped records leave router_seq gaps the stream-health layer must see.
+  EXPECT_GT(status_field(status, "stream_gaps"), 0u) << status;
+
+  std::string bye = rpc(control, "shutdown");
+  EXPECT_EQ(bye.rfind("ok", 0), 0u) << bye;
+  ::close(control);
+  server.join();
+
+  EXPECT_EQ(daemon.records_dropped(), final_dropped);
+  EXPECT_EQ(daemon.session().records_delivered(), sent - final_dropped);
+}
+
+TEST(Daemon, StopRequestExitsTheLoopCleanly) {
+  Fig2Trace trace = make_fig2_trace();
+  DaemonOptions options = make_options(trace, "stop");
+
+  GuardDaemon daemon(options);
+  ASSERT_TRUE(daemon.bind());
+  int rc = -1;
+  std::thread server([&daemon, &rc] { rc = daemon.run(); });
+  // stop() is the signal-handler path: thread-safe, wakes the poll loop.
+  daemon.stop();
+  server.join();
+  EXPECT_EQ(rc, 0);
+}
+
+}  // namespace
+}  // namespace hbguard

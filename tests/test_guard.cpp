@@ -105,6 +105,78 @@ TEST(Guard, BlockModeShieldsDataPlane) {
   EXPECT_EQ(control->action, FibEntry::Action::kExternal);
 }
 
+TEST(Guard, ProposeOnlyQueuesRepairForApproval) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  GuardOptions options;
+  options.repair = RepairMode::kProposeOnly;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+
+  ConfigVersion bad = scenario.misconfigure_r2_lp10();
+  auto report = guard.run();
+
+  // Diagnosed like kReport — but the revert is queued, not executed.
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_NE(report.incidents.front().action.find("proposal #1"), std::string::npos)
+      << report.incidents.front().action;
+  EXPECT_NE(report.incidents.front().action.find("awaiting approval"), std::string::npos);
+  EXPECT_EQ(report.reverts, 0u);
+  EXPECT_FALSE(scenario.network->configs().record(bad).reverted);
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r1, scenario.r1));  // violation persists
+
+  ASSERT_EQ(guard.proposals().size(), 1u);
+  const RepairProposal& proposal = guard.proposals().front();
+  EXPECT_EQ(proposal.id, 1u);
+  EXPECT_EQ(proposal.cause_version, bad);
+  EXPECT_EQ(proposal.status, RepairProposal::Status::kPending);
+  EXPECT_EQ(proposal.executed_version, kNoVersion);
+
+  // Unknown ids and double-settling fail with a message.
+  EXPECT_FALSE(guard.approve_proposal(99).ok);
+  auto declined = guard.decline_proposal(1);
+  EXPECT_TRUE(declined.ok) << declined.message;
+  EXPECT_EQ(guard.proposals().front().status, RepairProposal::Status::kDeclined);
+  EXPECT_FALSE(guard.decline_proposal(1).ok);
+  EXPECT_FALSE(guard.approve_proposal(1).ok);
+  EXPECT_FALSE(scenario.network->configs().record(bad).reverted);
+}
+
+TEST(Guard, ProposeOnlyApprovalExecutesRevert) {
+  auto scenario = PaperScenario::make();
+  scenario.converge_initial();
+  GuardOptions options;
+  options.repair = RepairMode::kProposeOnly;
+  Guard guard(*scenario.network, paper_policies(scenario), options);
+
+  ConfigVersion bad = scenario.misconfigure_r2_lp10();
+  guard.run();
+  ASSERT_EQ(guard.proposals().size(), 1u);
+
+  auto approved = guard.approve_proposal(1);
+  ASSERT_TRUE(approved.ok) << approved.message;
+  EXPECT_TRUE(scenario.network->configs().record(bad).reverted);
+  const RepairProposal& proposal = guard.proposals().front();
+  EXPECT_EQ(proposal.status, RepairProposal::Status::kApproved);
+  EXPECT_NE(proposal.executed_version, kNoVersion);
+
+  // Let the revert propagate under guard; the network heals.
+  auto report = guard.run();
+  EXPECT_EQ(report.reverts, 1u);
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r1, scenario.r2));
+  EXPECT_GT(report.clean_scans, 0u);
+
+  // revert_repair rolls the executed repair back (the operator decided the
+  // change was intended after all); the original change is back in force.
+  auto rolled_back = guard.revert_repair(1);
+  ASSERT_TRUE(rolled_back.ok) << rolled_back.message;
+  EXPECT_EQ(guard.proposals().front().status, RepairProposal::Status::kDeclined);
+  EXPECT_EQ(guard.proposals().front().executed_version, kNoVersion);
+  scenario.network->run_to_convergence();
+  EXPECT_TRUE(scenario.fib_exits_via(scenario.r1, scenario.r1));  // violating state again
+  // No executed repair left to roll back.
+  EXPECT_FALSE(guard.revert_repair(1).ok);
+}
+
 TEST(Guard, EarlyBlockLearnsAcrossIncidents) {
   auto scenario = PaperScenario::make();
   // Slow soft reconfiguration so the config input is visible to the guard

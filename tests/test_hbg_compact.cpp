@@ -332,6 +332,95 @@ TEST(HbgCompact, RandomGraphParityAgainstMapOracle) {
 }
 
 // ---------------------------------------------------------------------------
+// Amortized compaction parity: the same random-DAG property, but with a
+// per-append half-edge budget so re-packs run as incremental passes that
+// interleave with appends, duplicate-confidence upgrades (patched into the
+// in-flight copy) and new vertices. Queries must agree with the oracle at
+// every checkpoint, including mid-pass, and after draining via compact_step
+// or discarding via eager compact().
+
+TEST(HbgCompact, AmortizedCompactionParityAgainstMapOracle) {
+  const char* origins[] = {"a", "b", "c", "rib->fib", "send->recv"};
+  for (std::size_t budget : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    Rng rng(311 + budget);
+    // Big enough that pending crosses the compaction trigger several times.
+    const std::size_t n = 700;
+
+    ReferenceHbg oracle;
+    HappensBeforeGraph compact;
+    compact.set_compact_budget(budget);
+    for (IoId id = 1; id <= n; ++id) {
+      IoRecord record = make_record(id, static_cast<RouterId>(id % 4));
+      oracle.add_vertex(record);
+      compact.add_vertex(record);
+    }
+
+    std::vector<IoId> probes;
+    for (IoId id = 1; id <= n; id += n / 13) probes.push_back(id);
+    probes.push_back(n);
+    std::vector<double> thresholds{0.0, 0.8};
+
+    bool saw_inflight = false;
+    std::size_t edge_attempts = n * 5;
+    for (std::size_t i = 0; i < edge_attempts; ++i) {
+      IoId from = static_cast<IoId>(rng.uniform_int(1, static_cast<std::int64_t>(n)));
+      IoId to = static_cast<IoId>(rng.uniform_int(1, static_cast<std::int64_t>(n)));
+      if (from > to) std::swap(from, to);
+      double confidence = rng.uniform_int(1, 10) / 10.0;
+      HbgEdge edge{from, to, confidence, origins[rng.uniform_int(0, 4)]};
+      oracle.add_edge(edge);
+      compact.add_edge(edge);
+      saw_inflight |= compact.compaction_in_progress();
+      if (i % (edge_attempts / 4) == edge_attempts / 8) {
+        SCOPED_TRACE("budget=" + std::to_string(budget) + " checkpoint @" + std::to_string(i) +
+                     (compact.compaction_in_progress() ? " (mid-pass)" : ""));
+        expect_parity(oracle, compact, probes, thresholds);
+      }
+    }
+    EXPECT_TRUE(saw_inflight) << "budget=" << budget
+                              << ": trigger never fired — grow the workload";
+    expect_parity(oracle, compact, probes, thresholds);
+
+    // Vertices inserted mid-pass (past the freeze point) must keep their
+    // edges across the swap.
+    if (!compact.compaction_in_progress()) {
+      // Force a pass so the next checks genuinely run mid-flight.
+      for (IoId id = 1; id + 1 <= n && !compact.compaction_in_progress(); ++id) {
+        HbgEdge edge{id, id + 1, 1.0, "late"};
+        oracle.add_edge(edge);
+        compact.add_edge(edge);
+      }
+    }
+    if (compact.compaction_in_progress()) {
+      IoId fresh = n + 1;
+      IoRecord record = make_record(fresh, 0);
+      oracle.add_vertex(record);
+      compact.add_vertex(record);
+      HbgEdge late{1, fresh, 0.5, "late-vertex"};
+      oracle.add_edge(late);
+      compact.add_edge(late);
+      probes.push_back(fresh);
+
+      // Idle-time drain finishes the pass without further appends.
+      while (compact.compaction_in_progress()) compact.compact_step(64);
+      expect_parity(oracle, compact, probes, thresholds);
+    }
+
+    // Eager compact() discards any in-progress pass safely.
+    compact.set_compact_budget(1);
+    for (IoId id = 1; id + 2 <= n && !compact.compaction_in_progress(); ++id) {
+      HbgEdge edge{id, id + 2, 1.0, "discard"};
+      oracle.add_edge(edge);
+      compact.add_edge(edge);
+    }
+    compact.compact();
+    EXPECT_FALSE(compact.compaction_in_progress());
+    EXPECT_EQ(compact.pending_edge_count(), 0u);
+    expect_parity(oracle, compact, probes, thresholds);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Simulator churn-trace parity: inferred edges from a real capture stream,
 // fed incrementally (append-side buffer + shared record store) vs the
 // oracle fed the same batch edge list.
@@ -394,7 +483,8 @@ TEST(HbgCompact, ChurnTraceParityIncrementalVsOracle) {
 // parallel rule matcher and the shared-store graph must not perturb any
 // downstream stage), extending the PR 2 parity harness.
 
-std::string run_guard_on_churn(RepairMode mode, unsigned threads, std::uint64_t seed) {
+std::string run_guard_on_churn(RepairMode mode, unsigned threads, std::uint64_t seed,
+                               std::size_t compact_budget = 0) {
   Rng topo_rng(seed);
   NetworkOptions options;
   options.seed = seed;
@@ -417,6 +507,7 @@ std::string run_guard_on_churn(RepairMode mode, unsigned threads, std::uint64_t 
   GuardOptions guard_options;
   guard_options.repair = mode;
   guard_options.num_threads = threads;
+  guard_options.compact_budget = compact_budget;
   Guard guard(*generated.network, policies, guard_options);
   return guard.run().digest();
 }
@@ -428,6 +519,20 @@ TEST(HbgCompact, GuardReportParityAcrossThreads) {
     for (unsigned threads : {2u, 8u}) {
       EXPECT_EQ(baseline, run_guard_on_churn(mode, threads, 61))
           << "mode=" << to_string(mode) << " threads=" << threads;
+    }
+  }
+}
+
+// Amortized compaction (GuardOptions::compact_budget) must not perturb the
+// report at any budget or thread count: the re-pack preserves per-vertex
+// insertion order, so every downstream stage sees identical edge streams.
+TEST(HbgCompact, GuardReportParityWithAmortizedCompaction) {
+  std::string baseline = run_guard_on_churn(RepairMode::kRevert, 1, 61);
+  ASSERT_FALSE(baseline.empty());
+  for (std::size_t budget : {std::size_t{4}, std::size_t{64}}) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+      EXPECT_EQ(baseline, run_guard_on_churn(RepairMode::kRevert, threads, 61, budget))
+          << "budget=" << budget << " threads=" << threads;
     }
   }
 }

@@ -124,6 +124,48 @@ TEST(Logging, LevelsGateOutput) {
   EXPECT_EQ(lines[0], "visible 42");
 }
 
+TEST(Logging, RateLimiterFlushReportsSuppressedAtTeardown) {
+  auto& logger = Logger::instance();
+  LogLevel saved = logger.level();
+  std::vector<std::string> lines;
+  logger.set_sink([&](LogLevel, std::string_view msg) { lines.emplace_back(msg); });
+  logger.set_level(LogLevel::kWarn);
+  {
+    RateLimiter limiter(4, "test-site");
+    for (int i = 0; i < 10; ++i) {
+      if (limiter.allow()) HBG_WARN << "occurrence " << i;
+    }
+    // 10 occurrences, every-4th logged (0, 4, 8) => 7 suppressed.
+    EXPECT_EQ(limiter.seen(), 10u);
+    EXPECT_EQ(limiter.suppressed(), 7u);
+
+    // Explicit flush (what hbguardd does at shutdown) reports the tally...
+    logger.flush_suppressed();
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[3], "test-site: 7 rate-limited warning(s) suppressed (10 total occurrences)");
+    // ...idempotently: a second flush with nothing new emits nothing.
+    logger.flush_suppressed();
+    EXPECT_EQ(lines.size(), 4u);
+
+    limiter.allow();  // occurrences 11 and 12: both suppressed
+    limiter.allow();
+    // Destruction flushes the remainder.
+  }
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[4], "test-site: 2 rate-limited warning(s) suppressed (12 total occurrences)");
+
+  // Unlabelled limiters never register and never self-report.
+  {
+    RateLimiter anonymous(2);
+    for (int i = 0; i < 6; ++i) anonymous.allow();
+    logger.flush_suppressed();
+  }
+  EXPECT_EQ(lines.size(), 5u);
+
+  logger.set_sink(nullptr);
+  logger.set_level(saved);
+}
+
 TEST(Logging, OffSilencesEverything) {
   auto& logger = Logger::instance();
   LogLevel saved = logger.level();
