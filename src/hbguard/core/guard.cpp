@@ -239,6 +239,9 @@ std::vector<Violation> Guard::scan() {
     std::span<const IoRecord> all = capture.records();
     if (all.size() > distributed_cursor_) {
       distributed_store_->append(all.subspan(distributed_cursor_), pool_.get());
+      // Queries follow within this scan, so run the quiescence barrier on
+      // the pool instead of letting the first query do it serially.
+      distributed_store_->quiesce(pool_.get());
       distributed_cursor_ = all.size();
     }
   }

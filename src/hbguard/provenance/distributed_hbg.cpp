@@ -1,9 +1,11 @@
 #include "hbguard/provenance/distributed_hbg.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 #include "hbguard/hbr/incremental.hpp"
+#include "hbguard/util/logging.hpp"
 #include "hbguard/util/thread_pool.hpp"
 
 namespace hbguard {
@@ -11,28 +13,39 @@ namespace hbguard {
 namespace {
 constexpr std::size_t kVertexSlotBytes = 16;  // id + store index
 constexpr std::size_t kHalfEdgeBytes = 16;    // other + origin + confidence
+
 bool internal_peer(const IoRecord& r) {
   return r.peer != kExternalRouter && r.peer != kInvalidRouter;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
 }
 }  // namespace
 
 DistributedHbgStore::DistributedHbgStore() : DistributedHbgStore(Options{}) {}
 
-DistributedHbgStore::DistributedHbgStore(Options options) : options_(options) {}
+DistributedHbgStore::DistributedHbgStore(Options options) : options_(std::move(options)) {
+  if (options_.exchange_batch == 0) options_.exchange_batch = 1;
+}
 
 DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global)
     : DistributedHbgStore(global, Options{}) {}
 
 DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global, Options options)
-    : options_(options) {
-  // Adoption path: partition an already-built graph. Vertices share the
-  // global graph's record store when it has one (each vertex then costs one
-  // id+index slot instead of a full record copy).
+    : options_(std::move(options)) {
+  // Adoption path: partition an already-built graph. No engines run and no
+  // exchange happens — the edge partition is taken as-is. Vertices share
+  // the global graph's record store when it has one (each vertex then costs
+  // one id+index slot instead of a full record copy).
+  streaming_ = false;
   store_ = global.record_store();
   std::less_equal<const IoRecord*> le;
   std::less<const IoRecord*> lt;
   global.for_each_vertex([&](const IoRecord& record) {
-    owner_[record.id] = record.router;
+    owner_set(record.id, record.router);
     Shard& shard = *shards_[assign_shard(record.router)];
     HappensBeforeGraph& graph = shard.builder.graph_mutable();
     if (store_ != nullptr && !store_->empty() && le(store_->data(), &record) &&
@@ -43,8 +56,8 @@ DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global, Optio
     }
   });
   global.for_each_edge_view([&](const HbgEdgeView& edge) {
-    std::uint32_t from_shard = shard_of(owner_.at(edge.from));
-    std::uint32_t to_shard = shard_of(owner_.at(edge.to));
+    std::uint32_t from_shard = shard_of(owner_of(edge.from));
+    std::uint32_t to_shard = shard_of(owner_of(edge.to));
     if (from_shard == to_shard) {
       shards_[to_shard]->builder.graph_mutable().add_edge(edge.from, edge.to, edge.confidence,
                                                           edge.origin);
@@ -58,151 +71,261 @@ DistributedHbgStore::DistributedHbgStore(const HappensBeforeGraph& global, Optio
   for (auto& shard : shards_) shard->builder.graph_mutable().compact();
 }
 
+DistributedHbgStore::~DistributedHbgStore() = default;
+
 void DistributedHbgStore::attach_store(const std::vector<IoRecord>* store) { store_ = store; }
 
 DistributedHbgStore::Shard& DistributedHbgStore::new_shard() {
-  shards_.push_back(std::make_unique<Shard>(options_.matcher));
+  shards_.push_back(
+      std::make_unique<Shard>(options_.matcher, options_.matcher.cross_router_slack_us));
+  Shard& shard = *shards_.back();
   if (store_ != nullptr) {
-    shards_.back()->builder.attach_store(store_);
+    shard.builder.attach_store(store_);
   }
-  return *shards_.back();
-}
-
-std::uint32_t DistributedHbgStore::shard_of(RouterId router) const {
-  return router_shard_.at(router);
+  if (streaming_ && options_.transport == Transport::kLoopback) {
+    // A failed start degrades this shard to the in-process matcher
+    // (loopback.running() gates every transport decision); start() already
+    // logged why.
+    shard.loopback.start(options_.matcher.cross_router_slack_us);
+  }
+  return shard;
 }
 
 std::uint32_t DistributedHbgStore::assign_shard(RouterId router) {
-  auto it = router_shard_.find(router);
-  if (it != router_shard_.end()) return it->second;
-  std::uint32_t index;
+  if (router >= router_shard_.size()) {
+    router_shard_.resize(static_cast<std::size_t>(router) + 1, kNoShard);
+  }
+  std::uint32_t& slot = router_shard_[router];
+  if (slot != kNoShard) return slot;
   if (options_.num_shards > 0) {
-    index = static_cast<std::uint32_t>(router % options_.num_shards);
-    while (shards_.size() <= index) new_shard();
+    slot = static_cast<std::uint32_t>(router % options_.num_shards);
+    while (shards_.size() <= slot) new_shard();
   } else {
     // One shard per router, created in order of first appearance (capture
     // order for streaming construction — deterministic at any thread
     // count, since assignment happens in the serial routing phase).
-    index = static_cast<std::uint32_t>(shards_.size());
+    slot = static_cast<std::uint32_t>(shards_.size());
     new_shard();
   }
-  router_shard_.emplace(router, index);
-  return index;
+  return slot;
 }
 
-void DistributedHbgStore::ingest_shard_batch(Shard& shard, std::span<const IoRecord> records) {
-  // Phase A (parallel per shard): same-router rule matching over the
-  // shard's own tap stream only. Every edge the local-only engine emits
-  // has both endpoints on the same router, hence inside this shard.
-  for (std::uint32_t index : shard.batch) {
-    shard.builder.append(records.subspan(index, 1));
+void DistributedHbgStore::owner_set(IoId id, RouterId router) {
+  if (id >= owner_.size()) {
+    owner_.resize(std::max<std::size_t>(static_cast<std::size_t>(id) + 1, owner_.size() * 2),
+                  kInvalidRouter);
   }
-  shard.batch.clear();
-}
-
-void DistributedHbgStore::stitch_shard_channels(std::uint32_t shard_index) {
-  // Phase C (parallel per shard): replay the engine's FIFO channel
-  // semantics over this receiver shard's channel events — local sends and
-  // receives merged, in capture order, with inbox sends inserted exactly
-  // where their capture position put them (the routing phase already
-  // interleaved them).
-  Shard& shard = *shards_[shard_index];
-  for (const ChannelEvent& event : shard.events) {
-    ChannelState& channel = shard.channels[event.key];
-    if (event.is_send) {
-      // Receives this (too-late) send can no longer serve are dropped —
-      // RuleMatchEngine::match_channels' skip semantics.
-      while (!channel.unmatched_recvs.empty() &&
-             event.logged_time > channel.unmatched_recvs.front().logged_time +
-                                     options_.matcher.cross_router_slack_us) {
-        channel.unmatched_recvs.pop_front();
-      }
-      if (!channel.unmatched_recvs.empty()) {
-        PendingIo recv = channel.unmatched_recvs.front();
-        channel.unmatched_recvs.pop_front();
-        HbgEdge edge{event.id, recv.id, 1.0, "send->recv"};
-        std::uint32_t send_shard = shard_of(event.sender_router);
-        if (send_shard == shard_index) {
-          shard.builder.add_matched_edge(edge);
-        } else {
-          shard.cross_in[recv.id].push_back(edge);
-          shard.emitted_cross.emplace_back(send_shard, std::move(edge));
-        }
-      } else {
-        channel.unmatched_sends.push_back({event.id, event.logged_time});
-      }
-    } else {
-      if (!channel.unmatched_sends.empty() &&
-          channel.unmatched_sends.front().logged_time <=
-              event.logged_time + options_.matcher.cross_router_slack_us) {
-        PendingIo send = channel.unmatched_sends.front();
-        channel.unmatched_sends.pop_front();
-        HbgEdge edge{send.id, event.id, 1.0, "send->recv"};
-        std::uint32_t send_shard = shard_of(event.sender_router);
-        if (send_shard == shard_index) {
-          shard.builder.add_matched_edge(edge);
-        } else {
-          shard.cross_in[event.id].push_back(edge);
-          shard.emitted_cross.emplace_back(send_shard, std::move(edge));
-        }
-      } else {
-        channel.unmatched_recvs.push_back({event.id, event.logged_time});
-      }
-    }
-  }
-  shard.events.clear();
+  owner_[id] = router;
 }
 
 void DistributedHbgStore::append(std::span<const IoRecord> records, ThreadPool* pool) {
   if (records.empty()) return;
+  quiescent_ = false;
+  const std::uint64_t seq_base = stats_.records_ingested;
   stats_.records_ingested += records.size();
 
-  // Phase B first (serial): assign owners and shards, split the batch into
-  // per-shard record lists, and route channel events to their *receiving*
-  // shard — sends whose receiver lives on another shard cross the wire as
-  // ShardMessages into that shard's inbox.
+  // Serial routing: assign owners and shards and partition the batch. All
+  // per-record work — rule matching, channel-key construction, message
+  // encoding — runs in the parallel wave below. Peers are pinned here so
+  // shard_of is read-only once the wave starts.
   for (std::size_t i = 0; i < records.size(); ++i) {
     const IoRecord& r = records[i];
-    owner_[r.id] = r.router;
+    owner_set(r.id, r.router);
     std::uint32_t home = assign_shard(r.router);
     shards_[home]->batch.push_back(static_cast<std::uint32_t>(i));
-
-    if (r.kind == IoKind::kSendAdvert && internal_peer(r)) {
-      std::uint32_t recv_shard = assign_shard(r.peer);
-      std::string key = RuleMatchEngine::channel_key(r, /*is_send=*/true);
-      if (recv_shard != home) {
-        ShardMessage message{r.id, r.router, r.peer, r.logged_time, key};
-        ++stats_.messages;
-        stats_.wire_bytes += message.wire_bytes();
-        shards_[recv_shard]->inbox_bytes += message.wire_bytes();
-        shards_[recv_shard]->inbox.push_back(std::move(message));
-      }
-      shards_[recv_shard]->events.push_back(
-          {std::move(key), r.id, r.logged_time, r.router, /*is_send=*/true});
-    } else if (r.kind == IoKind::kRecvAdvert && internal_peer(r)) {
-      // The sender may not have produced a record yet; pin its shard now so
-      // the (parallel) stitching phase can classify the match.
+    if ((r.kind == IoKind::kSendAdvert || r.kind == IoKind::kRecvAdvert) && internal_peer(r)) {
       assign_shard(r.peer);
-      shards_[home]->events.push_back({RuleMatchEngine::channel_key(r, /*is_send=*/false),
-                                       r.id, r.logged_time, r.peer, /*is_send=*/false});
     }
   }
+  for (auto& shard : shards_) shard->outboxes.resize(shards_.size());
 
-  // Phases A + C fan out one task per shard: shards touch disjoint state,
-  // and each shard's work is internally ordered, so results are identical
-  // at any thread count (including pool == nullptr).
+  // The pipelined wave, one task per shard: append own records, emit
+  // channel events (full outboxes encode and hand off to receiver inboxes
+  // mid-wave), and opportunistically decode whatever other shards have
+  // already pushed. No shard waits for another shard's matching pass — the
+  // deferred cross-match runs at quiesce().
   auto shard_task = [&](std::size_t s) {
-    ingest_shard_batch(*shards_[s], records);
-    stitch_shard_channels(static_cast<std::uint32_t>(s));
+    ingest_shard_batch(static_cast<std::uint32_t>(s), records, seq_base);
+    drain_shard_inbox(*shards_[s]);
   };
   if (pool != nullptr && shards_.size() > 1) {
     pool->parallel_for(shards_.size(), shard_task);
   } else {
     for (std::size_t s = 0; s < shards_.size(); ++s) shard_task(s);
   }
+}
 
-  // Phase D (serial): deliver cross-shard matches back to the sending
-  // shard's forward index so descendant walks can leave the shard too.
+void DistributedHbgStore::ingest_shard_batch(std::uint32_t shard_index,
+                                             std::span<const IoRecord> records,
+                                             std::uint64_t seq_base) {
+  Shard& shard = *shards_[shard_index];
+  for (std::uint32_t index : shard.batch) {
+    // Same-router rule matching over the shard's own tap stream only. Every
+    // edge the local-only engine emits has both endpoints on the same
+    // router, hence inside this shard.
+    shard.builder.append(records.subspan(index, 1));
+
+    // Channel events carry the record's global capture sequence so every
+    // matcher can restore capture order after the asynchronous exchange.
+    const IoRecord& r = records[index];
+    const std::uint64_t seq = seq_base + index;
+    if (r.kind == IoKind::kSendAdvert && internal_peer(r)) {
+      ShardMessage message{seq,           r.id, r.router, r.peer, r.logged_time,
+                           /*is_send=*/true, RuleMatchEngine::channel_key(r, /*is_send=*/true)};
+      std::uint32_t recv_shard = shard_of(r.peer);
+      if (recv_shard == shard_index) {
+        queue_local_event(shard_index, std::move(message));
+      } else {
+        ++shard.sent_messages;
+        Outbox& outbox = shard.outboxes[recv_shard];
+        outbox.pending.push_back(std::move(message));
+        if (outbox.pending.size() >= options_.exchange_batch) {
+          flush_outbox(shard_index, recv_shard);
+        }
+      }
+    } else if (r.kind == IoKind::kRecvAdvert && internal_peer(r)) {
+      queue_local_event(shard_index,
+                        ShardMessage{seq, r.id, r.peer, r.router, r.logged_time,
+                                     /*is_send=*/false,
+                                     RuleMatchEngine::channel_key(r, /*is_send=*/false)});
+    }
+  }
+  shard.batch.clear();
+}
+
+void DistributedHbgStore::queue_local_event(std::uint32_t shard_index, ShardMessage message) {
+  Shard& shard = *shards_[shard_index];
+  if (shard.loopback.running()) {
+    // Loopback: even receiver-local events reach the matcher only as wire
+    // frames, batched through the shard's own outbox slot.
+    Outbox& outbox = shard.outboxes[shard_index];
+    outbox.pending.push_back(std::move(message));
+    if (outbox.pending.size() >= options_.exchange_batch) {
+      flush_outbox(shard_index, shard_index);
+    }
+  } else {
+    shard.local_events.push_back(std::move(message));
+  }
+}
+
+void DistributedHbgStore::flush_outbox(std::uint32_t shard_index, std::uint32_t receiver) {
+  Shard& shard = *shards_[shard_index];
+  Outbox& outbox = shard.outboxes[receiver];
+  if (outbox.pending.empty()) return;
+  std::vector<std::uint8_t> frame;
+  const std::uint64_t start = now_ns();
+  if (receiver == shard_index) {
+    encode_shard_frame(ShardFrameType::kLocalBatch, outbox.pending, frame);
+    shard.encode_ns += now_ns() - start;
+    shard.local_wire_bytes += frame.size();
+    shard.loopback.write_frames(frame);
+  } else {
+    encode_shard_frame(ShardFrameType::kCrossBatch, outbox.pending, frame);
+    shard.encode_ns += now_ns() - start;
+    ++shard.sent_frames;
+    shard.sent_wire_bytes += frame.size();
+    shards_[receiver]->inbox_frames.push(std::move(frame));
+  }
+  outbox.pending.clear();
+}
+
+void DistributedHbgStore::drain_shard_inbox(Shard& shard) {
+  std::vector<std::vector<std::uint8_t>> frames = shard.inbox_frames.drain();
+  if (frames.empty()) return;
+  DecodedShardFrame decoded;
+  for (const std::vector<std::uint8_t>& frame : frames) {
+    const std::uint64_t start = now_ns();
+    if (!decode_shard_frame(frame, decoded) || decoded.type != ShardFrameType::kCrossBatch ||
+        decoded.events.empty()) {
+      HBG_ERROR << "distributed hbg: dropping malformed exchange frame (" << frame.size()
+                << " bytes)";
+      continue;
+    }
+    shard.decode_ns += now_ns() - start;
+    shard.inbox_wire_bytes += frame.size();
+    // Apportion the frame's real bytes over its messages, remainder to the
+    // earliest: frame composition is deterministic (senders flush in
+    // capture order at fixed batch boundaries), so per-router byte
+    // accounting is too, at any thread count.
+    const std::size_t base = frame.size() / decoded.events.size();
+    std::size_t remainder = frame.size() % decoded.events.size();
+    for (ShardMessage& message : decoded.events) {
+      shard.inbox_router_bytes[message.to_router] += base + (remainder > 0 ? 1 : 0);
+      if (remainder > 0) --remainder;
+      shard.inbox.push_back(message);
+      if (!shard.loopback.running()) {
+        shard.remote_events.push_back(std::move(message));
+      }
+    }
+    if (shard.loopback.running()) {
+      // The decoded copy above only feeds the retained index/accounting;
+      // the matcher child gets the identical raw frame.
+      shard.loopback.write_frames(frame);
+    }
+  }
+}
+
+void DistributedHbgStore::quiesce(ThreadPool* pool) {
+  if (quiescent_) return;
+  auto run = [&](auto&& task) {
+    if (pool != nullptr && shards_.size() > 1) {
+      pool->parallel_for(shards_.size(), task);
+    } else {
+      for (std::size_t s = 0; s < shards_.size(); ++s) task(s);
+    }
+  };
+  // Wave 1: every shard flushes its partial outboxes — cross frames land
+  // in receiver inboxes, loopback-local frames go to the matcher children.
+  run([&](std::size_t s) {
+    for (std::uint32_t r = 0; r < shards_[s]->outboxes.size(); ++r) {
+      flush_outbox(static_cast<std::uint32_t>(s), r);
+    }
+  });
+  // parallel_for joins before returning, so wave 2 starts only after every
+  // sender has flushed: the barrier that makes the deferred match complete.
+  run([&](std::size_t s) { match_shard(static_cast<std::uint32_t>(s)); });
+  deliver_cross_edges();
+  fold_exchange_stats();
+  quiescent_ = true;
+}
+
+void DistributedHbgStore::match_shard(std::uint32_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  drain_shard_inbox(shard);
+  std::vector<ShardMatch> matches;
+  if (shard.loopback.running()) {
+    matches = shard.loopback.flush();
+  } else {
+    std::vector<ShardMessage> merged = std::move(shard.local_events);
+    shard.local_events.clear();
+    merged.insert(merged.end(), std::make_move_iterator(shard.remote_events.begin()),
+                  std::make_move_iterator(shard.remote_events.end()));
+    shard.remote_events.clear();
+    shard.matcher.feed_sorted(merged, matches);
+  }
+  apply_matches(shard_index, matches);
+}
+
+void DistributedHbgStore::apply_matches(std::uint32_t shard_index,
+                                        std::span<const ShardMatch> matches) {
+  // The matcher is shard-ignorant: it returns raw (send, recv) pairs and
+  // the store classifies each one here via the send record's owner.
+  Shard& shard = *shards_[shard_index];
+  for (const ShardMatch& match : matches) {
+    HbgEdge edge{match.send_io, match.recv_io, 1.0, "send->recv"};
+    std::uint32_t send_shard = shard_of(owner_of(match.send_io));
+    if (send_shard == shard_index) {
+      shard.builder.add_matched_edge(edge);
+    } else {
+      shard.cross_in[match.recv_io].push_back(edge);
+      shard.emitted_cross.emplace_back(send_shard, std::move(edge));
+    }
+  }
+}
+
+void DistributedHbgStore::deliver_cross_edges() {
+  // Serial tail of the barrier: deliver cross-shard matches back to the
+  // sending shard's forward index so descendant walks can leave the shard.
   for (auto& shard : shards_) {
     for (auto& [send_shard, edge] : shard->emitted_cross) {
       ++cross_edge_total_;
@@ -213,32 +336,56 @@ void DistributedHbgStore::append(std::span<const IoRecord> records, ThreadPool* 
   }
 }
 
+void DistributedHbgStore::fold_exchange_stats() {
+  for (auto& shard : shards_) {
+    stats_.messages += shard->sent_messages;
+    stats_.frames += shard->sent_frames;
+    stats_.wire_bytes += shard->sent_wire_bytes;
+    stats_.loopback_local_bytes += shard->local_wire_bytes;
+    stats_.encode_ns += shard->encode_ns;
+    stats_.decode_ns += shard->decode_ns;
+    shard->sent_messages = 0;
+    shard->sent_frames = 0;
+    shard->sent_wire_bytes = 0;
+    shard->local_wire_bytes = 0;
+    shard->encode_ns = 0;
+    shard->decode_ns = 0;
+  }
+}
+
+void DistributedHbgStore::ensure_quiescent() const {
+  if (!quiescent_) const_cast<DistributedHbgStore*>(this)->quiesce(nullptr);
+}
+
 const HappensBeforeGraph* DistributedHbgStore::subgraph(RouterId router) const {
-  auto it = router_shard_.find(router);
-  return it == router_shard_.end() ? nullptr : &shards_[it->second]->builder.graph();
+  ensure_quiescent();
+  if (router >= router_shard_.size() || router_shard_[router] == kNoShard) return nullptr;
+  return &shards_[router_shard_[router]]->builder.graph();
 }
 
 const IoRecord* DistributedHbgStore::record(IoId id) const {
-  auto it = owner_.find(id);
-  if (it == owner_.end()) return nullptr;
-  return shards_[shard_of(it->second)]->builder.graph().record(id);
+  ensure_quiescent();
+  RouterId owner = owner_of(id);
+  if (owner == kInvalidRouter) return nullptr;
+  return shards_[shard_of(owner)]->builder.graph().record(id);
 }
 
 std::vector<IoId> DistributedHbgStore::root_causes(IoId fault, double min_confidence,
                                                    DistributedQueryStats* stats) const {
+  ensure_quiescent();
   std::vector<IoId> roots;
-  auto owner_it = owner_.find(fault);
-  if (owner_it == owner_.end()) return roots;
+  RouterId fault_owner = owner_of(fault);
+  if (fault_owner == kInvalidRouter) return roots;
 
   DistributedQueryStats local_stats;
-  std::set<RouterId> contacted{owner_it->second};
+  std::set<RouterId> contacted{fault_owner};
   std::set<IoId> visited{fault};
   std::deque<IoId> frontier{fault};
 
   while (!frontier.empty()) {
     IoId current = frontier.front();
     frontier.pop_front();
-    const Shard& shard = *shards_[shard_of(owner_.at(current))];
+    const Shard& shard = *shards_[shard_of(owner_of(current))];
 
     bool has_parent = false;
     // Local in-edges: free (the shard expands within its own subgraph).
@@ -259,7 +406,7 @@ std::vector<IoId> DistributedHbgStore::root_causes(IoId fault, double min_confid
         has_parent = true;
         ++local_stats.edges_walked;
         ++local_stats.messages;
-        contacted.insert(owner_.at(edge.from));
+        contacted.insert(owner_of(edge.from));
         if (visited.insert(edge.from).second) frontier.push_back(edge.from);
       }
     }
@@ -280,19 +427,20 @@ std::vector<IoId> DistributedHbgStore::root_causes(IoId fault, double min_confid
 
 std::vector<IoId> DistributedHbgStore::ancestors(IoId fault, double min_confidence,
                                                  DistributedQueryStats* stats) const {
+  ensure_quiescent();
   std::vector<IoId> up;
-  auto owner_it = owner_.find(fault);
-  if (owner_it == owner_.end()) return up;
+  RouterId fault_owner = owner_of(fault);
+  if (fault_owner == kInvalidRouter) return up;
 
   DistributedQueryStats local_stats;
-  std::set<RouterId> contacted{owner_it->second};
+  std::set<RouterId> contacted{fault_owner};
   std::set<IoId> visited{fault};
   std::deque<IoId> frontier{fault};
 
   while (!frontier.empty()) {
     IoId current = frontier.front();
     frontier.pop_front();
-    const Shard& shard = *shards_[shard_of(owner_.at(current))];
+    const Shard& shard = *shards_[shard_of(owner_of(current))];
     shard.builder.graph().for_each_in_edge(current, min_confidence,
                                            [&](const HbgEdgeView& edge) {
                                              ++local_stats.edges_walked;
@@ -306,7 +454,7 @@ std::vector<IoId> DistributedHbgStore::ancestors(IoId fault, double min_confiden
         if (edge.confidence < min_confidence) continue;
         ++local_stats.edges_walked;
         ++local_stats.messages;
-        contacted.insert(owner_.at(edge.from));
+        contacted.insert(owner_of(edge.from));
         if (visited.insert(edge.from).second) frontier.push_back(edge.from);
       }
     }
@@ -324,11 +472,12 @@ std::vector<IoId> DistributedHbgStore::path_from(IoId root, IoId fault, double m
   // Mirrors HappensBeforeGraph::path_from's canonical spec: BFS distances
   // from the root over the forward edges, then backtrack picking the
   // smallest-id predecessor on a shortest path at each step.
+  ensure_quiescent();
   if (root == fault) return {root};
-  if (!owner_.contains(root) || !owner_.contains(fault)) return {};
+  if (owner_of(root) == kInvalidRouter || owner_of(fault) == kInvalidRouter) return {};
 
   DistributedQueryStats local_stats;
-  std::set<RouterId> contacted{owner_.at(root)};
+  std::set<RouterId> contacted{owner_of(root)};
   std::map<IoId, std::uint32_t> dist;
   dist[root] = 0;
   std::deque<IoId> frontier{root};
@@ -348,7 +497,7 @@ std::vector<IoId> DistributedHbgStore::path_from(IoId root, IoId fault, double m
     IoId current = frontier.front();
     frontier.pop_front();
     std::uint32_t next_dist = dist.at(current) + 1;
-    const Shard& shard = *shards_[shard_of(owner_.at(current))];
+    const Shard& shard = *shards_[shard_of(owner_of(current))];
     shard.builder.graph().for_each_out_edge(current, min_confidence,
                                             [&](const HbgEdgeView& edge) {
                                               ++local_stats.edges_walked;
@@ -362,7 +511,7 @@ std::vector<IoId> DistributedHbgStore::path_from(IoId root, IoId fault, double m
         if (edge.confidence < min_confidence) continue;
         ++local_stats.edges_walked;
         ++local_stats.messages;
-        contacted.insert(owner_.at(edge.to));
+        contacted.insert(owner_of(edge.to));
         discover(edge.to, next_dist);
         if (found) break;
       }
@@ -385,7 +534,7 @@ std::vector<IoId> DistributedHbgStore::path_from(IoId root, IoId fault, double m
       if (it == dist.end() || it->second != want) return;
       if (best == kNoIo || from < best) best = from;
     };
-    const Shard& shard = *shards_[shard_of(owner_.at(walk))];
+    const Shard& shard = *shards_[shard_of(owner_of(walk))];
     shard.builder.graph().for_each_in_edge(
         walk, min_confidence, [&](const HbgEdgeView& edge) { consider(edge.from, edge.confidence); });
     auto cross = shard.cross_in.find(walk);
@@ -406,8 +555,11 @@ std::vector<IoId> DistributedHbgStore::path_from(IoId root, IoId fault, double m
 
 std::map<RouterId, DistributedHbgStore::RouterStorage>
 DistributedHbgStore::per_router_storage() const {
+  ensure_quiescent();
   std::map<RouterId, RouterStorage> storage;
-  for (const auto& [router, shard_index] : router_shard_) storage[router];
+  for (RouterId router = 0; router < router_shard_.size(); ++router) {
+    if (router_shard_[router] != kNoShard) storage[router];
+  }
   for (const auto& shard : shards_) {
     const HappensBeforeGraph& graph = shard->builder.graph();
     graph.for_each_vertex([&](const IoRecord& record) {
@@ -425,16 +577,19 @@ DistributedHbgStore::per_router_storage() const {
       slot.storage_bytes += 2 * kHalfEdgeBytes;
     });
     for (const auto& [recv, edges] : shard->cross_in) {
-      auto owner_it = owner_.find(recv);
-      if (owner_it == owner_.end()) continue;
-      RouterStorage& slot = storage[owner_it->second];
+      RouterId owner = owner_of(recv);
+      if (owner == kInvalidRouter) continue;
+      RouterStorage& slot = storage[owner];
       slot.cross_in_edges += edges.size();
       slot.storage_bytes += edges.size() * (kHalfEdgeBytes + sizeof(IoId));
     }
+    // Retained construction messages are charged at their apportioned share
+    // of the real encoded frame bytes.
     for (const ShardMessage& message : shard->inbox) {
-      RouterStorage& slot = storage[message.to_router];
-      ++slot.inbox_messages;
-      slot.storage_bytes += message.wire_bytes();
+      ++storage[message.to_router].inbox_messages;
+    }
+    for (const auto& [router, bytes] : shard->inbox_router_bytes) {
+      storage[router].storage_bytes += bytes;
     }
   }
   return storage;

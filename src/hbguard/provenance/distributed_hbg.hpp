@@ -15,22 +15,39 @@
 // engine would.
 //
 // Cross-router HBRs (send→recv) are the only edges whose endpoints can
-// live on different shards. They are stitched by the *receiving* shard:
-// every send whose receiver lives on another shard is exchanged as an
-// explicit ShardMessage into the receiver's inbox, and the receiver
-// replays the engine's FIFO channel semantics over its local channel
-// events merged with the inbox. Matched pairs that stay within one shard
-// become ordinary graph edges; pairs that span shards are stored as
-// remote-parent entries (cross_in) on the receiver and remote-child
-// entries (cross_out) on the sender — the message index provenance
-// queries resolve remote parents through.
+// live on different shards. They are matched by the *receiving* shard,
+// which replays the engine's FIFO channel semantics over its local channel
+// events merged with everything other shards sent it. The exchange is an
+// asynchronous pipeline:
 //
-// The exchange is counted exactly — messages and bytes on the wire during
-// construction, per-router resident bytes afterwards — reproducing the
-// feasibility accounting §5 calls for. Provenance queries (root_causes,
-// ancestors, path_from) run shard-local, pay one message per cross-shard
-// edge traversal, and return byte-identical answers to the single global
-// graph (see tests/test_distributed_hbg.cpp).
+//   append   each shard appends its own records and, for every send whose
+//            receiver lives elsewhere, queues a ShardMessage in a
+//            per-receiver outbox; full outboxes are encoded into binary
+//            shard_wire frames (varint + delta + interned channel keys)
+//            and handed off to the receiver's lock-free inbox. Receivers
+//            drain and decode opportunistically. No shard ever waits for
+//            another shard's matching pass.
+//   quiesce  the explicit barrier before queries: remaining outboxes
+//            flush, inboxes drain, and every shard sorts its buffered
+//            events by capture sequence and runs the deferred cross-match
+//            (ShardChannelMatcher). Matched pairs that stay within one
+//            shard become ordinary graph edges; pairs that span shards are
+//            stored as remote-parent entries (cross_in) on the receiver
+//            and remote-child entries (cross_out) on the sender.
+//
+// With Options::transport = Transport::kLoopback the matching pass runs
+// behind a real process boundary: each shard spawns a matcher process and
+// every channel event reaches it only as encoded frames over an AF_UNIX
+// socketpair (see shard_exchange.hpp) — the §5 "passing messages between
+// routers" deployment, differentially proven byte-identical to the
+// single-graph oracle by tests/test_distributed_hbg.cpp.
+//
+// The exchange is counted exactly: ConstructionStats::wire_bytes is the
+// actual encoded size of the cross-shard frames (not an estimate), with
+// encode/decode time and frame counts alongside. Provenance queries
+// (root_causes, ancestors, path_from) run shard-local, pay one message per
+// cross-shard edge traversal, and return byte-identical answers to the
+// single global graph.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +62,9 @@
 #include "hbguard/hbg/graph.hpp"
 #include "hbguard/hbg/incremental.hpp"
 #include "hbguard/hbr/rule_matcher.hpp"
+#include "hbguard/provenance/shard_exchange.hpp"
+#include "hbguard/provenance/shard_wire.hpp"
+#include "hbguard/util/handoff_queue.hpp"
 
 namespace hbguard {
 
@@ -63,22 +83,6 @@ struct DistributedQueryStats {
   }
 };
 
-/// One send I/O exchanged between shards during construction: everything
-/// the receiving shard needs to run its FIFO channel matching as if it had
-/// seen the send locally.
-struct ShardMessage {
-  IoId send_io = kNoIo;
-  RouterId from_router = kInvalidRouter;
-  RouterId to_router = kInvalidRouter;
-  SimTime logged_time = 0;
-  std::string channel;  // FIFO channel key (RuleMatchEngine::channel_key)
-
-  /// Serialized size on the wire: the fixed fields plus the channel key.
-  std::size_t wire_bytes() const {
-    return sizeof(IoId) + 2 * sizeof(RouterId) + sizeof(SimTime) + channel.size();
-  }
-};
-
 class DistributedHbgStore {
  public:
   struct Options {
@@ -86,24 +90,49 @@ class DistributedHbgStore {
     /// deployment). With a fixed count routers map round-robin
     /// (router % num_shards).
     std::size_t num_shards = 0;
+
+    /// How channel events reach a shard's matching pass.
+    enum class Transport : std::uint8_t {
+      /// Encoded frames hand off through in-memory lock-free inboxes; the
+      /// deferred cross-match runs on the construction ThreadPool.
+      kInProcess,
+      /// Each shard spawns a matcher process behind an AF_UNIX socketpair;
+      /// all events travel as wire frames. Same answers, real process
+      /// boundary.
+      kLoopback,
+    };
+    Transport transport = Transport::kInProcess;
+
+    /// ShardMessages per encoded exchange frame: outboxes flush when they
+    /// reach this size (and at the quiescence barrier).
+    std::size_t exchange_batch = 64;
+
     MatcherOptions matcher;
   };
+  using Transport = Options::Transport;
 
-  /// Communication cost paid while building the sharded graph.
+  /// Communication cost paid while building the sharded graph. Counters
+  /// other than records_ingested are folded in at the quiescence barrier.
   struct ConstructionStats {
     std::size_t records_ingested = 0;
     std::size_t messages = 0;     // ShardMessages exchanged (cross-shard sends)
-    std::size_t wire_bytes = 0;   // sum of their serialized sizes
+    std::size_t frames = 0;       // encoded cross-shard frames carrying them
+    std::size_t wire_bytes = 0;   // actual encoded bytes of those frames
     std::size_t cross_edges = 0;  // matched send→recv pairs spanning shards
+    /// kLoopback only: bytes of receiver-local events shipped to the
+    /// spawned matchers. Harness traffic, not §5 wire cost — kept separate.
+    std::size_t loopback_local_bytes = 0;
+    std::uint64_t encode_ns = 0;  // time spent encoding exchange frames
+    std::uint64_t decode_ns = 0;  // time spent decoding them
   };
 
-  /// Resident-storage estimate for one router's slice of the graph.
+  /// Resident-storage accounting for one router's slice of the graph.
   struct RouterStorage {
     std::size_t ios = 0;             // vertices owned by the router
     std::size_t local_edges = 0;     // edges stored at the router (by head)
     std::size_t cross_in_edges = 0;  // remote-parent entries
     std::size_t inbox_messages = 0;  // construction messages retained
-    std::size_t storage_bytes = 0;   // estimated resident bytes
+    std::size_t storage_bytes = 0;   // resident bytes (encoded inbox share)
   };
 
   /// Streaming construction: attach the capture store, then append record
@@ -116,16 +145,35 @@ class DistributedHbgStore {
   explicit DistributedHbgStore(const HappensBeforeGraph& global);
   DistributedHbgStore(const HappensBeforeGraph& global, Options options);
 
+  ~DistributedHbgStore();
+  DistributedHbgStore(DistributedHbgStore&&) = default;
+  DistributedHbgStore& operator=(DistributedHbgStore&&) = default;
+
   /// Share the capture record store so shard vertices hold indices instead
   /// of copies. Call before the first append.
   void attach_store(const std::vector<IoRecord>* store);
 
-  /// Ingest a capture-order batch. Per-shard rule matching and channel
-  /// stitching fan out over `pool` (nullptr = serial; results are
-  /// identical at any thread count).
+  /// Ingest a capture-order batch. Per-shard rule matching fans out over
+  /// `pool` (nullptr = serial) and cross-shard sends enter the exchange
+  /// pipeline; the cross-match itself is deferred until quiesce(). Results
+  /// are identical at any thread count and any batch chunking.
   void append(std::span<const IoRecord> records, ThreadPool* pool = nullptr);
 
+  /// The explicit quiescence barrier: flush every outbox, drain every
+  /// inbox, run the deferred cross-match, and deliver cross-shard edges.
+  /// Queries call this implicitly (serially) if it was skipped; callers
+  /// holding a pool should invoke it themselves so the barrier parallelizes
+  /// across shards. Idempotent.
+  void quiesce(ThreadPool* pool = nullptr);
+
+  /// True when every exchanged event has been matched (no pending frames,
+  /// events or partial outboxes).
+  bool quiescent() const { return quiescent_; }
+
   // -- Provenance queries (byte-identical to the global graph) ------------
+  //
+  // Safe to call concurrently only on a quiescent store: the first query
+  // after an append runs the (serial) quiescence barrier.
 
   /// Backward traversal from `fault` to its provenance leaves — the same
   /// answer HappensBeforeGraph::root_causes gives, computed by distributed
@@ -157,71 +205,104 @@ class DistributedHbgStore {
   std::size_t shard_count() const { return shards_.size(); }
   /// Matched send→recv edges whose endpoints live on different shards.
   std::size_t cross_edge_count() const { return cross_edge_total_; }
+  /// Valid once quiescent (exchange counters fold in at the barrier).
   const ConstructionStats& construction_stats() const { return stats_; }
   const Options& options() const { return options_; }
 
-  /// The message index one shard retained (its inbox, in arrival order).
+  /// The message index one shard retained: every cross-shard send it
+  /// decoded, in frame-arrival order (unspecified across concurrent
+  /// senders; contents are deterministic).
   const std::vector<ShardMessage>& inbox(std::size_t shard) const {
     return shards_[shard]->inbox;
   }
+  /// Actual encoded bytes of the frames `shard` received.
+  std::size_t inbox_wire_bytes(std::size_t shard) const {
+    return shards_[shard]->inbox_wire_bytes;
+  }
 
   /// Per-router resident-byte accounting over every shard (§5 "each router
-  /// can store its own happens-before subgraph").
+  /// can store its own happens-before subgraph"). Inbox bytes are the real
+  /// encoded frame bytes, apportioned evenly over a frame's messages.
   std::map<RouterId, RouterStorage> per_router_storage() const;
 
  private:
-  /// FIFO channel state, receiver-owned; replicates
-  /// RuleMatchEngine::match_channels exactly (including the
-  /// skip-too-late-receive semantics) over (id, logged_time) pairs.
-  struct PendingIo {
-    IoId id = kNoIo;
-    SimTime logged_time = 0;
-  };
-  struct ChannelState {
-    std::deque<PendingIo> unmatched_sends;
-    std::deque<PendingIo> unmatched_recvs;
-  };
-  /// One send/recv routed to its receiving shard for this batch.
-  struct ChannelEvent {
-    std::string key;
-    IoId id = kNoIo;
-    SimTime logged_time = 0;
-    RouterId sender_router = kInvalidRouter;
-    bool is_send = false;
+  /// One per-receiver outbox of not-yet-encoded cross-shard sends.
+  struct Outbox {
+    std::vector<ShardMessage> pending;
   };
 
   struct Shard {
     IncrementalHbgBuilder builder;
-    std::map<std::string, ChannelState> channels;
-    std::vector<ShardMessage> inbox;  // retained message index
-    std::size_t inbox_bytes = 0;
+    ShardChannelMatcher matcher;  // in-process deferred cross-match state
+
+    // Exchange state. `outboxes[r]` buffers sends for shard r; full ones
+    // encode into frames pushed onto the receiver's lock-free inbox.
+    std::vector<Outbox> outboxes;
+    HandoffQueue<std::vector<std::uint8_t>> inbox_frames;
+    std::vector<ShardMessage> local_events;   // own events awaiting the match
+    std::vector<ShardMessage> remote_events;  // decoded inbox events (in-process)
+
+    // Retained message index + exact accounting. Router byte shares are the
+    // received frames' real sizes apportioned over their messages.
+    std::vector<ShardMessage> inbox;
+    std::size_t inbox_wire_bytes = 0;
+    std::map<RouterId, std::size_t> inbox_router_bytes;
+    std::size_t sent_messages = 0;
+    std::size_t sent_frames = 0;
+    std::size_t sent_wire_bytes = 0;
+    std::size_t local_wire_bytes = 0;  // kLoopback: encoded local events
+    std::uint64_t encode_ns = 0;
+    std::uint64_t decode_ns = 0;
+
     std::map<IoId, std::vector<HbgEdge>> cross_in;   // remote parents by local recv
     std::map<IoId, std::vector<HbgEdge>> cross_out;  // remote children by local send
-    // Per-append scratch (serial routing phase fills, parallel phases
-    // drain):
+    // Per-append scratch (serial routing phase fills, parallel phase
+    // drains):
     std::vector<std::uint32_t> batch;  // indices into the append span
-    std::vector<ChannelEvent> events;
-    std::vector<InferredHbr> edge_scratch;
     std::vector<std::pair<std::uint32_t, HbgEdge>> emitted_cross;  // (send shard, edge)
 
-    explicit Shard(const MatcherOptions& matcher) : builder(matcher) {
+    LoopbackMatcherProcess loopback;  // kLoopback matcher process
+
+    Shard(const MatcherOptions& matcher_options, SimTime slack)
+        : builder(matcher_options), matcher(slack) {
       builder.set_channel_matching(false);
     }
   };
 
-  std::uint32_t shard_of(RouterId router) const;
+  std::uint32_t shard_of(RouterId router) const { return router_shard_[router]; }
   std::uint32_t assign_shard(RouterId router);
   Shard& new_shard();
-  void ingest_shard_batch(Shard& shard, std::span<const IoRecord> records);
-  void stitch_shard_channels(std::uint32_t shard_index);
+  RouterId owner_of(IoId id) const {
+    return id < owner_.size() ? owner_[id] : kInvalidRouter;
+  }
+  void owner_set(IoId id, RouterId router);
+
+  void ingest_shard_batch(std::uint32_t shard_index, std::span<const IoRecord> records,
+                          std::uint64_t seq_base);
+  void queue_local_event(std::uint32_t shard_index, ShardMessage message);
+  void flush_outbox(std::uint32_t shard_index, std::uint32_t receiver);
+  void drain_shard_inbox(Shard& shard);
+  void match_shard(std::uint32_t shard_index);
+  void apply_matches(std::uint32_t shard_index, std::span<const ShardMatch> matches);
+  void deliver_cross_edges();  // serial tail of quiesce
+  void fold_exchange_stats();
+  /// Queries on a non-quiescent store run the barrier serially first.
+  void ensure_quiescent() const;
 
   Options options_;
   const std::vector<IoRecord>* store_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::map<RouterId, std::uint32_t> router_shard_;
-  std::map<IoId, RouterId> owner_;
+  /// Dense maps: RouterId → shard (kNoShard = unassigned), IoId → owner.
+  std::vector<std::uint32_t> router_shard_;
+  std::vector<RouterId> owner_;
   std::size_t cross_edge_total_ = 0;
+  /// False on the adoption path: no engines run, so no matcher children
+  /// spawn and no exchange state is touched.
+  bool streaming_ = true;
+  bool quiescent_ = true;
   ConstructionStats stats_;
+
+  static constexpr std::uint32_t kNoShard = 0xFFFFFFFFu;
 };
 
 }  // namespace hbguard

@@ -1,0 +1,265 @@
+#include "hbguard/provenance/shard_exchange.hpp"
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "hbguard/util/logging.hpp"
+
+extern "C" char** environ;
+
+namespace hbguard {
+
+void ShardChannelMatcher::feed(const ShardMessage& event, std::vector<ShardMatch>& out) {
+  ChannelState& channel = channels_[event.channel];
+  if (event.is_send) {
+    // Receives this (too-late) send can no longer serve are dropped —
+    // RuleMatchEngine::match_channels' skip semantics.
+    while (!channel.unmatched_recvs.empty() &&
+           event.logged_time > channel.unmatched_recvs.front().logged_time + slack_us_) {
+      channel.unmatched_recvs.pop_front();
+    }
+    if (!channel.unmatched_recvs.empty()) {
+      PendingIo recv = channel.unmatched_recvs.front();
+      channel.unmatched_recvs.pop_front();
+      out.push_back({event.io, recv.id});
+    } else {
+      channel.unmatched_sends.push_back({event.io, event.logged_time});
+    }
+  } else {
+    if (!channel.unmatched_sends.empty() &&
+        channel.unmatched_sends.front().logged_time <= event.logged_time + slack_us_) {
+      PendingIo send = channel.unmatched_sends.front();
+      channel.unmatched_sends.pop_front();
+      out.push_back({send.id, event.io});
+    } else {
+      channel.unmatched_recvs.push_back({event.io, event.logged_time});
+    }
+  }
+}
+
+void ShardChannelMatcher::feed_sorted(std::vector<ShardMessage>& events,
+                                      std::vector<ShardMatch>& out) {
+  // seq is unique per record, so plain sort is a total (deterministic)
+  // order: the global capture order the single-graph engine saw.
+  std::sort(events.begin(), events.end(),
+            [](const ShardMessage& a, const ShardMessage& b) { return a.seq < b.seq; });
+  for (const ShardMessage& event : events) feed(event, out);
+}
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE instead of killing the
+    // process with SIGPIPE.
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::recv(fd, data, size, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or error
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read exactly one frame (prefix + payload) into `frame`.
+bool read_frame(int fd, std::vector<std::uint8_t>& frame) {
+  std::uint8_t prefix[4];
+  if (!read_all(fd, prefix, sizeof prefix)) return false;
+  std::size_t total = shard_frame_size(std::span<const std::uint8_t>(prefix, 4));
+  if (total < 4 || total - 4 > kMaxShardFramePayload) return false;
+  frame.resize(total);
+  std::memcpy(frame.data(), prefix, 4);
+  return read_all(fd, frame.data() + 4, total - 4);
+}
+
+/// The child: a single-threaded matcher loop. Entered from the pre-main
+/// constructor hook below in a freshly exec'd process, so it must never
+/// return into main; it exits via _exit.
+[[noreturn]] void matcher_child_loop(int fd, SimTime slack_us) {
+  ShardChannelMatcher matcher(slack_us);
+  std::vector<ShardMessage> buffered;
+  std::vector<std::uint8_t> frame;
+  DecodedShardFrame decoded;
+  for (;;) {
+    if (!read_frame(fd, frame)) _exit(1);
+    if (!decode_shard_frame(frame, decoded)) _exit(2);
+    switch (decoded.type) {
+      case ShardFrameType::kCrossBatch:
+      case ShardFrameType::kLocalBatch:
+        buffered.insert(buffered.end(), std::make_move_iterator(decoded.events.begin()),
+                        std::make_move_iterator(decoded.events.end()));
+        break;
+      case ShardFrameType::kFlush: {
+        std::vector<ShardMatch> matches;
+        matcher.feed_sorted(buffered, matches);
+        buffered.clear();
+        std::vector<std::uint8_t> reply;
+        encode_match_frame(matches, reply);
+        if (!write_all(fd, reply.data(), reply.size())) _exit(3);
+        break;
+      }
+      case ShardFrameType::kShutdown:
+        _exit(0);
+      case ShardFrameType::kMatches:
+        _exit(4);  // protocol violation: only the child emits matches
+    }
+  }
+}
+
+/// The fd the child's socket end is dup2'd onto across exec.
+constexpr int kChildSocketFd = 3;
+
+/// Pre-main hook, linked into every binary that links hbg_provenance: a
+/// process spawned by LoopbackMatcherProcess::start (re-exec of
+/// /proc/self/exe with HBG_SHARD_MATCHER_FD in its env) becomes a matcher
+/// child here and never reaches main. A plain fork() would be simpler but
+/// deadlocks: the parent's ThreadPool is live when shards spawn, and a
+/// worker holding a sanitizer/allocator-internal lock at fork time leaves
+/// that lock locked forever in the single-threaded child. exec resets every
+/// lock, so the child starts clean under any sanitizer.
+[[gnu::constructor]] void maybe_become_matcher_child() {
+  const char* fd_env = std::getenv("HBG_SHARD_MATCHER_FD");
+  if (fd_env == nullptr) return;
+  const char* slack_env = std::getenv("HBG_SHARD_MATCHER_SLACK_US");
+  int fd = std::atoi(fd_env);
+  SimTime slack_us = slack_env != nullptr ? static_cast<SimTime>(std::atoll(slack_env)) : 0;
+  matcher_child_loop(fd, slack_us);  // never returns
+}
+
+}  // namespace
+
+LoopbackMatcherProcess::~LoopbackMatcherProcess() { shutdown(); }
+
+bool LoopbackMatcherProcess::start(SimTime cross_router_slack_us) {
+  // CLOEXEC on both ends so later-spawned shard children do not inherit
+  // this pair; the dup2 file action below hands the child a non-CLOEXEC
+  // copy of its own end.
+  int sv[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+    HBG_ERROR << "loopback matcher: socketpair failed: " << std::strerror(errno);
+    return false;
+  }
+
+  // Re-exec this binary; maybe_become_matcher_child() turns the spawned
+  // process into the matcher before main runs. The child's socket end is
+  // dup2'd onto a fixed fd (dup2 also clears FD_CLOEXEC for the copy).
+  char exe[4096];
+  ssize_t exe_len = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+  if (exe_len <= 0) {
+    HBG_ERROR << "loopback matcher: readlink(/proc/self/exe) failed: " << std::strerror(errno);
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return false;
+  }
+  exe[exe_len] = '\0';
+
+  int child_end = sv[1];
+  if (child_end == kChildSocketFd) {  // dup2 onto itself would not reset CLOEXEC
+    child_end = ::fcntl(sv[1], F_DUPFD_CLOEXEC, kChildSocketFd + 1);
+    ::close(sv[1]);
+    if (child_end < 0) {
+      HBG_ERROR << "loopback matcher: fcntl(F_DUPFD) failed: " << std::strerror(errno);
+      ::close(sv[0]);
+      return false;
+    }
+  }
+
+  // No addclose(sv[0]): it is CLOEXEC, and an explicit close action could
+  // land on kChildSocketFd right after the dup2 placed the socket there.
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, child_end, kChildSocketFd);
+
+  // The marker env vars go only into the child's envp; the parent's
+  // environment is untouched.
+  std::string fd_var = "HBG_SHARD_MATCHER_FD=" + std::to_string(kChildSocketFd);
+  std::string slack_var =
+      "HBG_SHARD_MATCHER_SLACK_US=" + std::to_string(cross_router_slack_us);
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) envp.push_back(*e);
+  envp.push_back(fd_var.data());
+  envp.push_back(slack_var.data());
+  envp.push_back(nullptr);
+  char* argv[] = {exe, nullptr};
+
+  pid_t pid = -1;
+  int rc = ::posix_spawn(&pid, exe, &actions, nullptr, argv, envp.data());
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(child_end);
+  if (rc != 0) {
+    HBG_ERROR << "loopback matcher: posix_spawn failed: " << std::strerror(rc);
+    ::close(sv[0]);
+    return false;
+  }
+  fd_ = sv[0];
+  pid_ = pid;
+  return true;
+}
+
+bool LoopbackMatcherProcess::write_frames(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) return false;
+  if (!write_all(fd_, bytes.data(), bytes.size())) {
+    HBG_ERROR << "loopback matcher " << pid_ << ": write failed: " << std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+std::vector<ShardMatch> LoopbackMatcherProcess::flush() {
+  if (fd_ < 0) return {};
+  std::vector<std::uint8_t> control;
+  encode_control_frame(ShardFrameType::kFlush, control);
+  if (!write_all(fd_, control.data(), control.size())) {
+    HBG_ERROR << "loopback matcher " << pid_ << ": flush write failed";
+    return {};
+  }
+  std::vector<std::uint8_t> frame;
+  DecodedShardFrame decoded;
+  if (!read_frame(fd_, frame) || !decode_shard_frame(frame, decoded) ||
+      decoded.type != ShardFrameType::kMatches) {
+    HBG_ERROR << "loopback matcher " << pid_ << ": bad kMatches reply";
+    return {};
+  }
+  return std::move(decoded.matches);
+}
+
+void LoopbackMatcherProcess::shutdown() {
+  if (fd_ >= 0) {
+    std::vector<std::uint8_t> control;
+    encode_control_frame(ShardFrameType::kShutdown, control);
+    write_all(fd_, control.data(), control.size());  // best-effort
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (pid_ > 0) {
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+  }
+}
+
+}  // namespace hbguard

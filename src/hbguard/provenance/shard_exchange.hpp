@@ -1,0 +1,104 @@
+// The shard-side half of the distributed-HBG exchange (§5): the FIFO
+// channel matcher every shard runs over its merged event stream, and the
+// socket-loopback harness that runs that matcher in a separate process.
+//
+// ShardChannelMatcher replicates RuleMatchEngine::match_channels exactly —
+// including the skip-too-late-receive semantics — over ShardMessages fed in
+// global capture order. It is deliberately ignorant of shards, graphs and
+// records: given the same ordered event stream it emits the same matched
+// (send, recv) pairs whether it runs inline in the store, on a ThreadPool
+// task, or inside a spawned matcher process on the far side of a socketpair.
+// The DistributedHbgStore classifies each returned pair (same-shard edge vs
+// cross-shard remote-parent entry) when it applies them.
+//
+// LoopbackMatcherProcess is the §5 deployment shape made real: the matcher
+// runs behind a genuine process boundary, fed exclusively through the
+// shard_wire codec over an AF_UNIX socketpair (the same kernel transport
+// hbguardd's ingest sockets use). The parent streams kCrossBatch /
+// kLocalBatch frames as construction proceeds; at the quiescence barrier it
+// sends kFlush and reads back one kMatches frame. The child buffers decoded
+// events, sorts them by capture sequence at each flush, feeds the matcher,
+// and replies — it never touches the parent's memory, so the differential
+// harness proving kLoopback byte-identical to the single-graph oracle
+// certifies that everything the matching pass needs really crosses the
+// wire.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hbguard/provenance/shard_wire.hpp"
+
+namespace hbguard {
+
+class ShardChannelMatcher {
+ public:
+  explicit ShardChannelMatcher(SimTime cross_router_slack_us)
+      : slack_us_(cross_router_slack_us) {}
+
+  /// Feed one event; events must arrive in global capture order (sort by
+  /// ShardMessage::seq first). Appends any pair this event completes.
+  void feed(const ShardMessage& event, std::vector<ShardMatch>& out);
+
+  /// Feed a batch after sorting it by seq in place.
+  void feed_sorted(std::vector<ShardMessage>& events, std::vector<ShardMatch>& out);
+
+ private:
+  struct PendingIo {
+    IoId id = kNoIo;
+    SimTime logged_time = 0;
+  };
+  struct ChannelState {
+    std::deque<PendingIo> unmatched_sends;
+    std::deque<PendingIo> unmatched_recvs;
+  };
+
+  SimTime slack_us_;
+  std::map<std::string, ChannelState> channels_;
+};
+
+/// A shard matcher spawned into its own process behind an AF_UNIX
+/// socketpair: posix_spawn re-execs /proc/self/exe, and a pre-main hook in
+/// shard_exchange.cpp turns the fresh process into the matcher (exec —
+/// unlike a bare fork from a thread-pool-active parent — cannot inherit a
+/// lock some other thread held at spawn time). All methods are
+/// parent-side; the child runs a read loop (decode → buffer → on kFlush:
+/// sort, match, reply) until kShutdown/EOF.
+class LoopbackMatcherProcess {
+ public:
+  LoopbackMatcherProcess() = default;
+  ~LoopbackMatcherProcess();
+
+  LoopbackMatcherProcess(const LoopbackMatcherProcess&) = delete;
+  LoopbackMatcherProcess& operator=(const LoopbackMatcherProcess&) = delete;
+
+  /// socketpair + posix_spawn of /proc/self/exe. The child never reaches
+  /// main. False (with a logged error) if any syscall fails.
+  bool start(SimTime cross_router_slack_us);
+
+  bool running() const { return pid_ > 0; }
+
+  /// Ship already-encoded frame bytes (one or more complete frames).
+  bool write_frames(std::span<const std::uint8_t> bytes);
+
+  /// Barrier: kFlush, then block for the child's kMatches reply. Matches
+  /// come back in the child's deterministic feed order. On a dead or
+  /// misbehaving child this logs and returns an empty list (the
+  /// differential harness then fails loudly on the missing edges).
+  std::vector<ShardMatch> flush();
+
+  /// kShutdown + waitpid. Safe to call twice.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  pid_t pid_ = -1;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,75 @@
+// Lock-free multi-producer / single-consumer handoff queue.
+//
+// The distributed-HBG exchange hands encoded ShardMessage frames from the
+// shard task that produced them to the shard that will consume them, while
+// both are running on the Guard's ThreadPool. A mutex here would make every
+// sender serialize on the busiest receiver; instead producers push onto an
+// atomic intrusive stack (one CAS per push, no waiting beyond the CAS
+// retry) and the single consumer takes the whole batch with one exchange.
+//
+// Ordering: drain() returns items in push order *per producer* (the stack
+// is reversed on drain); interleaving across concurrent producers is
+// unspecified. Consumers that need a global order must carry it in the
+// items themselves (the exchange carries capture sequence numbers).
+//
+// The consumer contract: only one thread may call drain() at a time, and
+// it must be ordered after the producers it wants to observe (the
+// ThreadPool's parallel_for barrier provides exactly that).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hbguard {
+
+template <typename T>
+class HandoffQueue {
+ public:
+  HandoffQueue() = default;
+  ~HandoffQueue() { drain(); }
+
+  HandoffQueue(const HandoffQueue&) = delete;
+  HandoffQueue& operator=(const HandoffQueue&) = delete;
+
+  /// Push one item (any thread). Wait-free except for CAS retries under
+  /// contention.
+  void push(T value) {
+    Node* node = new Node{std::move(value), head_.load(std::memory_order_relaxed)};
+    while (!head_.compare_exchange_weak(node->next, node, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Take everything pushed so far (single consumer). Items from one
+  /// producer come out in the order that producer pushed them.
+  std::vector<T> drain() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    std::size_t count = 0;
+    for (Node* walk = node; walk != nullptr; walk = walk->next) ++count;
+    std::vector<T> items;
+    items.reserve(count);
+    while (node != nullptr) {
+      items.push_back(std::move(node->value));
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+    std::reverse(items.begin(), items.end());
+    return items;
+  }
+
+  bool empty() const { return head_.load(std::memory_order_acquire) == nullptr; }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+};
+
+}  // namespace hbguard

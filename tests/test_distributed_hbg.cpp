@@ -68,11 +68,15 @@ std::vector<IoRecord> churn_trace(std::uint64_t seed, std::size_t routers,
 }
 
 /// Streaming-build a store over `records` in fixed-size chunks, fanned out
-/// over `threads` workers (1 = no pool, the serial path).
-DistributedHbgStore build_store(const std::vector<IoRecord>& records, std::size_t num_shards,
-                                unsigned threads, std::size_t chunk = 97) {
+/// over `threads` workers (1 = no pool, the serial path), then run the
+/// quiescence barrier so queries see the finished exchange.
+DistributedHbgStore build_store(
+    const std::vector<IoRecord>& records, std::size_t num_shards, unsigned threads,
+    std::size_t chunk = 97,
+    DistributedHbgStore::Transport transport = DistributedHbgStore::Transport::kInProcess) {
   DistributedHbgStore::Options options;
   options.num_shards = num_shards;
+  options.transport = transport;
   DistributedHbgStore store(options);
   store.attach_store(&records);
   std::unique_ptr<ThreadPool> pool;
@@ -81,8 +85,18 @@ DistributedHbgStore build_store(const std::vector<IoRecord>& records, std::size_
   for (std::size_t i = 0; i < all.size(); i += chunk) {
     store.append(all.subspan(i, std::min(chunk, all.size() - i)), pool.get());
   }
+  store.quiesce(pool.get());
   return store;
 }
+
+const char* transport_name(DistributedHbgStore::Transport transport) {
+  return transport == DistributedHbgStore::Transport::kLoopback ? "loopback" : "in-process";
+}
+
+constexpr DistributedHbgStore::Transport kTransports[] = {
+    DistributedHbgStore::Transport::kInProcess,
+    DistributedHbgStore::Transport::kLoopback,
+};
 
 /// Assert every provenance query over `store` matches the oracle graph,
 /// byte for byte. Returns the aggregated distributed query stats so callers
@@ -129,32 +143,35 @@ TEST(DistributedHbg, ShardedConstructionMatchesOracleAcrossShardAndThreadCounts)
   oracle.attach_store(&records);
   oracle.append(records);
 
-  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
-    for (unsigned threads : {1u, 2u, 8u}) {
-      SCOPED_TRACE(testing::Message() << "shards=" << shards << " threads=" << threads);
-      DistributedHbgStore store = build_store(records, shards, threads);
-      EXPECT_EQ(store.shard_count(), shards);
-      // Edge accounting: local shard edges plus cross-shard pairs must tile
-      // the oracle's edge set exactly.
-      std::size_t local_edges = 0;
-      std::set<RouterId> seen_routers;
-      for (const IoRecord& r : records) seen_routers.insert(r.router);
-      for (RouterId router : seen_routers) {
-        ASSERT_NE(store.subgraph(router), nullptr);
-      }
-      for (const auto& [router, storage] : store.per_router_storage()) {
-        local_edges += storage.local_edges;
-      }
-      EXPECT_EQ(local_edges + store.cross_edge_count(), oracle.graph().edge_count());
+  for (DistributedHbgStore::Transport transport : kTransports) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      for (unsigned threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "transport=" << transport_name(transport)
+                                        << " shards=" << shards << " threads=" << threads);
+        DistributedHbgStore store = build_store(records, shards, threads, 97, transport);
+        EXPECT_EQ(store.shard_count(), shards);
+        // Edge accounting: local shard edges plus cross-shard pairs must tile
+        // the oracle's edge set exactly.
+        std::size_t local_edges = 0;
+        std::set<RouterId> seen_routers;
+        for (const IoRecord& r : records) seen_routers.insert(r.router);
+        for (RouterId router : seen_routers) {
+          ASSERT_NE(store.subgraph(router), nullptr);
+        }
+        for (const auto& [router, storage] : store.per_router_storage()) {
+          local_edges += storage.local_edges;
+        }
+        EXPECT_EQ(local_edges + store.cross_edge_count(), oracle.graph().edge_count());
 
-      DistributedQueryStats stats =
-          expect_queries_match(store, oracle.graph(), records, "streaming");
-      if (shards == 1) {
-        EXPECT_EQ(store.construction_stats().messages, 0u);
-        EXPECT_EQ(store.cross_edge_count(), 0u);
-        EXPECT_EQ(stats.messages, 0u);
-      } else if (store.cross_edge_count() > 0) {
-        EXPECT_GT(stats.messages, 0u) << "cross edges exist but no query crossed a shard";
+        DistributedQueryStats stats =
+            expect_queries_match(store, oracle.graph(), records, "streaming");
+        if (shards == 1) {
+          EXPECT_EQ(store.construction_stats().messages, 0u);
+          EXPECT_EQ(store.cross_edge_count(), 0u);
+          EXPECT_EQ(stats.messages, 0u);
+        } else if (store.cross_edge_count() > 0) {
+          EXPECT_GT(stats.messages, 0u) << "cross edges exist but no query crossed a shard";
+        }
       }
     }
   }
@@ -170,11 +187,14 @@ TEST(DistributedHbg, ShardedConstructionMatchesOracleUnderControlFaults) {
   oracle.attach_store(&records);
   oracle.append(records);
 
-  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
-    for (unsigned threads : {1u, 2u, 8u}) {
-      SCOPED_TRACE(testing::Message() << "shards=" << shards << " threads=" << threads);
-      DistributedHbgStore store = build_store(records, shards, threads);
-      expect_queries_match(store, oracle.graph(), records, "faulted");
+  for (DistributedHbgStore::Transport transport : kTransports) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      for (unsigned threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "transport=" << transport_name(transport)
+                                        << " shards=" << shards << " threads=" << threads);
+        DistributedHbgStore store = build_store(records, shards, threads, 97, transport);
+        expect_queries_match(store, oracle.graph(), records, "faulted");
+      }
     }
   }
 }
@@ -234,17 +254,32 @@ TEST(DistributedHbg, ConstructionAccountingIsExact) {
   EXPECT_EQ(stats.records_ingested, records.size());
   EXPECT_EQ(stats.cross_edges, store.cross_edge_count());
   EXPECT_GT(stats.messages, 0u) << "an 8-shard build of a churn trace must exchange sends";
+  EXPECT_GT(stats.frames, 0u);
+  EXPECT_LE(stats.frames, stats.messages);
+  EXPECT_EQ(stats.loopback_local_bytes, 0u) << "in-process builds ship no loopback frames";
 
-  // Every counted message is sitting in exactly one inbox, and the wire
-  // bytes are the sum of their serialized sizes.
+  // Every counted message is sitting in exactly one inbox, and wire_bytes
+  // is the actual encoded size of the frames that carried them: what the
+  // senders measured encoding must equal what the receivers measured
+  // arriving.
   std::size_t inboxed = 0;
   std::size_t inbox_bytes = 0;
+  std::size_t struct_estimate = 0;
   for (std::size_t s = 0; s < store.shard_count(); ++s) {
     inboxed += store.inbox(s).size();
-    for (const ShardMessage& m : store.inbox(s)) inbox_bytes += m.wire_bytes();
+    inbox_bytes += store.inbox_wire_bytes(s);
+    for (const ShardMessage& m : store.inbox(s)) {
+      struct_estimate += sizeof(IoId) + 2 * sizeof(RouterId) + sizeof(SimTime) +
+                         m.channel.size();
+    }
   }
   EXPECT_EQ(inboxed, stats.messages);
   EXPECT_EQ(inbox_bytes, stats.wire_bytes);
+
+  // The codec earns its keep: the real encoded frames must come in strictly
+  // below the hand-summed per-field struct estimate the store used to
+  // report for the same messages.
+  EXPECT_LT(stats.wire_bytes, struct_estimate);
 
   // Per-router storage tiles the vertex set and includes the inbox bytes.
   std::size_t ios = 0;
@@ -256,6 +291,48 @@ TEST(DistributedHbg, ConstructionAccountingIsExact) {
   }
   EXPECT_EQ(ios, records.size());
   EXPECT_GE(storage_bytes, inbox_bytes);
+}
+
+TEST(DistributedHbg, LoopbackTransportMatchesInProcessExactly) {
+  // The spawned matcher processes see events only as encoded frames over
+  // their socketpairs; answers and exchange accounting must nonetheless be
+  // identical to the in-process transport (same frames, same matches).
+  std::vector<IoRecord> records = churn_trace(27, 8, 40, /*control_faults=*/false);
+  IncrementalHbgBuilder oracle;
+  oracle.attach_store(&records);
+  oracle.append(records);
+
+  DistributedHbgStore in_process = build_store(records, 8, 2);
+  DistributedHbgStore loopback =
+      build_store(records, 8, 2, 97, DistributedHbgStore::Transport::kLoopback);
+  expect_queries_match(loopback, oracle.graph(), records, "loopback");
+
+  EXPECT_EQ(loopback.cross_edge_count(), in_process.cross_edge_count());
+  EXPECT_EQ(loopback.construction_stats().messages, in_process.construction_stats().messages);
+  EXPECT_EQ(loopback.construction_stats().frames, in_process.construction_stats().frames);
+  EXPECT_EQ(loopback.construction_stats().wire_bytes,
+            in_process.construction_stats().wire_bytes);
+  // Receiver-local events crossed the process boundary too — as kLocalBatch
+  // frames, accounted separately from the §5 cross-shard traffic.
+  EXPECT_GT(loopback.construction_stats().loopback_local_bytes, 0u);
+}
+
+TEST(DistributedHbg, FirstQueryRunsTheBarrierImplicitly) {
+  // A store queried without an explicit quiesce() must run the barrier
+  // itself (serially) and still answer byte-identically.
+  std::vector<IoRecord> records = churn_trace(28, 6, 30, /*control_faults=*/false);
+  IncrementalHbgBuilder oracle;
+  oracle.attach_store(&records);
+  oracle.append(records);
+
+  DistributedHbgStore::Options options;
+  options.num_shards = 4;
+  DistributedHbgStore store(options);
+  store.attach_store(&records);
+  store.append(records);
+  EXPECT_FALSE(store.quiescent());
+  expect_queries_match(store, oracle.graph(), records, "implicit-quiesce");
+  EXPECT_TRUE(store.quiescent());
 }
 
 // ---------------------------------------------------------------------------
