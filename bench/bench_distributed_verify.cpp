@@ -326,6 +326,10 @@ int main() {
   const double speedup8 = sharded8_ms > 0 ? serial_ms / sharded8_ms : 0;
   json.key("speedup_at_8_shards").value(speedup8);
   json.key("speedup_gate_enforced").value(enforce_speedup);
+  if (!enforce_speedup) {
+    json.key("speedup_gate_skipped_reason")
+        .value("host has " + std::to_string(hw) + " hardware thread(s), gate requires >= 4");
+  }
   json.key("query_divergences").value(divergences);
 
   if (divergences > 0) {
@@ -340,7 +344,8 @@ int main() {
       exit_code = 1;
     }
   } else {
-    std::printf("speedup gate: skipped (%u hardware thread(s) < 4)\n", hw);
+    std::printf("speedup gate: skipped — hardware_threads=%u < 4 (result would measure "
+                "oversubscription, not sharding)\n", hw);
   }
 
   // Wire-budget gate: the exchange must stay frugal in absolute terms —

@@ -25,6 +25,7 @@
 #include "hbguard/hbg/builder.hpp"
 #include "hbguard/hbg/render.hpp"
 #include "hbguard/hbr/rule_matcher.hpp"
+#include "hbguard/capture/trace_archive.hpp"
 #include "hbguard/capture/trace_io.hpp"
 #include "hbguard/util/strings.hpp"
 #include "hbguard/provenance/root_cause.hpp"
@@ -40,18 +41,20 @@ namespace {
 // `hbgctl --help` against the block between the hbgctl-help markers there.
 constexpr const char* kHelpText =
     "usage: hbgctl <command> ...\n"
-    "offline analysis:\n"
-    "  stats  <trace.jsonl>              trace summary\n"
-    "  hbg    <trace.jsonl> [--dot]      infer the happens-before graph\n"
-    "  why    <trace.jsonl> <io-id>      root causes of an I/O\n"
-    "  verify <trace.jsonl> <prefix>...  loop/blackhole check\n"
+    "offline analysis (<trace> is JSONL or a binary trace archive):\n"
+    "  stats  <trace>                    trace summary\n"
+    "  hbg    <trace> [--dot]            infer the happens-before graph\n"
+    "  why    <trace> <io-id>            root causes of an I/O\n"
+    "  verify <trace> <prefix>...        loop/blackhole check\n"
     "  demo   <out.jsonl>                write a sample trace (Fig. 2)\n"
+    "  convert <in> <out>                transcode JSONL <-> binary archive\n"
+    "                                    (direction chosen by sniffing <in>)\n"
     "live control (against a running hbguardd):\n"
     "  live   <ctl.sock|dir> <rpc...>    one RPC on the control socket:\n"
     "                                    scan | status | why <io-id> |\n"
     "                                    repairs list|approve <id>|decline <id>|revert <id> |\n"
     "                                    pause | resume | finish | digest | shutdown\n"
-    "  feed   <ingest.sock> <trace.jsonl>  stream a trace into the ingest socket\n";
+    "  feed   <ingest.sock> <trace>      stream a trace into the ingest socket\n";
 
 int usage() {
   std::fputs(kHelpText, stderr);
@@ -59,6 +62,15 @@ int usage() {
 }
 
 std::optional<std::vector<IoRecord>> load(const std::string& path) {
+  if (is_trace_archive(path)) {
+    TraceArchiveReader reader;
+    std::vector<IoRecord> records;
+    if (!reader.open(path) || !reader.read_all(records)) {
+      std::fprintf(stderr, "hbgctl: %s\n", reader.error().c_str());
+      return std::nullopt;
+    }
+    return records;
+  }
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "hbgctl: cannot open %s\n", path.c_str());
@@ -71,6 +83,47 @@ std::optional<std::vector<IoRecord>> load(const std::string& path) {
   }
   if (!parsed.ok()) return std::nullopt;
   return std::move(parsed.records);
+}
+
+// Transcode between the codecs; the input's magic decides the direction.
+int cmd_convert(const std::string& in_path, const std::string& out_path) {
+  ArchiveConvertStats stats;
+  std::string error;
+  if (is_trace_archive(in_path)) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "hbgctl: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    if (!convert_archive_to_jsonl(in_path, out, {}, &stats, &error)) {
+      std::fprintf(stderr, "hbgctl: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %llu record(s) as JSONL to %s\n",
+                static_cast<unsigned long long>(stats.records), out_path.c_str());
+    return 0;
+  }
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "hbgctl: cannot open %s\n", in_path.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "hbgctl: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!convert_jsonl_to_archive(in, out, {}, &stats, &error)) {
+    std::fprintf(stderr, "hbgctl: %s\n", error.c_str());
+    return 1;
+  }
+  if (stats.parse_errors != 0) {
+    std::fprintf(stderr, "hbgctl: skipped %llu malformed line(s)\n",
+                 static_cast<unsigned long long>(stats.parse_errors));
+  }
+  std::printf("wrote %llu record(s) as a trace archive to %s\n",
+              static_cast<unsigned long long>(stats.records), out_path.c_str());
+  return stats.parse_errors == 0 ? 0 : 1;
 }
 
 int cmd_stats(const std::vector<IoRecord>& records) {
@@ -249,9 +302,39 @@ int cmd_live(const std::string& target, const std::vector<std::string>& rpc) {
   return ok ? 0 : 1;
 }
 
-// Stream a JSONL trace into the daemon's ingest socket, verbatim line by
-// line (the daemon parses; we only validate that the file opens).
+// Stream a trace into the daemon's ingest socket. JSONL is forwarded
+// verbatim line by line (the daemon parses); a binary archive is decoded
+// streaming and each record re-encoded as one JSONL line on the way out.
 int cmd_feed(const std::string& socket_path, const std::string& trace_path) {
+  std::size_t sent = 0;
+  if (is_trace_archive(trace_path)) {
+    TraceArchiveReader reader;
+    if (!reader.open(trace_path)) {
+      std::fprintf(stderr, "hbgctl: %s\n", reader.error().c_str());
+      return 1;
+    }
+    int fd = connect_unix(socket_path);
+    if (fd < 0) return 1;
+    bool write_failed = false;
+    bool ok = reader.for_each([&](const ArchiveRecord& record) {
+      std::string line = to_json_line(record.materialize());
+      line += '\n';
+      if (!send_all(fd, line)) {
+        write_failed = true;
+        return false;
+      }
+      ++sent;
+      return true;
+    });
+    ::close(fd);
+    if (!ok || write_failed) {
+      if (!ok) std::fprintf(stderr, "hbgctl: %s\n", reader.error().c_str());
+      return 1;
+    }
+    std::printf("fed %zu line(s) from %s into %s\n", sent, trace_path.c_str(),
+                socket_path.c_str());
+    return 0;
+  }
   std::ifstream in(trace_path);
   if (!in) {
     std::fprintf(stderr, "hbgctl: cannot open %s\n", trace_path.c_str());
@@ -260,7 +343,6 @@ int cmd_feed(const std::string& socket_path, const std::string& trace_path) {
   int fd = connect_unix(socket_path);
   if (fd < 0) return 1;
   std::string line;
-  std::size_t sent = 0;
   while (std::getline(in, line)) {
     line += '\n';
     if (!send_all(fd, line)) {
@@ -298,6 +380,10 @@ int main(int argc, char** argv) {
   if (command == "demo") {
     if (args.size() != 2) return usage();
     return cmd_demo(args[1]);
+  }
+  if (command == "convert") {
+    if (args.size() != 3) return usage();
+    return cmd_convert(args[1], args[2]);
   }
   if (args.size() < 2) return usage();
   auto records = load(args[1]);

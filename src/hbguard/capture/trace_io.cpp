@@ -5,7 +5,6 @@
 #include <istream>
 #include <map>
 #include <ostream>
-#include <sstream>
 
 namespace hbguard {
 
@@ -352,120 +351,172 @@ void write_trace(std::ostream& out, std::span<const IoRecord> records,
   }
 }
 
-TraceParseResult parse_trace_text(const std::string& text) {
-  std::istringstream in(text);
-  return parse_trace(in);
+TraceLineStatus parse_trace_line(std::string_view line, IoRecord& out, std::string& error) {
+  error.clear();
+  bool blank = true;
+  for (char c : line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+  }
+  if (blank) return TraceLineStatus::kBlank;
+
+  JsonParser parser{line, 0, {}};
+  JsonValue value;
+  if (!parser.parse_value(value) || value.type != JsonValue::Type::kObject) {
+    error = parser.error.empty() ? "not an object" : parser.error;
+    return TraceLineStatus::kError;
+  }
+
+  IoRecord record;
+  auto id = int_field(value, "id");
+  auto router = int_field(value, "router");
+  auto kind_text = string_field(value, "kind");
+  if (!id || !router || !kind_text) {
+    error = "missing id/router/kind";
+    return TraceLineStatus::kError;
+  }
+  auto kind = kind_from(*kind_text);
+  if (!kind) {
+    error = "unknown kind '" + *kind_text + "'";
+    return TraceLineStatus::kError;
+  }
+  record.id = static_cast<IoId>(*id);
+  record.router = static_cast<RouterId>(*router);
+  record.kind = *kind;
+  record.logged_time = int_field(value, "logged_time").value_or(0);
+  record.true_time = int_field(value, "true_time").value_or(record.logged_time);
+  // A record without a parseable seq cannot be placed in its router's log
+  // order; defaulting it (to 0) would silently corrupt per-router replay
+  // on archive ingest, so reject the record instead.
+  auto seq = int_field(value, "seq");
+  if (!seq || *seq < 0) {
+    error = "missing or invalid seq";
+    return TraceLineStatus::kError;
+  }
+  record.router_seq = static_cast<std::uint64_t>(*seq);
+  if (auto protocol = string_field(value, "protocol")) {
+    if (auto parsed = protocol_from(*protocol)) record.protocol = *parsed;
+  }
+  if (auto prefix_text = string_field(value, "prefix")) {
+    auto prefix = Prefix::parse(*prefix_text);
+    if (!prefix) {
+      error = "bad prefix '" + *prefix_text + "'";
+      return TraceLineStatus::kError;
+    }
+    record.prefix = *prefix;
+  }
+  if (auto session = string_field(value, "session")) record.session = *session;
+  if (auto peer = int_field(value, "peer")) record.peer = static_cast<RouterId>(*peer);
+  record.withdraw = bool_field(value, "withdraw");
+  if (auto lp = int_field(value, "local_pref")) {
+    record.local_pref = static_cast<std::uint32_t>(*lp);
+  }
+  if (auto detail = string_field(value, "detail")) record.detail = *detail;
+  if (auto version = int_field(value, "config_version")) {
+    record.config_version = static_cast<ConfigVersion>(*version);
+  }
+  if (auto link = int_field(value, "link")) record.link = static_cast<LinkId>(*link);
+  record.link_up = bool_field(value, "link_up");
+  record.fib_blocked = bool_field(value, "fib_blocked");
+  record.fib_reset = bool_field(value, "fib_reset");
+  if (auto message = int_field(value, "message_id")) {
+    record.message_id = static_cast<std::uint64_t>(*message);
+  }
+  if (const JsonValue* causes = field(value, "true_causes");
+      causes != nullptr && causes->type == JsonValue::Type::kArray) {
+    for (const JsonValue& cause : causes->array) {
+      if (cause.type == JsonValue::Type::kInt) {
+        record.true_causes.push_back(static_cast<IoId>(cause.integer));
+      }
+    }
+  }
+  if (const JsonValue* entry = field(value, "fib_entry");
+      entry != nullptr && entry->type == JsonValue::Type::kObject) {
+    FibEntry fib;
+    auto prefix_text = string_field(*entry, "prefix");
+    auto action_text = string_field(*entry, "action");
+    auto prefix = prefix_text ? Prefix::parse(*prefix_text) : std::nullopt;
+    auto action = action_text ? action_from(*action_text) : std::nullopt;
+    if (!prefix || !action) {
+      error = "bad fib_entry";
+      return TraceLineStatus::kError;
+    }
+    fib.prefix = *prefix;
+    fib.action = *action;
+    if (auto next_hop = int_field(*entry, "next_hop")) {
+      fib.next_hop = static_cast<RouterId>(*next_hop);
+    }
+    if (auto session = string_field(*entry, "external_session")) {
+      fib.external_session = *session;
+    }
+    if (auto source = string_field(*entry, "source")) {
+      if (auto parsed = protocol_from(*source)) fib.source = *parsed;
+    }
+    record.fib_entry = fib;
+  }
+  out = std::move(record);
+  return TraceLineStatus::kRecord;
+}
+
+bool stream_trace(std::istream& in, const std::function<bool(IoRecord&&)>& visit,
+                  std::vector<TraceParseError>* errors) {
+  std::string line;
+  std::string error;
+  IoRecord record;
+  std::size_t line_number = 0;
+  bool clean = true;
+  while (std::getline(in, line)) {
+    ++line_number;
+    switch (parse_trace_line(line, record, error)) {
+      case TraceLineStatus::kBlank:
+        break;
+      case TraceLineStatus::kError:
+        clean = false;
+        if (errors != nullptr) errors->push_back({line_number, error});
+        break;
+      case TraceLineStatus::kRecord:
+        if (!visit(std::move(record))) return clean;
+        record = IoRecord{};
+        break;
+    }
+  }
+  return clean;
 }
 
 TraceParseResult parse_trace(std::istream& in) {
   TraceParseResult result;
-  std::string line;
+  stream_trace(
+      in,
+      [&](IoRecord&& record) {
+        result.records.push_back(std::move(record));
+        return true;
+      },
+      &result.errors);
+  return result;
+}
+
+TraceParseResult parse_trace_text(const std::string& text) {
+  // Split in place — no istringstream copy of a potentially huge buffer.
+  TraceParseResult result;
+  std::string_view rest = text;
+  std::string error;
+  IoRecord record;
   std::size_t line_number = 0;
-  while (std::getline(in, line)) {
+  while (!rest.empty()) {
+    std::size_t cut = rest.find('\n');
+    std::string_view line = rest.substr(0, cut);
+    rest = cut == std::string_view::npos ? std::string_view{} : rest.substr(cut + 1);
     ++line_number;
-    // Skip blank lines.
-    bool blank = true;
-    for (char c : line) {
-      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    switch (parse_trace_line(line, record, error)) {
+      case TraceLineStatus::kBlank:
+        break;
+      case TraceLineStatus::kError:
+        result.errors.push_back({line_number, error});
+        break;
+      case TraceLineStatus::kRecord:
+        result.records.push_back(std::move(record));
+        record = IoRecord{};
+        break;
     }
-    if (blank) continue;
-
-    JsonParser parser{line, 0, {}};
-    JsonValue value;
-    if (!parser.parse_value(value) || value.type != JsonValue::Type::kObject) {
-      result.errors.push_back({line_number, parser.error.empty() ? "not an object"
-                                                                 : parser.error});
-      continue;
-    }
-
-    IoRecord record;
-    auto id = int_field(value, "id");
-    auto router = int_field(value, "router");
-    auto kind_text = string_field(value, "kind");
-    if (!id || !router || !kind_text) {
-      result.errors.push_back({line_number, "missing id/router/kind"});
-      continue;
-    }
-    auto kind = kind_from(*kind_text);
-    if (!kind) {
-      result.errors.push_back({line_number, "unknown kind '" + *kind_text + "'"});
-      continue;
-    }
-    record.id = static_cast<IoId>(*id);
-    record.router = static_cast<RouterId>(*router);
-    record.kind = *kind;
-    record.logged_time = int_field(value, "logged_time").value_or(0);
-    record.true_time = int_field(value, "true_time").value_or(record.logged_time);
-    // A record without a parseable seq cannot be placed in its router's log
-    // order; defaulting it (to 0) would silently corrupt per-router replay
-    // on archive ingest, so reject the record instead.
-    auto seq = int_field(value, "seq");
-    if (!seq || *seq < 0) {
-      result.errors.push_back({line_number, "missing or invalid seq"});
-      continue;
-    }
-    record.router_seq = static_cast<std::uint64_t>(*seq);
-    if (auto protocol = string_field(value, "protocol")) {
-      if (auto parsed = protocol_from(*protocol)) record.protocol = *parsed;
-    }
-    if (auto prefix_text = string_field(value, "prefix")) {
-      auto prefix = Prefix::parse(*prefix_text);
-      if (!prefix) {
-        result.errors.push_back({line_number, "bad prefix '" + *prefix_text + "'"});
-        continue;
-      }
-      record.prefix = *prefix;
-    }
-    if (auto session = string_field(value, "session")) record.session = *session;
-    if (auto peer = int_field(value, "peer")) record.peer = static_cast<RouterId>(*peer);
-    record.withdraw = bool_field(value, "withdraw");
-    if (auto lp = int_field(value, "local_pref")) {
-      record.local_pref = static_cast<std::uint32_t>(*lp);
-    }
-    if (auto detail = string_field(value, "detail")) record.detail = *detail;
-    if (auto version = int_field(value, "config_version")) {
-      record.config_version = static_cast<ConfigVersion>(*version);
-    }
-    if (auto link = int_field(value, "link")) record.link = static_cast<LinkId>(*link);
-    record.link_up = bool_field(value, "link_up");
-    record.fib_blocked = bool_field(value, "fib_blocked");
-    record.fib_reset = bool_field(value, "fib_reset");
-    if (auto message = int_field(value, "message_id")) {
-      record.message_id = static_cast<std::uint64_t>(*message);
-    }
-    if (const JsonValue* causes = field(value, "true_causes");
-        causes != nullptr && causes->type == JsonValue::Type::kArray) {
-      for (const JsonValue& cause : causes->array) {
-        if (cause.type == JsonValue::Type::kInt) {
-          record.true_causes.push_back(static_cast<IoId>(cause.integer));
-        }
-      }
-    }
-    if (const JsonValue* entry = field(value, "fib_entry");
-        entry != nullptr && entry->type == JsonValue::Type::kObject) {
-      FibEntry fib;
-      auto prefix_text = string_field(*entry, "prefix");
-      auto action_text = string_field(*entry, "action");
-      auto prefix = prefix_text ? Prefix::parse(*prefix_text) : std::nullopt;
-      auto action = action_text ? action_from(*action_text) : std::nullopt;
-      if (!prefix || !action) {
-        result.errors.push_back({line_number, "bad fib_entry"});
-        continue;
-      }
-      fib.prefix = *prefix;
-      fib.action = *action;
-      if (auto next_hop = int_field(*entry, "next_hop")) {
-        fib.next_hop = static_cast<RouterId>(*next_hop);
-      }
-      if (auto session = string_field(*entry, "external_session")) {
-        fib.external_session = *session;
-      }
-      if (auto source = string_field(*entry, "source")) {
-        if (auto parsed = protocol_from(*source)) fib.source = *parsed;
-      }
-      record.fib_entry = fib;
-    }
-    result.records.push_back(std::move(record));
   }
   return result;
 }

@@ -9,9 +9,11 @@
 // mode drops them to produce exactly what a real collector would have.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hbguard/capture/io_record.hpp"
@@ -42,8 +44,28 @@ struct TraceParseResult {
   bool ok() const { return errors.empty(); }
 };
 
-/// Parse one JSON line; appends an error (with `line` for context) instead
-/// of a record on malformed input.
+enum class TraceLineStatus {
+  kRecord,  // `out` holds the parsed record
+  kBlank,   // whitespace-only line, nothing parsed
+  kError,   // malformed; `error` says why
+};
+
+/// Parse exactly one JSONL line into `out` (reset first). This is the
+/// primitive the streaming readers are built on: no stream wrapper, no
+/// accumulation — one line in, one record (or verdict) out.
+TraceLineStatus parse_trace_line(std::string_view line, IoRecord& out, std::string& error);
+
+/// Stream a trace record-by-record with constant memory: each parsed record
+/// is handed to `visit` (which may take ownership) instead of being
+/// accumulated. `visit` returning false stops the scan early — the stream
+/// is left positioned after the last consumed line. Malformed lines are
+/// appended to `errors` (if non-null) and skipped. Returns false iff any
+/// line was malformed.
+bool stream_trace(std::istream& in, const std::function<bool(IoRecord&&)>& visit,
+                  std::vector<TraceParseError>* errors = nullptr);
+
+/// Parse a whole trace into memory (built on stream_trace). Prefer
+/// stream_trace for large files.
 TraceParseResult parse_trace(std::istream& in);
 TraceParseResult parse_trace_text(const std::string& text);
 

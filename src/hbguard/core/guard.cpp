@@ -299,6 +299,9 @@ std::vector<Violation> Guard::scan() {
       delta.changed_prefixes.clear();
       pending_full_verify_ = false;
     }
+    // Same delta, same trust rules as the verifier: a degraded scan above
+    // returned before this point, and its stale delta arrives here as full.
+    if (options_.streaming_eqclass) streaming_classes_.update(snapshot, delta, pool_.get());
     result = verifier_.verify(snapshot, &delta);
   } else {
     if (degraded) {
@@ -310,6 +313,7 @@ std::vector<Violation> Guard::scan() {
     pending_full_verify_ = false;
     DataPlaneSnapshot snapshot =
         snapshotter_.build(capture.records(), hbg, {}, nullptr, &lossy);
+    if (options_.streaming_eqclass) streaming_classes_.rebuild(snapshot, pool_.get());
     result = verifier_.verify(snapshot);
   }
   report_.scan_verdicts.push_back(result.clean() ? ScanVerdict::kPass : ScanVerdict::kFail);

@@ -118,6 +118,16 @@ struct GuardOptions {
   /// re-pack preserves per-vertex insertion order — but a long-running
   /// ingestion path (hbguardd) must bound its worst-case append latency.
   std::size_t compact_budget = 0;
+  /// Maintain packet equivalence classes incrementally across scans: the
+  /// guard keeps a StreamingEquivalenceClasses instance warm and applies
+  /// each scan's SnapshotDelta instead of recomputing all classes from the
+  /// full table. Materialized classes are byte-identical to
+  /// compute_equivalence_classes at every cut point (see
+  /// tests/test_streaming_eqclass.cpp); the win is on million-prefix
+  /// tables where a scan touches a handful of prefixes. Exposed via
+  /// streaming_classes(); off by default (the EC model consumers pay for
+  /// classes only on demand).
+  bool streaming_eqclass = false;
   /// Give up on run() after this many scans without quiescence.
   std::size_t max_scans = 10'000;
   MatcherOptions matcher;
@@ -184,6 +194,10 @@ class Guard {
   /// incremental mode).
   HappensBeforeGraph current_hbg() const;
 
+  /// The streaming EC state maintained when options.streaming_eqclass is
+  /// set (ready() is false otherwise, and until the first verifying scan).
+  const StreamingEquivalenceClasses& streaming_classes() const { return streaming_classes_; }
+
  private:
   /// The live graph used by scans: the incremental builder's (after
   /// ingesting new records) or a scratch rebuild.
@@ -246,6 +260,12 @@ class Guard {
   /// A degraded scan skipped verification after ingesting its snapshot
   /// delta; the next verifying scan must not trust its stale delta.
   bool pending_full_verify_ = false;
+
+  /// Incremental EC state (options.streaming_eqclass). Updated on every
+  /// verifying scan with the same delta the verifier sees — degraded scans
+  /// skip it, and the pending-full-verify escalation that protects the
+  /// verifier protects this state identically.
+  StreamingEquivalenceClasses streaming_classes_;
 
   /// kProposeOnly repair queue (stable ids; never removed, only settled).
   std::vector<RepairProposal> proposals_;

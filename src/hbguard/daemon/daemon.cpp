@@ -153,19 +153,22 @@ void GuardDaemon::read_connection(Connection& conn) {
     for (;;) {
       std::size_t newline = conn.partial.find('\n', start);
       if (newline == std::string::npos) break;
-      std::string line = conn.partial.substr(start, newline - start);
+      std::string_view line(conn.partial.data() + start, newline - start);
       start = newline + 1;
       if (line.empty()) continue;
       if (conn.control) {
-        conn.lines.push_back(std::move(line));
+        conn.lines.emplace_back(line);
         continue;
       }
-      TraceParseResult parsed = parse_trace_text(line);
-      if (!parsed.ok() || parsed.records.size() != 1) {
+      // Single-line parse straight out of the receive buffer — no
+      // istringstream, no per-line result vectors.
+      IoRecord record;
+      std::string parse_error;
+      TraceLineStatus status = parse_trace_line(line, record, parse_error);
+      if (status == TraceLineStatus::kBlank) continue;
+      if (status == TraceLineStatus::kError) {
         ++conn.parse_errors;
-        HBG_WARN_EVERY_N(64) << "hbguardd: ingest parse error: "
-                             << (parsed.errors.empty() ? "no record"
-                                                       : parsed.errors.front().message);
+        HBG_WARN_EVERY_N(64) << "hbguardd: ingest parse error: " << parse_error;
         continue;
       }
       if (conn.inbox.size() >= options_.inbox_soft_limit * 2) {
@@ -174,7 +177,7 @@ void GuardDaemon::read_connection(Connection& conn) {
         ++dropped_;
         continue;
       }
-      conn.inbox.push_back(std::move(parsed.records.front()));
+      conn.inbox.push_back(std::move(record));
     }
     conn.partial.erase(0, start);
   }

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hbguard/net/ip.hpp"
@@ -137,6 +138,55 @@ class PrefixTrie {
 
   Node root_;
   std::size_t size_ = 0;
+};
+
+/// Flat longest-prefix-match index over an *immutable* prefix set.
+///
+/// PrefixTrie spends ~88 bytes and up to 32 pointer hops per stored prefix;
+/// at internet scale (10^6 prefixes per router) that is hundreds of MB and
+/// cache-miss city. This index exploits the laminar structure of prefixes
+/// (any two are nested or disjoint — they can never partially overlap) to
+/// store one 20-byte slot per prefix in a sorted array:
+///
+///   * slots sorted by (start ascending, length ascending) put every
+///     ancestor before its descendants, so one stack sweep computes each
+///     slot's parent (nearest enclosing prefix);
+///   * every prefix covering address x starts at or before x, so the last
+///     slot with start <= x (ties -> longest) is the most specific
+///     candidate, and all other covering prefixes are its ancestors: LPM is
+///     a binary search plus a parent-chain walk.
+///
+/// build() is O(n log n); lookup is O(log n + chain) where the chain is
+/// bounded by nesting depth (<= 32, in practice ~1-3).
+class FlatPrefixIndex {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  /// Build from `prefixes`; the value returned by lookup()/exact() is the
+  /// *position* in this span. Duplicate prefixes keep the last position
+  /// (mirroring Fib install-overwrite semantics).
+  void build(std::span<const Prefix> prefixes);
+
+  /// Position of the longest prefix covering `ip`, or kNotFound.
+  std::uint32_t lookup(IpAddress ip) const;
+
+  /// Position of exactly `prefix`, or kNotFound.
+  std::uint32_t exact(const Prefix& prefix) const;
+
+  /// Distinct prefixes indexed.
+  std::size_t size() const { return slots_.size(); }
+  bool empty() const { return slots_.empty(); }
+  void clear() { slots_.clear(); }
+
+ private:
+  struct Slot {
+    std::uint32_t start = 0;              // first covered address
+    std::uint32_t end = 0;                // last covered address (inclusive)
+    std::uint32_t value = kNotFound;      // caller's index
+    std::uint32_t parent = kNotFound;     // slot index of nearest enclosing prefix
+    std::uint8_t length = 0;
+  };
+  std::vector<Slot> slots_;  // sorted by (start asc, length asc)
 };
 
 /// Given a set of prefixes (from any number of FIBs), return the sorted,

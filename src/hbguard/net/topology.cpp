@@ -4,6 +4,13 @@
 
 namespace hbguard {
 
+void Topology::reserve(std::size_t routers, std::size_t links) {
+  routers_.reserve(routers);
+  adjacency_.reserve(routers);
+  by_name_.reserve(routers);
+  links_.reserve(links);
+}
+
 RouterId Topology::add_router(std::string name, AsNumber as_number) {
   if (by_name_.contains(name)) {
     throw std::invalid_argument("duplicate router name: " + name);

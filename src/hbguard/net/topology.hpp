@@ -58,6 +58,11 @@ struct RouterInfo {
 
 class Topology {
  public:
+  /// Pre-size the router/link stores. The AS-level generators add tens of
+  /// thousands of routers; growing the vectors incrementally would be the
+  /// dominant cost of construction.
+  void reserve(std::size_t routers, std::size_t links);
+
   /// Add a router; name must be unique. Returns its dense id.
   RouterId add_router(std::string name, AsNumber as_number = 65000);
 

@@ -5,47 +5,12 @@
 
 namespace hbguard {
 
-namespace wire {
-
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(value));
-}
-
-bool get_varint(std::span<const std::uint8_t> buffer, std::size_t& pos, std::uint64_t& value) {
-  value = 0;
-  for (unsigned shift = 0; shift < 70; shift += 7) {
-    if (pos >= buffer.size()) return false;
-    std::uint8_t byte = buffer[pos++];
-    if (shift == 63 && (byte & 0xFE) != 0) return false;  // would overflow 64 bits
-    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return true;
-  }
-  return false;  // > 10 bytes
-}
-
-}  // namespace wire
-
 namespace {
 
 using wire::get_varint;
+using wire::get_zigzag;
 using wire::put_varint;
-using wire::unzigzag;
-using wire::zigzag;
-
-void put_zigzag(std::vector<std::uint8_t>& out, std::int64_t value) {
-  put_varint(out, zigzag(value));
-}
-
-bool get_zigzag(std::span<const std::uint8_t> buffer, std::size_t& pos, std::int64_t& value) {
-  std::uint64_t raw = 0;
-  if (!get_varint(buffer, pos, raw)) return false;
-  value = unzigzag(raw);
-  return true;
-}
+using wire::put_zigzag;
 
 /// Reserve the 4-byte length prefix; returns its offset so seal_frame can
 /// patch the payload size in once the payload is written.

@@ -1,5 +1,6 @@
 #include "hbguard/sim/workload.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <set>
@@ -262,6 +263,164 @@ GeneratedNetwork make_route_reflector_network(std::size_t spokes, std::size_t up
 
 Prefix churn_prefix(std::size_t i) {
   return Prefix(IpAddress(198, 18, static_cast<std::uint8_t>(i & 0xff), 0), 24);
+}
+
+Topology make_as_topology(std::size_t n, Rng& rng, std::size_t links_per_router) {
+  if (links_per_router == 0) links_per_router = 1;
+  Topology topology;
+  topology.reserve(n, n * links_per_router);
+  // Attachment targets drawn from a repeated-endpoint list: every link
+  // contributes both endpoints, so a draw is proportional to degree — the
+  // classic O(1)-per-draw preferential-attachment trick.
+  std::vector<RouterId> endpoints;
+  endpoints.reserve(2 * n * links_per_router);
+  for (std::size_t i = 0; i < n; ++i) {
+    RouterId id = topology.add_router("AS" + std::to_string(i + 1),
+                                      static_cast<AsNumber>(64512 + i));
+    if (i == 0) continue;
+    std::size_t wanted = std::min(links_per_router, i);
+    std::vector<RouterId> chosen;
+    while (chosen.size() < wanted) {
+      RouterId target;
+      if (endpoints.empty()) {
+        target = static_cast<RouterId>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      } else {
+        target = endpoints[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(endpoints.size()) - 1))];
+      }
+      if (target == id) continue;
+      bool duplicate = false;
+      for (RouterId c : chosen) duplicate |= (c == target);
+      if (duplicate) continue;
+      chosen.push_back(target);
+    }
+    for (RouterId target : chosen) {
+      topology.add_link(id, target, /*delay_us=*/rng.uniform_int(1000, 40000));
+      endpoints.push_back(id);
+      endpoints.push_back(target);
+    }
+  }
+  return topology;
+}
+
+Prefix full_table_prefix(std::size_t i) {
+  // Pair j = i/2 owns the 2^13-wide block at j<<13: even i is the covering
+  // /19, odd i a /24 nested inside it (at +1024 so it is a strict subset
+  // with distinct start). 2^19 blocks fit the IPv4 space -> i < 2^20.
+  std::uint32_t j = static_cast<std::uint32_t>(i >> 1);
+  std::uint32_t base = j << 13;
+  if ((i & 1) == 0) return Prefix(IpAddress(base), 19);
+  return Prefix(IpAddress(base + 1024), 24);
+}
+
+FullTableChurnStats generate_full_table_churn(
+    const FullTableChurnOptions& options, const std::function<void(const IoRecord&)>& sink) {
+  FullTableChurnStats stats;
+  Rng rng(options.seed);
+  std::size_t prefixes = std::min<std::size_t>(options.prefix_count, 1u << 20);
+  std::size_t routers = std::max<std::size_t>(options.router_count, 1);
+  std::size_t sessions = std::max<std::size_t>(options.session_count, 1);
+
+  // Zipf popularity: cumulative weights + binary search per draw.
+  std::vector<double> cumulative;
+  if (options.zipf_exponent > 0.0) {
+    cumulative.resize(prefixes);
+    double total = 0.0;
+    for (std::size_t i = 0; i < prefixes; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), options.zipf_exponent);
+      cumulative[i] = total;
+    }
+  }
+  auto draw_prefix = [&]() -> std::size_t {
+    if (cumulative.empty()) {
+      return static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(prefixes) - 1));
+    }
+    double point = rng.uniform_real(0.0, cumulative.back());
+    auto it = std::upper_bound(cumulative.begin(), cumulative.end(), point);
+    return std::min<std::size_t>(static_cast<std::size_t>(it - cumulative.begin()),
+                                 prefixes - 1);
+  };
+
+  std::vector<std::string> session_names(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) session_names[s] = "peer" + std::to_string(s);
+
+  IoId next_id = 1;
+  SimTime now = 0;
+  std::vector<std::uint64_t> router_seq(routers, 0);
+  auto emit = [&](RouterId router, IoKind kind, const std::string& session,
+                  std::optional<Prefix> prefix, bool withdraw, bool fib_reset,
+                  std::optional<FibEntry> entry) {
+    now += static_cast<SimTime>(rng.exponential(static_cast<double>(options.mean_gap_us))) + 1;
+    IoRecord record;
+    record.id = next_id++;
+    record.router = router;
+    record.kind = kind;
+    record.true_time = now;
+    record.logged_time = now;
+    record.router_seq = router_seq[router]++;
+    record.protocol = Protocol::kEbgp;
+    record.session = session;
+    record.prefix = prefix;
+    record.withdraw = withdraw;
+    record.fib_reset = fib_reset;
+    record.fib_entry = std::move(entry);
+    sink(record);
+    ++stats.records;
+  };
+  auto emit_route = [&](RouterId router, std::size_t session, std::size_t prefix_index,
+                        bool withdraw) {
+    Prefix prefix = full_table_prefix(prefix_index);
+    FibEntry entry;
+    entry.prefix = prefix;
+    entry.source = Protocol::kEbgp;
+    if (withdraw) {
+      ++stats.withdraws;
+      entry.action = FibEntry::Action::kDrop;
+    } else {
+      ++stats.installs;
+      entry.action = FibEntry::Action::kExternal;
+      entry.external_session = session_names[session];
+    }
+    emit(router, IoKind::kFibUpdate, session_names[session], prefix, withdraw,
+         /*fib_reset=*/false, entry);
+  };
+
+  if (options.include_initial_table) {
+    // Full-table dump: one install per prefix, round-robin across routers
+    // (every prefix contributes a boundary; ownership spreads the load).
+    for (std::size_t i = 0; i < prefixes; ++i) {
+      emit_route(static_cast<RouterId>(i % routers), i % sessions, i, /*withdraw=*/false);
+    }
+  }
+
+  while (stats.records < (options.include_initial_table ? prefixes : 0) + options.churn_records) {
+    auto router = static_cast<RouterId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(routers) - 1));
+    std::size_t session = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sessions) - 1));
+    // Geometric train length with mean burst_mean.
+    std::size_t train = 1;
+    double continue_p =
+        options.burst_mean <= 1 ? 0.0 : 1.0 - 1.0 / static_cast<double>(options.burst_mean);
+    while (rng.chance(continue_p) && train < options.burst_mean * 8) ++train;
+    ++stats.bursts;
+
+    if (rng.chance(options.session_reset_probability)) {
+      // Session reset: a fib_reset marker, then a re-advertisement train.
+      ++stats.session_resets;
+      emit(router, IoKind::kConfigChange, session_names[session], std::nullopt,
+           /*withdraw=*/false, /*fib_reset=*/true, std::nullopt);
+      for (std::size_t e = 0; e < train; ++e) {
+        emit_route(router, session, draw_prefix(), /*withdraw=*/false);
+      }
+      continue;
+    }
+    for (std::size_t e = 0; e < train; ++e) {
+      emit_route(router, session, draw_prefix(), rng.chance(options.withdraw_probability));
+    }
+  }
+  return stats;
 }
 
 ChurnWorkload::ChurnWorkload(GeneratedNetwork& net, ChurnOptions options) {

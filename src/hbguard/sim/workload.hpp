@@ -8,10 +8,12 @@
 // the input mix real enterprise control planes see.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "hbguard/capture/io_record.hpp"
 #include "hbguard/sim/network.hpp"
 #include "hbguard/util/rng.hpp"
 
@@ -95,5 +97,69 @@ class ChurnWorkload {
 
 /// The workload's prefix pool entry i.
 Prefix churn_prefix(std::size_t i);
+
+// ---- Internet-scale workloads ----
+//
+// Everything above drives the simulator; at full-table BGP scale (~10^6
+// prefixes) that is neither feasible nor needed. These generators synthesize
+// the *capture stream* directly — the records a collector would log — and
+// hand each record to a sink (typically a TraceArchiveWriter), so a
+// million-record trace never exists in memory.
+
+/// Preferential-attachment (Barabási–Albert) AS-level topology: router i
+/// lives in its own AS and attaches to `links_per_router` existing routers
+/// chosen proportionally to degree, yielding the heavy-tailed degree
+/// distribution of the AS graph. Deterministic for a given rng state.
+Topology make_as_topology(std::size_t n, Rng& rng, std::size_t links_per_router = 2);
+
+/// Entry i of the full-table prefix scheme: disjoint /19s interleaved with
+/// nested /24s (even i covers odd i+1), so half the table exercises
+/// longest-prefix-match the way real covering routes do. Supports i < 2^20.
+Prefix full_table_prefix(std::size_t i);
+
+struct FullTableChurnOptions {
+  /// Distinct prefixes in the table (<= 2^20). The initial dump emits one
+  /// install per prefix, round-robin across routers.
+  std::size_t prefix_count = 1u << 20;
+  /// Churn records emitted after the initial table dump.
+  std::size_t churn_records = 500'000;
+  /// Routers logging updates (ids 0..router_count-1).
+  std::size_t router_count = 16;
+  /// eBGP sessions per router ("peer0".."peerN-1"); update trains pick one.
+  std::size_t session_count = 4;
+  /// Zipf popularity exponent: churn concentrates on low-index prefixes the
+  /// way real BGP churn concentrates on a small hot set. 0 = uniform.
+  double zipf_exponent = 1.0;
+  /// Probability a churn event withdraws instead of (re)installing.
+  double withdraw_probability = 0.3;
+  /// Mean length of an update train (bursts of consecutive records from one
+  /// router/session, geometric).
+  std::size_t burst_mean = 16;
+  /// Probability a train is a session reset: a fib_reset marker record
+  /// followed by a re-advertisement train.
+  double session_reset_probability = 0.002;
+  /// Mean virtual-time gap between records (exponential, microseconds).
+  SimTime mean_gap_us = 100;
+  /// Emit the initial full-table dump (prefix_count installs) before churn.
+  bool include_initial_table = true;
+  std::uint64_t seed = 42;
+};
+
+struct FullTableChurnStats {
+  std::uint64_t records = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t withdraws = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t session_resets = 0;
+};
+
+/// Synthesize a full-table BGP churn trace: an initial table dump, then
+/// Zipf-popular update trains with occasional session resets. Every record
+/// is a FIB update (install or withdraw) carrying the owning session, so
+/// replaying the stream through Snapshot::apply_fib_update reproduces the
+/// table at any cut point. Records arrive at the sink in capture order with
+/// monotone ids/times. Deterministic for given options.
+FullTableChurnStats generate_full_table_churn(
+    const FullTableChurnOptions& options, const std::function<void(const IoRecord&)>& sink);
 
 }  // namespace hbguard

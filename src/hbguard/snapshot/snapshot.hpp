@@ -5,9 +5,11 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hbguard/event/simulator.hpp"
+#include "hbguard/net/prefix_trie.hpp"
 #include "hbguard/net/topology.hpp"
 #include "hbguard/rib/fib.hpp"
 
@@ -29,11 +31,19 @@ struct DataPlaneSnapshot {
   std::map<RouterId, RouterFibView> routers;
 
   /// Longest-prefix-match lookup in `router`'s view; nullptr if no match.
-  /// Builds per-router tries lazily (cached).
+  /// Builds per-router FlatPrefixIndex structures lazily (cached) — ~20
+  /// bytes per entry, so million-prefix views stay indexable where the old
+  /// per-router PrefixTrie cache would cost hundreds of MB.
   const FibEntry* lookup(RouterId router, IpAddress destination) const;
 
-  /// Build every router's lookup trie now. Concurrent lookup() calls are
-  /// only safe after warming (or mutual exclusion): the lazy trie build
+  /// Exact-match entry for `prefix` in `router`'s view (not longest-match:
+  /// a more-specific entry never shadows it); nullptr if absent. The
+  /// streaming EC maintainer uses this to recount prefix presence under
+  /// churn.
+  const FibEntry* exact_entry(RouterId router, const Prefix& prefix) const;
+
+  /// Build every router's lookup index now. Concurrent lookup() calls are
+  /// only safe after warming (or mutual exclusion): the lazy index build
   /// mutates the cache. The sharded verifier warms before fanning out.
   void warm_lookup_cache() const;
 
@@ -46,17 +56,34 @@ struct DataPlaneSnapshot {
   /// covering `prefix`.
   bool uplink_offers(RouterId router, const std::string& session, const Prefix& prefix) const;
 
-  /// Lookups build per-router tries lazily; after mutating `routers`
-  /// in place, call this to drop the stale tries.
-  void invalidate_lookup_cache() const { fib_cache_.clear(); }
+  /// Install (or, with `withdraw`, remove) `entry.prefix` in `router`'s
+  /// view, keeping the cached exact-position map coherent so million-entry
+  /// views mutate in O(1) amortized instead of a linear entry scan. An
+  /// in-place replacement keeps the LPM index warm; a prefix-set change
+  /// drops it (rebuilt lazily on next lookup). Returns true if the view
+  /// changed.
+  bool apply_fib_update(RouterId router, const FibEntry& entry, bool withdraw);
 
-  /// Drop one router's trie only — the incremental snapshotter mutates
-  /// views router-by-router, and unchanged routers keep their warm tries
+  /// Lookups build per-router indices lazily; after mutating `routers`
+  /// in place, call this to drop the stale indices.
+  void invalidate_lookup_cache() const { lookup_cache_.clear(); }
+
+  /// Drop one router's index only — the incremental snapshotter mutates
+  /// views router-by-router, and unchanged routers keep their warm indices
   /// across scans.
-  void invalidate_lookup_cache(RouterId router) const { fib_cache_.erase(router); }
+  void invalidate_lookup_cache(RouterId router) const { lookup_cache_.erase(router); }
 
  private:
-  mutable std::map<RouterId, std::shared_ptr<Fib>> fib_cache_;
+  struct RouterLookupState {
+    FlatPrefixIndex index;      // LPM over the view's entries (lazy)
+    bool index_built = false;
+    /// prefix -> position in entries (lazy; maintained by apply_fib_update).
+    std::unordered_map<Prefix, std::uint32_t> positions;
+    bool positions_built = false;
+  };
+  RouterLookupState& state_of(RouterId router, const RouterFibView& view) const;
+
+  mutable std::map<RouterId, RouterLookupState> lookup_cache_;
 };
 
 /// What changed between one snapshot and its predecessor in a scan stream.

@@ -1,0 +1,106 @@
+// Bump allocation for ingest-scale record storage.
+//
+// Parsing a million-record trace archive must not pay a heap allocation (or
+// a string copy) per record: the Arena hands out pointer-stable bytes from
+// chunked slabs, and the StringInterner stores each distinct string once,
+// returning string_views that stay valid for the interner's lifetime.
+// Neither runs destructors for the objects placed in them — callers may only
+// park trivially-destructible data (the archive record views qualify).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_set>
+#include <vector>
+
+namespace hbguard {
+
+/// Append-only chunked bump allocator. Allocations are pointer-stable (a
+/// chunk is never moved or freed until the arena dies) and O(1) amortized;
+/// there is no per-object free. Not thread-safe.
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1u << 20) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw bytes with the requested alignment (power of two).
+  void* allocate(std::size_t bytes, std::size_t alignment = alignof(std::max_align_t)) {
+    std::size_t aligned = (used_ + (alignment - 1)) & ~(alignment - 1);
+    if (chunks_.empty() || aligned + bytes > chunk_size_) {
+      std::size_t size = std::max(chunk_bytes_, bytes + alignment);
+      chunks_.push_back(std::make_unique<std::byte[]>(size));
+      chunk_size_ = size;
+      used_ = 0;
+      aligned = 0;
+      allocated_bytes_ += size;
+    }
+    used_ = aligned + bytes;
+    return chunks_.back().get() + aligned;
+  }
+
+  /// Uninitialized array of `count` trivially-destructible T.
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    if (count == 0) return nullptr;
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Copy `data` into the arena; the returned view outlives the source.
+  std::string_view copy(std::string_view data) {
+    if (data.empty()) return {};
+    char* out = allocate_array<char>(data.size());
+    std::memcpy(out, data.data(), data.size());
+    return {out, data.size()};
+  }
+
+  /// Total bytes reserved from the heap (capacity, not live objects).
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::size_t chunk_size_ = 0;
+  std::size_t used_ = 0;
+  std::size_t allocated_bytes_ = 0;
+};
+
+/// One stored copy per distinct string, backed by an Arena. Interning the
+/// same text twice returns views over the *same* bytes, so a store holding
+/// millions of records pays for each session/router name once.
+class StringInterner {
+ public:
+  explicit StringInterner(std::size_t chunk_bytes = 1u << 18) : arena_(chunk_bytes) {}
+
+  std::string_view intern(std::string_view text) {
+    if (text.empty()) return {};
+    auto it = known_.find(text);
+    if (it != known_.end()) return *it;
+    std::string_view stored = arena_.copy(text);
+    known_.insert(stored);
+    return stored;
+  }
+
+  std::size_t size() const { return known_.size(); }
+  std::size_t allocated_bytes() const { return arena_.allocated_bytes(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view text) const {
+      return std::hash<std::string_view>{}(text);
+    }
+  };
+  Arena arena_;
+  std::unordered_set<std::string_view, Hash, std::equal_to<>> known_;
+};
+
+}  // namespace hbguard

@@ -1,0 +1,59 @@
+// LEB128 varint + zigzag primitives shared by the binary codecs (the
+// distributed-HBG shard exchange in provenance/shard_wire.* and the trace
+// archive format in capture/trace_archive.*).
+//
+// Varints are LEB128 (7 bits per byte, high bit = continue, max 10 bytes);
+// signed fields are zigzag-mapped first so small magnitudes of either sign
+// stay one byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hbguard::wire {
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Advances `pos`; returns false on truncation or a varint longer than 10
+/// bytes.
+inline bool get_varint(std::span<const std::uint8_t> buffer, std::size_t& pos,
+                       std::uint64_t& value) {
+  value = 0;
+  for (unsigned shift = 0; shift < 70; shift += 7) {
+    if (pos >= buffer.size()) return false;
+    std::uint8_t byte = buffer[pos++];
+    if (shift == 63 && (byte & 0xFE) != 0) return false;  // would overflow 64 bits
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // > 10 bytes
+}
+
+constexpr std::uint64_t zigzag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+constexpr std::int64_t unzigzag(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^ -static_cast<std::int64_t>(value & 1);
+}
+
+inline void put_zigzag(std::vector<std::uint8_t>& out, std::int64_t value) {
+  put_varint(out, zigzag(value));
+}
+
+inline bool get_zigzag(std::span<const std::uint8_t> buffer, std::size_t& pos,
+                       std::int64_t& value) {
+  std::uint64_t raw = 0;
+  if (!get_varint(buffer, pos, raw)) return false;
+  value = unzigzag(raw);
+  return true;
+}
+
+}  // namespace hbguard::wire

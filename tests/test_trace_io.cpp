@@ -148,6 +148,70 @@ TEST(TraceIo, SkipsBlankLines) {
   EXPECT_EQ(parsed.records[0].router, 2u);
 }
 
+TEST(TraceIo, StreamTraceConsumesLargeInputsIncrementally) {
+  // Regression for the buffered reader: a multi-megabyte trace must be
+  // consumed line by line, and an early-stopping visitor must leave the
+  // stream positioned right after the last line it consumed — proof that
+  // nothing slurped the whole input up front.
+  constexpr std::size_t kRecords = 50'000;
+  std::string text;
+  text.reserve(kRecords * 64);
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    IoRecord record;
+    record.id = i + 1;
+    record.router = i % 7;
+    record.kind = IoKind::kSendAdvert;
+    record.router_seq = i;
+    record.detail = "pad-" + std::to_string(i);
+    text += to_json_line(record);
+    text += '\n';
+  }
+
+  std::istringstream in(text);
+  std::size_t seen = 0;
+  IoId last_id = 0;
+  bool ok = stream_trace(in, [&](IoRecord&& record) {
+    ++seen;
+    last_id = record.id;
+    return seen < 1000;  // stop early
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(seen, 1000u);
+  EXPECT_EQ(last_id, 1000u);
+
+  // The very next line on the stream is record 1001: the reader did not
+  // read past what the visitor consumed.
+  std::string next_line;
+  ASSERT_TRUE(std::getline(in, next_line));
+  IoRecord next;
+  std::string error;
+  ASSERT_EQ(parse_trace_line(next_line, next, error), TraceLineStatus::kRecord) << error;
+  EXPECT_EQ(next.id, 1001u);
+
+  // Restarting from that position streams the remainder exactly once.
+  std::size_t rest = 1;  // counts the line consumed by getline above
+  EXPECT_TRUE(stream_trace(in, [&](IoRecord&&) {
+    ++rest;
+    return true;
+  }));
+  EXPECT_EQ(seen + rest, kRecords);
+}
+
+TEST(TraceIo, StreamTraceReportsErrorsWithoutStopping) {
+  std::string text =
+      "{\"id\":1,\"router\":0,\"kind\":\"send\",\"seq\":0}\n"
+      "this is not json\n"
+      "{\"id\":2,\"router\":0,\"kind\":\"send\",\"seq\":1}\n";
+  std::istringstream in(text);
+  std::vector<TraceParseError> errors;
+  std::size_t seen = 0;
+  EXPECT_FALSE(stream_trace(
+      in, [&](IoRecord&&) { ++seen; return true; }, &errors));
+  EXPECT_EQ(seen, 2u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].line, 2u);
+}
+
 TEST(TraceIo, FibResetMarkerSurvivesRoundTrip) {
   IoRecord record;
   record.id = 9;
