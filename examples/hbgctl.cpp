@@ -14,8 +14,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -53,8 +55,15 @@ constexpr const char* kHelpText =
     "  live   <ctl.sock|dir> <rpc...>    one RPC on the control socket:\n"
     "                                    scan | status | why <io-id> |\n"
     "                                    repairs list|approve <id>|decline <id>|revert <id> |\n"
+    "                                    mode report|propose | checkpoint |\n"
     "                                    pause | resume | finish | digest | shutdown\n"
-    "  feed   <ingest.sock> <trace>      stream a trace into the ingest socket\n";
+    "  feed   <ingest.sock> <trace>      stream a trace into the ingest socket\n"
+    "live options (before the command):\n"
+    "  --retry-ms <n>                    initial backoff for connect retries\n"
+    "                                    (default 50; doubles up to 2s)\n"
+    "  --retry-max <n>                   retry a refused/absent socket up to\n"
+    "                                    <n> times, e.g. across a daemon\n"
+    "                                    restart/recovery (default 0)\n";
 
 int usage() {
   std::fputs(kHelpText, stderr);
@@ -211,26 +220,46 @@ int cmd_demo(const std::string& path) {
   return 0;
 }
 
-int connect_unix(const std::string& path) {
-  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    std::fprintf(stderr, "hbgctl: socket: %s\n", std::strerror(errno));
-    return -1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "hbgctl: socket path too long: %s\n", path.c_str());
+// Bounded connect retry (--retry-ms/--retry-max): a daemon mid-restart —
+// e.g. replaying a long WAL before it binds its sockets — shows up as
+// ECONNREFUSED (stale socket file) or ENOENT (not bound yet). Both are
+// retried with exponential backoff; any other error fails immediately.
+struct RetryOptions {
+  long initial_ms = 50;
+  std::size_t max_retries = 0;
+};
+
+int connect_unix(const std::string& path, const RetryOptions& retry = {}) {
+  long backoff_ms = retry.initial_ms > 0 ? retry.initial_ms : 50;
+  for (std::size_t attempt = 0;; ++attempt) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      std::fprintf(stderr, "hbgctl: socket: %s\n", std::strerror(errno));
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      std::fprintf(stderr, "hbgctl: socket path too long: %s\n", path.c_str());
+      ::close(fd);
+      return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    int saved = errno;
     ::close(fd);
-    return -1;
+    bool retryable = saved == ECONNREFUSED || saved == ENOENT;
+    if (!retryable || attempt >= retry.max_retries) {
+      std::fprintf(stderr, "hbgctl: connect %s: %s%s\n", path.c_str(),
+                   std::strerror(saved),
+                   retryable && retry.max_retries > 0 ? " (retries exhausted)" : "");
+      return -1;
+    }
+    ::usleep(static_cast<useconds_t>(backoff_ms) * 1000);
+    backoff_ms = std::min(backoff_ms * 2, 2000L);
   }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::fprintf(stderr, "hbgctl: connect %s: %s\n", path.c_str(), std::strerror(errno));
-    ::close(fd);
-    return -1;
-  }
-  return fd;
 }
 
 bool send_all(int fd, const std::string& data) {
@@ -248,13 +277,14 @@ bool send_all(int fd, const std::string& data) {
 }
 
 // Send one RPC line; print the "."-framed response (un-dot-stuffed).
-int cmd_live(const std::string& target, const std::vector<std::string>& rpc) {
+int cmd_live(const std::string& target, const std::vector<std::string>& rpc,
+             const RetryOptions& retry) {
   std::string path = target;
   // Accept the daemon's socket directory as shorthand for its control socket.
   if (path.size() < 5 || path.compare(path.size() - 5, 5, ".sock") != 0) {
     path += "/control.sock";
   }
-  int fd = connect_unix(path);
+  int fd = connect_unix(path, retry);
   if (fd < 0) return 1;
   std::string line;
   for (const std::string& word : rpc) {
@@ -305,7 +335,8 @@ int cmd_live(const std::string& target, const std::vector<std::string>& rpc) {
 // Stream a trace into the daemon's ingest socket. JSONL is forwarded
 // verbatim line by line (the daemon parses); a binary archive is decoded
 // streaming and each record re-encoded as one JSONL line on the way out.
-int cmd_feed(const std::string& socket_path, const std::string& trace_path) {
+int cmd_feed(const std::string& socket_path, const std::string& trace_path,
+             const RetryOptions& retry) {
   std::size_t sent = 0;
   if (is_trace_archive(trace_path)) {
     TraceArchiveReader reader;
@@ -313,7 +344,7 @@ int cmd_feed(const std::string& socket_path, const std::string& trace_path) {
       std::fprintf(stderr, "hbgctl: %s\n", reader.error().c_str());
       return 1;
     }
-    int fd = connect_unix(socket_path);
+    int fd = connect_unix(socket_path, retry);
     if (fd < 0) return 1;
     bool write_failed = false;
     bool ok = reader.for_each([&](const ArchiveRecord& record) {
@@ -340,7 +371,7 @@ int cmd_feed(const std::string& socket_path, const std::string& trace_path) {
     std::fprintf(stderr, "hbgctl: cannot open %s\n", trace_path.c_str());
     return 1;
   }
-  int fd = connect_unix(socket_path);
+  int fd = connect_unix(socket_path, retry);
   if (fd < 0) return 1;
   std::string line;
   while (std::getline(in, line)) {
@@ -361,6 +392,17 @@ int cmd_feed(const std::string& socket_path, const std::string& trace_path) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  // Leading connect-retry flags apply to the live/feed commands only.
+  RetryOptions retry;
+  while (args.size() >= 2 && (args[0] == "--retry-ms" || args[0] == "--retry-max")) {
+    long value = std::strtol(args[1].c_str(), nullptr, 10);
+    if (args[0] == "--retry-ms") {
+      retry.initial_ms = value > 0 ? value : 50;
+    } else {
+      retry.max_retries = value > 0 ? static_cast<std::size_t>(value) : 0;
+    }
+    args.erase(args.begin(), args.begin() + 2);
+  }
   if (args.empty()) return usage();
   if (args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
     std::fputs(kHelpText, stdout);
@@ -370,11 +412,12 @@ int main(int argc, char** argv) {
 
   if (command == "live") {
     if (args.size() < 3) return usage();
-    return cmd_live(args[1], std::vector<std::string>(args.begin() + 2, args.end()));
+    return cmd_live(args[1], std::vector<std::string>(args.begin() + 2, args.end()),
+                    retry);
   }
   if (command == "feed") {
     if (args.size() != 3) return usage();
-    return cmd_feed(args[1], args[2]);
+    return cmd_feed(args[1], args[2], retry);
   }
 
   if (command == "demo") {

@@ -20,6 +20,19 @@
 //   --compact-budget <n>  amortized HBG compaction budget (default 512)
 //   --mode <m>            report | propose (default propose: repairs queue
 //                         for `hbgctl live ... repairs approve`)
+//   --state-dir <path>    durable WAL + checkpoints here; on restart the
+//                         session is recovered byte-identically (default
+//                         off: in-memory only)
+//   --fsync-interval <n>  WAL entries per group fdatasync (default 256;
+//                         0 = no fsync, flush-only)
+//   --checkpoint-every <n> checkpoint + WAL rotation cadence in WAL entries
+//                         (default 20000; 0 = only at shutdown/SIGHUP)
+//   --no-recover          discard any durable state in --state-dir and
+//                         start fresh (loud)
+//
+// Signals: SIGTERM/SIGINT exit cleanly through a final checkpoint + WAL
+// sync; SIGHUP forces an immediate checkpoint + WAL rotation.
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -46,8 +59,20 @@ int usage() {
   std::fprintf(stderr,
                "usage: hbguardd [--dir <path>] [--prefix <cidr>]... [--cadence-us <n>]\n"
                "                [--on-delta <n>] [--threads <n>] [--compact-budget <n>]\n"
-               "                [--mode report|propose] [--smoke] [--soak <records>]\n");
+               "                [--mode report|propose] [--state-dir <path>]\n"
+               "                [--fsync-interval <n>] [--checkpoint-every <n>]\n"
+               "                [--no-recover] [--smoke] [--soak <records>]\n");
   return 2;
+}
+
+GuardDaemon* g_daemon = nullptr;
+
+void handle_exit_signal(int) {
+  if (g_daemon != nullptr) g_daemon->stop();  // async-signal-safe: atomic + pipe write
+}
+
+void handle_sighup(int) {
+  if (g_daemon != nullptr) g_daemon->request_checkpoint();
 }
 
 // ---- Minimal blocking Unix-socket client (smoke/soak self-drive) ----------
@@ -287,6 +312,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "hbguardd: unknown --mode %s\n", mode.c_str());
         return 2;
       }
+    } else if (args[i] == "--state-dir") {
+      options.state_dir = next("--state-dir");
+    } else if (args[i] == "--fsync-interval") {
+      options.fsync_interval = std::stoull(next("--fsync-interval"));
+    } else if (args[i] == "--checkpoint-every") {
+      options.checkpoint_every = std::stoull(next("--checkpoint-every"));
+    } else if (args[i] == "--no-recover") {
+      options.recover = false;
     } else if (args[i] == "--smoke") {
       smoke = true;
     } else if (args[i] == "--soak") {
@@ -304,8 +337,18 @@ int main(int argc, char** argv) {
                  "hbguardd: no --prefix given; scans will verify an empty policy list\n");
   }
   GuardDaemon daemon(options);
+  g_daemon = &daemon;
+  struct sigaction action{};
+  action.sa_handler = handle_exit_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  action.sa_handler = handle_sighup;
+  ::sigaction(SIGHUP, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
   if (!daemon.bind()) return 1;
   std::printf("hbguardd: ingest %s control %s\n", daemon.ingest_socket_path().c_str(),
               daemon.control_socket_path().c_str());
-  return daemon.run();
+  int code = daemon.run();
+  g_daemon = nullptr;
+  return code;
 }

@@ -1,0 +1,454 @@
+#include "hbguard/capture/wal.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include "hbguard/capture/trace_archive.hpp"
+#include "hbguard/util/crash_point.hpp"
+#include "hbguard/util/io.hpp"
+#include "hbguard/util/logging.hpp"
+#include "hbguard/util/wire.hpp"
+
+namespace hbguard {
+
+namespace {
+
+/// Write-out threshold with fsync disabled: frames still reach the page
+/// cache in bounded batches instead of accumulating in memory.
+constexpr std::size_t kFlushBytes = 256 * 1024;
+
+void put_length_prefix(std::vector<std::uint8_t>& out, std::size_t at) {
+  std::size_t payload = out.size() - at - 4;
+  assert(payload <= kMaxArchiveFramePayload);
+  out[at + 0] = static_cast<std::uint8_t>(payload);
+  out[at + 1] = static_cast<std::uint8_t>(payload >> 8);
+  out[at + 2] = static_cast<std::uint8_t>(payload >> 16);
+  out[at + 3] = static_cast<std::uint8_t>(payload >> 24);
+}
+
+void encode_header_frame(std::vector<std::uint8_t>& out, std::uint64_t generation,
+                         std::uint64_t start_lsn, std::string_view fingerprint) {
+  std::size_t at = out.size();
+  out.insert(out.end(), {0, 0, 0, 0});
+  out.push_back(kWalFrameHeader);
+  wire::put_varint(out, kWalVersion);
+  wire::put_varint(out, generation);
+  wire::put_varint(out, start_lsn);
+  wire::put_varint(out, fingerprint.size());
+  out.insert(out.end(), fingerprint.begin(), fingerprint.end());
+  put_length_prefix(out, at);
+}
+
+struct WalHeader {
+  std::uint64_t version = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t start_lsn = 0;
+  std::string fingerprint;
+};
+
+bool decode_header_frame(std::span<const std::uint8_t> payload, WalHeader& out) {
+  // `payload` excludes the length prefix but includes the type byte.
+  std::size_t pos = 1;
+  std::uint64_t fingerprint_length = 0;
+  if (!wire::get_varint(payload, pos, out.version) ||
+      !wire::get_varint(payload, pos, out.generation) ||
+      !wire::get_varint(payload, pos, out.start_lsn) ||
+      !wire::get_varint(payload, pos, fingerprint_length)) {
+    return false;
+  }
+  if (fingerprint_length > payload.size() - pos) return false;
+  out.fingerprint.assign(reinterpret_cast<const char*>(payload.data()) + pos,
+                         fingerprint_length);
+  pos += fingerprint_length;
+  return pos == payload.size() && out.version == kWalVersion;
+}
+
+bool decode_control_frame(std::span<const std::uint8_t> payload, std::string& out) {
+  std::size_t pos = 1;
+  std::uint64_t length = 0;
+  if (!wire::get_varint(payload, pos, length)) return false;
+  if (length > payload.size() - pos) return false;
+  out.assign(reinterpret_cast<const char*>(payload.data()) + pos, length);
+  return pos + length == payload.size();
+}
+
+}  // namespace
+
+// -- GuardWal (append side) -------------------------------------------------
+
+GuardWal::~GuardWal() {
+  if (fd_ >= 0) sync();
+  stop_syncer();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t GuardWal::synced_lsn() const {
+  std::lock_guard lock(mu_);
+  return synced_lsn_;
+}
+
+std::uint64_t GuardWal::sync_calls() const {
+  std::lock_guard lock(mu_);
+  return sync_calls_;
+}
+
+void GuardWal::start_syncer() {
+  if (syncer_.joinable() || options_.fsync_interval == 0) return;
+  stop_syncer_ = false;
+  syncer_ = std::thread([this] { syncer_main(); });
+}
+
+void GuardWal::stop_syncer() {
+  if (!syncer_.joinable()) return;
+  {
+    std::lock_guard lock(mu_);
+    stop_syncer_ = true;
+  }
+  work_cv_.notify_all();
+  syncer_.join();
+}
+
+void GuardWal::syncer_main() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_syncer_ || sync_target_ > synced_lsn_; });
+    if (stop_syncer_) return;
+    // Everything up to sync_target_ was write(2)n before the request was
+    // posted (both happen under mu_ on the loop thread), so one fdatasync
+    // covers it — and any target raised while we run is picked up next loop.
+    std::uint64_t target = sync_target_;
+    int fd = fd_;
+    lock.unlock();
+    bool ok = io::fsync_retry(fd);
+    lock.lock();
+    if (ok) {
+      synced_lsn_ = std::max(synced_lsn_, target);
+      ++sync_calls_;
+    } else {
+      HBG_ERROR << "wal: fdatasync failed: " << std::strerror(errno);
+      sync_error_ = true;
+      sync_target_ = synced_lsn_;  // drop the request; don't spin on a bad disk
+    }
+    done_cv_.notify_all();
+  }
+}
+
+std::string GuardWal::segment_path(const std::string& dir, std::uint64_t generation) {
+  char name[32];
+  std::snprintf(name, sizeof name, "wal.%08llu", static_cast<unsigned long long>(generation));
+  return dir + "/" + name;
+}
+
+bool GuardWal::open(const std::string& dir, std::uint64_t generation, std::uint64_t lsn,
+                    std::string_view fingerprint, const WalOptions& options,
+                    std::string* error) {
+  assert(fd_ < 0);
+  ::mkdir(dir.c_str(), 0700);  // EEXIST is fine
+  std::string path = segment_path(dir, generation);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0600);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = path + ": open: " + std::strerror(errno);
+    return false;
+  }
+  dir_ = dir;
+  fingerprint_ = std::string(fingerprint);
+  options_ = options;
+  generation_ = generation;
+  lsn_ = flushed_lsn_ = lsn;
+  {
+    std::lock_guard lock(mu_);
+    synced_lsn_ = lsn;
+    sync_target_ = lsn;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    if (error != nullptr) *error = path + ": fstat: " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  if (st.st_size == 0) {
+    buffer_.insert(buffer_.end(), kWalMagic, kWalMagic + sizeof kWalMagic);
+    encode_header_frame(buffer_, generation, lsn, fingerprint_);
+    if (!write_out()) {
+      if (error != nullptr) *error = path + ": header write failed";
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+  }
+  start_syncer();
+  return true;
+}
+
+void GuardWal::append_record(const IoRecord& record) {
+  batch_.push_back(record);
+  ++lsn_;
+  if (batch_.size() >= options_.records_per_frame) seal_records();
+}
+
+void GuardWal::append_control(const std::string& line) {
+  seal_records();  // file order must equal execution order
+  std::size_t at = buffer_.size();
+  buffer_.insert(buffer_.end(), {0, 0, 0, 0});
+  buffer_.push_back(kWalFrameControl);
+  wire::put_varint(buffer_, line.size());
+  buffer_.insert(buffer_.end(), line.begin(), line.end());
+  put_length_prefix(buffer_, at);
+  ++lsn_;
+}
+
+bool GuardWal::seal_records() {
+  if (batch_.empty()) return true;
+  encode_archive_frame(batch_, buffer_);  // ground truth kept: replay needs exact bytes
+  batch_.clear();
+  return true;
+}
+
+bool GuardWal::write_out() {
+  if (buffer_.empty()) {
+    flushed_lsn_ = lsn_;
+    return true;
+  }
+  if (crash_point_armed("wal-torn")) {
+    // Die with a torn tail on disk: half the buffered bytes (cutting the
+    // last frame mid-payload), durably, then vanish. Recovery must truncate
+    // back to the last whole frame.
+    std::size_t half = std::max<std::size_t>(1, buffer_.size() / 2);
+    if (half == buffer_.size()) half = buffer_.size() - 1;
+    io::write_full(fd_, buffer_.data(), half);
+    io::fsync_retry(fd_);
+    crash_now();
+  }
+  if (!io::write_full(fd_, buffer_.data(), buffer_.size())) {
+    HBG_ERROR << "wal: write to " << segment_path(dir_, generation_) << " failed: "
+              << std::strerror(errno);
+    return false;
+  }
+  bytes_written_ += buffer_.size();
+  buffer_.clear();
+  flushed_lsn_ = lsn_;
+  return true;
+}
+
+bool GuardWal::flush() { return seal_records() && write_out(); }
+
+bool GuardWal::sync() {
+  if (!flush()) return false;
+  std::unique_lock lock(mu_);
+  if (options_.fsync_interval == 0) {
+    // Flush-only mode: no syncer thread, the page cache is the contract.
+    synced_lsn_ = lsn_;
+    return true;
+  }
+  if (synced_lsn_ >= lsn_ && !sync_error_) return true;
+  sync_target_ = std::max(sync_target_, flushed_lsn_);
+  std::uint64_t target = sync_target_;
+  work_cv_.notify_one();
+  done_cv_.wait(lock, [&] { return sync_error_ || synced_lsn_ >= target; });
+  if (sync_error_) {
+    sync_error_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool GuardWal::maybe_sync() {
+  if (options_.fsync_interval > 0) {
+    std::uint64_t horizon;
+    {
+      std::lock_guard lock(mu_);
+      horizon = std::max(synced_lsn_, sync_target_);
+    }
+    // Count entries neither durable nor already handed to the syncer, so a
+    // long-running fdatasync coalesces later appends instead of queueing a
+    // request per interval.
+    if (lsn_ - horizon < options_.fsync_interval) return true;
+    if (!flush()) return false;
+    std::lock_guard lock(mu_);
+    sync_target_ = std::max(sync_target_, flushed_lsn_);
+    work_cv_.notify_one();
+    return true;
+  }
+  // fsync disabled: still bound the in-memory buffer.
+  if (lsn_ - flushed_lsn_ >= options_.records_per_frame || buffer_.size() >= kFlushBytes) {
+    return flush();
+  }
+  return true;
+}
+
+bool GuardWal::rotate(std::uint64_t new_generation, std::string* error) {
+  if (!sync()) {
+    if (error != nullptr) *error = "wal: sync before rotation failed";
+    return false;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  std::string dir = dir_;
+  std::string fingerprint = fingerprint_;
+  return open(dir, new_generation, lsn_, fingerprint, options_, error);
+}
+
+// -- Replay / recovery scan -------------------------------------------------
+
+std::vector<WalSegmentInfo> list_wal_segments(const std::string& dir) {
+  std::vector<WalSegmentInfo> out;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return out;
+  while (dirent* entry = ::readdir(handle)) {
+    std::string_view name(entry->d_name);
+    if (!name.starts_with("wal.") || name.size() <= 4) continue;
+    std::string_view digits = name.substr(4);
+    if (digits.find_first_not_of("0123456789") != std::string_view::npos) continue;
+    WalSegmentInfo info;
+    info.generation = std::strtoull(std::string(digits).c_str(), nullptr, 10);
+    info.path = dir + "/" + std::string(name);
+    out.push_back(std::move(info));
+  }
+  ::closedir(handle);
+  std::sort(out.begin(), out.end(),
+            [](const WalSegmentInfo& a, const WalSegmentInfo& b) {
+              return a.generation < b.generation;
+            });
+  return out;
+}
+
+bool scan_wal(const std::string& dir,
+              const std::function<void(const IoRecord&, std::uint64_t)>& on_record,
+              const std::function<void(const std::string&, std::uint64_t)>& on_control,
+              WalScanStats& stats, bool repair, std::string* error) {
+  std::vector<WalSegmentInfo> segments = list_wal_segments(dir);
+  stats = WalScanStats{};
+  stats.segments = segments.size();
+  if (segments.empty()) return true;
+  stats.last_generation = segments.back().generation;
+
+  // Invalid suffix handling: everything from (segment `index`, byte
+  // `valid`) on is dead — count it, and in repair mode truncate/unlink so
+  // the append side resumes from a clean prefix.
+  auto stop_at = [&](std::size_t index, std::size_t valid, std::size_t total,
+                     const char* why) {
+    // No complete header frame ⇒ nothing in the segment is usable. Truncate
+    // all the way to zero so GuardWal::open rewrites magic + header instead
+    // of appending after a headless prefix.
+    if (valid <= sizeof kWalMagic) valid = 0;
+    ++stats.warnings;
+    stats.torn_bytes += total - valid;
+    HBG_WARN << "wal: " << segments[index].path << ": " << why << " at byte " << valid
+             << " of " << total << (repair ? " (truncating)" : "");
+    if (repair && ::truncate(segments[index].path.c_str(), static_cast<off_t>(valid)) != 0) {
+      HBG_ERROR << "wal: truncate " << segments[index].path << ": " << std::strerror(errno);
+    }
+    for (std::size_t later = index + 1; later < segments.size(); ++later) {
+      ++stats.warnings;
+      HBG_WARN << "wal: dropping segment " << segments[later].path
+               << " past the corruption point";
+      if (repair) ::unlink(segments[later].path.c_str());
+    }
+    if (repair) stats.last_generation = segments[index].generation;
+  };
+
+  std::uint64_t lsn = 0;
+  std::vector<IoRecord> records;
+  for (std::size_t index = 0; index < segments.size(); ++index) {
+    std::vector<std::uint8_t> bytes;
+    if (!io::read_file(segments[index].path, bytes, error)) return false;
+    if (bytes.empty()) {
+      // Created but never written (a crash inside open(), or a previous
+      // repair that cut a headless segment to zero): a normal crash
+      // artifact, not corruption. Nothing to replay from it.
+      if (index + 1 < segments.size()) {
+        stop_at(index, 0, 0, "empty segment with successors");
+      }
+      break;
+    }
+    if (bytes.size() < sizeof kWalMagic ||
+        std::memcmp(bytes.data(), kWalMagic, sizeof kWalMagic) != 0) {
+      stop_at(index, 0, bytes.size(), "missing or truncated magic");
+      break;
+    }
+    std::size_t pos = sizeof kWalMagic;
+    bool first_frame = true;
+    bool stopped = false;
+    while (pos < bytes.size()) {
+      std::span<const std::uint8_t> rest(bytes.data() + pos, bytes.size() - pos);
+      std::size_t frame_size = archive_frame_size(rest);
+      if (frame_size < 5 || frame_size > rest.size() ||
+          frame_size - 4 > kMaxArchiveFramePayload) {
+        stop_at(index, pos, bytes.size(), "torn or oversized frame");
+        stopped = true;
+        break;
+      }
+      std::span<const std::uint8_t> frame = rest.subspan(0, frame_size);
+      std::span<const std::uint8_t> payload = frame.subspan(4);
+      std::uint8_t type = payload[0];
+      if (first_frame) {
+        WalHeader header;
+        if (type != kWalFrameHeader || !decode_header_frame(payload, header)) {
+          stop_at(index, pos, bytes.size(), "bad segment header");
+          stopped = true;
+          break;
+        }
+        if (index == 0) {
+          stats.fingerprint = header.fingerprint;
+        } else if (header.fingerprint != stats.fingerprint) {
+          stop_at(index, pos, bytes.size(), "fingerprint mismatch with first segment");
+          stopped = true;
+          break;
+        }
+        if (header.start_lsn != lsn) {
+          stop_at(index, pos, bytes.size(), "start LSN does not continue the previous segment");
+          stopped = true;
+          break;
+        }
+        first_frame = false;
+        pos += frame_size;
+        continue;
+      }
+      if (type == kWalFrameRecords) {
+        if (!decode_archive_frame(frame, records)) {
+          stop_at(index, pos, bytes.size(), "corrupt record frame");
+          stopped = true;
+          break;
+        }
+        for (const IoRecord& record : records) {
+          if (on_record) on_record(record, lsn);
+          ++lsn;
+          ++stats.records;
+        }
+      } else if (type == kWalFrameControl) {
+        std::string line;
+        if (!decode_control_frame(payload, line)) {
+          stop_at(index, pos, bytes.size(), "corrupt control frame");
+          stopped = true;
+          break;
+        }
+        if (on_control) on_control(line, lsn);
+        ++lsn;
+        ++stats.controls;
+      } else {
+        stop_at(index, pos, bytes.size(), "unknown frame type");
+        stopped = true;
+        break;
+      }
+      pos += frame_size;
+    }
+    if (first_frame && !stopped) {
+      // Magic but no header frame at all (crash right after creation).
+      stop_at(index, sizeof kWalMagic, bytes.size(), "segment has no header frame");
+      stopped = true;
+    }
+    if (stopped) break;
+  }
+  stats.entries = lsn;
+  return true;
+}
+
+}  // namespace hbguard

@@ -1,0 +1,192 @@
+// Write-ahead log for hbguardd: crash durability for the ingest stream.
+//
+// The WAL records exactly what determines the guard's observable state: the
+// *delivered* IoRecord sequence plus the state-changing control actions
+// (repair approve/decline/revert, mode changes, operator scans, finish),
+// in execution order. Replaying a WAL through the canonical deliver/scan
+// loop (see daemon/replay_session.hpp) therefore reconstructs a session —
+// and its GuardReport::digest() — byte-identically; checkpoints only
+// shortcut the replay, they never add information.
+//
+// On-disk layout, per segment file `wal.<generation>`:
+//
+//   +----------+------------------+------------------+----
+//   | 8-byte   | u32 len (LE)     | u32 len (LE)     |
+//   | magic    | frame payload    | frame payload    | ...
+//   +----------+------------------+------------------+----
+//   payload := u8 type, body
+//
+//   type 4  header    varint wal_version, generation, start_lsn,
+//                     fingerprint string (always the first frame)
+//   type 1  records   a batch of delivered records — byte-for-byte the
+//                     trace_archive kRecords body (PR 8), ground truth kept
+//   type 3  control   varint len + the control line as executed
+//
+// An LSN is the count of entries (records + controls) before a given
+// position, across all segments. Appends are group-fsynced: frames buffer
+// in memory, hit the file on flush, and hit stable storage via a
+// background syncer thread that runs fdatasync off the event loop —
+// maybe_sync() requests a sync every fsync_interval entries without
+// blocking delivery (requests coalesce while one is in flight), while
+// sync() blocks until durable and guards every control-RPC reply, so an
+// acknowledged record is never lost. A crash loses at most the
+// un-synced window (~fsync_interval entries plus one in-flight
+// fdatasync). A crash can
+// leave a torn tail (half a frame) or a flipped byte; scan_wal() stops at
+// the last frame that still decodes, counts a warning, and (in repair
+// mode) truncates the file there so the next append continues from a
+// clean prefix. Segments rotate at each checkpoint and on SIGHUP; old
+// segments are retained — they are the session's only full history, and
+// the capture hub keeps the same records in memory anyway.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hbguard/capture/io_record.hpp"
+
+namespace hbguard {
+
+inline constexpr char kWalMagic[8] = {'H', 'B', 'G', 'W', 'A', 'L', '0', '1'};
+inline constexpr std::uint64_t kWalVersion = 1;
+
+inline constexpr std::uint8_t kWalFrameRecords = 1;  // == ArchiveFrameType::kRecords
+inline constexpr std::uint8_t kWalFrameControl = 3;
+inline constexpr std::uint8_t kWalFrameHeader = 4;
+
+struct WalOptions {
+  /// Entries (records + controls) appended between fdatasyncs. 0 disables
+  /// fsync entirely (flush-only — the bench baseline; a crashed host may
+  /// lose the page-cache tail).
+  std::size_t fsync_interval = 256;
+  /// Records batched per kRecords frame before an encode is forced.
+  std::size_t records_per_frame = 256;
+};
+
+/// Append side. Single-threaded (the daemon's loop thread owns it).
+class GuardWal {
+ public:
+  GuardWal() = default;
+  ~GuardWal();
+  GuardWal(const GuardWal&) = delete;
+  GuardWal& operator=(const GuardWal&) = delete;
+
+  static std::string segment_path(const std::string& dir, std::uint64_t generation);
+
+  /// Open `dir`/wal.<generation> for appending with the global LSN already
+  /// at `lsn` (0 for a fresh log; the recovery scan's entry count when
+  /// resuming). Creates the directory and, for a new/empty segment, writes
+  /// the header frame. A resumed segment must already be torn-tail-repaired
+  /// (scan_wal with repair=true).
+  bool open(const std::string& dir, std::uint64_t generation, std::uint64_t lsn,
+            std::string_view fingerprint, const WalOptions& options, std::string* error);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Buffer one delivered record (one LSN entry).
+  void append_record(const IoRecord& record);
+  /// Buffer one executed control action (one LSN entry). Seals any pending
+  /// record batch first so file order equals execution order.
+  void append_control(const std::string& line);
+
+  /// Encode pending batches and write(2) them out (page cache, not disk).
+  bool flush();
+  /// flush(), then block until everything appended so far is on stable
+  /// storage (unless fsync_interval == 0, which is flush-only). Idempotent.
+  /// This is the ack barrier: the daemon calls it before every control-RPC
+  /// reply, on rotation, and at shutdown.
+  bool sync();
+  /// When at least fsync_interval entries are neither durable nor already
+  /// requested, flush() and hand the fdatasync to the background syncer —
+  /// never blocks on storage. Group commit: requests made while a sync is
+  /// in flight coalesce into the next one.
+  bool maybe_sync();
+
+  /// sync, close the current segment, and start `dir`/wal.<generation>.
+  bool rotate(std::uint64_t new_generation, std::string* error);
+
+  std::uint64_t lsn() const { return lsn_; }
+  /// Entries covered by a completed fdatasync (flushes, when
+  /// fsync_interval == 0).
+  std::uint64_t synced_lsn() const;
+  std::uint64_t generation() const { return generation_; }
+  std::uint64_t sync_calls() const;
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  bool seal_records();  // encode the pending record batch into buffer_
+  bool write_out();     // push buffer_ to the fd
+  void start_syncer();
+  void stop_syncer();
+  void syncer_main();
+
+  int fd_ = -1;
+  std::string dir_;
+  std::string fingerprint_;
+  WalOptions options_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t lsn_ = 0;
+  std::uint64_t flushed_lsn_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::vector<IoRecord> batch_;
+  std::vector<std::uint8_t> buffer_;
+
+  // Group-commit handoff to the background syncer. The event-loop thread
+  // owns everything above; the fields below are shared with the syncer and
+  // guarded by mu_. The syncer only ever reads fd_ (captured under mu_) and
+  // calls fdatasync — write(2) from the loop thread races with that at the
+  // kernel's pleasure, which is exactly fdatasync's contract.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // syncer: a new sync_target_ arrived
+  std::condition_variable done_cv_;   // waiters: synced_lsn_ advanced
+  std::thread syncer_;
+  std::uint64_t synced_lsn_ = 0;      // guarded by mu_
+  std::uint64_t sync_target_ = 0;     // guarded by mu_
+  std::uint64_t sync_calls_ = 0;      // guarded by mu_
+  bool sync_error_ = false;           // guarded by mu_; cleared when reported
+  bool stop_syncer_ = false;          // guarded by mu_
+};
+
+// -- Replay / recovery scan -------------------------------------------------
+
+struct WalSegmentInfo {
+  std::uint64_t generation = 0;
+  std::string path;
+};
+
+/// Segment files in `dir`, sorted by generation. Missing directory → empty.
+std::vector<WalSegmentInfo> list_wal_segments(const std::string& dir);
+
+struct WalScanStats {
+  std::uint64_t segments = 0;
+  std::uint64_t entries = 0;   // records + controls successfully decoded
+  std::uint64_t records = 0;
+  std::uint64_t controls = 0;
+  /// Torn/corrupt frames or unreadable segments surfaced (each also logged).
+  std::uint64_t warnings = 0;
+  /// Bytes cut off segment tails (repair mode) or ignored (scan-only).
+  std::uint64_t torn_bytes = 0;
+  /// Highest segment generation present (valid when segments > 0).
+  std::uint64_t last_generation = 0;
+  /// Fingerprint from the first segment's header (session-config identity).
+  std::string fingerprint;
+};
+
+/// Walk every entry of every segment in order, invoking the callbacks (each
+/// may be null) with the entry and its LSN (entries before it). Decoding
+/// stops at the first frame that fails to parse — a torn tail after a
+/// crash, or a flipped byte — counting a warning; with `repair` set the
+/// offending segment is truncated at the last valid frame and any later
+/// segments are removed, so a subsequent GuardWal::open appends to a clean
+/// prefix. Returns false only on hard I/O errors (with `error`).
+bool scan_wal(const std::string& dir,
+              const std::function<void(const IoRecord&, std::uint64_t)>& on_record,
+              const std::function<void(const std::string&, std::uint64_t)>& on_control,
+              WalScanStats& stats, bool repair, std::string* error);
+
+}  // namespace hbguard

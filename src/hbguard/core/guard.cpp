@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "hbguard/core/guard_state.hpp"
 #include "hbguard/util/logging.hpp"
 
 namespace hbguard {
@@ -484,6 +485,37 @@ Guard::ProposalOutcome Guard::revert_repair(std::uint64_t id) {
     return {true, description};
   }
   return {false, "no proposal #" + std::to_string(id)};
+}
+
+bool Guard::set_repair_mode(RepairMode mode) {
+  auto diagnostic = [](RepairMode m) {
+    return m == RepairMode::kReport || m == RepairMode::kProposeOnly;
+  };
+  if (!diagnostic(mode) || !diagnostic(options_.repair)) return false;
+  options_.repair = mode;
+  return true;
+}
+
+GuardPersistentState Guard::export_state() const {
+  GuardPersistentState state;
+  state.report = report_;
+  state.proposals = proposals_;
+  state.next_proposal_id = next_proposal_id_;
+  state.last_violation_signature = last_violation_signature_;
+  state.repair_in_flight = repair_in_flight_;
+  state.pending_full_verify = pending_full_verify_;
+  state.last_health_transitions = last_health_transitions_;
+  return state;
+}
+
+void Guard::import_state(GuardPersistentState state) {
+  report_ = std::move(state.report);
+  proposals_ = std::move(state.proposals);
+  next_proposal_id_ = state.next_proposal_id;
+  last_violation_signature_ = std::move(state.last_violation_signature);
+  repair_in_flight_ = state.repair_in_flight;
+  pending_full_verify_ = state.pending_full_verify;
+  last_health_transitions_ = state.last_health_transitions;
 }
 
 void Guard::learn_early_block(const ProvenanceResult& provenance,

@@ -41,6 +41,8 @@
 
 namespace hbguard {
 
+struct GuardPersistentState;  // core/guard_state.hpp
+
 //   kProposeOnly kReport's diagnosis plus an explicit repair queue: each
 //               incident's best revertible root cause becomes a
 //               RepairProposal that an operator approves (executing the
@@ -176,6 +178,22 @@ class Guard {
   /// Roll back an approved proposal's executed revert (reinstate the
   /// original change); the proposal is then declined.
   ProposalOutcome revert_repair(std::uint64_t id);
+
+  RepairMode repair_mode() const { return options_.repair; }
+  /// Switch between the diagnose-only modes (kReport ↔ kProposeOnly) at
+  /// runtime — hbguardd's `mode` RPC. The actuating modes wire up
+  /// blockers/models at construction and are refused, in either direction.
+  bool set_repair_mode(RepairMode mode);
+
+  // ---- Checkpoint support (see core/guard_state.hpp) ----
+
+  /// Snapshot the semantic state (report, proposals, dedup/flag scalars).
+  GuardPersistentState export_state() const;
+  /// Restore a snapshot onto a freshly constructed Guard (recovery): the
+  /// caches and ingest cursors stay empty, so the next scan rebuilds them
+  /// with one incremental-from-empty ingest of the capture history — a
+  /// path the incremental-vs-scratch parity tests prove digest-identical.
+  void import_state(GuardPersistentState state);
   /// Sharded-verification counters (EC memo cache hits/misses per scan).
   VerifyStats verifier_stats() const { return verifier_.stats(); }
   /// Incremental-snapshot counters (all zero when scans run scratch).

@@ -1,0 +1,243 @@
+#include "hbguard/core/guard_state.hpp"
+
+#include "hbguard/capture/trace_archive.hpp"
+#include "hbguard/util/wire.hpp"
+
+namespace hbguard {
+
+namespace {
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  wire::put_varint(out, text.size());
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+bool get_string(std::span<const std::uint8_t> buffer, std::size_t& pos, std::string& out) {
+  std::uint64_t length = 0;
+  if (!wire::get_varint(buffer, pos, length)) return false;
+  if (length > buffer.size() - pos) return false;
+  out.assign(reinterpret_cast<const char*>(buffer.data()) + pos, length);
+  pos += length;
+  return true;
+}
+
+bool get_bool(std::span<const std::uint8_t> buffer, std::size_t& pos, bool& out) {
+  if (pos >= buffer.size()) return false;
+  std::uint8_t byte = buffer[pos++];
+  if (byte > 1) return false;
+  out = byte != 0;
+  return true;
+}
+
+void encode_violation(std::vector<std::uint8_t>& out, const Violation& violation) {
+  put_string(out, violation.policy);
+  wire::put_varint(out, violation.prefix.address().bits());
+  wire::put_varint(out, violation.prefix.length());
+  wire::put_varint(out, violation.router);
+  put_string(out, violation.detail);
+}
+
+bool decode_violation(std::span<const std::uint8_t> buffer, std::size_t& pos,
+                      Violation& out) {
+  std::uint64_t bits = 0;
+  std::uint64_t length = 0;
+  std::uint64_t router = 0;
+  if (!get_string(buffer, pos, out.policy) || !wire::get_varint(buffer, pos, bits) ||
+      !wire::get_varint(buffer, pos, length) || !wire::get_varint(buffer, pos, router) ||
+      bits > 0xFFFF'FFFF || length > 32 || router > kInvalidRouter) {
+    return false;
+  }
+  out.prefix = Prefix(IpAddress(static_cast<std::uint32_t>(bits)),
+                      static_cast<std::uint8_t>(length));
+  out.router = static_cast<RouterId>(router);
+  return get_string(buffer, pos, out.detail);
+}
+
+void encode_cause(std::vector<std::uint8_t>& out, const RootCause& cause) {
+  wire::put_varint(out, cause.io);
+  out.push_back(static_cast<std::uint8_t>(cause.kind));
+  encode_archive_frame({&cause.record, 1}, out);  // self-delimiting (u32 prefix)
+  wire::put_varint(out, cause.chain.size());
+  for (IoId io : cause.chain) wire::put_varint(out, io);
+}
+
+bool decode_cause(std::span<const std::uint8_t> buffer, std::size_t& pos, RootCause& out) {
+  if (!wire::get_varint(buffer, pos, out.io)) return false;
+  if (pos >= buffer.size()) return false;
+  std::uint8_t kind = buffer[pos++];
+  if (kind > static_cast<std::uint8_t>(CauseKind::kOther)) return false;
+  out.kind = static_cast<CauseKind>(kind);
+  std::span<const std::uint8_t> rest = buffer.subspan(pos);
+  std::size_t frame_size = archive_frame_size(rest);
+  if (frame_size < 5 || frame_size > rest.size()) return false;
+  std::vector<IoRecord> records;
+  if (!decode_archive_frame(rest.subspan(0, frame_size), records) || records.size() != 1) {
+    return false;
+  }
+  out.record = std::move(records.front());
+  pos += frame_size;
+  std::uint64_t count = 0;
+  if (!wire::get_varint(buffer, pos, count)) return false;
+  if (count > buffer.size() - pos) return false;  // each chain entry is ≥ 1 byte
+  out.chain.resize(count);
+  for (IoId& io : out.chain) {
+    if (!wire::get_varint(buffer, pos, io)) return false;
+  }
+  return true;
+}
+
+void encode_incident(std::vector<std::uint8_t>& out, const GuardIncident& incident) {
+  wire::put_zigzag(out, incident.detected_at);
+  wire::put_varint(out, incident.violations.size());
+  for (const Violation& violation : incident.violations) encode_violation(out, violation);
+  wire::put_varint(out, incident.causes.size());
+  for (const RootCause& cause : incident.causes) encode_cause(out, cause);
+  put_string(out, incident.action);
+  put_string(out, incident.fault_chain);
+}
+
+bool decode_incident(std::span<const std::uint8_t> buffer, std::size_t& pos,
+                     GuardIncident& out) {
+  if (!wire::get_zigzag(buffer, pos, out.detected_at)) return false;
+  std::uint64_t count = 0;
+  if (!wire::get_varint(buffer, pos, count)) return false;
+  if (count > buffer.size() - pos) return false;
+  out.violations.resize(count);
+  for (Violation& violation : out.violations) {
+    if (!decode_violation(buffer, pos, violation)) return false;
+  }
+  if (!wire::get_varint(buffer, pos, count)) return false;
+  if (count > buffer.size() - pos) return false;
+  out.causes.resize(count);
+  for (RootCause& cause : out.causes) {
+    if (!decode_cause(buffer, pos, cause)) return false;
+  }
+  return get_string(buffer, pos, out.action) && get_string(buffer, pos, out.fault_chain);
+}
+
+void encode_proposal(std::vector<std::uint8_t>& out, const RepairProposal& proposal) {
+  wire::put_varint(out, proposal.id);
+  wire::put_zigzag(out, proposal.proposed_at);
+  wire::put_varint(out, proposal.cause_version);
+  wire::put_varint(out, proposal.router);
+  put_string(out, proposal.description);
+  put_string(out, proposal.fault_chain);
+  out.push_back(static_cast<std::uint8_t>(proposal.status));
+  wire::put_varint(out, proposal.executed_version);
+}
+
+bool decode_proposal(std::span<const std::uint8_t> buffer, std::size_t& pos,
+                     RepairProposal& out) {
+  std::uint64_t router = 0;
+  if (!wire::get_varint(buffer, pos, out.id) ||
+      !wire::get_zigzag(buffer, pos, out.proposed_at) ||
+      !wire::get_varint(buffer, pos, out.cause_version) ||
+      !wire::get_varint(buffer, pos, router) || router > kInvalidRouter ||
+      !get_string(buffer, pos, out.description) ||
+      !get_string(buffer, pos, out.fault_chain)) {
+    return false;
+  }
+  out.router = static_cast<RouterId>(router);
+  if (pos >= buffer.size()) return false;
+  std::uint8_t status = buffer[pos++];
+  if (status > static_cast<std::uint8_t>(RepairProposal::Status::kDeclined)) return false;
+  out.status = static_cast<RepairProposal::Status>(status);
+  return wire::get_varint(buffer, pos, out.executed_version);
+}
+
+}  // namespace
+
+void encode_guard_state(const GuardPersistentState& state, std::vector<std::uint8_t>& out) {
+  const GuardReport& report = state.report;
+  wire::put_varint(out, report.scans);
+  wire::put_varint(out, report.records_processed);
+  wire::put_varint(out, report.reverts);
+  wire::put_varint(out, report.early_reverts);
+  wire::put_varint(out, report.blocked_updates);
+  wire::put_varint(out, report.clean_scans);
+  out.push_back(report.degrade.enabled ? 1 : 0);
+  wire::put_varint(out, report.degrade.gaps);
+  wire::put_varint(out, report.degrade.duplicates);
+  wire::put_varint(out, report.degrade.late_records);
+  wire::put_varint(out, report.degrade.records_lost);
+  wire::put_varint(out, report.degrade.quarantine_windows);
+  wire::put_varint(out, report.degrade.resyncs);
+  wire::put_varint(out, report.degrade.degraded_scans);
+  wire::put_varint(out, report.degrade.unknown_verdicts);
+  wire::put_varint(out, report.degrade.watchdog_fallbacks);
+  wire::put_varint(out, report.scan_verdicts.size());
+  for (ScanVerdict verdict : report.scan_verdicts) {
+    out.push_back(static_cast<std::uint8_t>(verdict));
+  }
+  wire::put_varint(out, report.incidents.size());
+  for (const GuardIncident& incident : report.incidents) encode_incident(out, incident);
+
+  wire::put_varint(out, state.proposals.size());
+  for (const RepairProposal& proposal : state.proposals) encode_proposal(out, proposal);
+  wire::put_varint(out, state.next_proposal_id);
+  put_string(out, state.last_violation_signature);
+  out.push_back(state.repair_in_flight ? 1 : 0);
+  out.push_back(state.pending_full_verify ? 1 : 0);
+  wire::put_varint(out, state.last_health_transitions);
+}
+
+bool decode_guard_state(std::span<const std::uint8_t> bytes, GuardPersistentState& state) {
+  state = GuardPersistentState{};
+  GuardReport& report = state.report;
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  auto get_size = [&](std::size_t& out) {
+    if (!wire::get_varint(bytes, pos, value)) return false;
+    out = static_cast<std::size_t>(value);
+    return true;
+  };
+  if (!get_size(report.scans) || !get_size(report.records_processed) ||
+      !get_size(report.reverts) || !get_size(report.early_reverts) ||
+      !get_size(report.blocked_updates) || !get_size(report.clean_scans)) {
+    return false;
+  }
+  DegradeStats& degrade = report.degrade;
+  if (!get_bool(bytes, pos, degrade.enabled) ||
+      !wire::get_varint(bytes, pos, degrade.gaps) ||
+      !wire::get_varint(bytes, pos, degrade.duplicates) ||
+      !wire::get_varint(bytes, pos, degrade.late_records) ||
+      !wire::get_varint(bytes, pos, degrade.records_lost) ||
+      !wire::get_varint(bytes, pos, degrade.quarantine_windows) ||
+      !wire::get_varint(bytes, pos, degrade.resyncs) ||
+      !wire::get_varint(bytes, pos, degrade.degraded_scans) ||
+      !wire::get_varint(bytes, pos, degrade.unknown_verdicts) ||
+      !wire::get_varint(bytes, pos, degrade.watchdog_fallbacks)) {
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!wire::get_varint(bytes, pos, count)) return false;
+  if (count > bytes.size() - pos) return false;
+  report.scan_verdicts.resize(count);
+  for (ScanVerdict& verdict : report.scan_verdicts) {
+    std::uint8_t byte = bytes[pos++];
+    if (byte > static_cast<std::uint8_t>(ScanVerdict::kUnknown)) return false;
+    verdict = static_cast<ScanVerdict>(byte);
+  }
+  if (!wire::get_varint(bytes, pos, count)) return false;
+  if (count > bytes.size() - pos) return false;
+  report.incidents.resize(count);
+  for (GuardIncident& incident : report.incidents) {
+    if (!decode_incident(bytes, pos, incident)) return false;
+  }
+  if (!wire::get_varint(bytes, pos, count)) return false;
+  if (count > bytes.size() - pos) return false;
+  state.proposals.resize(count);
+  for (RepairProposal& proposal : state.proposals) {
+    if (!decode_proposal(bytes, pos, proposal)) return false;
+  }
+  if (!wire::get_varint(bytes, pos, state.next_proposal_id) ||
+      !get_string(bytes, pos, state.last_violation_signature) ||
+      !get_bool(bytes, pos, state.repair_in_flight) ||
+      !get_bool(bytes, pos, state.pending_full_verify) ||
+      !wire::get_varint(bytes, pos, state.last_health_transitions)) {
+    return false;
+  }
+  return pos == bytes.size();
+}
+
+}  // namespace hbguard

@@ -1,0 +1,46 @@
+// Serializable guard state for checkpoints.
+//
+// GuardPersistentState is the *semantic* slice of a Guard: the report (the
+// digest's sole input), the kProposeOnly repair queue, and the few scalars
+// that steer future scans (incident dedup signature, repair-in-flight and
+// pending-full-verify flags, the health-transition watermark). Everything
+// else a Guard holds — incremental HBG, snapshotter frontiers, verifier
+// caches, FIB-update index, ingest cursors — is provably digest-transparent
+// (the incremental-vs-scratch parity tests gate byte-identity), so a
+// restored guard simply starts those caches empty: its first scan is one
+// incremental-from-empty ingest of the capture history, a case those same
+// parity tests already cover.
+//
+// The encoding is the varint/zigzag style of util/wire.hpp; each cause's
+// IoRecord rides as a single-record trace-archive frame so the checkpoint
+// reuses (and stays as strict as) the PR 8 codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hbguard/core/guard.hpp"
+
+namespace hbguard {
+
+struct GuardPersistentState {
+  GuardReport report;
+  std::vector<RepairProposal> proposals;
+  std::uint64_t next_proposal_id = 1;
+  std::string last_violation_signature;
+  bool repair_in_flight = false;
+  bool pending_full_verify = false;
+  std::uint64_t last_health_transitions = 0;
+};
+
+/// Append the encoded state to `out`.
+void encode_guard_state(const GuardPersistentState& state, std::vector<std::uint8_t>& out);
+
+/// Decode exactly `bytes` (trailing bytes are an error). Returns false on
+/// any truncation, overrun, or out-of-range enum — a corrupt checkpoint
+/// must be rejected wholesale, never half-applied.
+bool decode_guard_state(std::span<const std::uint8_t> bytes, GuardPersistentState& state);
+
+}  // namespace hbguard

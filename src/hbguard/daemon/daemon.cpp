@@ -12,7 +12,11 @@
 #include <sstream>
 
 #include "hbguard/capture/trace_io.hpp"
+#include "hbguard/core/guard_state.hpp"
+#include "hbguard/daemon/recovery.hpp"
 #include "hbguard/provenance/root_cause.hpp"
+#include "hbguard/snapshot/checkpoint.hpp"
+#include "hbguard/util/io.hpp"
 #include "hbguard/util/logging.hpp"
 #include "hbguard/util/strings.hpp"
 
@@ -22,23 +26,12 @@ namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 
+/// Checkpoint generations kept by the post-checkpoint GC.
+constexpr std::size_t kCheckpointsKept = 2;
+
 bool set_nonblocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
-
-/// Write all of `data` (blocking); RPC replies are small relative to socket
-/// buffers, so a stuck reader only ever delays its own connection.
-bool write_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    ssize_t n = ::write(fd, data.data(), data.size());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
 }
 
 }  // namespace
@@ -92,8 +85,66 @@ bool GuardDaemon::setup_socket(int& fd, const std::string& path) {
   return true;
 }
 
+bool GuardDaemon::init_durability() {
+  if (options_.state_dir.empty()) return true;
+  const std::string& dir = options_.state_dir;
+  ::mkdir(dir.c_str(), 0700);  // EEXIST is fine
+  fingerprint_ = session_fingerprint(options_.session);
+
+  if (!options_.recover) {
+    std::vector<WalSegmentInfo> segments = list_wal_segments(dir);
+    std::vector<CheckpointFileInfo> checkpoints = list_checkpoints(dir);
+    if (!segments.empty() || !checkpoints.empty()) {
+      HBG_WARN << "hbguardd: --no-recover: discarding " << segments.size()
+               << " WAL segment(s) and " << checkpoints.size() << " checkpoint(s) in "
+               << dir;
+      for (const WalSegmentInfo& segment : segments) ::unlink(segment.path.c_str());
+      gc_checkpoints(dir, 0);
+    }
+  } else if (!list_wal_segments(dir).empty()) {
+    RecoveryResult recovery = recover_session(dir, options_.session);
+    if (!recovery.ok) {
+      HBG_ERROR << "hbguardd: recovery from " << dir << " failed: " << recovery.error
+                << " (use --no-recover to discard the durable state)";
+      return false;
+    }
+    session_ = std::move(recovery.session);
+    recovered_ = true;
+    recovered_entries_ = recovery.wal.entries;
+    recovery_seconds_ = recovery.seconds;
+    last_checkpoint_lsn_ = recovery.checkpoint_lsn;
+    HBG_INFO << "hbguardd: recovered " << recovery.wal.entries << " WAL entr(ies) ("
+             << recovery.fast_forwarded_entries << " fast-forwarded via checkpoint gen "
+             << recovery.checkpoint_generation << ", " << recovery.replayed_entries
+             << " replayed) in " << recovery.seconds << "s; " << recovery.wal.warnings
+             << " warning(s), " << recovery.wal.torn_bytes << " torn byte(s) truncated";
+  }
+
+  std::vector<CheckpointFileInfo> checkpoints = list_checkpoints(dir);
+  if (!checkpoints.empty()) {
+    next_checkpoint_generation_ = checkpoints.back().generation + 1;
+  }
+  std::vector<WalSegmentInfo> segments = list_wal_segments(dir);
+  std::uint64_t generation = segments.empty() ? 1 : segments.back().generation;
+  WalOptions wal_options;
+  wal_options.fsync_interval = options_.fsync_interval;
+  wal_ = std::make_unique<GuardWal>();
+  std::string error;
+  if (!wal_->open(dir, generation, recovered_entries_, fingerprint_, wal_options,
+                  &error)) {
+    HBG_ERROR << "hbguardd: cannot open WAL in " << dir << ": " << error;
+    wal_.reset();
+    return false;
+  }
+  return true;
+}
+
 bool GuardDaemon::bind() {
   if (bound_) return true;
+  // Durability first: recovery happens before the sockets exist, so a
+  // client that connects was never racing a half-restored session (and a
+  // launcher's connect latency measures recovery time).
+  if (!init_durability()) return false;
   ::mkdir(options_.socket_dir.c_str(), 0700);  // EEXIST is fine
   if (!setup_socket(ingest_listen_, ingest_socket_path())) return false;
   if (!setup_socket(control_listen_, control_socket_path())) return false;
@@ -112,6 +163,14 @@ void GuardDaemon::stop() {
   stop_requested_.store(true, std::memory_order_release);
   if (wake_write_ >= 0) {
     char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  }
+}
+
+void GuardDaemon::request_checkpoint() {
+  checkpoint_requested_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    char byte = 'k';
     [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
   }
 }
@@ -137,9 +196,8 @@ void GuardDaemon::read_connection(Connection& conn) {
       conn.paused = true;
       break;
     }
-    ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    ssize_t n = io::read_retry(conn.fd, buffer, sizeof(buffer));
     if (n < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       conn.closed = true;
       break;
@@ -225,7 +283,62 @@ void GuardDaemon::reply(Connection& conn, const std::string& body) {
     start = newline + 1;
   }
   framed += ".\n";
-  if (!write_all(conn.fd, framed)) conn.closed = true;
+  // RPC replies are small relative to socket buffers, so the blocking
+  // write only ever delays this connection.
+  if (!io::write_full(conn.fd, framed.data(), framed.size())) conn.closed = true;
+}
+
+void GuardDaemon::deliver_record(const IoRecord& record) {
+  if (wal_) wal_->append_record(record);
+  session_->deliver(record);
+  if (wal_) wal_->maybe_sync();
+}
+
+bool GuardDaemon::take_checkpoint(std::string& message) {
+  if (!wal_) {
+    message = "err durability is off (no --state-dir)";
+    return false;
+  }
+  if (!wal_->sync()) {
+    message = "err WAL sync failed";
+    return false;
+  }
+  Checkpoint checkpoint;
+  checkpoint.generation = next_checkpoint_generation_;
+  checkpoint.lsn = wal_->lsn();
+  checkpoint.fingerprint = fingerprint_;
+  encode_guard_state(session_->guard().export_state(), checkpoint.payload);
+  std::string error;
+  if (!write_checkpoint(options_.state_dir, checkpoint, &error)) {
+    message = "err checkpoint write failed: " + error;
+    HBG_ERROR << "hbguardd: " << message;
+    return false;
+  }
+  ++next_checkpoint_generation_;
+  ++checkpoints_taken_;
+  last_checkpoint_lsn_ = checkpoint.lsn;
+  if (!wal_->rotate(wal_->generation() + 1, &error)) {
+    // The checkpoint itself is committed; the next recovery just replays a
+    // longer tail of the unrotated segment.
+    HBG_WARN << "hbguardd: WAL rotation after checkpoint failed: " << error;
+  }
+  gc_checkpoints(options_.state_dir, kCheckpointsKept);
+  message = "ok checkpoint gen " + std::to_string(checkpoint.generation) + " at lsn " +
+            std::to_string(checkpoint.lsn);
+  return true;
+}
+
+void GuardDaemon::maybe_checkpoint() {
+  if (!wal_ || scan_inflight_ || !running_) return;
+  bool due = checkpoint_requested_.load(std::memory_order_acquire) ||
+             (options_.checkpoint_every > 0 &&
+              wal_->lsn() - last_checkpoint_lsn_ >= options_.checkpoint_every);
+  if (!due) return;
+  checkpoint_requested_.store(false, std::memory_order_release);
+  std::string message;
+  if (take_checkpoint(message)) {
+    HBG_INFO << "hbguardd: " << message;
+  }
 }
 
 std::string GuardDaemon::status_json() const {
@@ -255,7 +368,18 @@ std::string GuardDaemon::status_json() const {
       << ",\"ingest_connections\":" << ingest_conns
       << ",\"control_connections\":" << control_conns
       << ",\"delivery_paused\":" << (delivery_paused_ ? "true" : "false")
-      << ",\"finished\":" << (session_->finished() ? "true" : "false") << "}";
+      << ",\"finished\":" << (session_->finished() ? "true" : "false")
+      << ",\"mode\":\"" << to_string(session_->guard().repair_mode()) << "\""
+      << ",\"durable\":" << (wal_ ? "true" : "false");
+  if (wal_) {
+    out << ",\"wal_lsn\":" << wal_->lsn() << ",\"wal_synced_lsn\":" << wal_->synced_lsn()
+        << ",\"wal_generation\":" << wal_->generation()
+        << ",\"wal_syncs\":" << wal_->sync_calls()
+        << ",\"checkpoints_taken\":" << checkpoints_taken_
+        << ",\"recovered\":" << (recovered_ ? "true" : "false")
+        << ",\"recovered_entries\":" << recovered_entries_;
+  }
+  out << "}";
   return out.str();
 }
 
@@ -319,23 +443,37 @@ bool GuardDaemon::execute_command(Connection&, const std::string& line,
       response = "err usage: repairs " + words[1] + " <id>";
       return true;
     }
-    std::uint64_t id = std::strtoull(words[2].c_str(), nullptr, 10);
-    Guard::ProposalOutcome outcome;
-    if (words[1] == "approve") {
-      outcome = guard.approve_proposal(id);
-    } else if (words[1] == "decline") {
-      outcome = guard.decline_proposal(id);
-    } else if (words[1] == "revert") {
-      outcome = guard.revert_repair(id);
-    } else {
+    if (words[1] != "approve" && words[1] != "decline" && words[1] != "revert") {
       response = "err unknown repairs action: " + words[1];
       return true;
     }
-    response = (outcome.ok ? "ok " : "err ") + outcome.message;
+    // Normalize, WAL, then execute via the same path recovery replays —
+    // the logged line and the live action cannot drift apart.
+    std::uint64_t id = std::strtoull(words[2].c_str(), nullptr, 10);
+    std::string canonical = "repairs " + words[1] + " " + std::to_string(id);
+    if (wal_) wal_->append_control(canonical);
+    response = apply_logged_control(*session_, canonical);
+    return true;
+  }
+  if (cmd == "mode") {
+    if (words.size() != 2 ||
+        (words[1] != "report" && words[1] != "propose" && words[1] != "propose-only")) {
+      response = "err usage: mode report|propose";
+      return true;
+    }
+    std::string canonical =
+        "mode " + std::string(words[1] == "report" ? "report" : "propose");
+    if (wal_) wal_->append_control(canonical);
+    response = apply_logged_control(*session_, canonical);
+    return true;
+  }
+  if (cmd == "checkpoint") {
+    take_checkpoint(response);
     return true;
   }
   if (cmd == "finish" || cmd == "digest") {
     if (!ingest_quiescent()) return false;  // wait for the stream to drain
+    if (wal_ && !session_->finished()) wal_->append_control("finish");
     session_->finish();
     response = cmd == "digest" ? session_->digest() : "ok finished (tail scan complete)";
     return true;
@@ -346,7 +484,8 @@ bool GuardDaemon::execute_command(Connection&, const std::string& line,
     return true;
   }
   response = "err unknown command: " + cmd +
-             " (try: scan status why repairs pause resume finish digest shutdown)";
+             " (try: scan status why repairs mode checkpoint pause resume finish digest "
+             "shutdown)";
   return true;
 }
 
@@ -356,6 +495,9 @@ bool GuardDaemon::process_control(Connection& conn) {
     std::string response;
     if (!execute_command(conn, conn.lines.front(), response)) break;  // deferred
     conn.lines.pop_front();
+    // A reply is an acknowledgment: everything the command observed (and
+    // every record delivered before it) must be durable before it leaves.
+    if (wal_) wal_->sync();
     reply(conn, response);
     progressed = true;
   }
@@ -371,6 +513,11 @@ void GuardDaemon::drain() {
     }
     if (scan_inflight_ || !running_ || delivery_paused_) break;
     if (session_->scan_due_now()) {
+      // Operator-requested scans are WALed *here* — at execution, not at
+      // the RPC — so replay runs them at the same point in the delivered
+      // sequence even when a pause held them back. Delta-threshold scans
+      // are never logged: the canonical loop reproduces them.
+      if (wal_ && session_->scan_requested()) wal_->append_control("scan");
       start_scan();
       break;
     }
@@ -386,7 +533,7 @@ void GuardDaemon::drain() {
       start_scan();
       break;
     }
-    session_->deliver(next->inbox.front());
+    deliver_record(next->inbox.front());
     next->inbox.pop_front();
     if (next->paused && next->inbox.size() <= options_.inbox_soft_limit / 2) {
       next->paused = false;
@@ -433,9 +580,8 @@ int GuardDaemon::run() {
       fds.push_back({conn->fd, events, 0});
     }
 
-    int ready = ::poll(fds.data(), fds.size(), -1);
+    int ready = io::poll_retry(fds.data(), fds.size(), -1);
     if (ready < 0) {
-      if (errno == EINTR) continue;
       HBG_ERROR << "hbguardd: poll(): " << std::strerror(errno);
       break;
     }
@@ -460,6 +606,7 @@ int GuardDaemon::run() {
     }
 
     drain();
+    maybe_checkpoint();
   }
 
   // Let an in-flight scan complete (the pool destructor drains its queue),
@@ -467,6 +614,18 @@ int GuardDaemon::run() {
   // motivated Logger::flush_suppressed().
   pool_.reset();
   if (scan_done_.exchange(false)) scan_inflight_ = false;
+  if (wal_) {
+    // Final checkpoint + sync: SIGTERM/SIGINT (via stop()) and `shutdown`
+    // leave a state dir the next start recovers from in one import.
+    std::string message;
+    scan_inflight_ = false;
+    if (take_checkpoint(message)) {
+      HBG_INFO << "hbguardd: shutdown " << message;
+    } else {
+      HBG_WARN << "hbguardd: shutdown checkpoint failed: " << message;
+      wal_->sync();  // records are still safe; recovery replays them
+    }
+  }
   Logger::instance().flush_suppressed();
   HBG_INFO << "hbguardd: shut down after " << session_->records_delivered() << " records and "
            << session_->scans_run() << " scans";

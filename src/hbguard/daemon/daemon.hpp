@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "hbguard/capture/wal.hpp"
 #include "hbguard/daemon/replay_session.hpp"
 #include "hbguard/util/thread_pool.hpp"
 
@@ -46,6 +47,21 @@ struct DaemonOptions {
   /// Ingest records buffered per connection before its socket stops being
   /// read (see backpressure above).
   std::size_t inbox_soft_limit = 4096;
+
+  // ---- Durability (see capture/wal.hpp, daemon/recovery.hpp) ----
+
+  /// Directory for the WAL and checkpoints. Empty = durability off (the
+  /// pre-WAL in-memory daemon, byte-identical behaviour).
+  std::string state_dir;
+  /// On startup, rebuild the session from an existing WAL/checkpoint in
+  /// state_dir. false wipes any durable state there (loudly) and starts
+  /// fresh.
+  bool recover = true;
+  /// WAL entries between group fdatasyncs (0 = fsync off, flush-only).
+  std::size_t fsync_interval = 256;
+  /// Take a checkpoint (and rotate the WAL) every this many WAL entries;
+  /// 0 = only at shutdown and on request_checkpoint()/`checkpoint` RPC.
+  std::size_t checkpoint_every = 20'000;
 };
 
 class GuardDaemon {
@@ -68,11 +84,18 @@ class GuardDaemon {
   int run();
 
   /// Ask the loop to exit (thread-safe; used by signal handlers and tests).
+  /// With a state_dir configured, the loop takes a final checkpoint and
+  /// syncs the WAL on its way out — SIGTERM/SIGINT lose nothing.
   void stop();
+
+  /// Ask the loop for an immediate checkpoint + WAL rotation (thread-safe;
+  /// the SIGHUP handler). No-op without a state_dir.
+  void request_checkpoint();
 
   /// Loop-thread-only introspection (tests drive these between run() exits).
   const ReplayGuardSession& session() const { return *session_; }
   std::uint64_t records_dropped() const { return dropped_; }
+  bool recovered() const { return recovered_; }
 
  private:
   struct Connection {
@@ -90,6 +113,10 @@ class GuardDaemon {
   bool setup_socket(int& fd, const std::string& path);
   void accept_ready(int listen_fd, bool control);
   void read_connection(Connection& conn);
+  bool init_durability();         // recovery + WAL open (bind() runs it first)
+  void deliver_record(const IoRecord& record);  // WAL append + deliver
+  bool take_checkpoint(std::string& message);   // sync, write, rotate, GC
+  void maybe_checkpoint();        // cadence / requested checkpoint
   void drain();                   // the canonical deliver/scan loop
   bool inboxes_empty() const;
   bool ingest_quiescent() const;  // inboxes empty, no due scan pending
@@ -114,8 +141,19 @@ class GuardDaemon {
   bool delivery_paused_ = false;  // `pause` RPC: hold records in inboxes
   std::atomic<bool> scan_done_{false};      // set by the scan worker
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> checkpoint_requested_{false};
   std::uint64_t dropped_ = 0;
   std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Durability (all loop-thread-owned; null/zero when state_dir is empty).
+  std::unique_ptr<GuardWal> wal_;
+  std::string fingerprint_;
+  std::uint64_t last_checkpoint_lsn_ = 0;
+  std::uint64_t next_checkpoint_generation_ = 1;
+  std::uint64_t checkpoints_taken_ = 0;
+  bool recovered_ = false;
+  std::uint64_t recovered_entries_ = 0;
+  double recovery_seconds_ = 0.0;
 };
 
 }  // namespace hbguard

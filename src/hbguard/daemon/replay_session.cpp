@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hbguard/util/crash_point.hpp"
+
 namespace hbguard {
 
 ReplayGuardSession::ReplayGuardSession(ReplaySessionOptions options)
@@ -34,11 +36,21 @@ void ReplayGuardSession::deliver(const IoRecord& record) {
   network_->capture().deliver(record, std::max(watermark_, network_->sim().now()));
   ++delivered_;
   ++since_scan_;
+  crash_point("post-deliver");
 }
 
 void ReplayGuardSession::scan_at(SimTime when) {
   network_->sim().run(std::max(when, network_->sim().now()));
-  guard_->scan();
+  if (fast_forward_) {
+    // Keep the capture's clock-driven side effects (gap grace windows
+    // expiring into the store) on the exact schedule a real scan would
+    // have; the guard's own work is what the checkpoint already paid for.
+    network_->capture().tick_health(network_->sim().now());
+  } else {
+    crash_point("mid-scan");
+    guard_->scan();
+    crash_point("post-scan");
+  }
   ++scans_run_;
   since_scan_ = 0;
   scan_requested_ = false;

@@ -75,6 +75,18 @@ class ReplayGuardSession {
   /// Ask for a scan at the current watermark (the control plane's `scan`
   /// RPC); scan_due_now() turns true until it runs.
   void request_scan() { scan_requested_ = true; }
+  /// An explicitly requested scan is pending (vs. a delta-threshold one) —
+  /// the daemon WALs requested scans at execution time using this.
+  bool scan_requested() const { return scan_requested_; }
+
+  /// Fast-forward replay (recovery): the canonical loop runs unchanged —
+  /// cadence arithmetic, delivery times, health ticks — but scan
+  /// boundaries skip the guard itself (its state comes from the
+  /// checkpoint, and daemon scans never mutate the capture or network, so
+  /// skipping them is observationally identical to re-running them).
+  /// scans_run() still counts the skipped boundaries.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+  bool fast_forward() const { return fast_forward_; }
 
   /// Tail scan over everything delivered; call once when the stream ends.
   /// Idempotent.
@@ -113,6 +125,7 @@ class ReplayGuardSession {
   std::size_t scans_run_ = 0;
   bool scan_requested_ = false;
   bool finished_ = false;
+  bool fast_forward_ = false;
 };
 
 }  // namespace hbguard

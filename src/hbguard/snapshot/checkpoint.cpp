@@ -1,0 +1,170 @@
+#include "hbguard/snapshot/checkpoint.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "hbguard/util/crash_point.hpp"
+#include "hbguard/util/io.hpp"
+#include "hbguard/util/wire.hpp"
+
+namespace hbguard {
+
+namespace {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (unsigned shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* bytes) {
+  std::uint64_t value = 0;
+  for (unsigned index = 0; index < 8; ++index) {
+    value |= static_cast<std::uint64_t>(bytes[index]) << (8 * index);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t generation) {
+  char name[40];
+  std::snprintf(name, sizeof name, "checkpoint.%08llu",
+                static_cast<unsigned long long>(generation));
+  return dir + "/" + name;
+}
+
+bool write_checkpoint(const std::string& dir, const Checkpoint& checkpoint,
+                      std::string* error) {
+  ::mkdir(dir.c_str(), 0700);  // EEXIST is fine
+  std::vector<std::uint8_t> body;
+  wire::put_varint(body, kCheckpointVersion);
+  wire::put_varint(body, checkpoint.generation);
+  wire::put_varint(body, checkpoint.lsn);
+  wire::put_varint(body, checkpoint.fingerprint.size());
+  body.insert(body.end(), checkpoint.fingerprint.begin(), checkpoint.fingerprint.end());
+  body.insert(body.end(), checkpoint.payload.begin(), checkpoint.payload.end());
+
+  std::vector<std::uint8_t> file;
+  file.reserve(sizeof kCheckpointMagic + 4 + body.size() + 8);
+  file.insert(file.end(), kCheckpointMagic, kCheckpointMagic + sizeof kCheckpointMagic);
+  put_u32(file, static_cast<std::uint32_t>(body.size()));
+  file.insert(file.end(), body.begin(), body.end());
+  put_u64(file, fnv1a(body));
+
+  std::string path = checkpoint_path(dir, checkpoint.generation);
+  if (crash_point_armed("checkpoint-torn")) {
+    // Die mid-write: a half-written tmp file on disk, nothing renamed.
+    // Recovery must ignore the orphan and use the previous generation.
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+    if (fd >= 0) {
+      io::write_full(fd, file.data(), std::max<std::size_t>(1, file.size() / 2));
+      io::fsync_retry(fd);
+    }
+    crash_now();
+  }
+  return io::write_file_atomic(path, file, error);
+}
+
+bool load_checkpoint(const std::string& path, Checkpoint& out, std::string* error) {
+  std::vector<std::uint8_t> file;
+  if (!io::read_file(path, file, error)) return false;
+  auto fail = [&](const char* why) {
+    if (error != nullptr) *error = path + ": " + why;
+    return false;
+  };
+  if (file.size() < sizeof kCheckpointMagic + 4 + 8 ||
+      std::memcmp(file.data(), kCheckpointMagic, sizeof kCheckpointMagic) != 0) {
+    return fail("not a checkpoint file");
+  }
+  std::size_t pos = sizeof kCheckpointMagic;
+  std::uint32_t body_size = static_cast<std::uint32_t>(file[pos]) |
+                            static_cast<std::uint32_t>(file[pos + 1]) << 8 |
+                            static_cast<std::uint32_t>(file[pos + 2]) << 16 |
+                            static_cast<std::uint32_t>(file[pos + 3]) << 24;
+  pos += 4;
+  if (body_size != file.size() - pos - 8) return fail("truncated or oversized body");
+  std::span<const std::uint8_t> body(file.data() + pos, body_size);
+  if (get_u64(file.data() + pos + body_size) != fnv1a(body)) {
+    return fail("checksum mismatch");
+  }
+  std::size_t at = 0;
+  std::uint64_t version = 0;
+  std::uint64_t fingerprint_length = 0;
+  if (!wire::get_varint(body, at, version) || version != kCheckpointVersion ||
+      !wire::get_varint(body, at, out.generation) ||
+      !wire::get_varint(body, at, out.lsn) ||
+      !wire::get_varint(body, at, fingerprint_length) ||
+      fingerprint_length > body.size() - at) {
+    return fail("malformed header");
+  }
+  out.fingerprint.assign(reinterpret_cast<const char*>(body.data()) + at,
+                         fingerprint_length);
+  at += fingerprint_length;
+  out.payload.assign(body.begin() + static_cast<std::ptrdiff_t>(at), body.end());
+  return true;
+}
+
+std::vector<CheckpointFileInfo> list_checkpoints(const std::string& dir) {
+  std::vector<CheckpointFileInfo> out;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return out;
+  while (dirent* entry = ::readdir(handle)) {
+    std::string_view name(entry->d_name);
+    if (!name.starts_with("checkpoint.") || name.size() <= 11) continue;
+    std::string_view digits = name.substr(11);
+    if (digits.find_first_not_of("0123456789") != std::string_view::npos) continue;
+    CheckpointFileInfo info;
+    info.generation = std::strtoull(std::string(digits).c_str(), nullptr, 10);
+    info.path = dir + "/" + std::string(name);
+    out.push_back(std::move(info));
+  }
+  ::closedir(handle);
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointFileInfo& a, const CheckpointFileInfo& b) {
+              return a.generation < b.generation;
+            });
+  return out;
+}
+
+void gc_checkpoints(const std::string& dir, std::size_t keep) {
+  std::vector<CheckpointFileInfo> files = list_checkpoints(dir);
+  std::size_t remove = files.size() > keep ? files.size() - keep : 0;
+  for (std::size_t index = 0; index < remove; ++index) {
+    ::unlink(files[index].path.c_str());
+  }
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  while (dirent* entry = ::readdir(handle)) {
+    std::string_view name(entry->d_name);
+    if (name.starts_with("checkpoint.") && name.ends_with(".tmp")) {
+      ::unlink((dir + "/" + std::string(name)).c_str());
+    }
+  }
+  ::closedir(handle);
+}
+
+}  // namespace hbguard

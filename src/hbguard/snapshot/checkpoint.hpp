@@ -1,0 +1,70 @@
+// Generation-numbered, atomically-written checkpoint files.
+//
+// A checkpoint binds an opaque payload (the guard's serialized semantic
+// state — snapshot/ stays ignorant of its meaning) to the WAL position it
+// reflects: recovery = newest valid checkpoint + replay of the WAL suffix
+// past its `lsn`. Two mechanisms make a checkpoint trustworthy after a
+// crash at any instant:
+//
+//   * atomic rename — the file is written to `<name>.tmp`, fsynced, then
+//     rename(2)d into place and the directory entry fsynced. A reader can
+//     never observe a half-written `checkpoint.<generation>`: either the
+//     old file is intact or the new one is complete.
+//   * generation numbers — each checkpoint gets a fresh monotonically
+//     increasing filename instead of overwriting its predecessor. A crash
+//     *during* a checkpoint therefore cannot damage the previous good one,
+//     and a checkpoint whose payload fails its checksum (or whose lsn
+//     claims more WAL than exists — a stale file from an older session)
+//     is simply skipped in favour of the next-older generation, down to
+//     full WAL replay from zero.
+//
+// On disk: 8-byte magic "HBGCKP01", u32 body length (LE), body, u64
+// FNV-1a checksum of the body (LE). Body: varint format version,
+// generation, lsn, fingerprint string, then the payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbguard {
+
+inline constexpr char kCheckpointMagic[8] = {'H', 'B', 'G', 'C', 'K', 'P', '0', '1'};
+inline constexpr std::uint64_t kCheckpointVersion = 1;
+
+struct Checkpoint {
+  std::uint64_t generation = 0;
+  /// WAL entries (records + controls) the payload already reflects —
+  /// recovery replays the WAL from this entry on.
+  std::uint64_t lsn = 0;
+  /// Session-config identity; must match the WAL's (and the daemon's).
+  std::string fingerprint;
+  std::vector<std::uint8_t> payload;
+};
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t generation);
+
+/// Atomically write `dir`/checkpoint.<generation> (tmp + fsync + rename +
+/// directory fsync). Creates the directory if needed.
+bool write_checkpoint(const std::string& dir, const Checkpoint& checkpoint,
+                      std::string* error);
+
+/// Read and validate one checkpoint file: magic, framing, checksum,
+/// format version. Returns false (with `error`) on any mismatch — a
+/// corrupt checkpoint is rejected wholesale.
+bool load_checkpoint(const std::string& path, Checkpoint& out, std::string* error);
+
+struct CheckpointFileInfo {
+  std::uint64_t generation = 0;
+  std::string path;
+};
+
+/// Checkpoint files in `dir`, sorted by generation (ascending). Missing
+/// directory → empty. Stray `.tmp` leftovers are never listed.
+std::vector<CheckpointFileInfo> list_checkpoints(const std::string& dir);
+
+/// Remove all but the newest `keep` checkpoint files (stale-generation
+/// GC), plus any orphaned `.tmp` from a crashed write.
+void gc_checkpoints(const std::string& dir, std::size_t keep);
+
+}  // namespace hbguard

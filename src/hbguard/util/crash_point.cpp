@@ -1,0 +1,64 @@
+#include "hbguard/util/crash_point.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <string>
+
+namespace hbguard {
+
+namespace {
+
+struct CrashSpec {
+  std::string tag;
+  std::uint64_t trigger = 0;            // 1-based hit count that crashes
+  std::atomic<std::uint64_t> hits{0};
+};
+
+// Parsed once; the env var is read at first use so posix_spawn'd children
+// see whatever the harness set for them. A deque: the atomic hit counters
+// make CrashSpec immovable.
+std::deque<CrashSpec>& specs() {
+  static std::deque<CrashSpec>* parsed = [] {
+    auto* out = new std::deque<CrashSpec>();
+    const char* env = std::getenv("HBGUARD_CRASH_POINT");
+    if (env == nullptr) return out;
+    std::string text(env);
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t comma = text.find(',', start);
+      std::string item = text.substr(start, comma == std::string::npos ? std::string::npos
+                                                                       : comma - start);
+      start = comma == std::string::npos ? text.size() : comma + 1;
+      std::size_t colon = item.find(':');
+      if (colon == std::string::npos || colon == 0) continue;
+      std::uint64_t count = std::strtoull(item.c_str() + colon + 1, nullptr, 10);
+      if (count == 0) continue;
+      auto& spec = out->emplace_back();
+      spec.tag = item.substr(0, colon);
+      spec.trigger = count;
+    }
+    return out;
+  }();
+  return *parsed;
+}
+
+}  // namespace
+
+bool crash_point_armed(std::string_view tag) {
+  for (CrashSpec& spec : specs()) {
+    if (spec.tag != tag) continue;
+    return spec.hits.fetch_add(1, std::memory_order_relaxed) + 1 == spec.trigger;
+  }
+  return false;
+}
+
+void crash_now() {
+  // _exit, not abort: no signal handlers, no flushing, no unwinding — the
+  // harness is asserting recovery from a process that simply vanished.
+  ::_exit(137);
+}
+
+}  // namespace hbguard

@@ -1,0 +1,34 @@
+// Deterministic crash injection for the kill-recovery harness.
+//
+// HBGUARD_CRASH_POINT holds comma-separated "tag:count" specs, e.g.
+// "post-deliver:37" or "wal-torn:2,mid-scan:5". The count'th time execution
+// reaches crash_point(tag) (1-based), the process dies via _exit(137) —
+// no destructors, no atexit, no flushes — the closest portable stand-in
+// for SIGKILL that can still be planted *inside* a critical section
+// (half-written WAL frame, mid-checkpoint, mid-scan). Unset or non-matching
+// tags cost one branch on a parsed table.
+//
+// Instrumented tags in the tree:
+//   wal-torn         GuardWal flush: write half a frame, fdatasync, die
+//   checkpoint-torn  write_checkpoint: die with a partial tmp file on disk
+//   post-deliver     ReplayGuardSession::deliver, after the record landed
+//   mid-scan         ReplayGuardSession::scan_at, before the guard scans
+//   post-scan        ReplayGuardSession::scan_at, after the guard scanned
+#pragma once
+
+#include <string_view>
+
+namespace hbguard {
+
+/// True when this hit is the armed one (the call itself counts the hit).
+/// Callers that need to corrupt state *before* dying (torn-frame writes)
+/// test this, do the damage, then call crash_now().
+bool crash_point_armed(std::string_view tag);
+
+[[noreturn]] void crash_now();
+
+inline void crash_point(std::string_view tag) {
+  if (crash_point_armed(tag)) crash_now();
+}
+
+}  // namespace hbguard

@@ -1,0 +1,118 @@
+#include "hbguard/util/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hbguard::io {
+
+ssize_t read_retry(int fd, void* buffer, std::size_t length) {
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, length);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool write_full(int fd, const void* buffer, std::size_t length) {
+  const char* data = static_cast<const char*>(buffer);
+  while (length > 0) {
+    ssize_t n = ::write(fd, data, length);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    length -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int poll_retry(pollfd* fds, nfds_t count, int timeout_ms) {
+  for (;;) {
+    int ready = ::poll(fds, count, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    return ready;
+  }
+}
+
+bool fsync_retry(int fd) {
+  for (;;) {
+    if (::fdatasync(fd) == 0) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+namespace {
+
+bool fsync_directory_of(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  bool ok = fsync_retry(fd);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::span<const std::uint8_t> bytes,
+                       std::string* error) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+  if (fd < 0) {
+    if (error != nullptr) *error = tmp + ": open: " + std::strerror(errno);
+    return false;
+  }
+  bool ok = write_full(fd, bytes.data(), bytes.size()) && fsync_retry(fd);
+  int saved = errno;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    if (error != nullptr) *error = tmp + ": write: " + std::strerror(saved);
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = path + ": rename: " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // The rename is durable only once the directory entry is; without this a
+  // crash could resurrect the old generation after the caller reported the
+  // new one as committed.
+  if (!fsync_directory_of(path)) {
+    if (error != nullptr) *error = path + ": directory fsync: " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out, std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error != nullptr) *error = path + ": open: " + std::strerror(errno);
+    return false;
+  }
+  out.clear();
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    ssize_t n = read_retry(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (error != nullptr) *error = path + ": read: " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace hbguard::io

@@ -1,0 +1,47 @@
+// EINTR- and short-write-hardened POSIX I/O wrappers.
+//
+// Every blocking read/write/poll/fsync in the daemon, the CLI clients and
+// the WAL goes through these helpers so a signal arriving mid-call (the
+// SIGHUP checkpoint trigger, a SIGTERM during shutdown, a profiler) can
+// never surface as a spurious short count or EINTR failure in the callers'
+// logic. write_file_atomic is the durable-publish primitive shared by the
+// checkpoint writer: tmp file + fsync + rename + directory fsync, so a
+// crash leaves either the old file or the new one, never a torn hybrid.
+#pragma once
+
+#include <poll.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hbguard::io {
+
+/// read(2) retrying on EINTR. Returns the byte count (0 at EOF) or -1 with
+/// errno set (EAGAIN passes through for non-blocking fds).
+ssize_t read_retry(int fd, void* buffer, std::size_t length);
+
+/// Write all of `length` bytes, retrying on EINTR and short writes.
+bool write_full(int fd, const void* buffer, std::size_t length);
+
+/// poll(2) retrying on EINTR (the full timeout is re-armed — callers here
+/// either block forever or poll in a loop, so drift is irrelevant).
+int poll_retry(pollfd* fds, nfds_t count, int timeout_ms);
+
+/// fdatasync(2) retrying on EINTR. True when the data hit stable storage.
+bool fsync_retry(int fd);
+
+/// Durably publish `bytes` at `path`: write to `path + ".tmp"`, fsync,
+/// rename over `path`, fsync the containing directory. On failure the tmp
+/// file is removed and `error` (if non-null) says what happened.
+bool write_file_atomic(const std::string& path, std::span<const std::uint8_t> bytes,
+                       std::string* error);
+
+/// Slurp a whole file. Returns false (with `error`) when it cannot be
+/// opened or read.
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out, std::string* error);
+
+}  // namespace hbguard::io
