@@ -29,6 +29,13 @@
 //                         (default 20000; 0 = only at shutdown/SIGHUP)
 //   --no-recover          discard any durable state in --state-dir and
 //                         start fresh (loud)
+//   --coverage-target <f> traffic-weighted scheduling: stop each scan once
+//                         this fraction of the destination traffic weight
+//                         is covered (0..1; enables scheduling)
+//   --scan-budget <n>     hard cap on destinations verified per scan
+//                         (enables scheduling; 0 = uncapped)
+//   --aging-scans <n>     scans a deferred destination may wait before it
+//                         jumps the weight order (default 16)
 //
 // Signals: SIGTERM/SIGINT exit cleanly through a final checkpoint + WAL
 // sync; SIGHUP forces an immediate checkpoint + WAL rotation.
@@ -61,7 +68,8 @@ int usage() {
                "                [--on-delta <n>] [--threads <n>] [--compact-budget <n>]\n"
                "                [--mode report|propose] [--state-dir <path>]\n"
                "                [--fsync-interval <n>] [--checkpoint-every <n>]\n"
-               "                [--no-recover] [--smoke] [--soak <records>]\n");
+               "                [--no-recover] [--coverage-target <f>] [--scan-budget <n>]\n"
+               "                [--aging-scans <n>] [--smoke] [--soak <records>]\n");
   return 2;
 }
 
@@ -320,6 +328,14 @@ int main(int argc, char** argv) {
       options.checkpoint_every = std::stoull(next("--checkpoint-every"));
     } else if (args[i] == "--no-recover") {
       options.recover = false;
+    } else if (args[i] == "--coverage-target") {
+      options.session.guard.traffic.enabled = true;
+      options.session.guard.traffic.coverage_target = std::stod(next("--coverage-target"));
+    } else if (args[i] == "--scan-budget") {
+      options.session.guard.traffic.enabled = true;
+      options.session.guard.traffic.max_items = std::stoull(next("--scan-budget"));
+    } else if (args[i] == "--aging-scans") {
+      options.session.guard.traffic.aging_scans = std::stoull(next("--aging-scans"));
     } else if (args[i] == "--smoke") {
       smoke = true;
     } else if (args[i] == "--soak") {

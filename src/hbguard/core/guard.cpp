@@ -62,8 +62,14 @@ Guard::Guard(Network& network, PolicyList policies, GuardOptions options)
       analyzer_(RootCauseAnalyzer::Options{options.min_confidence}),
       reverter_(network),
       incremental_builder_(options.matcher),
-      incremental_snapshotter_(incremental_snapshot_options(options)) {
+      incremental_snapshotter_(incremental_snapshot_options(options)),
+      traffic_scheduler_(options.traffic) {
   snapshotter_.set_thread_pool(pool_);
+  // Annotate streaming ECs with the demand so operators (and the weighted
+  // bench) read per-class traffic totals straight off classes().
+  if (options_.traffic.weights != nullptr) {
+    streaming_classes_.set_traffic_weights(options_.traffic.weights);
+  }
   // The batch matcher fans candidate matching out over the shared pool; the
   // HBG and match engine reference the capture store instead of copying
   // records (the hub outlives the guard and its store only grows).
@@ -159,11 +165,10 @@ GuardReport Guard::run() {
   return report_;
 }
 
-std::vector<IoId> Guard::violating_fib_updates(const std::vector<Violation>& violations) const {
+IoId Guard::latest_violating_update(const Violation& violation) const {
   // Served from the per-prefix index scan() maintains from the capture
   // delta — the last matching update in capture order, exactly what the
   // old full rescan returned.
-  std::vector<IoId> out;
   auto latest_fib_update = [&](RouterId router, const Prefix& prefix) -> IoId {
     if (router != kInvalidRouter) {
       auto it = latest_fib_update_by_router_.find({router, prefix});
@@ -172,12 +177,73 @@ std::vector<IoId> Guard::violating_fib_updates(const std::vector<Violation>& vio
     auto it = latest_fib_update_.find(prefix);
     return it != latest_fib_update_.end() ? it->second : kNoIo;
   };
+  IoId io = latest_fib_update(violation.router, violation.prefix);
+  if (io == kNoIo) io = latest_fib_update(kInvalidRouter, violation.prefix);
+  return io;
+}
+
+std::vector<IoId> Guard::violating_fib_updates(const std::vector<Violation>& violations) const {
+  std::vector<IoId> out;
   for (const Violation& violation : violations) {
-    IoId io = latest_fib_update(violation.router, violation.prefix);
-    if (io == kNoIo) io = latest_fib_update(kInvalidRouter, violation.prefix);
+    IoId io = latest_violating_update(violation);
     if (io != kNoIo && std::find(out.begin(), out.end(), io) == out.end()) out.push_back(io);
   }
   return out;
+}
+
+std::optional<ScheduledScan> Guard::plan_traffic_scan() {
+  if (!options_.traffic.enabled) return std::nullopt;
+  // The destination universe is the policies' representative addresses —
+  // exactly the keys the sharded verifier builds forwarding graphs for.
+  // Weights come from the attached demand, summed per destination (distinct
+  // prefixes can share a representative); without demand every destination
+  // weighs 1 and the scheduler degenerates to deterministic round-robin
+  // order over ids.
+  const TrafficWeights* weights = options_.traffic.weights.get();
+  std::map<std::uint32_t, std::uint64_t> universe;
+  for (const auto& policy : verifier_.policies()) {
+    for (const Prefix& prefix : policy->prefixes()) {
+      std::uint64_t weight = weights != nullptr ? weights->weight_of(prefix) : 1;
+      universe[representative(prefix).bits()] += weight;
+    }
+  }
+  traffic_scheduler_.sync_items({universe.begin(), universe.end()});
+  return traffic_scheduler_.plan();
+}
+
+void Guard::rank_causes_by_traffic(ProvenanceResult& provenance,
+                                   const std::vector<Violation>& violations) const {
+  // Each violation's traffic weight lands on its latest violating FIB
+  // update; a cause inherits the weight of every violating I/O on its
+  // chain. Stable sort so equal-weight causes keep the analyzer's
+  // most-actionable-first order — and a run whose causes are already
+  // weight-sorted is left untouched.
+  const TrafficWeights& weights = *options_.traffic.weights;
+  std::map<IoId, std::uint64_t> io_weight;
+  for (const Violation& violation : violations) {
+    IoId io = latest_violating_update(violation);
+    if (io != kNoIo) io_weight[io] += weights.weight_of(violation.prefix);
+  }
+  std::vector<std::pair<std::uint64_t, RootCause>> ranked;
+  ranked.reserve(provenance.causes.size());
+  for (RootCause& cause : provenance.causes) {
+    std::uint64_t total = 0;
+    for (IoId io : cause.chain) {
+      auto it = io_weight.find(io);
+      if (it != io_weight.end()) total += it->second;
+    }
+    auto it = io_weight.find(cause.io);
+    if (it != io_weight.end() &&
+        std::find(cause.chain.begin(), cause.chain.end(), cause.io) == cause.chain.end()) {
+      total += it->second;
+    }
+    ranked.emplace_back(total, std::move(cause));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    provenance.causes[i] = std::move(ranked[i].second);
+  }
 }
 
 namespace {
@@ -278,6 +344,7 @@ std::vector<Violation> Guard::scan() {
   }
 
   VerifyResult result;
+  std::optional<ScheduledScan> sched;
   if (incremental_snapshot_active()) {
     SnapshotDelta delta;
     const DataPlaneSnapshot& snapshot = incremental_snapshotter_.ingest(
@@ -303,7 +370,10 @@ std::vector<Violation> Guard::scan() {
     // Same delta, same trust rules as the verifier: a degraded scan above
     // returned before this point, and its stale delta arrives here as full.
     if (options_.streaming_eqclass) streaming_classes_.update(snapshot, delta, pool_.get());
-    result = verifier_.verify(snapshot, &delta);
+    sched = plan_traffic_scan();
+    VerifyPlan plan;
+    if (sched.has_value()) plan.covered = sched->covered;
+    result = verifier_.verify(snapshot, &delta, sched.has_value() ? &plan : nullptr);
   } else {
     if (degraded) {
       ++report_.degrade.degraded_scans;
@@ -315,11 +385,23 @@ std::vector<Violation> Guard::scan() {
     DataPlaneSnapshot snapshot =
         snapshotter_.build(capture.records(), hbg, {}, nullptr, &lossy);
     if (options_.streaming_eqclass) streaming_classes_.rebuild(snapshot, pool_.get());
-    result = verifier_.verify(snapshot);
+    sched = plan_traffic_scan();
+    VerifyPlan plan;
+    if (sched.has_value()) plan.covered = sched->covered;
+    result = verifier_.verify(snapshot, nullptr, sched.has_value() ? &plan : nullptr);
   }
-  report_.scan_verdicts.push_back(result.clean() ? ScanVerdict::kPass : ScanVerdict::kFail);
+  if (sched.has_value()) traffic_scheduler_.mark_verified(sched->covered);
+  // A clean budgeted scan that deferred a tail is not a full PASS: the
+  // covered weight is verified, the tail was never looked at. Report it as
+  // kDeferred and skip the clean-scan side effects (clean_scans, benign
+  // flush, repair_in_flight reset) — those assert full-network health.
+  bool deferred_tail = sched.has_value() && !sched->full();
+  report_.scan_verdicts.push_back(result.clean() ? (deferred_tail ? ScanVerdict::kDeferred
+                                                                  : ScanVerdict::kPass)
+                                                 : ScanVerdict::kFail);
 
   if (result.clean()) {
+    if (deferred_tail) return {};
     ++report_.clean_scans;
     repair_in_flight_ = false;
     // Configuration changes that reached a clean converged state were
@@ -354,6 +436,12 @@ std::vector<Violation> Guard::scan() {
       distributed_store_ != nullptr
           ? analyzer_.analyze_all(*distributed_store_, fib_ios, &distributed_query_stats_)
           : analyzer_.analyze_all(hbg, fib_ios);
+  // With demand attached, rank causes by affected traffic so the repair
+  // path below reverts the heaviest-traffic root cause first. Uniform runs
+  // (no weights) keep the analyzer's order — and their digests — untouched.
+  if (options_.traffic.enabled && options_.traffic.weights != nullptr) {
+    rank_causes_by_traffic(provenance, result.violations);
+  }
   incident.causes = provenance.causes;
   incident.fault_chain = RootCauseAnalyzer::render(hbg, provenance);
 

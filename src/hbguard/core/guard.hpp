@@ -130,6 +130,22 @@ struct GuardOptions {
   /// streaming_classes(); off by default (the EC model consumers pay for
   /// classes only on demand).
   bool streaming_eqclass = false;
+  /// Traffic-weighted verification scheduling (verify/traffic.hpp). When
+  /// enabled, each verifying scan plans its destination set — heaviest
+  /// traffic first, aged destinations ahead of everything — and a scan
+  /// budget (coverage_target / max_items) may defer a tail of destinations
+  /// to later scans; a clean-but-incomplete scan reports
+  /// ScanVerdict::kDeferred. With the default full budget the plan covers
+  /// every destination and reports are byte-identical to the unscheduled
+  /// pipeline (tests/test_traffic_weighted.cpp pins the digests at 1/2/8
+  /// threads). Incident causes are re-ranked by affected traffic weight
+  /// when demand weights are attached, so repairs (reverts, proposals) fix
+  /// the heaviest-traffic root cause first. Coverage/latency metrics live
+  /// on traffic_scheduler(), outside GuardReport::digest(). The
+  /// scheduler's aging state is deliberately not checkpointed: a recovered
+  /// guard starts with every destination aged, i.e. conservatively
+  /// re-verifies everything before re-entering budgeted operation.
+  TrafficScheduleOptions traffic;
   /// Give up on run() after this many scans without quiescence.
   std::size_t max_scans = 10'000;
   MatcherOptions matcher;
@@ -216,6 +232,13 @@ class Guard {
   /// set (ready() is false otherwise, and until the first verifying scan).
   const StreamingEquivalenceClasses& streaming_classes() const { return streaming_classes_; }
 
+  /// Traffic-weighted scheduling state (options.traffic). Weighted
+  /// coverage, deferral counts and the detection-latency histogram are
+  /// operator telemetry — hbguardd's status surfaces them — and live
+  /// outside GuardReport::digest().
+  bool traffic_scheduling() const { return options_.traffic.enabled; }
+  const TrafficScheduler& traffic_scheduler() const { return traffic_scheduler_; }
+
  private:
   /// The live graph used by scans: the incremental builder's (after
   /// ingesting new records) or a scratch rebuild.
@@ -232,6 +255,17 @@ class Guard {
   /// the offending entry (served from the per-prefix index maintained by
   /// scan()).
   std::vector<IoId> violating_fib_updates(const std::vector<Violation>& violations) const;
+  /// The single most recent FIB-update I/O behind one violation (kNoIo when
+  /// the capture has none for its prefix).
+  IoId latest_violating_update(const Violation& violation) const;
+  /// Sync the scheduler with the policy destination universe and plan this
+  /// scan's covered set; nullopt when scheduling is disabled.
+  std::optional<ScheduledScan> plan_traffic_scan();
+  /// Stable-sort `provenance.causes` by the traffic weight of the
+  /// violating I/Os each cause explains (heaviest first), so downstream
+  /// repair selection reverts the heaviest-traffic cause first.
+  void rank_causes_by_traffic(ProvenanceResult& provenance,
+                              const std::vector<Violation>& violations) const;
 
   void learn_early_block(const ProvenanceResult& provenance,
                          const std::vector<Violation>& violations, bool violated);
@@ -284,6 +318,12 @@ class Guard {
   /// skip it, and the pending-full-verify escalation that protects the
   /// verifier protects this state identically.
   StreamingEquivalenceClasses streaming_classes_;
+
+  /// Priority scheduler over the policy destination universe
+  /// (options.traffic.enabled); idle otherwise. Ages advance only on
+  /// verifying scans (degraded scans verified nothing, so they don't count
+  /// toward the starvation bound).
+  TrafficScheduler traffic_scheduler_;
 
   /// kProposeOnly repair queue (stable ids; never removed, only settled).
   std::vector<RepairProposal> proposals_;

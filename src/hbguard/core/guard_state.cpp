@@ -215,7 +215,7 @@ bool decode_guard_state(std::span<const std::uint8_t> bytes, GuardPersistentStat
   report.scan_verdicts.resize(count);
   for (ScanVerdict& verdict : report.scan_verdicts) {
     std::uint8_t byte = bytes[pos++];
-    if (byte > static_cast<std::uint8_t>(ScanVerdict::kUnknown)) return false;
+    if (byte > static_cast<std::uint8_t>(ScanVerdict::kDeferred)) return false;
     verdict = static_cast<ScanVerdict>(byte);
   }
   if (!wire::get_varint(bytes, pos, count)) return false;

@@ -9,6 +9,7 @@ char to_char(ScanVerdict verdict) {
     case ScanVerdict::kPass: return 'P';
     case ScanVerdict::kFail: return 'F';
     case ScanVerdict::kUnknown: return 'U';
+    case ScanVerdict::kDeferred: return 'D';
   }
   return '?';
 }

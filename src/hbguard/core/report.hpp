@@ -23,8 +23,13 @@ struct GuardIncident {
 
 /// Per-scan outcome. kUnknown means the guard refused to verify: its view of
 /// at least one router was degraded (open capture gap or quarantine), so a
-/// PASS/FAIL would have been built on unreliable state.
-enum class ScanVerdict : std::uint8_t { kPass, kFail, kUnknown };
+/// PASS/FAIL would have been built on unreliable state. kDeferred means the
+/// covered portion of a traffic-budgeted scan was clean but the scheduler
+/// deferred a tail of destinations — a PASS claim would overreach (the
+/// deferred destinations were not looked at), while the covered weight is
+/// genuinely verified. Scans that find violations report kFail regardless
+/// of deferral.
+enum class ScanVerdict : std::uint8_t { kPass, kFail, kUnknown, kDeferred };
 
 char to_char(ScanVerdict verdict);
 

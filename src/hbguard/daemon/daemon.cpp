@@ -379,6 +379,25 @@ std::string GuardDaemon::status_json() const {
         << ",\"recovered\":" << (recovered_ ? "true" : "false")
         << ",\"recovered_entries\":" << recovered_entries_;
   }
+  if (session_->guard().traffic_scheduling()) {
+    // Traffic-weighted scheduling telemetry: how much of the demand the
+    // last scan covered, how much work is deferred, and the weighted
+    // detection-latency histogram (scan gaps) behind the TTD SLA.
+    const TrafficScheduler& sched = session_->guard().traffic_scheduler();
+    const TrafficScheduleStats& ts = sched.stats();
+    const DetectionLatencyHistogram& lat = sched.detection_latency();
+    out << ",\"traffic_scheduling\":true"
+        << ",\"traffic_planned_scans\":" << ts.planned_scans
+        << ",\"traffic_covered_items\":" << ts.covered_items
+        << ",\"traffic_deferred_items\":" << ts.deferred_items
+        << ",\"traffic_aged_items\":" << ts.aged_items
+        << ",\"traffic_last_deferred\":" << ts.last_deferred
+        << ",\"traffic_last_coverage\":" << ts.last_coverage
+        << ",\"traffic_ttd_samples\":" << lat.samples()
+        << ",\"traffic_ttd_p50_scans\":" << lat.weighted_percentile(0.50)
+        << ",\"traffic_ttd_p99_scans\":" << lat.weighted_percentile(0.99)
+        << ",\"traffic_ttd_max_scans\":" << lat.max_gap();
+  }
   out << "}";
   return out.str();
 }

@@ -313,6 +313,76 @@ Prefix full_table_prefix(std::size_t i) {
   return Prefix(IpAddress(base + 1024), 24);
 }
 
+namespace {
+
+/// Apportion `total` across `shares` exactly: floor each share's portion,
+/// then hand the leftover units to the largest fractional remainders
+/// (ties by index). Σ result == total, bit-for-bit.
+std::vector<std::uint64_t> apportion(std::uint64_t total, const std::vector<double>& shares) {
+  std::vector<std::uint64_t> out(shares.size(), 0);
+  if (shares.empty()) return out;
+  double sum = 0.0;
+  for (double s : shares) sum += s;
+  if (sum <= 0.0) {
+    // Degenerate shares: spread uniformly, first `total % n` get one extra.
+    std::uint64_t n = shares.size();
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      out[i] = total / n + (i < total % n ? 1 : 0);
+    }
+    return out;
+  }
+  std::uint64_t assigned = 0;
+  std::vector<std::pair<double, std::size_t>> remainders(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    double exact = static_cast<double>(total) * (shares[i] / sum);
+    auto base = static_cast<std::uint64_t>(exact);
+    out[i] = base;
+    assigned += base;
+    remainders[i] = {exact - static_cast<double>(base), i};
+  }
+  std::uint64_t leftover = total - assigned;
+  std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (std::uint64_t k = 0; k < leftover; ++k) ++out[remainders[k % remainders.size()].second];
+  return out;
+}
+
+}  // namespace
+
+TrafficDemand make_traffic_demand(const TrafficDemandOptions& options,
+                                  const std::function<Prefix(std::size_t)>& prefix_of) {
+  TrafficDemand demand;
+  std::size_t prefixes = options.prefix_count;
+  std::size_t ingresses = std::max<std::size_t>(options.ingress_count, 1);
+  demand.prefixes.reserve(prefixes);
+  for (std::size_t i = 0; i < prefixes; ++i) demand.prefixes.push_back(prefix_of(i));
+
+  std::vector<double> shares(prefixes);
+  for (std::size_t i = 0; i < prefixes; ++i) {
+    shares[i] = options.zipf_exponent > 0.0
+                    ? 1.0 / std::pow(static_cast<double>(i + 1), options.zipf_exponent)
+                    : 1.0;
+  }
+  demand.prefix_weight = apportion(options.total_weight, shares);
+  for (std::uint64_t w : demand.prefix_weight) demand.total += w;
+
+  // Per-ingress split: random proportions per prefix, apportioned exactly
+  // so each matrix column sums to the prefix's weight.
+  Rng rng(options.seed);
+  demand.ingress_weight.assign(ingresses, std::vector<std::uint64_t>(prefixes, 0));
+  std::vector<double> ingress_shares(ingresses);
+  for (std::size_t i = 0; i < prefixes; ++i) {
+    for (std::size_t g = 0; g < ingresses; ++g) {
+      ingress_shares[g] = rng.uniform_real(0.05, 1.0);  // every ingress sees some share
+    }
+    std::vector<std::uint64_t> split = apportion(demand.prefix_weight[i], ingress_shares);
+    for (std::size_t g = 0; g < ingresses; ++g) demand.ingress_weight[g][i] = split[g];
+  }
+  return demand;
+}
+
 FullTableChurnStats generate_full_table_churn(
     const FullTableChurnOptions& options, const std::function<void(const IoRecord&)>& sink) {
   FullTableChurnStats stats;

@@ -153,6 +153,46 @@ struct FullTableChurnStats {
   std::uint64_t session_resets = 0;
 };
 
+// ---- Synthetic traffic demand ----
+//
+// Verification urgency should follow the traffic, and the simulator has no
+// packets — so demand is synthesized the same way the churn is: Zipf over
+// prefix rank (the same hot set generate_full_table_churn concentrates
+// churn on), split across ingress points into a demand matrix. The weights
+// are integers apportioned *exactly* (largest-remainder), so totals are
+// conserved bit-for-bit through every downstream aggregation (equivalence
+// classes, scheduler coverage accounting).
+
+struct TrafficDemandOptions {
+  /// Prefixes carrying demand (rank == index: rank 0 is the hottest).
+  std::size_t prefix_count = 1u << 16;
+  /// Ingress points the demand matrix splits each prefix's weight across.
+  std::size_t ingress_count = 4;
+  /// Zipf demand exponent over prefix rank. 0 = uniform.
+  double zipf_exponent = 1.0;
+  /// Aggregate demand (unit-free: requests/sec, bytes/sec, ...) split
+  /// exactly across prefixes.
+  std::uint64_t total_weight = 1'000'000'000;
+  std::uint64_t seed = 17;
+};
+
+struct TrafficDemand {
+  std::vector<Prefix> prefixes;
+  /// Integer weight per prefix; sums to exactly options.total_weight.
+  std::vector<std::uint64_t> prefix_weight;
+  /// Demand matrix: ingress_weight[g][i] is ingress g's share of prefix
+  /// i's demand; column i sums to prefix_weight[i] exactly.
+  std::vector<std::vector<std::uint64_t>> ingress_weight;
+  std::uint64_t total = 0;
+};
+
+/// Deterministic for given options. `prefix_of` maps rank to prefix
+/// (defaults to the full-table scheme, aligning demand rank with churn
+/// popularity rank).
+TrafficDemand make_traffic_demand(
+    const TrafficDemandOptions& options,
+    const std::function<Prefix(std::size_t)>& prefix_of = full_table_prefix);
+
 /// Synthesize a full-table BGP churn trace: an initial table dump, then
 /// Zipf-popular update trains with occasional session resets. Every record
 /// is a FIB update (install or withdraw) carrying the owning session, so

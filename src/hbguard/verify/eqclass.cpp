@@ -38,6 +38,15 @@ EquivalenceClasses compute_equivalence_classes(const DataPlaneSnapshot& snapshot
   return streaming.classes();
 }
 
+EquivalenceClasses compute_equivalence_classes(
+    const DataPlaneSnapshot& snapshot, std::shared_ptr<const TrafficWeights> weights,
+    ThreadPool* pool) {
+  StreamingEquivalenceClasses streaming;
+  streaming.set_traffic_weights(std::move(weights));
+  streaming.rebuild(snapshot, pool);
+  return streaming.classes();
+}
+
 std::size_t EquivalenceClasses::class_of(IpAddress ip) const {
   for (std::size_t i = 0; i < classes.size(); ++i) {
     for (const auto& [start, end] : classes[i].intervals) {
@@ -355,6 +364,19 @@ EquivalenceClasses StreamingEquivalenceClasses::classes() const {
     EquivalenceClass& klass = out.classes[renumber[key]];
     klass.intervals.emplace_back(start, end);
     klass.size += std::uint64_t{end} - start + 1;
+  }
+  if (traffic_weights_ != nullptr) {
+    // Each live prefix's demand lands on the class containing its network
+    // address (the address is inside exactly one atomic interval, so the
+    // per-class sums conserve the present prefixes' total weight exactly —
+    // tests/test_streaming_eqclass.cpp fuzzes this under split/merge churn).
+    for (const Prefix& prefix : present_) {
+      std::uint64_t weight = traffic_weights_->weight_of(prefix);
+      if (weight == 0) continue;
+      auto it = std::upper_bound(bounds_.begin(), bounds_.end(), prefix.address().bits());
+      std::size_t interval = static_cast<std::size_t>(std::distance(bounds_.begin(), it)) - 1;
+      out.classes[renumber[interval_class_[interval]]].traffic_weight += weight;
+    }
   }
   return out;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "hbguard/snapshot/snapshot.hpp"
+#include "hbguard/verify/traffic.hpp"
 
 namespace hbguard {
 
@@ -44,6 +45,12 @@ struct EquivalenceClass {
   IpAddress representative;
   /// Total addresses covered.
   std::uint64_t size = 0;
+  /// Aggregate demand of the live prefixes rooted in this class (each
+  /// present prefix contributes its TrafficWeights entry to the class
+  /// containing its network address). 0 unless weights were attached;
+  /// summed across classes this conserves the present prefixes' total
+  /// weight exactly.
+  std::uint64_t traffic_weight = 0;
 };
 
 struct EquivalenceClasses {
@@ -61,6 +68,12 @@ struct EquivalenceClasses {
 /// order) are identical to the serial result.
 EquivalenceClasses compute_equivalence_classes(const DataPlaneSnapshot& snapshot,
                                                ThreadPool* pool = nullptr);
+
+/// As above, additionally aggregating `weights` onto each class's
+/// traffic_weight (see EquivalenceClass::traffic_weight).
+EquivalenceClasses compute_equivalence_classes(
+    const DataPlaneSnapshot& snapshot, std::shared_ptr<const TrafficWeights> weights,
+    ThreadPool* pool = nullptr);
 
 struct StreamingEcStats {
   std::uint64_t rebuilds = 0;            // full (batch-equivalent) builds
@@ -97,6 +110,17 @@ class StreamingEquivalenceClasses {
 
   /// Materialize the current partition (legacy format, batch-identical).
   EquivalenceClasses classes() const;
+
+  /// Attach per-prefix demand: every materialization aggregates each live
+  /// prefix's weight onto the class containing its network address. Null
+  /// detaches (classes report traffic_weight 0). Weights do not affect the
+  /// partition, signatures, or class order — only the aggregate field.
+  void set_traffic_weights(std::shared_ptr<const TrafficWeights> weights) {
+    traffic_weights_ = std::move(weights);
+  }
+  const std::shared_ptr<const TrafficWeights>& traffic_weights() const {
+    return traffic_weights_;
+  }
 
   bool ready() const { return ready_; }
   std::size_t atomic_intervals() const { return bounds_.size(); }
@@ -140,6 +164,7 @@ class StreamingEquivalenceClasses {
   std::unordered_map<std::uint32_t, std::uint32_t> forward_tokens_;  // next_hop -> id
   std::unordered_map<std::string, std::uint32_t> external_tokens_;   // session -> id
 
+  std::shared_ptr<const TrafficWeights> traffic_weights_;
   StreamingEcStats stats_;
 };
 

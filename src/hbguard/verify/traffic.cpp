@@ -1,0 +1,157 @@
+#include "hbguard/verify/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hbguard {
+
+void TrafficWeights::set(const Prefix& prefix, std::uint64_t weight) {
+  auto [it, fresh] = weights_.try_emplace(prefix, weight);
+  if (!fresh) {
+    total_ -= it->second;
+    it->second = weight;
+  }
+  total_ += weight;
+}
+
+std::uint64_t TrafficWeights::weight_of(const Prefix& prefix) const {
+  auto it = weights_.find(prefix);
+  return it != weights_.end() ? it->second : 0;
+}
+
+void DetectionLatencyHistogram::record(std::uint64_t gap, std::uint64_t weight) {
+  weight_by_gap_[gap] += weight;
+  ++samples_;
+  total_weight_ += weight;
+  max_gap_ = std::max(max_gap_, gap);
+}
+
+std::uint64_t DetectionLatencyHistogram::weighted_percentile(double p) const {
+  if (total_weight_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Smallest gap whose cumulative weight reaches p of the total. Threshold
+  // arithmetic stays integral (ceil of p * total) so percentiles are exact.
+  auto threshold =
+      static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(total_weight_)));
+  if (threshold == 0) threshold = 1;
+  std::uint64_t cumulative = 0;
+  for (const auto& [gap, weight] : weight_by_gap_) {
+    cumulative += weight;
+    if (cumulative >= threshold) return gap;
+  }
+  return max_gap_;
+}
+
+void TrafficScheduler::sync_items(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& items) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  bool all_zero = true;
+  for (const auto& [bits, weight] : sorted) all_zero &= weight == 0;
+
+  std::vector<Item> merged;
+  merged.reserve(sorted.size());
+  total_weight_ = 0;
+  std::size_t old = 0;
+  for (const auto& [bits, weight] : sorted) {
+    if (!merged.empty() && merged.back().bits == bits) {  // duplicate id: weights add
+      merged.back().weight += weight;
+      total_weight_ += weight;
+      continue;
+    }
+    while (old < items_.size() && items_[old].bits < bits) ++old;  // dropped item
+    Item item;
+    item.bits = bits;
+    item.weight = all_zero ? 1 : weight;
+    if (old < items_.size() && items_[old].bits == bits) {
+      item.scans_since = items_[old].scans_since;
+      item.ever_verified = items_[old].ever_verified;
+    } else {
+      item.scans_since = options_.aging_scans;  // never verified: aged in
+    }
+    total_weight_ += item.weight;
+    merged.push_back(item);
+  }
+  items_ = std::move(merged);
+}
+
+ScheduledScan TrafficScheduler::plan() {
+  ScheduledScan scan;
+  scan.total_weight = total_weight_;
+
+  // Priority order over item indices. Aged items lead (most starved first);
+  // the remainder follows the policy. Every tie breaks on destination id,
+  // so the plan is a pure function of the scheduler's call history.
+  std::vector<std::size_t> order(items_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto aged = [&](const Item& item) { return item.scans_since >= options_.aging_scans; };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = items_[a];
+    const Item& ib = items_[b];
+    if (options_.policy == SchedulePolicy::kRoundRobin) {
+      if (ia.scans_since != ib.scans_since) return ia.scans_since > ib.scans_since;
+      return ia.bits < ib.bits;
+    }
+    bool aa = aged(ia);
+    bool ab = aged(ib);
+    if (aa != ab) return aa;
+    if (aa) {  // both aged: most starved first
+      if (ia.scans_since != ib.scans_since) return ia.scans_since > ib.scans_since;
+      return ia.bits < ib.bits;
+    }
+    if (ia.weight != ib.weight) return ia.weight > ib.weight;
+    return ia.bits < ib.bits;
+  });
+
+  // Integral coverage threshold: covered_weight >= ceil(target * total)
+  // means the target is met (exact at target 1.0 — the full-coverage
+  // default never defers).
+  double target = std::clamp(options_.coverage_target, 0.0, 1.0);
+  auto target_weight =
+      static_cast<std::uint64_t>(std::ceil(target * static_cast<double>(total_weight_)));
+  // A target of exactly 1.0 is not a budget: zero-weight items satisfy the
+  // weight threshold vacuously, but a scheduler asked to cover everything
+  // must never defer them.
+  bool coverage_budgeted = target < 1.0;
+
+  for (std::size_t index : order) {
+    const Item& item = items_[index];
+    bool is_aged = aged(item);
+    bool capped = options_.max_items > 0 && scan.covered.size() >= options_.max_items;
+    bool satisfied = coverage_budgeted && scan.covered_weight >= target_weight;
+    if (capped || (!is_aged && satisfied)) {
+      scan.deferred.push_back(item.bits);
+      continue;
+    }
+    scan.covered.push_back(item.bits);
+    scan.covered_weight += item.weight;
+    if (is_aged) ++scan.aged_in;
+  }
+  std::sort(scan.covered.begin(), scan.covered.end());
+  std::sort(scan.deferred.begin(), scan.deferred.end());
+
+  ++stats_.planned_scans;
+  stats_.covered_items += scan.covered.size();
+  stats_.deferred_items += scan.deferred.size();
+  stats_.aged_items += scan.aged_in;
+  stats_.last_deferred = scan.deferred.size();
+  stats_.last_coverage = scan.coverage();
+  last_ = scan;
+  return scan;
+}
+
+void TrafficScheduler::mark_verified(const std::vector<std::uint32_t>& covered) {
+  std::size_t c = 0;  // both sides sorted by bits: one merge pass
+  for (Item& item : items_) {
+    while (c < covered.size() && covered[c] < item.bits) ++c;
+    if (c < covered.size() && covered[c] == item.bits) {
+      if (item.ever_verified) latency_.record(item.scans_since + 1, item.weight);
+      item.ever_verified = true;
+      item.scans_since = 0;
+    } else {
+      ++item.scans_since;
+    }
+  }
+}
+
+}  // namespace hbguard

@@ -5,34 +5,56 @@
 namespace hbguard {
 
 VerifyResult Verifier::verify(const DataPlaneSnapshot& snapshot) const {
-  return verify(snapshot, nullptr);
+  return verify(snapshot, nullptr, nullptr);
 }
 
 VerifyResult Verifier::verify(const DataPlaneSnapshot& snapshot,
                               const SnapshotDelta* delta) const {
-  if (resolve_num_threads(options_.num_threads) == 1) return verify_serial(snapshot);
-  return verify_sharded(snapshot, delta);
+  return verify(snapshot, delta, nullptr);
 }
 
-VerifyResult Verifier::verify_serial(const DataPlaneSnapshot& snapshot) const {
+VerifyResult Verifier::verify(const DataPlaneSnapshot& snapshot, const SnapshotDelta* delta,
+                              const VerifyPlan* plan) const {
+  if (resolve_num_threads(options_.num_threads) == 1) return verify_serial(snapshot, plan);
+  return verify_sharded(snapshot, delta, plan);
+}
+
+bool Verifier::plan_covers(const VerifyPlan* plan, const Policy& policy) {
+  if (plan == nullptr) return true;
+  for (const Prefix& prefix : policy.prefixes()) {
+    if (!plan->covers(representative(prefix).bits())) return false;
+  }
+  return true;
+}
+
+VerifyResult Verifier::verify_serial(const DataPlaneSnapshot& snapshot,
+                                     const VerifyPlan* plan) const {
   VerifyResult result;
   for (const auto& policy : policies_) {
+    if (!plan_covers(plan, *policy)) {
+      ++result.deferred_policies;
+      continue;
+    }
+    ++result.evaluated_policies;
     policy->check(snapshot, result.violations);
   }
   return result;
 }
 
 VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot,
-                                      const SnapshotDelta* delta) const {
+                                      const SnapshotDelta* delta,
+                                      const VerifyPlan* plan) const {
   std::shared_ptr<ThreadPool> pool = thread_pool();
 
   // The destinations the policy set reasons about, in first-appearance
-  // order (stable across runs).
+  // order (stable across runs). Destinations the plan defers are dropped
+  // here — no signature, no trace, no cache traffic for them this run.
   std::vector<IpAddress> destinations;
   std::set<std::uint32_t> seen;
   for (const auto& policy : policies_) {
     for (const Prefix& prefix : policy->prefixes()) {
       IpAddress destination = representative(prefix);
+      if (plan != nullptr && !plan->covers(destination.bits())) continue;
       if (seen.insert(destination.bits()).second) destinations.push_back(destination);
     }
   }
@@ -59,9 +81,14 @@ VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot,
       std::uint32_t bits = destinations[i].bits();
       if (delta != nullptr && !delta->full && options_.memoize) {
         auto last = last_graphs_.find(bits);
-        if (last != last_graphs_.end() && !delta->affects(destinations[i])) {
+        // The delta only describes changes since the *previous* run; an
+        // entry a plan deferred across runs missed deltas this one doesn't
+        // cover, so only run-(N-1) graphs are delta-skippable.
+        if (last != last_graphs_.end() && last->second.second == stats_.runs - 1 &&
+            !delta->affects(destinations[i])) {
           ++stats_.delta_skips;
-          table[bits] = last->second;
+          table[bits] = last->second.first;
+          last->second.second = stats_.runs;  // still exact for the next run
           continue;
         }
       }
@@ -71,7 +98,7 @@ VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot,
         if (it != cache_.end()) {
           ++stats_.cache_hits;
           table[bits] = it->second;
-          last_graphs_[bits] = it->second;
+          last_graphs_[bits] = {it->second, stats_.runs};
           continue;
         }
       }
@@ -97,19 +124,31 @@ VerifyResult Verifier::verify_sharded(const DataPlaneSnapshot& snapshot,
     for (std::size_t i = 0; i < miss_indices.size(); ++i) {
       std::uint32_t bits = destinations[miss_indices[i]].bits();
       table[bits] = built[i];
-      last_graphs_[bits] = built[i];
+      last_graphs_[bits] = {built[i], stats_.runs};
       if (options_.memoize) cache_[miss_signatures[i]] = built[i];
     }
   }
 
-  // Phase 3 — evaluate the policies concurrently over the shared graphs,
-  // then merge in policy order: byte-identical to the serial report.
+  // Phase 3 — evaluate the covered policies concurrently over the shared
+  // graphs, then merge in policy order: byte-identical to the serial
+  // report. Deferred policies keep their (empty) slot so the merge order
+  // never depends on the plan.
   VerifyContext ctx(snapshot, &table);
-  std::vector<std::vector<Violation>> per_policy(policies_.size());
-  pool->parallel_for(policies_.size(),
-                     [&](std::size_t i) { policies_[i]->evaluate(ctx, per_policy[i]); });
-
   VerifyResult result;
+  std::vector<std::vector<Violation>> per_policy(policies_.size());
+  std::vector<bool> covered_policy(policies_.size(), true);
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    covered_policy[i] = plan_covers(plan, *policies_[i]);
+    if (covered_policy[i]) {
+      ++result.evaluated_policies;
+    } else {
+      ++result.deferred_policies;
+    }
+  }
+  pool->parallel_for(policies_.size(), [&](std::size_t i) {
+    if (covered_policy[i]) policies_[i]->evaluate(ctx, per_policy[i]);
+  });
+
   for (std::vector<Violation>& violations : per_policy) {
     result.violations.insert(result.violations.end(),
                              std::make_move_iterator(violations.begin()),

@@ -16,6 +16,7 @@
 // untouched by a routing event skip re-tracing entirely.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 
@@ -24,8 +25,25 @@
 
 namespace hbguard {
 
+/// A scan budget from the traffic scheduler (verify/traffic.hpp): the
+/// destinations this verify() call must cover. Policies whose destinations
+/// are not all covered are deferred — skipped entirely, reported via
+/// VerifyResult::deferred_policies. A null plan covers everything.
+struct VerifyPlan {
+  /// Destination bits to verify, sorted ascending.
+  std::vector<std::uint32_t> covered;
+
+  bool covers(std::uint32_t bits) const {
+    return std::binary_search(covered.begin(), covered.end(), bits);
+  }
+};
+
 struct VerifyResult {
   std::vector<Violation> violations;
+  /// Policies evaluated / skipped under this call's VerifyPlan (deferred is
+  /// 0 on unplanned calls: every policy is evaluated).
+  std::size_t evaluated_policies = 0;
+  std::size_t deferred_policies = 0;
   bool clean() const { return violations.empty(); }
 };
 
@@ -80,6 +98,15 @@ class Verifier {
   /// serial path (num_threads == 1) ignores the delta.
   VerifyResult verify(const DataPlaneSnapshot& snapshot, const SnapshotDelta* delta) const;
 
+  /// As above, restricted to `plan`'s covered destinations: uncovered
+  /// destinations are neither traced nor signature-keyed, and policies
+  /// depending on them are deferred. A null plan (or one covering every
+  /// policy destination) is byte-identical to the unplanned overloads.
+  /// Works on the serial path too (the budget, unlike the delta, is not a
+  /// parallel-only optimization).
+  VerifyResult verify(const DataPlaneSnapshot& snapshot, const SnapshotDelta* delta,
+                      const VerifyPlan* plan) const;
+
   const PolicyList& policies() const { return policies_; }
   const VerifierOptions& options() const { return options_; }
 
@@ -91,9 +118,12 @@ class Verifier {
   std::shared_ptr<ThreadPool> thread_pool() const;
 
  private:
-  VerifyResult verify_serial(const DataPlaneSnapshot& snapshot) const;
-  VerifyResult verify_sharded(const DataPlaneSnapshot& snapshot,
-                              const SnapshotDelta* delta) const;
+  VerifyResult verify_serial(const DataPlaneSnapshot& snapshot, const VerifyPlan* plan) const;
+  VerifyResult verify_sharded(const DataPlaneSnapshot& snapshot, const SnapshotDelta* delta,
+                              const VerifyPlan* plan) const;
+  /// True when every destination `policy` reasons about is in `plan` (or
+  /// the plan is null).
+  static bool plan_covers(const VerifyPlan* plan, const Policy& policy);
 
   PolicyList policies_;
   VerifierOptions options_;
@@ -101,10 +131,16 @@ class Verifier {
   mutable std::mutex mutex_;  // guards pool_ creation, cache_, stats_
   mutable std::shared_ptr<ThreadPool> pool_;
   mutable std::map<std::string, DestinationForwardingRef> cache_;  // by signature
-  /// Each destination's graph from the previous verify() — what a
-  /// SnapshotDelta proves still valid. Keyed by destination bits; bounded
-  /// by the policy set's destination count.
-  mutable std::map<std::uint32_t, DestinationForwardingRef> last_graphs_;
+  /// Each destination's graph from a previous verify(), stamped with the
+  /// run that refreshed it — a SnapshotDelta only proves the *immediately
+  /// preceding* run's graph still valid, so delta skips require
+  /// `run == stats_.runs - 1`. (Before plans existed every run refreshed
+  /// every entry and the stamp was implicit; a deferred destination's entry
+  /// can now be arbitrarily stale while deltas it never saw accumulate.)
+  /// Keyed by destination bits; bounded by the policy set's destination
+  /// count.
+  mutable std::map<std::uint32_t, std::pair<DestinationForwardingRef, std::size_t>>
+      last_graphs_;
   mutable VerifyStats stats_;
 };
 

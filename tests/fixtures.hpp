@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -89,6 +90,12 @@ struct GuardedRunOptions {
   std::size_t routers = 8;
   std::size_t churn_events = 40;
   std::size_t distributed_shards = 0;  ///< GuardOptions::distributed_shards
+  /// Last-chance hook over the assembled GuardOptions (traffic scheduling,
+  /// incremental toggles, ...) before the Guard is constructed.
+  std::function<void(GuardOptions&)> customize;
+  /// Post-run hook over the finished Guard, for state GuardedRun does not
+  /// carry (scheduler stats, streaming ECs, ...).
+  std::function<void(const Guard&)> inspect;
 };
 
 /// One guarded run over the same seeded topology + churn. `faulty` installs
@@ -126,6 +133,7 @@ inline GuardedRun run_guarded(const FaultPlan& plan, const GuardedRunOptions& ru
   guard_options.repair = RepairMode::kReport;
   guard_options.num_threads = run_options.threads;
   guard_options.distributed_shards = run_options.distributed_shards;
+  if (run_options.customize) run_options.customize(guard_options);
   Guard guard(net, loopback_policies(net.router_count()), guard_options);
 
   // Scan through the fault window, then drain and let grace windows expire.
@@ -138,6 +146,8 @@ inline GuardedRun run_guarded(const FaultPlan& plan, const GuardedRunOptions& ru
     net.run_for(200'000);
     guard.scan();
   }
+
+  if (run_options.inspect) run_options.inspect(guard);
 
   GuardedRun out;
   out.report = guard.report();

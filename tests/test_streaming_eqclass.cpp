@@ -222,6 +222,62 @@ TEST_P(StreamingEqclassDifferential, RouterSetChangeFallsBackToRebuild) {
   expect_identical(streaming, snapshot, pool_.get(), "router added");
 }
 
+TEST_P(StreamingEqclassDifferential, ChurnConservesTrafficWeightExactly) {
+  // Property fuzz for the weighted-EC invariant: however the interval
+  // structure splits and merges under churn, the sum of class
+  // traffic_weight equals the sum of weight_of over the snapshot's present
+  // prefixes — exactly, in integers — and streaming matches batch.
+  constexpr std::size_t kRouters = 4;
+  constexpr std::size_t kPrefixPool = 96;
+  std::mt19937_64 rng(0x7EAF + GetParam());
+
+  auto weights = std::make_shared<TrafficWeights>();
+  for (std::size_t i = 0; i < kPrefixPool; ++i) {
+    // Mix of heavy, light and zero-demand prefixes.
+    std::uint64_t w = (i % 7 == 0) ? 0 : (rng() % 1'000'000);
+    weights->set(full_table_prefix(i), w);
+  }
+
+  DataPlaneSnapshot snapshot;
+  for (std::size_t r = 0; r < kRouters; ++r) snapshot.routers[static_cast<RouterId>(r)];
+  StreamingEquivalenceClasses streaming;
+  streaming.set_traffic_weights(weights);
+  streaming.rebuild(snapshot, pool_.get());
+
+  auto check = [&](const char* where) {
+    EquivalenceClasses live = streaming.classes();
+    EquivalenceClasses batch = compute_equivalence_classes(snapshot, weights, pool_.get());
+    ASSERT_EQ(live.classes.size(), batch.classes.size()) << where;
+    std::uint64_t live_total = 0;
+    for (std::size_t i = 0; i < live.classes.size(); ++i) {
+      EXPECT_EQ(live.classes[i].traffic_weight, batch.classes[i].traffic_weight)
+          << where << " class " << i;
+      live_total += live.classes[i].traffic_weight;
+    }
+    std::uint64_t expected = 0;
+    for (const Prefix& prefix : snapshot.all_prefixes()) {
+      expected += weights->weight_of(prefix);
+    }
+    EXPECT_EQ(live_total, expected) << where;
+  };
+  check("empty");
+
+  for (int round = 0; round < 30; ++round) {
+    SnapshotDelta delta;
+    delta.full = false;
+    std::size_t updates = 1 + rng() % 10;
+    for (std::size_t u = 0; u < updates; ++u) {
+      Prefix prefix = full_table_prefix(rng() % kPrefixPool);
+      auto router = static_cast<RouterId>(rng() % kRouters);
+      bool withdraw = (rng() % 3) == 0;
+      snapshot.apply_fib_update(router, entry_for(prefix, rng, kRouters), withdraw);
+      delta.changed_prefixes.insert(prefix);
+    }
+    streaming.update(snapshot, delta, pool_.get());
+    check(("round " + std::to_string(round)).c_str());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(PoolSizes, StreamingEqclassDifferential,
                          ::testing::Values(1u, 2u, 8u));
 

@@ -146,6 +146,89 @@ TEST(AsPathPolicy, AvoidTransitEndToEnd) {
   EXPECT_NE(scenario.router1().data_fib().find(scenario.prefix_p), nullptr);
 }
 
+// ---- Synthetic traffic demand ----
+
+TEST(TrafficDemand, WeightsSumExactlyToTotal) {
+  TrafficDemandOptions options;
+  options.prefix_count = 1000;
+  options.ingress_count = 5;
+  options.total_weight = 999'999'937;  // prime: apportionment can't be even
+  TrafficDemand demand = make_traffic_demand(options);
+
+  ASSERT_EQ(demand.prefixes.size(), options.prefix_count);
+  ASSERT_EQ(demand.prefix_weight.size(), options.prefix_count);
+  std::uint64_t sum = 0;
+  for (std::uint64_t w : demand.prefix_weight) sum += w;
+  EXPECT_EQ(sum, options.total_weight);
+  EXPECT_EQ(demand.total, options.total_weight);
+
+  // Demand-matrix columns apportion each prefix's weight exactly.
+  ASSERT_EQ(demand.ingress_weight.size(), options.ingress_count);
+  for (std::size_t i = 0; i < options.prefix_count; ++i) {
+    std::uint64_t column = 0;
+    for (std::size_t g = 0; g < options.ingress_count; ++g) {
+      column += demand.ingress_weight[g][i];
+    }
+    EXPECT_EQ(column, demand.prefix_weight[i]) << "column " << i;
+  }
+}
+
+TEST(TrafficDemand, DeterministicPerSeedAndSensitiveToIt) {
+  TrafficDemandOptions options;
+  options.prefix_count = 256;
+  options.ingress_count = 3;
+  TrafficDemand a = make_traffic_demand(options);
+  TrafficDemand b = make_traffic_demand(options);
+  EXPECT_EQ(a.prefix_weight, b.prefix_weight);
+  EXPECT_EQ(a.ingress_weight, b.ingress_weight);
+
+  options.seed += 1;
+  TrafficDemand c = make_traffic_demand(options);
+  // Zipf prefix weights ignore the seed (rank is deterministic)...
+  EXPECT_EQ(a.prefix_weight, c.prefix_weight);
+  // ...but the ingress split is seeded.
+  EXPECT_NE(a.ingress_weight, c.ingress_weight);
+}
+
+TEST(TrafficDemand, ZipfTailIsMonotoneAndHeavyHeaded) {
+  TrafficDemandOptions options;
+  options.prefix_count = 4096;
+  options.zipf_exponent = 1.0;
+  TrafficDemand demand = make_traffic_demand(options);
+
+  for (std::size_t i = 1; i < demand.prefix_weight.size(); ++i) {
+    EXPECT_GE(demand.prefix_weight[i - 1], demand.prefix_weight[i]) << "rank " << i;
+  }
+  // Harmonic concentration: the top 1% of ranks carries far more than 1% of
+  // the weight (for n=4096, H(41)/H(4096) is ~51%; assert a loose floor).
+  std::uint64_t head = 0;
+  for (std::size_t i = 0; i < demand.prefix_weight.size() / 100; ++i) {
+    head += demand.prefix_weight[i];
+  }
+  EXPECT_GT(head, demand.total / 3);
+}
+
+TEST(TrafficDemand, ZeroExponentIsNearUniform) {
+  TrafficDemandOptions options;
+  options.prefix_count = 128;
+  options.zipf_exponent = 0.0;
+  options.total_weight = 128 * 1000 + 57;  // deliberately uneven
+  TrafficDemand demand = make_traffic_demand(options);
+  // Largest-remainder apportionment of equal shares: every weight within 1.
+  for (std::uint64_t w : demand.prefix_weight) {
+    EXPECT_GE(w, 1000u);
+    EXPECT_LE(w, 1001u);
+  }
+}
+
+TEST(TrafficDemand, CustomPrefixMapIsUsed) {
+  TrafficDemandOptions options;
+  options.prefix_count = 8;
+  TrafficDemand demand =
+      make_traffic_demand(options, [](std::size_t i) { return churn_prefix(i); });
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(demand.prefixes[i], churn_prefix(i));
+}
+
 TEST(AsPathPolicy, ParserRoundTrip) {
   Topology topo;
   topo.add_router("R1");
